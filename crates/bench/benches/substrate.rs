@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks for the substrate crates: tensor kernels,
+//! layer passes, PASGD rounds, scheduler and averaging overhead.
+//!
+//! ```sh
+//! cargo bench -p adacomm-bench --bench substrate
+//! ```
+
+use adacomm::{AdaComm, CommSchedule, ScheduleContext};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use data::GaussianMixture;
+use delay::{CommModel, DelayDistribution, RuntimeModel};
+use nn::{models, Layer};
+use pasgd_sim::{ClusterConfig, MomentumMode, PasgdCluster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::Tensor;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 256], 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    group.bench_function("matmul_64x256x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    let b2 = Tensor::randn(&[64, 256], 1.0, &mut rng);
+    group.bench_function("matmul_nt_64x256", |bench| {
+        bench.iter(|| black_box(a.matmul_nt(&b2)))
+    });
+    let x = Tensor::randn(&[16384], 1.0, &mut rng);
+    let y = Tensor::randn(&[16384], 1.0, &mut rng);
+    group.bench_function("axpy_16k", |bench| {
+        bench.iter_batched(
+            || x.clone(),
+            |mut acc| {
+                acc.axpy(0.5, &y);
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("average_4x16k", |bench| {
+        let replicas = vec![x.clone(), y.clone(), x.clone(), y.clone()];
+        bench.iter(|| black_box(tensor::average(&replicas)))
+    });
+    group.finish();
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn(&[32, 256], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    group.bench_function("mlp_train_step_b32", |bench| {
+        let mut net = models::mlp_classifier(256, &[64], 10, 3);
+        bench.iter(|| black_box(net.train_step(&x, &labels)))
+    });
+    let ximg = Tensor::randn(&[8, 256], 1.0, &mut rng);
+    group.bench_function("conv_forward_vgg_like_b8", |bench| {
+        let mut net = models::vgg_like(1, 16, 10, 3);
+        bench.iter(|| black_box(net.stack_mut().forward(&ximg, true)))
+    });
+    group.bench_function("params_snapshot_mlp", |bench| {
+        let net = models::mlp_classifier(256, &[64], 10, 3);
+        bench.iter(|| black_box(net.params_snapshot()))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let make_cluster = || {
+        PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 5),
+            GaussianMixture::small_test().generate(1),
+            RuntimeModel::new(
+                DelayDistribution::constant(1.0),
+                CommModel::constant(1.0),
+                4,
+            ),
+            ClusterConfig {
+                workers: 4,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: MomentumMode::None,
+                averaging: pasgd_sim::AveragingStrategy::FullAverage,
+                seed: 2,
+                eval_subset: 48,
+            },
+        )
+    };
+    group.bench_function("round_tau8_m4", |bench| {
+        bench.iter_batched(
+            make_cluster,
+            |mut cluster| {
+                cluster.run_round(8);
+                black_box(cluster.clock())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("averaging_only_m4", |bench| {
+        bench.iter_batched(
+            make_cluster,
+            |mut cluster| {
+                cluster.average_now();
+                black_box(cluster.clock())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let ctx = ScheduleContext {
+        interval_index: 5,
+        wall_clock: 300.0,
+        current_loss: 0.4,
+        initial_loss: 2.3,
+        current_lr: 0.2,
+        initial_lr: 0.2,
+    };
+    group.bench_function("adacomm_next_tau", |bench| {
+        let mut sched = AdaComm::with_tau0(32);
+        bench.iter(|| black_box(sched.next_tau(&ctx)))
+    });
+    group.finish();
+}
+
+fn bench_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay");
+    let model = RuntimeModel::new(
+        DelayDistribution::exponential(1.0),
+        CommModel::constant(1.0),
+        16,
+    );
+    group.bench_function("sample_round_tau10_m16", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| black_box(model.sample_round(10, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_nn,
+    bench_simulator,
+    bench_scheduler,
+    bench_delay
+);
+criterion_main!(benches);

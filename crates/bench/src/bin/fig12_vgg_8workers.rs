@@ -1,0 +1,27 @@
+//! Figure 12 (appendix): VGG-16-like with 8 workers. Panels:
+//! (a) variable lr on CIFAR10-like, (b) fixed lr on CIFAR100-like.
+//!
+//! ```sh
+//! cargo run --release -p adacomm-bench --bin fig12_vgg_8workers [--full]
+//! ```
+//!
+//! Paper's reported shape: 2.9× speedup over fully synchronous SGD in the
+//! variable-lr panel (6.0 vs 17.5 minutes to 1e-2 loss).
+
+use adacomm_bench::scenarios::{scenario, ModelFamily};
+use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    println!("Figure 12 (scale: {scale}) — 8 workers\n");
+
+    for (tag, panel, classes, lr_mode) in [
+        ("a", "12a: variable lr, CIFAR10-like", 10usize, LrMode::Variable),
+        ("b", "12b: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
+    ] {
+        let sc = scenario(ModelFamily::VggLike, classes, 8, scale);
+        let traces = run_standard_panel(&sc, lr_mode, false);
+        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        save_panel_csv(&format!("fig12{tag}"), &traces);
+    }
+}

@@ -1,0 +1,73 @@
+//! Runs every figure/table binary's core computation in sequence and
+//! writes all CSVs into `results/` — the one-shot reproduction driver.
+//!
+//! ```sh
+//! cargo run --release -p adacomm-bench --bin reproduce_all [--full]
+//! ```
+//!
+//! (Each figure also has a standalone binary with richer output; this
+//! driver shells out to them so their assertions run too.)
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let binaries = [
+        "fig01_concept",
+        "fig04_speedup",
+        "fig05_runtime_dist",
+        "fig06_theory_bound",
+        "fig07_switching",
+        "fig08_comm_comp",
+        "fig09_vgg_adacomm",
+        "fig10_resnet_adacomm",
+        "fig11_block_momentum",
+        "fig12_vgg_8workers",
+        "fig13_resnet_8workers",
+        "fig14_local_gap",
+        "table1_accuracy",
+        "thm3_schedule_check",
+        "ablation_gamma",
+        "ablation_lr_coupling",
+        "ablation_momentum_mode",
+        "ablation_t0",
+        "ablation_straggler",
+        "ext_averaging_strategies",
+    ];
+
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe directory")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n================================================================");
+        println!("=== {bin}");
+        println!("================================================================");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if full {
+            cmd.arg("--full");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} exited with {status}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e} (build with `cargo build --release -p adacomm-bench --bins` first)");
+                failures.push(bin);
+            }
+        }
+    }
+
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} reproduction targets completed; CSVs are in results/", binaries.len());
+    } else {
+        println!("FAILED targets: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the paper
+//! and prints the same series/rows the paper reports, plus a CSV dump under
+//! `results/`. This library holds the common pieces: the quick/full scale
+//! switch, canonical experiment scenarios, and plain-text reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod panel;
+pub mod report;
+pub mod scale;
+pub mod scenarios;
+
+pub use panel::{report_panel, run_standard_panel, save_panel_csv, LrMode};
+pub use report::{ascii_series, write_csv, Table};
+pub use scale::Scale;

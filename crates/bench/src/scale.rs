@@ -1,0 +1,72 @@
+//! The quick/full experiment-scale switch.
+
+/// How big the reproduction runs should be.
+///
+/// `Quick` (the default) is sized so that the entire figure suite finishes
+/// in minutes on a laptop; `Full` uses longer simulated budgets and larger
+/// models (including the convolutional VGG-like/ResNet-like architectures)
+/// for closer-to-paper curves. Select with the `ADACOMM_SCALE` environment
+/// variable (`quick` or `full`) or a `--full` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-sized runs (default).
+    Quick,
+    /// Longer, closer-to-paper runs.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from `--full` in `args` or the `ADACOMM_SCALE`
+    /// environment variable; defaults to [`Scale::Quick`].
+    pub fn from_env_and_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            return Scale::Full;
+        }
+        match std::env::var("ADACOMM_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Whether this is the full-size configuration.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Scale::Full)
+    }
+
+    /// Monte-Carlo sample count for the analytic figures.
+    pub fn mc_samples(&self) -> usize {
+        match self {
+            Scale::Quick => 40_000,
+            Scale::Full => 400_000,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Quick => write!(f, "quick"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quick() {
+        // Cannot touch the process env safely in tests; just check the
+        // accessors.
+        assert!(!Scale::Quick.is_full());
+        assert!(Scale::Full.is_full());
+        assert!(Scale::Full.mc_samples() > Scale::Quick.mc_samples());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scale::Quick.to_string(), "quick");
+        assert_eq!(Scale::Full.to_string(), "full");
+    }
+}

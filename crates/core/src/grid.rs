@@ -1,0 +1,91 @@
+//! Grid search for the initial communication period τ0 (Section 4.2).
+//!
+//! "We obtain a heuristic estimate of τ0 by a simple grid search over
+//! different τ run for one or two epochs each." The evaluation closure is
+//! supplied by the caller (typically: run the simulator for a short budget
+//! and report the training loss), keeping this crate free of simulator
+//! dependencies.
+
+/// Picks the candidate τ0 whose short trial run achieves the lowest loss.
+///
+/// `evaluate` receives a candidate period and returns the figure of merit to
+/// *minimise* (e.g. training loss after one epoch of simulated wall-clock
+/// time). Non-finite scores are treated as failures (diverged trials) and
+/// skipped.
+///
+/// Returns the winning `τ0`.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty, contains a zero, or every candidate
+/// returned a non-finite score.
+///
+/// # Example
+///
+/// ```
+/// use adacomm::select_tau0;
+///
+/// // A synthetic figure of merit minimised at tau = 8.
+/// let best = select_tau0(&[1, 4, 8, 32], |tau| (tau as f64 - 8.0).abs());
+/// assert_eq!(best, 8);
+/// ```
+pub fn select_tau0<F: FnMut(usize) -> f64>(candidates: &[usize], mut evaluate: F) -> usize {
+    assert!(!candidates.is_empty(), "no tau0 candidates supplied");
+    assert!(
+        candidates.iter().all(|&t| t >= 1),
+        "communication periods must be at least 1"
+    );
+    let mut best: Option<(usize, f64)> = None;
+    for &tau in candidates {
+        let score = evaluate(tau);
+        if !score.is_finite() {
+            continue; // diverged trial
+        }
+        match best {
+            Some((_, s)) if s <= score => {}
+            _ => best = Some((tau, score)),
+        }
+    }
+    best.expect("every tau0 trial diverged (non-finite scores)").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum() {
+        let best = select_tau0(&[1, 2, 4, 8], |tau| 1.0 / tau as f64);
+        assert_eq!(best, 8);
+    }
+
+    #[test]
+    fn skips_diverged_trials() {
+        let best = select_tau0(&[1, 100], |tau| {
+            if tau == 100 {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn first_wins_ties() {
+        let best = select_tau0(&[5, 10], |_| 1.0);
+        assert_eq!(best, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "every tau0 trial diverged")]
+    fn all_diverged_panics() {
+        let _ = select_tau0(&[1, 2], |_| f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tau0 candidates")]
+    fn empty_candidates_panics() {
+        let _ = select_tau0(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! **AdaComm** — adaptive communication-period scheduling for local-update
+//! SGD, reproducing [Wang & Joshi, *Adaptive Communication Strategies to
+//! Achieve the Best Error-Runtime Trade-off in Local-Update SGD*, SysML
+//! 2019](https://arxiv.org/abs/1810.08313).
+//!
+//! In periodic-averaging SGD (PASGD), `m` workers each take `τ` local SGD
+//! steps between model-averaging rounds. Small `τ` converges to a low error
+//! floor but pays communication every step; large `τ` is fast per iteration
+//! but plateaus high. The paper's contribution — implemented here — is to
+//! **adapt `τ` over wall-clock time**: start large to make cheap early
+//! progress, then shrink `τ` as the loss drops.
+//!
+//! This crate contains the algorithmic core and its theory:
+//!
+//! * [`CommSchedule`] — the scheduler interface consulted at every
+//!   `T0`-length wall-clock interval;
+//! * [`FixedComm`] — the fixed-`τ` baselines (τ = 1 is fully synchronous
+//!   SGD);
+//! * [`AdaComm`] — the paper's adaptive rule: eq. 17 (basic), eq. 18
+//!   (multiplicative γ-decay refinement) and eq. 19/20 (learning-rate
+//!   coupling);
+//! * [`LrSchedule`] — constant and step learning-rate schedules, plus the
+//!   paper's "decay `τ` to 1 before decaying `η`" interaction;
+//! * [`theory`] — Theorem 1's error-runtime bound (eq. 13), Theorem 2's
+//!   optimal communication period `τ*` (eq. 14) and Theorem 3's
+//!   convergence-condition checker (eq. 21);
+//! * [`select_tau0`] — the grid-search heuristic the paper uses to pick the
+//!   initial period (Section 4.2).
+//!
+//! # Example
+//!
+//! ```
+//! use adacomm::{AdaComm, AdaCommConfig, CommSchedule, ScheduleContext};
+//!
+//! let mut sched = AdaComm::new(AdaCommConfig { tau0: 16, ..AdaCommConfig::default() });
+//! // Training loss halved after the first interval: tau shrinks by sqrt(1/2).
+//! let ctx = ScheduleContext {
+//!     interval_index: 1,
+//!     wall_clock: 60.0,
+//!     current_loss: 1.0,
+//!     initial_loss: 2.0,
+//!     current_lr: 0.2,
+//!     initial_lr: 0.2,
+//! };
+//! let tau = sched.next_tau(&ctx);
+//! assert_eq!(tau, 12); // ceil(16 / sqrt(2))
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod lr;
+mod schedule;
+pub mod theory;
+
+pub use grid::select_tau0;
+pub use lr::LrSchedule;
+pub use schedule::{AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, ScheduleContext};

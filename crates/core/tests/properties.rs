@@ -1,0 +1,118 @@
+//! Property-based tests for the AdaComm scheduling rules and theory.
+
+use adacomm::theory::{error_runtime_bound, tau_star_int, TheoryParams};
+use adacomm::{AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrSchedule, ScheduleContext};
+use proptest::prelude::*;
+
+fn ctx(l: usize, loss: f64, f0: f64, lr: f32, lr0: f32) -> ScheduleContext {
+    ScheduleContext {
+        interval_index: l,
+        wall_clock: l as f64 * 60.0,
+        current_loss: loss,
+        initial_loss: f0,
+        current_lr: lr,
+        initial_lr: lr0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adacomm_tau_always_in_bounds(
+        tau0 in 1usize..64,
+        losses in proptest::collection::vec(1e-6f64..10.0, 1..30),
+    ) {
+        let mut s = AdaComm::new(AdaCommConfig {
+            tau0,
+            max_tau: 256.max(tau0),
+            ..AdaCommConfig::default()
+        });
+        let f0 = losses[0];
+        for (l, &loss) in losses.iter().enumerate() {
+            let tau = s.next_tau(&ctx(l, loss, f0, 0.2, 0.2));
+            prop_assert!(tau >= 1 && tau <= 256.max(tau0), "tau {tau} out of bounds");
+        }
+    }
+
+    #[test]
+    fn adacomm_without_lr_coupling_is_non_increasing(
+        tau0 in 1usize..64,
+        losses in proptest::collection::vec(1e-6f64..10.0, 2..30),
+    ) {
+        // Rule (18) guarantees monotone non-increasing tau under fixed lr.
+        let mut s = AdaComm::with_tau0(tau0);
+        let f0 = losses[0];
+        let mut prev = usize::MAX;
+        for (l, &loss) in losses.iter().enumerate() {
+            let tau = s.next_tau(&ctx(l, loss, f0, 0.2, 0.2));
+            prop_assert!(tau <= prev, "tau increased: {prev} -> {tau}");
+            prev = tau;
+        }
+    }
+
+    #[test]
+    fn fixed_comm_ignores_context(tau in 1usize..100, loss in 0.0f64..10.0) {
+        let mut s = FixedComm::new(tau);
+        prop_assert_eq!(s.next_tau(&ctx(3, loss, 1.0, 0.1, 0.2)), tau);
+    }
+
+    #[test]
+    fn reset_makes_runs_identical(
+        tau0 in 1usize..32,
+        losses in proptest::collection::vec(0.01f64..5.0, 2..12),
+    ) {
+        let mut s = AdaComm::with_tau0(tau0);
+        let f0 = losses[0];
+        let run1: Vec<usize> = losses.iter().enumerate()
+            .map(|(l, &loss)| s.next_tau(&ctx(l, loss, f0, 0.1, 0.1)))
+            .collect();
+        s.reset();
+        let run2: Vec<usize> = losses.iter().enumerate()
+            .map(|(l, &loss)| s.next_tau(&ctx(l, loss, f0, 0.1, 0.1)))
+            .collect();
+        prop_assert_eq!(run1, run2);
+    }
+
+    #[test]
+    fn bound_is_positive_and_finite(
+        tau in 1usize..200,
+        time in 1.0f64..1e6,
+        y in 0.001f64..10.0,
+        d in 0.0f64..10.0,
+    ) {
+        let p = TheoryParams::figure6();
+        let b = error_runtime_bound(&p, y, d, tau, time);
+        prop_assert!(b > 0.0 && b.is_finite());
+    }
+
+    #[test]
+    fn tau_star_beats_neighbours(
+        d in 0.1f64..5.0,
+        time in 10.0f64..10_000.0,
+    ) {
+        let p = TheoryParams::figure6();
+        let star = tau_star_int(&p, d, time);
+        let b_star = error_runtime_bound(&p, 1.0, d, star, time);
+        // The integer neighbourhood of the real-valued optimum cannot be
+        // much better (convexity of eq. 13 in tau).
+        for cand in [star.saturating_sub(1).max(1), star + 1] {
+            let b = error_runtime_bound(&p, 1.0, d, cand, time);
+            prop_assert!(b_star <= b * 1.5, "tau*={star}: {b_star} vs tau={cand}: {b}");
+        }
+    }
+
+    #[test]
+    fn lr_schedule_is_non_increasing(initial in 0.01f32..1.0, epoch in 0.0f64..300.0) {
+        let s = LrSchedule::paper_step(initial);
+        prop_assert!(s.lr_at(epoch) <= initial + 1e-9);
+        prop_assert!(s.lr_at(epoch + 50.0) <= s.lr_at(epoch) + 1e-9);
+    }
+
+    #[test]
+    fn gated_lr_never_below_scheduled(epoch in 0.0f64..300.0, tau in 1usize..50) {
+        let s = LrSchedule::paper_step(0.2);
+        // Gating can only delay decay, never deepen it.
+        prop_assert!(s.lr_at_gated(epoch, tau) >= s.lr_at(epoch) - 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Shuffled mini-batch iteration over a worker's data shard.
+
+use crate::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tensor::Tensor;
+
+/// An endless source of shuffled mini-batches from one dataset shard.
+///
+/// Matches the paper's setup: each worker iterates over its own partition,
+/// reshuffling at every epoch boundary. The iterator is *endless* because
+/// local-update SGD counts iterations, not epochs; call [`BatchIter::next_batch`]
+/// as many times as the training loop needs.
+///
+/// # Example
+///
+/// ```
+/// use data::{BatchIter, GaussianMixture};
+/// use rand::SeedableRng;
+///
+/// let split = GaussianMixture::small_test().generate(1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut batches = BatchIter::new(split.train, 8);
+/// let (x, y) = batches.next_batch(&mut rng);
+/// assert_eq!(x.dims()[0], 8);
+/// assert_eq!(y.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    data: Dataset,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    epochs_completed: usize,
+}
+
+impl BatchIter {
+    /// Creates a batch iterator over `data` with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or the dataset is empty.
+    pub fn new(data: Dataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!data.is_empty(), "cannot iterate an empty dataset");
+        let order: Vec<usize> = (0..data.len()).collect();
+        BatchIter {
+            data,
+            batch_size,
+            order,
+            cursor: 0,
+            epochs_completed: 0,
+        }
+    }
+
+    /// The underlying shard.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of epoch boundaries crossed so far.
+    pub fn epochs_completed(&self) -> usize {
+        self.epochs_completed
+    }
+
+    /// Produces the next mini-batch, reshuffling at epoch boundaries.
+    ///
+    /// If fewer than `batch_size` examples remain in the epoch, the batch
+    /// wraps into the freshly reshuffled next epoch so that every batch has
+    /// exactly `batch_size` rows (matching constant-batch SGD analyses).
+    pub fn next_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Tensor, Vec<usize>) {
+        let mut indices = Vec::with_capacity(self.batch_size);
+        while indices.len() < self.batch_size {
+            if self.cursor == 0 {
+                self.order.shuffle(rng);
+            }
+            indices.push(self.order[self.cursor]);
+            self.cursor += 1;
+            if self.cursor == self.order.len() {
+                self.cursor = 0;
+                self.epochs_completed += 1;
+            }
+        }
+        self.data.gather(&indices)
+    }
+
+    /// Iterations per epoch at this batch size (rounded up).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.data.len().div_ceil(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let data: Vec<f32> = (0..n).map(|v| v as f32).collect();
+        let labels = vec![0usize; n];
+        Dataset::new(Tensor::from_vec(data, &[n, 1]).unwrap(), labels, 1)
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let mut it = BatchIter::new(toy(10), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let (x, y) = it.next_batch(&mut rng);
+            assert_eq!(x.dims(), &[3, 1]);
+            assert_eq!(y.len(), 3);
+        }
+    }
+
+    #[test]
+    fn one_epoch_covers_every_example() {
+        let mut it = BatchIter::new(toy(9), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let (x, _) = it.next_batch(&mut rng);
+            for r in 0..3 {
+                seen.insert(x.row(r)[0] as usize);
+            }
+        }
+        assert_eq!(seen.len(), 9, "one epoch must touch every example once");
+        assert_eq!(it.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut it = BatchIter::new(toy(64), 64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, _) = it.next_batch(&mut rng);
+        let (b, _) = it.next_batch(&mut rng);
+        assert_ne!(
+            a.as_slice(),
+            b.as_slice(),
+            "consecutive epochs should be differently ordered"
+        );
+    }
+
+    #[test]
+    fn wraps_across_epoch_boundary() {
+        let mut it = BatchIter::new(toy(5), 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = it.next_batch(&mut rng); // consumes 4 of 5
+        let (x, _) = it.next_batch(&mut rng); // 1 remaining + 3 from next epoch
+        assert_eq!(x.dims()[0], 4);
+        assert_eq!(it.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        assert_eq!(BatchIter::new(toy(10), 3).batches_per_epoch(), 4);
+        assert_eq!(BatchIter::new(toy(9), 3).batches_per_epoch(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = BatchIter::new(toy(4), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Labeled dataset container, train/test splitting and worker sharding.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tensor::Tensor;
+
+/// A labeled classification dataset: a `[n, d]` feature matrix and one class
+/// label per row.
+///
+/// # Example
+///
+/// ```
+/// use data::Dataset;
+/// use tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[2, 2]).unwrap();
+/// let ds = Dataset::new(x, vec![0, 1], 2);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.feature_dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from a `[n, d]` feature matrix and `n` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is not rank-2, the row count differs from
+    /// `labels.len()`, or any label is `>= num_classes`.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            features.shape().rank(),
+            2,
+            "features must be a [n, d] matrix, got shape {}",
+            features.shape()
+        );
+        assert_eq!(
+            features.dims()[0],
+            labels.len(),
+            "feature rows ({}) must match label count ({})",
+            features.dims()[0],
+            labels.len()
+        );
+        assert!(num_classes > 0, "need at least one class");
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            panic!("label {bad} out of range for {num_classes} classes");
+        }
+        Dataset {
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds zero examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality `d`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.dims()[1]
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full `[n, d]` feature matrix.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies the rows at `indices` into a dense `([b, d], labels)` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let d = self.feature_dim();
+        let mut out = Vec::with_capacity(indices.len() * d);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds for {}", self.len());
+            out.extend_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        let x = Tensor::from_vec(out, &[indices.len(), d])
+            .expect("internal: gathered volume matches");
+        (x, labels)
+    }
+
+    /// Returns a new dataset containing the rows at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (features, labels) = self.gather(indices);
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits the dataset row-wise into `m` near-equal shards, one per
+    /// worker (the paper's data partitioning). The first `n % m` shards get
+    /// one extra example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > self.len()`.
+    pub fn shard(&self, m: usize) -> Vec<Dataset> {
+        assert!(m > 0, "need at least one shard");
+        assert!(
+            m <= self.len(),
+            "cannot cut {} examples into {m} non-empty shards",
+            self.len()
+        );
+        let n = self.len();
+        let base = n / m;
+        let extra = n % m;
+        let mut shards = Vec::with_capacity(m);
+        let mut start = 0;
+        for w in 0..m {
+            let size = base + usize::from(w < extra);
+            let indices: Vec<usize> = (start..start + size).collect();
+            shards.push(self.subset(&indices));
+            start += size;
+        }
+        shards
+    }
+
+    /// Randomly permutes the dataset rows in place.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let shuffled = self.subset(&order);
+        *self = shuffled;
+    }
+
+    /// Splits into train/test with `test_fraction` of rows held out (rows
+    /// are taken from the end; shuffle first for a random split).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1` yields non-empty halves.
+    pub fn split(&self, test_fraction: f64) -> TrainTestSplit {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test fraction must be in [0, 1), got {test_fraction}"
+        );
+        let n = self.len();
+        let test_n = ((n as f64) * test_fraction).round() as usize;
+        let train_n = n - test_n;
+        assert!(train_n > 0, "split leaves no training data");
+        let train_idx: Vec<usize> = (0..train_n).collect();
+        let test_idx: Vec<usize> = (train_n..n).collect();
+        TrainTestSplit {
+            train: self.subset(&train_idx),
+            test: self.subset(&test_idx),
+        }
+    }
+
+    /// Per-class counts, useful for checking shard balance.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// A train/test pair produced by [`Dataset::split`] or a generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let data: Vec<f32> = (0..n * 2).map(|v| v as f32).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(Tensor::from_vec(data, &[n, 2]).unwrap(), labels, 3)
+    }
+
+    #[test]
+    fn gather_preserves_rows() {
+        let ds = toy(5);
+        let (x, y) = ds.gather(&[4, 0]);
+        assert_eq!(x.dims(), &[2, 2]);
+        assert_eq!(x.row(0), &[8.0, 9.0]);
+        assert_eq!(x.row(1), &[0.0, 1.0]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn shard_sizes_are_balanced() {
+        let ds = toy(10);
+        let shards = ds.shard(3);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn shards_partition_the_data() {
+        let ds = toy(7);
+        let shards = ds.shard(2);
+        let mut all_rows: Vec<Vec<f32>> = Vec::new();
+        for s in &shards {
+            for r in 0..s.len() {
+                all_rows.push(s.features().row(r).to_vec());
+            }
+        }
+        assert_eq!(all_rows.len(), 7);
+        for r in 0..7 {
+            assert!(all_rows.contains(&ds.features().row(r).to_vec()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty shards")]
+    fn too_many_shards_panics() {
+        let _ = toy(2).shard(3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut ds = toy(20);
+        let before = ds.class_histogram();
+        ds.shuffle(&mut StdRng::seed_from_u64(1));
+        assert_eq!(ds.class_histogram(), before);
+        assert_eq!(ds.len(), 20);
+    }
+
+    #[test]
+    fn shuffle_changes_order() {
+        let mut ds = toy(50);
+        let first_row = ds.features().row(0).to_vec();
+        ds.shuffle(&mut StdRng::seed_from_u64(2));
+        // With 50 rows the first row stays put with probability 1/50.
+        let moved = ds.features().row(0) != first_row.as_slice();
+        assert!(moved, "shuffle left data unchanged (astronomically unlikely)");
+    }
+
+    #[test]
+    fn split_fractions() {
+        let split = toy(10).split(0.3);
+        assert_eq!(split.train.len(), 7);
+        assert_eq!(split.test.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn label_validation() {
+        let x = Tensor::zeros(&[1, 2]);
+        let _ = Dataset::new(x, vec![3], 3);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let ds = toy(9);
+        assert_eq!(ds.class_histogram(), vec![3, 3, 3]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Least-squares problems with analytically known constants.
+//!
+//! The paper's theory (Theorems 1–3) is stated in terms of the Lipschitz
+//! constant `L` of `∇F`, the gradient-noise variance `σ²` and the optimality
+//! gap `F(x₁) − F_inf`. On deep networks those constants are unknowable; on
+//! a least-squares problem they are exact, which lets the benchmark harness
+//! validate the theory quantitatively (Figure 6, Theorem 2's τ*).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// Specification of a synthetic linear-regression task
+/// `y = X·w* + ε,  ε ~ N(0, label_noise²)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressionTask {
+    /// Number of examples `n`.
+    pub samples: usize,
+    /// Feature dimensionality `d`.
+    pub dim: usize,
+    /// Standard deviation of the label noise ε.
+    pub label_noise: f32,
+    /// Condition-number knob: features are scaled so the j-th coordinate has
+    /// standard deviation `1 + (conditioning − 1) · j/(d−1)`.
+    pub conditioning: f32,
+}
+
+impl LinearRegressionTask {
+    /// A well-conditioned default used across the theory experiments.
+    pub fn default_task() -> Self {
+        LinearRegressionTask {
+            samples: 2048,
+            dim: 32,
+            label_noise: 0.5,
+            conditioning: 3.0,
+        }
+    }
+
+    /// Generates the problem deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`, `dim == 0`, or `conditioning < 1`.
+    pub fn generate(&self, seed: u64) -> LinearRegressionProblem {
+        assert!(self.samples > 0 && self.dim > 0, "degenerate task");
+        assert!(self.conditioning >= 1.0, "conditioning must be >= 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::randn(&[self.samples, self.dim], 1.0, &mut rng);
+        // Column scaling to control the spectrum of X'X/n.
+        for r in 0..self.samples {
+            let row = x.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                let scale = 1.0
+                    + (self.conditioning - 1.0) * j as f32 / (self.dim.max(2) - 1) as f32;
+                *v *= scale;
+            }
+        }
+        let w_star = Tensor::randn(&[self.dim], 1.0, &mut rng);
+        let noise = Tensor::randn(&[self.samples], self.label_noise, &mut rng);
+        let y = x.matvec(&w_star).add(&noise);
+        LinearRegressionProblem { x, y, w_star }
+    }
+}
+
+/// A concrete least-squares problem: minimise
+/// `F(w) = (1/2n) · ‖X·w − y‖²`.
+///
+/// # Example
+///
+/// ```
+/// use data::LinearRegressionTask;
+///
+/// let p = LinearRegressionTask::default_task().generate(3);
+/// let l = p.lipschitz();
+/// assert!(l > 0.0);
+/// // The optimum has a smaller loss than the origin.
+/// assert!(p.loss(p.w_star()) < p.loss(&tensor::Tensor::zeros(&[32])));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegressionProblem {
+    x: Tensor,
+    y: Tensor,
+    w_star: Tensor,
+}
+
+impl LinearRegressionProblem {
+    /// The `[n, d]` design matrix.
+    pub fn design(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The `[n]` target vector.
+    pub fn targets(&self) -> &Tensor {
+        &self.y
+    }
+
+    /// The planted parameter vector `w*`.
+    pub fn w_star(&self) -> &Tensor {
+        &self.w_star
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.x.dims()[0]
+    }
+
+    /// Whether the problem is empty (never true for generated problems).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.dims()[1]
+    }
+
+    /// Full-batch objective `F(w) = (1/2n)·‖Xw − y‖²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` does not have `dim()` elements.
+    pub fn loss(&self, w: &Tensor) -> f32 {
+        let r = self.residual(w);
+        0.5 * r.norm_sq() / self.len() as f32
+    }
+
+    /// Full-batch gradient `∇F(w) = Xᵀ(Xw − y)/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` does not have `dim()` elements.
+    pub fn grad(&self, w: &Tensor) -> Tensor {
+        let r = self.residual(w); // [n]
+        let n = self.len();
+        // X^T r / n  — accumulate row-wise to avoid materialising X^T.
+        let mut g = Tensor::zeros(&[self.dim()]);
+        for i in 0..n {
+            g.axpy(r.at(i) / n as f32, &Tensor::from_slice(self.x.row(i)));
+        }
+        g
+    }
+
+    /// Stochastic gradient on the mini-batch given by `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or contains an out-of-bounds index.
+    pub fn stochastic_grad(&self, w: &Tensor, indices: &[usize]) -> Tensor {
+        assert!(!indices.is_empty(), "empty mini-batch");
+        let mut g = Tensor::zeros(&[self.dim()]);
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds");
+            let row = Tensor::from_slice(self.x.row(i));
+            let pred = row.dot(w);
+            let r = pred - self.y.at(i);
+            g.axpy(r / indices.len() as f32, &row);
+        }
+        g
+    }
+
+    /// The exact Lipschitz constant of `∇F`: the largest eigenvalue of
+    /// `XᵀX/n`, computed by power iteration.
+    pub fn lipschitz(&self) -> f32 {
+        let n = self.len() as f32;
+        let d = self.dim();
+        let mut v = Tensor::full(&[d], 1.0 / (d as f32).sqrt());
+        let mut lambda = 0.0f32;
+        for _ in 0..200 {
+            // u = X^T (X v) / n
+            let xv = self.x.matvec(&v); // [n]
+            let mut u = Tensor::zeros(&[d]);
+            for i in 0..self.len() {
+                u.axpy(xv.at(i) / n, &Tensor::from_slice(self.x.row(i)));
+            }
+            lambda = u.norm();
+            if lambda == 0.0 {
+                return 0.0;
+            }
+            u.scale(1.0 / lambda);
+            v = u;
+        }
+        lambda
+    }
+
+    /// Monte-Carlo estimate of the gradient-noise variance bound `σ²` at
+    /// `w`: `E‖g(w; ξ) − ∇F(w)‖²` for mini-batches of size `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `rounds == 0`.
+    pub fn sigma_sq(&self, w: &Tensor, batch: usize, rounds: usize, seed: u64) -> f32 {
+        assert!(batch > 0 && rounds > 0, "batch and rounds must be positive");
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = self.grad(w);
+        let all: Vec<usize> = (0..self.len()).collect();
+        let mut total = 0.0f32;
+        for _ in 0..rounds {
+            let batch_idx: Vec<usize> =
+                all.choose_multiple(&mut rng, batch).copied().collect();
+            let g = self.stochastic_grad(w, &batch_idx);
+            total += g.sub(&full).norm_sq();
+        }
+        total / rounds as f32
+    }
+
+    /// The infimum of the objective, `F_inf = F(ŵ)` where `ŵ` solves the
+    /// normal equations; approximated by running gradient descent to high
+    /// precision (adequate for the well-conditioned generated problems).
+    pub fn f_inf(&self) -> f32 {
+        let l = self.lipschitz();
+        let mut w = Tensor::zeros(&[self.dim()]);
+        let step = 1.0 / l;
+        for _ in 0..2000 {
+            let g = self.grad(&w);
+            if g.norm() < 1e-7 {
+                break;
+            }
+            w.axpy(-step, &g);
+        }
+        self.loss(&w)
+    }
+
+    fn residual(&self, w: &Tensor) -> Tensor {
+        assert_eq!(
+            w.len(),
+            self.dim(),
+            "parameter dimension {} does not match problem dimension {}",
+            w.len(),
+            self.dim()
+        );
+        self.x.matvec(w).sub(&self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LinearRegressionProblem {
+        LinearRegressionTask {
+            samples: 256,
+            dim: 8,
+            label_noise: 0.1,
+            conditioning: 2.0,
+        }
+        .generate(1)
+    }
+
+    #[test]
+    fn loss_at_w_star_is_noise_level() {
+        let p = small();
+        // F(w*) = (1/2n)‖ε‖² ≈ label_noise²/2.
+        let loss = p.loss(p.w_star());
+        assert!(loss < 0.02, "loss at planted optimum too high: {loss}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let p = small();
+        let w = Tensor::randn(&[8], 1.0, &mut StdRng::seed_from_u64(2));
+        let g = p.grad(&w);
+        let eps = 1e-3f32;
+        for j in 0..8 {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[j] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[j] -= eps;
+            let fd = (p.loss(&wp) - p.loss(&wm)) / (2.0 * eps);
+            assert!(
+                (fd - g.at(j)).abs() < 2e-2 * (1.0 + fd.abs()),
+                "coordinate {j}: fd {fd} vs grad {}",
+                g.at(j)
+            );
+        }
+    }
+
+    #[test]
+    fn full_batch_stochastic_grad_equals_grad() {
+        let p = small();
+        let w = Tensor::randn(&[8], 1.0, &mut StdRng::seed_from_u64(3));
+        let all: Vec<usize> = (0..p.len()).collect();
+        let g1 = p.grad(&w);
+        let g2 = p.stochastic_grad(&w, &all);
+        assert!(g1.distance(&g2) < 1e-3, "distance {}", g1.distance(&g2));
+    }
+
+    #[test]
+    fn lipschitz_bounds_gradient_growth() {
+        // ‖∇F(w1) − ∇F(w2)‖ <= L ‖w1 − w2‖ for random pairs.
+        let p = small();
+        let l = p.lipschitz();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let w1 = Tensor::randn(&[8], 2.0, &mut rng);
+            let w2 = Tensor::randn(&[8], 2.0, &mut rng);
+            let lhs = p.grad(&w1).distance(&p.grad(&w2));
+            let rhs = l * w1.distance(&w2);
+            assert!(lhs <= rhs * 1.01 + 1e-5, "{lhs} > L·dist = {rhs}");
+        }
+    }
+
+    #[test]
+    fn gd_with_one_over_l_converges() {
+        let p = small();
+        let l = p.lipschitz();
+        let mut w = Tensor::zeros(&[8]);
+        let f0 = p.loss(&w);
+        for _ in 0..500 {
+            let g = p.grad(&w);
+            w.axpy(-1.0 / l, &g);
+        }
+        let f1 = p.loss(&w);
+        assert!(f1 < f0 * 0.05, "GD failed to make progress: {f0} -> {f1}");
+        assert!((f1 - p.f_inf()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sigma_sq_shrinks_with_batch_size() {
+        let p = small();
+        let w = Tensor::zeros(&[8]);
+        let s1 = p.sigma_sq(&w, 1, 400, 5);
+        let s8 = p.sigma_sq(&w, 8, 400, 5);
+        assert!(
+            s8 < s1 * 0.35,
+            "variance should shrink ~linearly in batch: {s1} vs {s8}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = LinearRegressionTask::default_task();
+        assert_eq!(t.generate(7), t.generate(7));
+        assert_ne!(t.generate(7), t.generate(8));
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for dataset invariants.
+
+use data::{BatchIter, Dataset, GaussianMixture, LinearRegressionTask};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+fn toy_dataset(n: usize, d: usize, k: usize) -> Dataset {
+    let data: Vec<f32> = (0..n * d).map(|v| (v % 17) as f32).collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    Dataset::new(Tensor::from_vec(data, &[n, d]).unwrap(), labels, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shards_cover_everything(n in 4usize..64, m in 1usize..4) {
+        let ds = toy_dataset(n, 3, 2);
+        let shards = ds.shard(m.min(n));
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, n);
+        // Shard sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(n in 2usize..40, seed in 0u64..100) {
+        let mut ds = toy_dataset(n, 2, 2);
+        let mut before: Vec<Vec<f32>> = (0..n).map(|r| ds.features().row(r).to_vec()).collect();
+        ds.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut after: Vec<Vec<f32>> = (0..n).map(|r| ds.features().row(r).to_vec()).collect();
+        before.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn batches_always_full(n in 3usize..30, b in 1usize..10, seed in 0u64..50) {
+        let mut it = BatchIter::new(toy_dataset(n, 2, 2), b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let (x, y) = it.next_batch(&mut rng);
+            prop_assert_eq!(x.dims()[0], b);
+            prop_assert_eq!(y.len(), b);
+        }
+    }
+
+    #[test]
+    fn batch_labels_match_features(seed in 0u64..30) {
+        // Labels yielded by the iterator must be consistent with the rows.
+        let split = GaussianMixture::small_test().generate(seed);
+        // Build a lookup from row bytes to label.
+        let ds = &split.train;
+        let mut it = BatchIter::new(ds.clone(), 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (x, y) = it.next_batch(&mut rng);
+        for r in 0..4 {
+            let row = x.row(r);
+            // find the matching row in the source dataset
+            let found = (0..ds.len()).find(|&i| ds.features().row(i) == row);
+            prop_assert!(found.is_some());
+            prop_assert_eq!(ds.labels()[found.unwrap()], y[r]);
+        }
+    }
+
+    #[test]
+    fn regression_grad_norm_zero_only_near_optimum(seed in 0u64..20) {
+        let p = LinearRegressionTask {
+            samples: 128,
+            dim: 4,
+            label_noise: 0.1,
+            conditioning: 1.5,
+        }
+        .generate(seed);
+        // Gradient at w* is small; gradient far away is large.
+        let g_star = p.grad(p.w_star()).norm();
+        let far = Tensor::full(&[4], 100.0);
+        let g_far = p.grad(&far).norm();
+        prop_assert!(g_star < g_far / 10.0, "g* {g_star}, far {g_far}");
+    }
+
+    #[test]
+    fn lipschitz_positive_and_stable(seed in 0u64..10) {
+        let p = LinearRegressionTask::default_task().generate(seed);
+        let l = p.lipschitz();
+        prop_assert!(l > 0.0 && l.is_finite());
+    }
+}

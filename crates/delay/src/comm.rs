@@ -1,0 +1,155 @@
+//! Communication-delay model `D = D0 · s(m)` (eq. 5 of the paper).
+
+use crate::DelayDistribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the all-node broadcast delay scales with the number of workers `m`.
+///
+/// The paper's eq. 5 writes `D = D0 · s(m)` and notes that in a
+/// parameter-server framework with a reduction tree the delay is proportional
+/// to `2·log2(m)` (Iandola et al., 2016).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommScaling {
+    /// `s(m) = 1`: delay independent of cluster size (e.g. a fixed-rate
+    /// broadcast medium).
+    Constant,
+    /// `s(m) = 2·log2(m)` (with `s(1) = 0`): reduction-tree collectives.
+    LogTree,
+    /// `s(m) = m`: a serial gather, worst case.
+    Linear,
+}
+
+impl CommScaling {
+    /// Evaluates `s(m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn factor(&self, m: usize) -> f64 {
+        assert!(m > 0, "worker count must be positive");
+        match self {
+            CommScaling::Constant => 1.0,
+            CommScaling::LogTree => 2.0 * (m as f64).log2(),
+            CommScaling::Linear => m as f64,
+        }
+    }
+}
+
+/// The communication-delay model: a base delay distribution `D0` scaled by
+/// [`CommScaling`].
+///
+/// # Example
+///
+/// ```
+/// use delay::{CommModel, CommScaling, DelayDistribution};
+///
+/// let comm = CommModel::new(DelayDistribution::constant(0.5), CommScaling::LogTree);
+/// assert_eq!(comm.mean_delay(4), 0.5 * 2.0 * 2.0); // 2·log2(4) = 4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    base: DelayDistribution,
+    scaling: CommScaling,
+}
+
+impl CommModel {
+    /// Creates a communication model from a base delay `D0` and a scaling
+    /// law `s(m)`.
+    pub fn new(base: DelayDistribution, scaling: CommScaling) -> Self {
+        CommModel { base, scaling }
+    }
+
+    /// A model with a constant delay and no worker scaling — the setting of
+    /// the paper's Figures 4–6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or non-finite.
+    pub fn constant(d: f64) -> Self {
+        CommModel::new(DelayDistribution::constant(d), CommScaling::Constant)
+    }
+
+    /// The base delay distribution `D0`.
+    pub fn base(&self) -> &DelayDistribution {
+        &self.base
+    }
+
+    /// The scaling law `s(m)`.
+    pub fn scaling(&self) -> CommScaling {
+        self.scaling
+    }
+
+    /// Expected delay `E[D] = E[D0]·s(m)` for `m` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn mean_delay(&self, m: usize) -> f64 {
+        self.base.mean() * self.scaling.factor(m)
+    }
+
+    /// Draws one communication delay for `m` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> f64 {
+        self.base.sample(rng) * self.scaling.factor(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_scaling_is_one() {
+        assert_eq!(CommScaling::Constant.factor(1), 1.0);
+        assert_eq!(CommScaling::Constant.factor(64), 1.0);
+    }
+
+    #[test]
+    fn log_tree_matches_iandola() {
+        assert_eq!(CommScaling::LogTree.factor(1), 0.0);
+        assert_eq!(CommScaling::LogTree.factor(2), 2.0);
+        assert_eq!(CommScaling::LogTree.factor(4), 4.0);
+        assert_eq!(CommScaling::LogTree.factor(8), 6.0);
+    }
+
+    #[test]
+    fn linear_scaling_is_m() {
+        assert_eq!(CommScaling::Linear.factor(5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count must be positive")]
+    fn zero_workers_rejected() {
+        let _ = CommScaling::Constant.factor(0);
+    }
+
+    #[test]
+    fn mean_delay_scales() {
+        let c = CommModel::new(DelayDistribution::constant(0.5), CommScaling::Linear);
+        assert_eq!(c.mean_delay(4), 2.0);
+    }
+
+    #[test]
+    fn constant_model_samples_exactly() {
+        let c = CommModel::constant(0.75);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.sample(3, &mut rng), 0.75);
+        assert_eq!(c.mean_delay(3), 0.75);
+    }
+
+    #[test]
+    fn random_base_respects_scaling_on_average() {
+        let c = CommModel::new(DelayDistribution::exponential(1.0), CommScaling::Linear);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean = (0..n).map(|_| c.sample(4, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Distributions for per-step local computation times `Y ~ F_Y`.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Pareto, Uniform};
+use serde::{Deserialize, Serialize};
+
+/// The distribution `F_Y` of a worker's per-step computation time (and, via
+/// [`CommModel`](crate::CommModel), of the base communication delay).
+///
+/// The paper analyses the constant and exponential cases in closed form and
+/// treats the rest through simulation; we support the same menu plus a
+/// heavy-tailed Pareto to stress straggler behaviour.
+///
+/// All times are in (simulated) seconds and must be non-negative.
+///
+/// # Example
+///
+/// ```
+/// use delay::DelayDistribution;
+///
+/// let y = DelayDistribution::exponential(2.0);
+/// assert_eq!(y.mean(), 2.0);
+/// assert_eq!(y.variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDistribution {
+    /// Deterministic delay: every draw equals `value`.
+    Constant {
+        /// The fixed delay value.
+        value: f64,
+    },
+    /// Exponential with the given mean (variance = mean²).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// A constant `shift` plus an exponential tail with mean `mean_extra`.
+    ///
+    /// This is the standard model for compute nodes that always pay a fixed
+    /// cost and occasionally straggle.
+    ShiftedExponential {
+        /// Deterministic part of the delay.
+        shift: f64,
+        /// Mean of the exponential tail.
+        mean_extra: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound of the interval.
+        lo: f64,
+        /// Upper bound of the interval.
+        hi: f64,
+    },
+    /// Pareto with minimum `scale` and tail index `shape`.
+    ///
+    /// The mean is finite only for `shape > 1` and the variance for
+    /// `shape > 2`; the constructor requires `shape > 2` so that both
+    /// moments used by the runtime analysis exist.
+    Pareto {
+        /// Minimum value (scale parameter `x_m`).
+        scale: f64,
+        /// Tail index (`a`); must exceed 2.
+        shape: f64,
+    },
+}
+
+impl DelayDistribution {
+    /// Deterministic delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn constant(value: f64) -> Self {
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "constant delay must be non-negative and finite, got {value}"
+        );
+        DelayDistribution::Constant { value }
+    }
+
+    /// Exponential delay with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn exponential(mean: f64) -> Self {
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        DelayDistribution::Exponential { mean }
+    }
+
+    /// Shifted-exponential delay `shift + Exp(mean_extra)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is negative or `mean_extra` is not positive.
+    pub fn shifted_exponential(shift: f64, mean_extra: f64) -> Self {
+        assert!(shift >= 0.0 && shift.is_finite(), "invalid shift {shift}");
+        assert!(
+            mean_extra > 0.0 && mean_extra.is_finite(),
+            "invalid exponential tail mean {mean_extra}"
+        );
+        DelayDistribution::ShiftedExponential { shift, mean_extra }
+    }
+
+    /// Uniform delay on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= lo <= hi` and both are finite.
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo >= 0.0 && lo <= hi && hi.is_finite(),
+            "invalid uniform range [{lo}, {hi}]"
+        );
+        DelayDistribution::Uniform { lo, hi }
+    }
+
+    /// Pareto delay with the given scale and tail index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `shape > 2` (so mean and variance
+    /// exist).
+    pub fn pareto(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
+        assert!(
+            shape > 2.0 && shape.is_finite(),
+            "pareto tail index must exceed 2 for finite variance, got {shape}"
+        );
+        DelayDistribution::Pareto { scale, shape }
+    }
+
+    /// Draws one delay sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            DelayDistribution::Constant { value } => value,
+            DelayDistribution::Exponential { mean } => {
+                Exp::new(1.0 / mean).expect("validated mean").sample(rng)
+            }
+            DelayDistribution::ShiftedExponential { shift, mean_extra } => {
+                shift
+                    + Exp::new(1.0 / mean_extra)
+                        .expect("validated mean")
+                        .sample(rng)
+            }
+            DelayDistribution::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    Uniform::new(lo, hi).sample(rng)
+                }
+            }
+            DelayDistribution::Pareto { scale, shape } => Pareto::new(scale, shape)
+                .expect("validated parameters")
+                .sample(rng),
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DelayDistribution::Constant { value } => value,
+            DelayDistribution::Exponential { mean } => mean,
+            DelayDistribution::ShiftedExponential { shift, mean_extra } => shift + mean_extra,
+            DelayDistribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            DelayDistribution::Pareto { scale, shape } => shape * scale / (shape - 1.0),
+        }
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            DelayDistribution::Constant { .. } => 0.0,
+            DelayDistribution::Exponential { mean } => mean * mean,
+            DelayDistribution::ShiftedExponential { mean_extra, .. } => mean_extra * mean_extra,
+            DelayDistribution::Uniform { lo, hi } => (hi - lo) * (hi - lo) / 12.0,
+            DelayDistribution::Pareto { scale, shape } => {
+                scale * scale * shape / ((shape - 1.0) * (shape - 1.0) * (shape - 2.0))
+            }
+        }
+    }
+
+    /// Whether every draw from the distribution is the same value.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, DelayDistribution::Constant { .. })
+            || matches!(self, DelayDistribution::Uniform { lo, hi } if lo == hi)
+    }
+
+    /// Returns a copy of this distribution scaled by a non-negative factor
+    /// (`c·Y`), used to derive per-model delay profiles from a base profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite, or if scaling a Pareto
+    /// scale parameter to zero.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "scale factor must be non-negative and finite, got {factor}"
+        );
+        match *self {
+            DelayDistribution::Constant { value } => DelayDistribution::constant(value * factor),
+            DelayDistribution::Exponential { mean } => {
+                if factor == 0.0 {
+                    DelayDistribution::constant(0.0)
+                } else {
+                    DelayDistribution::exponential(mean * factor)
+                }
+            }
+            DelayDistribution::ShiftedExponential { shift, mean_extra } => {
+                if factor == 0.0 {
+                    DelayDistribution::constant(0.0)
+                } else {
+                    DelayDistribution::shifted_exponential(shift * factor, mean_extra * factor)
+                }
+            }
+            DelayDistribution::Uniform { lo, hi } => {
+                DelayDistribution::uniform(lo * factor, hi * factor)
+            }
+            DelayDistribution::Pareto { scale, shape } => {
+                assert!(factor > 0.0, "cannot scale a pareto distribution to zero");
+                DelayDistribution::pareto(scale * factor, shape)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: &DelayDistribution, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_sampling_is_exact() {
+        let d = DelayDistribution::constant(1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+        assert_eq!(d.mean(), 1.5);
+        assert_eq!(d.variance(), 0.0);
+        assert!(d.is_deterministic());
+    }
+
+    #[test]
+    fn exponential_mean_matches_samples() {
+        let d = DelayDistribution::exponential(2.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 2.0).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    fn shifted_exponential_moments() {
+        let d = DelayDistribution::shifted_exponential(1.0, 0.5);
+        assert_eq!(d.mean(), 1.5);
+        assert_eq!(d.variance(), 0.25);
+        let m = sample_mean(&d, 100_000, 2);
+        assert!((m - 1.5).abs() < 0.02, "sample mean {m}");
+        // Every sample respects the shift.
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample(&mut rng) >= 1.0));
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = DelayDistribution::uniform(1.0, 3.0);
+        assert_eq!(d.mean(), 2.0);
+        assert!((d.variance() - 1.0 / 3.0).abs() < 1e-12);
+        let m = sample_mean(&d, 100_000, 4);
+        assert!((m - 2.0).abs() < 0.02, "sample mean {m}");
+    }
+
+    #[test]
+    fn pareto_mean_matches_formula() {
+        let d = DelayDistribution::pareto(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        let m = sample_mean(&d, 400_000, 5);
+        assert!((m - 1.5).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tail index must exceed 2")]
+    fn pareto_rejects_infinite_variance() {
+        let _ = DelayDistribution::pareto(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn constant_rejects_negative() {
+        let _ = DelayDistribution::constant(-1.0);
+    }
+
+    #[test]
+    fn scaled_scales_mean_linearly() {
+        for d in [
+            DelayDistribution::constant(2.0),
+            DelayDistribution::exponential(2.0),
+            DelayDistribution::shifted_exponential(1.0, 1.0),
+            DelayDistribution::uniform(1.0, 3.0),
+            DelayDistribution::pareto(1.0, 3.0),
+        ] {
+            let s = d.scaled(2.5);
+            assert!(
+                (s.mean() - 2.5 * d.mean()).abs() < 1e-12,
+                "scaling {d:?} broke the mean"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_zero_collapses_to_constant() {
+        let d = DelayDistribution::exponential(3.0).scaled(0.0);
+        assert_eq!(d, DelayDistribution::constant(0.0));
+    }
+
+    #[test]
+    fn degenerate_uniform_is_deterministic() {
+        let d = DelayDistribution::uniform(2.0, 2.0);
+        assert!(d.is_deterministic());
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(d.sample(&mut rng), 2.0);
+    }
+}

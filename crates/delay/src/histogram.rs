@@ -1,0 +1,164 @@
+//! Fixed-bin histogram used to reproduce the runtime distributions of
+//! Figure 5.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple fixed-width-bin histogram over `[lo, hi)`.
+///
+/// Samples outside the range are clamped into the first/last bin so that no
+/// probability mass is silently dropped (heavy-tailed delay distributions
+/// routinely exceed any fixed plotting range).
+///
+/// # Example
+///
+/// ```
+/// use delay::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.5, 1.6, 9.9, 42.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.counts()[4], 2); // 9.9 and the clamped 42.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)` with `bins` equal-width
+    /// bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid histogram range [{lo}, {hi})"
+        );
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one sample (clamped into the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn add(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot histogram NaN");
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = if value < self.lo {
+            0
+        } else {
+            (((value - self.lo) / width) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Adds every sample from a slice.
+    pub fn extend_from(&mut self, values: &[f64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all added samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Bin centres paired with probability mass (fractions summing to 1).
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * width, c as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_receive_samples() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend_from(&[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(100.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 7);
+        for i in 0..100 {
+            h.add(i as f64 / 10.0);
+        }
+        let mass: f64 = h.normalized().iter().map(|(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centres_are_midpoints() {
+        let h = Histogram::new(0.0, 2.0, 2);
+        let centres: Vec<f64> = h.normalized().iter().map(|(c, _)| *c).collect();
+        assert_eq!(centres, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot histogram NaN")]
+    fn nan_rejected() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.add(f64::NAN);
+    }
+}

@@ -1,0 +1,53 @@
+//! Stochastic compute/communication delay substrate for PASGD.
+//!
+//! This crate implements the runtime model of Section 3.1 of
+//! [Wang & Joshi, SysML 2019]: each of `m` workers takes a random time
+//! `Y_{i,k} ~ F_Y` (i.i.d.) to compute a mini-batch gradient, and every
+//! all-node model-averaging step costs a communication delay
+//! `D = D0 · s(m)` where `s(m)` captures how the collective scales with the
+//! number of workers.
+//!
+//! From those two ingredients it derives everything the paper's runtime
+//! analysis needs:
+//!
+//! * runtime per iteration of fully synchronous SGD (eq. 7–8) and of
+//!   periodic-averaging SGD with communication period `τ` (eq. 10–11),
+//! * the speed-up ratio (eq. 12, Figure 4),
+//! * straggler mitigation through the lighter tail of the mean of `τ`
+//!   local steps (Figure 5),
+//! * calibrated hardware profiles matching the communication/computation
+//!   ratios the paper reports for VGG-16 and ResNet-50 (Figure 8).
+//!
+//! # Example
+//!
+//! ```
+//! use delay::{CommModel, CommScaling, DelayDistribution, RuntimeModel};
+//!
+//! // Constant delays with communication/computation ratio alpha = 0.9.
+//! let model = RuntimeModel::new(
+//!     DelayDistribution::constant(1.0),
+//!     CommModel::new(DelayDistribution::constant(0.9), CommScaling::Constant),
+//!     16,
+//! );
+//! let speedup = model.speedup_vs_sync(10, &mut rand::thread_rng());
+//! assert!(speedup > 1.5 && speedup < 2.0);
+//! ```
+//!
+//! [Wang & Joshi, SysML 2019]: https://arxiv.org/abs/1810.08313
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comm;
+mod dist;
+mod histogram;
+mod order_stats;
+mod profiles;
+mod runtime;
+
+pub use comm::{CommModel, CommScaling};
+pub use dist::DelayDistribution;
+pub use histogram::Histogram;
+pub use order_stats::{expected_max_exponential, harmonic, mc_expected_max, mc_expected_max_mean};
+pub use profiles::{resnet50_profile, vgg16_profile, HardwareProfile};
+pub use runtime::{speedup_constant, RoundSample, RuntimeModel};

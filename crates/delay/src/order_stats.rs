@@ -1,0 +1,169 @@
+//! Order statistics of local computation times.
+//!
+//! Fully synchronous SGD pays `E[Y_{m:m}]` per iteration — the expected
+//! maximum over `m` workers — whereas PASGD pays `E[Ȳ_{m:m}]`, the expected
+//! maximum of per-worker *means* of `τ` steps. The mean has `τ×` smaller
+//! variance, which is the paper's straggler-mitigation argument (Section 3.2,
+//! Figure 5).
+
+use crate::DelayDistribution;
+use rand::Rng;
+
+/// The `m`-th harmonic number `H_m = Σ_{i=1..m} 1/i`.
+///
+/// For exponential delays the expected maximum of `m` i.i.d. draws with mean
+/// `y` is exactly `y·H_m ≈ y·log m`, the paper's eq. 8 discussion.
+///
+/// # Example
+///
+/// ```
+/// use delay::harmonic;
+///
+/// assert_eq!(harmonic(1), 1.0);
+/// assert!((harmonic(2) - 1.5).abs() < 1e-12);
+/// ```
+pub fn harmonic(m: usize) -> f64 {
+    (1..=m).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Exact expected maximum of `m` i.i.d. exponential draws with mean `mean`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `mean < 0`.
+pub fn expected_max_exponential(mean: f64, m: usize) -> f64 {
+    assert!(m > 0, "need at least one draw");
+    assert!(mean >= 0.0, "mean must be non-negative");
+    mean * harmonic(m)
+}
+
+/// Monte-Carlo estimate of `E[max_{i=1..m} Y_i]` for an arbitrary delay
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `samples == 0`.
+pub fn mc_expected_max<R: Rng + ?Sized>(
+    dist: &DelayDistribution,
+    m: usize,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(m > 0 && samples > 0, "m and samples must be positive");
+    if dist.is_deterministic() {
+        return dist.mean();
+    }
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..m {
+            max = max.max(dist.sample(rng));
+        }
+        total += max;
+    }
+    total / samples as f64
+}
+
+/// Monte-Carlo estimate of `E[max_{i=1..m} Ȳ_i]` where each `Ȳ_i` is the mean
+/// of `tau` i.i.d. draws — the per-iteration computation time of PASGD
+/// (eq. 9–11).
+///
+/// # Panics
+///
+/// Panics if any of `m`, `tau`, `samples` is zero.
+pub fn mc_expected_max_mean<R: Rng + ?Sized>(
+    dist: &DelayDistribution,
+    m: usize,
+    tau: usize,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(
+        m > 0 && tau > 0 && samples > 0,
+        "m, tau and samples must be positive"
+    );
+    if dist.is_deterministic() {
+        return dist.mean();
+    }
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..m {
+            let sum: f64 = (0..tau).map(|_| dist.sample(rng)).sum();
+            max = max.max(sum / tau as f64);
+        }
+        total += max;
+    }
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_known_values() {
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_m ~ ln m + gamma
+        let h = harmonic(1000);
+        let approx = (1000f64).ln() + 0.5772156649;
+        assert!((h - approx).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exponential_max_matches_monte_carlo() {
+        let dist = DelayDistribution::exponential(1.0);
+        let exact = expected_max_exponential(1.0, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mc = mc_expected_max(&dist, 16, 50_000, &mut rng);
+        assert!(
+            (exact - mc).abs() / exact < 0.02,
+            "exact {exact} vs mc {mc}"
+        );
+    }
+
+    #[test]
+    fn constant_max_is_constant() {
+        let dist = DelayDistribution::constant(2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(mc_expected_max(&dist, 8, 10, &mut rng), 2.0);
+        assert_eq!(mc_expected_max_mean(&dist, 8, 10, 10, &mut rng), 2.0);
+    }
+
+    #[test]
+    fn max_of_means_is_smaller_than_max() {
+        // The paper's straggler-mitigation claim: E[Ȳ_{m:m}] < E[Y_{m:m}]
+        // for any non-degenerate Y and tau > 1.
+        let dist = DelayDistribution::exponential(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let plain = mc_expected_max(&dist, 16, 20_000, &mut rng);
+        let averaged = mc_expected_max_mean(&dist, 16, 10, 20_000, &mut rng);
+        assert!(
+            averaged < plain * 0.7,
+            "expected clear reduction: plain {plain}, averaged {averaged}"
+        );
+        // And it stays above the mean (max of anything >= single draw mean).
+        assert!(averaged > 1.0);
+    }
+
+    #[test]
+    fn max_grows_with_workers() {
+        let dist = DelayDistribution::exponential(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m4 = mc_expected_max(&dist, 4, 20_000, &mut rng);
+        let m16 = mc_expected_max(&dist, 16, 20_000, &mut rng);
+        assert!(m16 > m4, "max should grow with m: {m4} vs {m16}");
+    }
+
+    #[test]
+    fn mean_of_more_steps_tightens_further() {
+        let dist = DelayDistribution::exponential(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tau2 = mc_expected_max_mean(&dist, 16, 2, 20_000, &mut rng);
+        let tau32 = mc_expected_max_mean(&dist, 16, 32, 20_000, &mut rng);
+        assert!(tau32 < tau2, "tau=32 {tau32} should beat tau=2 {tau2}");
+    }
+}

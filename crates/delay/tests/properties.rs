@@ -1,0 +1,122 @@
+//! Property-based tests for the delay substrate.
+
+use delay::{
+    harmonic, mc_expected_max, mc_expected_max_mean, speedup_constant, CommModel, CommScaling,
+    DelayDistribution, RuntimeModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_distribution() -> impl Strategy<Value = DelayDistribution> {
+    prop_oneof![
+        (0.01f64..5.0).prop_map(DelayDistribution::constant),
+        (0.01f64..5.0).prop_map(DelayDistribution::exponential),
+        ((0.0f64..2.0), (0.01f64..2.0))
+            .prop_map(|(s, m)| DelayDistribution::shifted_exponential(s, m)),
+        ((0.0f64..2.0), (0.0f64..3.0)).prop_map(|(lo, w)| DelayDistribution::uniform(lo, lo + w)),
+        ((0.1f64..2.0), (2.1f64..6.0)).prop_map(|(s, a)| DelayDistribution::pareto(s, a)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn samples_are_non_negative_and_finite(dist in any_distribution(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let v = dist.sample(&mut rng);
+            prop_assert!(v >= 0.0 && v.is_finite(), "bad sample {v} from {dist:?}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_tracks_declared_mean(dist in any_distribution()) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        let declared = dist.mean();
+        // Loose tolerance: heavy-tailed distributions converge slowly.
+        prop_assert!(
+            (mean - declared).abs() < 0.15 * declared.max(0.2),
+            "sample mean {mean} vs declared {declared} for {dist:?}"
+        );
+    }
+
+    #[test]
+    fn harmonic_is_monotone(m in 1usize..200) {
+        prop_assert!(harmonic(m + 1) > harmonic(m));
+    }
+
+    #[test]
+    fn speedup_at_least_one_and_below_cap(alpha in 0.0f64..10.0, tau in 1usize..500) {
+        let s = speedup_constant(alpha, tau);
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= 1.0 + alpha + 1e-12);
+    }
+
+    #[test]
+    fn expected_max_at_least_mean(dist in any_distribution(), m in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let emax = mc_expected_max(&dist, m, 4_000, &mut rng);
+        prop_assert!(emax >= dist.mean() - 0.1 * dist.mean().max(0.1),
+            "E[max of {m}] = {emax} below mean {} for {dist:?}", dist.mean());
+    }
+
+    #[test]
+    fn averaging_never_hurts_the_max(dist in any_distribution(), m in 2usize..6) {
+        // E[max of means over tau steps] <= E[max of single draws] (+MC noise).
+        let mut rng = StdRng::seed_from_u64(13);
+        let single = mc_expected_max(&dist, m, 6_000, &mut rng);
+        let averaged = mc_expected_max_mean(&dist, m, 8, 6_000, &mut rng);
+        prop_assert!(
+            averaged <= single * 1.05 + 1e-9,
+            "averaging increased straggling: {averaged} > {single} for {dist:?}"
+        );
+    }
+
+    #[test]
+    fn round_samples_are_consistent(
+        y in 0.01f64..2.0,
+        d in 0.0f64..2.0,
+        m in 1usize..8,
+        tau in 1usize..32,
+    ) {
+        let model = RuntimeModel::new(
+            DelayDistribution::constant(y),
+            CommModel::constant(d),
+            m,
+        );
+        let mut rng = StdRng::seed_from_u64(17);
+        let round = model.sample_round(tau, &mut rng);
+        prop_assert!((round.compute - y * tau as f64).abs() < 1e-9);
+        prop_assert!((round.comm - d).abs() < 1e-9);
+        let per_iter = model.sample_per_iteration(tau, &mut rng);
+        prop_assert!((per_iter - (y + d / tau as f64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_scaling_is_monotone_in_m(m in 1usize..128) {
+        for scaling in [CommScaling::Constant, CommScaling::LogTree, CommScaling::Linear] {
+            prop_assert!(scaling.factor(m + 1) >= scaling.factor(m));
+        }
+    }
+
+    #[test]
+    fn expected_per_iteration_decreasing_comm_share(
+        tau_small in 1usize..5,
+        extra in 1usize..20,
+    ) {
+        // For constant delays, larger tau strictly reduces per-iteration cost.
+        let model = RuntimeModel::new(
+            DelayDistribution::constant(1.0),
+            CommModel::constant(1.0),
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(19);
+        let small = model.expected_per_iteration(tau_small, &mut rng);
+        let large = model.expected_per_iteration(tau_small + extra, &mut rng);
+        prop_assert!(large < small);
+    }
+}

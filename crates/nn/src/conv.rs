@@ -1,0 +1,485 @@
+//! 2-D convolution and max-pooling over flattened `[batch, c·h·w]` tensors.
+//!
+//! Images travel through the network flattened row-major as `[c, h, w]`;
+//! each spatial layer carries its own input geometry, so no tensor-level
+//! NCHW machinery is needed. Convolution is implemented with im2col, the
+//! standard reformulation as a matrix product.
+
+use crate::Layer;
+use rand::Rng;
+use tensor::{Init, Tensor};
+
+/// The `(channels, height, width)` geometry of a flattened image tensor.
+pub type ImageDims = (usize, usize, usize);
+
+/// 3×3-style 2-D convolution with stride 1 and symmetric zero padding.
+///
+/// Input: `[batch, c_in·h·w]`; output `[batch, c_out·h'·w']` with
+/// `h' = h + 2·pad − k + 1`.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Conv2d, Layer};
+/// use rand::SeedableRng;
+/// use tensor::Tensor;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// // 1×8×8 input, 4 output channels, 3×3 kernel, padding 1 => 4×8×8 output.
+/// let mut conv = Conv2d::new((1, 8, 8), 4, 3, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 64]), true);
+/// assert_eq!(y.dims(), &[2, 4 * 8 * 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    input_dims: ImageDims,
+    out_channels: usize,
+    kernel: usize,
+    pad: usize,
+    weight: Tensor, // [c_out, c_in*k*k]
+    bias: Tensor,   // [c_out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_cols: Vec<Tensor>, // one im2col matrix per batch element
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel (after padding) does
+    /// not fit in the input.
+    pub fn new<R: Rng + ?Sized>(
+        input_dims: ImageDims,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let (c, h, w) = input_dims;
+        assert!(c > 0 && h > 0 && w > 0, "degenerate input geometry");
+        assert!(out_channels > 0 && kernel > 0, "degenerate convolution");
+        assert!(
+            h + 2 * pad >= kernel && w + 2 * pad >= kernel,
+            "kernel {kernel} does not fit input {h}x{w} with padding {pad}"
+        );
+        let fan_in = c * kernel * kernel;
+        Conv2d {
+            input_dims,
+            out_channels,
+            kernel,
+            pad,
+            weight: Init::KaimingUniform { fan_in }.init(&[out_channels, fan_in], rng),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Output geometry `(c_out, h', w')`.
+    pub fn output_dims(&self) -> ImageDims {
+        let (_, h, w) = self.input_dims;
+        (
+            self.out_channels,
+            h + 2 * self.pad - self.kernel + 1,
+            w + 2 * self.pad - self.kernel + 1,
+        )
+    }
+
+    /// im2col for one flattened image: result is
+    /// `[c_in·k·k, out_h·out_w]`.
+    fn im2col(&self, img: &[f32]) -> Tensor {
+        let (c, h, w) = self.input_dims;
+        let (_, oh, ow) = self.output_dims();
+        let k = self.kernel;
+        let pad = self.pad as isize;
+        let mut col = vec![0.0f32; c * k * k * oh * ow];
+        let row_len = oh * ow;
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let col_row = (ch * k * k + ky * k + kx) * row_len;
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            col[col_row + oy * ow + ox] =
+                                img[ch * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(col, &[c * k * k, row_len]).expect("volume matches")
+    }
+
+    /// col2im: scatter-add a `[c_in·k·k, out_h·out_w]` gradient back into a
+    /// flattened image gradient.
+    fn col2im(&self, col: &Tensor) -> Vec<f32> {
+        let (c, h, w) = self.input_dims;
+        let (_, oh, ow) = self.output_dims();
+        let k = self.kernel;
+        let pad = self.pad as isize;
+        let data = col.as_slice();
+        let row_len = oh * ow;
+        let mut img = vec![0.0f32; c * h * w];
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let col_row = (ch * k * k + ky * k + kx) * row_len;
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            img[ch * h * w + iy as usize * w + ix as usize] +=
+                                data[col_row + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        img
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (c, h, w) = self.input_dims;
+        let flat = c * h * w;
+        assert_eq!(
+            x.dims().last().copied(),
+            Some(flat),
+            "conv expects {flat} features ({c}x{h}x{w}), got shape {}",
+            x.shape()
+        );
+        let batch = x.dims()[0];
+        let (co, oh, ow) = self.output_dims();
+        self.cached_cols.clear();
+        let mut out = Vec::with_capacity(batch * co * oh * ow);
+        for b in 0..batch {
+            let col = self.im2col(x.row(b));
+            // [c_out, k*k*c] · [k*k*c, oh*ow] = [c_out, oh*ow]
+            let y = self.weight.matmul(&col);
+            for ch in 0..co {
+                let base = ch * oh * ow;
+                let bias = self.bias.at(ch);
+                for i in 0..oh * ow {
+                    out.push(y.as_slice()[base + i] + bias);
+                }
+            }
+            self.cached_cols.push(col);
+        }
+        Tensor::from_vec(out, &[batch, co * oh * ow]).expect("volume matches")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cached_cols.is_empty(),
+            "backward called before forward"
+        );
+        let batch = grad_out.dims()[0];
+        assert_eq!(
+            batch,
+            self.cached_cols.len(),
+            "batch size changed between forward and backward"
+        );
+        let (co, oh, ow) = self.output_dims();
+        let (c, h, w) = self.input_dims;
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+        let mut dx = Vec::with_capacity(batch * c * h * w);
+        for b in 0..batch {
+            let dy = Tensor::from_vec(grad_out.row(b).to_vec(), &[co, oh * ow])
+                .expect("row volume matches");
+            // dW += dy · col^T ; dcol = W^T · dy ; db += row sums of dy.
+            let col = &self.cached_cols[b];
+            self.grad_weight.add_assign(&dy.matmul_nt(col));
+            for ch in 0..co {
+                let s: f32 = dy.row(ch).iter().sum();
+                self.grad_bias.as_mut_slice()[ch] += s;
+            }
+            let dcol = self.weight.matmul_tn(&dy);
+            dx.extend_from_slice(&self.col2im(&dcol));
+        }
+        Tensor::from_vec(dx, &[batch, c * h * w]).expect("volume matches")
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_param_grad_pairs(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+///
+/// Input `[batch, c·h·w]` with even `h`, `w`; output `[batch, c·(h/2)·(w/2)]`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    input_dims: ImageDims,
+    argmax: Vec<usize>, // flat input index chosen for each output element
+    batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a 2×2/stride-2 max-pool layer for the given input geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is odd or zero.
+    pub fn new(input_dims: ImageDims) -> Self {
+        let (c, h, w) = input_dims;
+        assert!(c > 0 && h > 0 && w > 0, "degenerate input geometry");
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "max-pool 2x2 requires even spatial dims, got {h}x{w}"
+        );
+        MaxPool2d {
+            input_dims,
+            argmax: Vec::new(),
+            batch: 0,
+        }
+    }
+
+    /// Output geometry `(c, h/2, w/2)`.
+    pub fn output_dims(&self) -> ImageDims {
+        let (c, h, w) = self.input_dims;
+        (c, h / 2, w / 2)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (c, h, w) = self.input_dims;
+        let flat = c * h * w;
+        assert_eq!(
+            x.dims().last().copied(),
+            Some(flat),
+            "max-pool expects {flat} features, got shape {}",
+            x.shape()
+        );
+        let batch = x.dims()[0];
+        let (oc, oh, ow) = self.output_dims();
+        self.batch = batch;
+        self.argmax.clear();
+        self.argmax.reserve(batch * oc * oh * ow);
+        let mut out = Vec::with_capacity(batch * oc * oh * ow);
+        for b in 0..batch {
+            let img = x.row(b);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = ch * h * w + (2 * oy) * w + 2 * ox;
+                        let mut best = img[best_idx];
+                        for (dy, dx) in [(0usize, 1usize), (1, 0), (1, 1)] {
+                            let idx = ch * h * w + (2 * oy + dy) * w + 2 * ox + dx;
+                            if img[idx] > best {
+                                best = img[idx];
+                                best_idx = idx;
+                            }
+                        }
+                        out.push(best);
+                        self.argmax.push(best_idx);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch, oc * oh * ow]).expect("volume matches")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(self.batch > 0, "backward called before forward");
+        let (c, h, w) = self.input_dims;
+        let (oc, oh, ow) = self.output_dims();
+        let per_out = oc * oh * ow;
+        assert_eq!(grad_out.dims(), &[self.batch, per_out], "gradient shape");
+        let mut dx = vec![0.0f32; self.batch * c * h * w];
+        for b in 0..self.batch {
+            let g = grad_out.row(b);
+            for (o, &gv) in g.iter().enumerate() {
+                let src = self.argmax[b * per_out + o];
+                dx[b * c * h * w + src] += gv;
+            }
+        }
+        Tensor::from_vec(dx, &[self.batch, c * h * w]).expect("volume matches")
+    }
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Tensor)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+    fn visit_param_grad_pairs(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
+    fn zero_grads(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_preserves_image() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new((1, 4, 4), 1, 3, 1, &mut rng);
+        // Kernel = delta at centre.
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        conv.weight = Tensor::from_vec(w, &[1, 9]).unwrap();
+        conv.bias = Tensor::zeros(&[1]);
+        let img: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let x = Tensor::from_vec(img.clone(), &[1, 16]).unwrap();
+        let y = conv.forward(&x, true);
+        assert_eq!(y.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn conv_output_geometry() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new((3, 8, 8), 16, 3, 1, &mut rng);
+        assert_eq!(conv.output_dims(), (16, 8, 8));
+        let unpadded = Conv2d::new((3, 8, 8), 16, 3, 0, &mut rng);
+        assert_eq!(unpadded.output_dims(), (16, 6, 6));
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new((2, 4, 4), 3, 3, 1, &mut rng);
+        let x = Tensor::randn(&[2, 32], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let dx = conv.backward(&Tensor::ones(y.dims()));
+
+        let eps = 1e-2f32;
+        // Weight gradient spot-check.
+        let mut pairs = Vec::new();
+        conv.visit_param_grad_pairs(&mut |p, g| pairs.push((p.clone(), g.clone())));
+        let (w, gw) = &pairs[0];
+        for idx in [0usize, 10, 25] {
+            let mut cp = conv.clone();
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            cp.weight = wp;
+            let mut cm = conv.clone();
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            cm.weight = wm;
+            let fd = (cp.forward(&x, true).sum() - cm.forward(&x, true).sum()) / (2.0 * eps);
+            assert!(
+                (fd - gw.at(idx)).abs() < 5e-2 * (1.0 + fd.abs()),
+                "dW[{idx}]: fd {fd} vs analytic {}",
+                gw.at(idx)
+            );
+        }
+        // Input gradient spot-check.
+        for idx in [0usize, 17, 40] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (conv.clone().forward(&xp, true).sum()
+                - conv.clone().forward(&xm, true).sum())
+                / (2.0 * eps);
+            assert!(
+                (fd - dx.at(idx)).abs() < 5e-2 * (1.0 + fd.abs()),
+                "dx[{idx}]: fd {fd} vs analytic {}",
+                dx.at(idx)
+            );
+        }
+        // Bias gradient: each output position contributes 1 per channel.
+        let (_, gb) = &pairs[1];
+        let (_, oh, ow) = conv.output_dims();
+        let expected = (2 * oh * ow) as f32; // batch of 2
+        for ch in 0..3 {
+            assert!((gb.at(ch) - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn maxpool_picks_maximum() {
+        let mut pool = MaxPool2d::new((1, 2, 2));
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 4]).unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dx = pool.backward(&Tensor::from_vec(vec![2.0], &[1, 1]).unwrap());
+        assert_eq!(dx.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_halves_spatial_dims() {
+        let pool = MaxPool2d::new((4, 8, 6));
+        assert_eq!(pool.output_dims(), (4, 4, 3));
+    }
+
+    #[test]
+    fn maxpool_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pool = MaxPool2d::new((2, 4, 4));
+        let x = Tensor::randn(&[1, 32], 1.0, &mut rng);
+        let y = pool.forward(&x, true);
+        let dx = pool.backward(&Tensor::ones(y.dims()));
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (pool.clone().forward(&xp, true).sum()
+                - pool.clone().forward(&xm, true).sum())
+                / (2.0 * eps);
+            assert!(
+                (fd - dx.at(idx)).abs() < 0.51,
+                "dx[{idx}]: fd {fd} vs analytic {}",
+                dx.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn maxpool_rejects_odd_dims() {
+        let _ = MaxPool2d::new((1, 3, 4));
+    }
+}

@@ -1,0 +1,232 @@
+//! Fully connected (affine) layer.
+
+use crate::Layer;
+use rand::Rng;
+use tensor::{Init, Tensor};
+
+/// A fully connected layer `y = x·W + b` with `W: [in, out]`, `b: [out]`.
+///
+/// Weights use Kaiming-uniform initialisation (the standard choice for the
+/// ReLU networks in this workspace); biases start at zero.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Dense, Layer};
+/// use rand::SeedableRng;
+/// use tensor::Tensor;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(4, 2, &mut rng);
+/// let x = Tensor::zeros(&[3, 4]);
+/// let y = layer.forward(&x, true);
+/// assert_eq!(y.dims(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor, // [in, out]
+    bias: Tensor,   // [out]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with `input_dim` inputs and `output_dim`
+    /// outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "degenerate dense layer");
+        Dense {
+            weight: Init::KaimingUniform { fan_in: input_dim }
+                .init(&[input_dim, output_dim], rng),
+            bias: Tensor::zeros(&[output_dim]),
+            grad_weight: Tensor::zeros(&[input_dim, output_dim]),
+            grad_bias: Tensor::zeros(&[output_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Borrow the weight matrix (tests and inspection).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Borrow the bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(
+            x.dims().last().copied(),
+            Some(self.input_dim()),
+            "dense layer expects {} features, got shape {}",
+            self.input_dim(),
+            x.shape()
+        );
+        self.cached_input = Some(x.clone());
+        x.matmul(&self.weight).add_row_broadcast(&self.bias)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = x^T · dy, db = column sums of dy, dx = dy · W^T.
+        self.grad_weight = x.matmul_tn(grad_out);
+        self.grad_bias = grad_out.sum_rows();
+        grad_out.matmul_nt(&self.weight)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_param_grad_pairs(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_with(weight: Vec<f32>, bias: Vec<f32>, din: usize, dout: usize) -> Dense {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Dense::new(din, dout, &mut rng);
+        l.weight = Tensor::from_vec(weight, &[din, dout]).unwrap();
+        l.bias = Tensor::from_vec(bias, &[dout]).unwrap();
+        l
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut l = layer_with(vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -0.5], 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = l.forward(&x, true);
+        // [1, 1]·[[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut l = Dense::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        // Scalar objective: sum of outputs.
+        let y = l.forward(&x, true);
+        let ones = Tensor::ones(y.dims());
+        let dx = l.backward(&ones);
+
+        let eps = 1e-3f32;
+        // Check dL/dW numerically for a few entries.
+        let mut pairs = Vec::new();
+        l.visit_param_grad_pairs(&mut |p, g| pairs.push((p.clone(), g.clone())));
+        let (w, gw) = &pairs[0];
+        for idx in [0usize, 3, 5] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let mut lp = l.clone();
+            lp.weight = wp;
+            let mut lm = l.clone();
+            lm.weight = wm;
+            let fp = lp.forward(&x, true).sum();
+            let fm = lm.forward(&x, true).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - gw.at(idx)).abs() < 1e-2 * (1.0 + fd.abs()),
+                "dW[{idx}]: fd {fd} vs analytic {}",
+                gw.at(idx)
+            );
+        }
+        // Check dL/dx numerically for one entry.
+        for idx in [0usize, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = l.clone().forward(&xp, true).sum();
+            let fm = l.clone().forward(&xm, true).sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - dx.at(idx)).abs() < 1e-2 * (1.0 + fd.abs()),
+                "dx[{idx}]: fd {fd} vs analytic {}",
+                dx.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut l = layer_with(vec![1.0, 0.0, 0.0, 1.0], vec![0.0, 0.0], 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let _ = l.forward(&x, true);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let _ = l.backward(&dy);
+        let mut pairs = Vec::new();
+        l.visit_param_grad_pairs(&mut |p, g| pairs.push((p.clone(), g.clone())));
+        assert_eq!(pairs[1].1.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Dense::new(2, 2, &mut rng);
+        let _ = l.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Dense::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&Tensor::ones(&[1, 2]));
+        l.zero_grads();
+        let mut total = 0.0;
+        l.visit_param_grad_pairs(&mut |_, g| total += g.norm_sq());
+        assert_eq!(total, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Loss functions: softmax cross-entropy and mean squared error.
+
+use tensor::Tensor;
+
+/// Which loss a [`Network`](crate::Network) optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Softmax + cross-entropy over class logits (classification).
+    CrossEntropy,
+    /// Mean squared error against one-hot targets (used for regression-style
+    /// heads and in tests).
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Computes the mean loss over a batch and the gradient w.r.t. the
+    /// logits.
+    ///
+    /// `logits` is `[batch, classes]`; `labels` has one class index per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        match self {
+            Loss::CrossEntropy => cross_entropy(logits, labels),
+            Loss::MeanSquaredError => mse_one_hot(logits, labels),
+        }
+    }
+
+    /// Computes only the mean loss (no gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        self.loss_and_grad(logits, labels).0
+    }
+}
+
+/// Numerically stable softmax cross-entropy.
+///
+/// Returns `(mean loss, d loss / d logits)` with the gradient already
+/// averaged over the batch (`(softmax − onehot)/batch`).
+fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = check(logits, labels);
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut total = 0.0f64;
+    for r in 0..batch {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let label = labels[r];
+        // loss = -log softmax[label]
+        total += -f64::from((exps[label] / sum).max(f32::MIN_POSITIVE).ln());
+        let grow = grad.row_mut(r);
+        for (c, g) in grow.iter_mut().enumerate() {
+            let softmax = exps[c] / sum;
+            let onehot = if c == label { 1.0 } else { 0.0 };
+            *g = (softmax - onehot) / batch as f32;
+        }
+    }
+    ((total / batch as f64) as f32, grad)
+}
+
+/// MSE against one-hot targets: `mean((logits − onehot)²)`.
+fn mse_one_hot(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = check(logits, labels);
+    let n = (batch * classes) as f32;
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut total = 0.0f64;
+    for r in 0..batch {
+        let row = logits.row(r);
+        let grow = grad.row_mut(r);
+        for c in 0..classes {
+            let target = if c == labels[r] { 1.0 } else { 0.0 };
+            let diff = row[c] - target;
+            total += f64::from(diff * diff);
+            grow[c] = 2.0 * diff / n;
+        }
+    }
+    ((total / f64::from(n)) as f32, grad)
+}
+
+fn check(logits: &Tensor, labels: &[usize]) -> (usize, usize) {
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "logits must be [batch, classes], got {}",
+        logits.shape()
+    );
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(
+        batch,
+        labels.len(),
+        "batch size {batch} does not match {} labels",
+        labels.len()
+    );
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        panic!("label {bad} out of range for {classes} classes");
+    }
+    (batch, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]).unwrap();
+        let (loss, _) = Loss::CrossEntropy.loss_and_grad(&logits, &[0]);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = Loss::CrossEntropy.loss_and_grad(&logits, &[1, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9, 0.1, 0.1, 0.4], &[2, 3]).unwrap();
+        let (_, grad) = Loss::CrossEntropy.loss_and_grad(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], &[2, 2]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = Loss::CrossEntropy.loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = Loss::CrossEntropy.loss(&lp, &labels);
+            let fm = Loss::CrossEntropy.loss(&lm, &labels);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.at(idx)).abs() < 1e-3,
+                "idx {idx}: fd {fd} vs {}",
+                grad.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], &[2, 2]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = Loss::MeanSquaredError.loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = Loss::MeanSquaredError.loss(&lp, &labels);
+            let fm = Loss::MeanSquaredError.loss(&lm, &labels);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.at(idx)).abs() < 1e-3,
+                "idx {idx}: fd {fd} vs {}",
+                grad.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn mse_zero_at_exact_one_hot() {
+        let logits = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let (loss, grad) = Loss::MeanSquaredError.loss_and_grad(&logits, &[1]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = Loss::CrossEntropy.loss_and_grad(&logits, &[5]);
+    }
+
+    #[test]
+    fn cross_entropy_is_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[1, 2]).unwrap();
+        let (loss, grad) = Loss::CrossEntropy.loss_and_grad(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+}

@@ -1,0 +1,104 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use nn::metrics::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction count {} does not match label count {}",
+        predictions.len(),
+        labels.len()
+    );
+    assert!(!labels.is_empty(), "cannot compute accuracy of nothing");
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Running mean over a stream of values (used for smoothed training-loss
+/// reporting, mirroring the paper's "recorded every 100 iterations").
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Clears the accumulator.
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_accuracy() {
+        assert_eq!(accuracy(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn zero_accuracy() {
+        assert_eq!(accuracy(&[0, 0], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn running_mean_accumulates() {
+        let mut m = RunningMean::new();
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.count(), 2);
+        m.reset();
+        assert_eq!(m.mean(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! A trainable network: a layer stack plus a loss.
+
+use crate::{Layer, Loss, Sequential};
+use tensor::Tensor;
+
+/// A supervised classification model: a [`Sequential`] feature extractor
+/// producing class logits, trained against a [`Loss`].
+///
+/// `Network` is what the PASGD simulator replicates onto each worker: it
+/// exposes parameter snapshot/load (for model averaging), a combined
+/// forward+backward training step, and evaluation helpers.
+///
+/// # Example
+///
+/// ```
+/// use nn::{models, Network};
+/// use tensor::Tensor;
+///
+/// let mut net = models::mlp_classifier(8, &[16], 3, 42);
+/// let x = Tensor::zeros(&[4, 8]);
+/// let loss = net.train_step(&x, &[0, 1, 2, 0]);
+/// assert!(loss > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    stack: Sequential,
+    loss: Loss,
+}
+
+impl Network {
+    /// Creates a network from a layer stack and a loss.
+    pub fn new(stack: Sequential, loss: Loss) -> Self {
+        Network { stack, loss }
+    }
+
+    /// The loss this network optimises.
+    pub fn loss_kind(&self) -> Loss {
+        self.loss
+    }
+
+    /// Borrow the underlying layer stack.
+    pub fn stack(&self) -> &Sequential {
+        &self.stack
+    }
+
+    /// Mutably borrow the underlying layer stack.
+    pub fn stack_mut(&mut self) -> &mut Sequential {
+        &mut self.stack
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        let mut count = 0;
+        self.stack.visit_params(&mut |p| count += p.len());
+        count
+    }
+
+    /// Forward pass producing logits, in training mode.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.stack.forward(x, true)
+    }
+
+    /// One training step: forward, loss, backward. Parameter gradients are
+    /// left in the layers for an optimizer to consume; returns the batch
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shapes disagree with the network.
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.stack.forward(x, true);
+        let (loss, dlogits) = self.loss.loss_and_grad(&logits, labels);
+        let _ = self.stack.backward(&dlogits);
+        loss
+    }
+
+    /// Mean loss on a batch without computing gradients (evaluation mode).
+    pub fn eval_loss(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.stack.forward(x, false);
+        self.loss.loss(&logits, labels)
+    }
+
+    /// Predicted class per row (argmax of logits), evaluation mode.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.stack.forward(x, false).argmax_rows()
+    }
+
+    /// Fraction of rows whose argmax prediction matches the label.
+    pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
+        let preds = self.predict(x);
+        crate::metrics::accuracy(&preds, labels)
+    }
+
+    // ------------------------------------------------------------------
+    // Parameter plumbing for distributed averaging
+    // ------------------------------------------------------------------
+
+    /// Snapshots every parameter tensor, in visitor order.
+    pub fn params_snapshot(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.stack.visit_params(&mut |p| out.push(p.clone()));
+        out
+    }
+
+    /// Loads parameters previously produced by [`Network::params_snapshot`]
+    /// (or an average of several snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length or any tensor shape disagrees.
+    pub fn load_params(&mut self, params: &[Tensor]) {
+        let mut idx = 0;
+        self.stack.visit_params_mut(&mut |p| {
+            assert!(
+                idx < params.len(),
+                "snapshot has too few tensors ({} provided)",
+                params.len()
+            );
+            p.copy_from(&params[idx]);
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            params.len(),
+            "snapshot has {} tensors but the network has {idx}",
+            params.len()
+        );
+    }
+
+    /// Snapshots every gradient tensor, in the same order as
+    /// [`Network::params_snapshot`].
+    pub fn grads_snapshot(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.stack
+            .visit_param_grad_pairs(&mut |_, g| out.push(g.clone()));
+        out
+    }
+
+    /// Squared L2 norm of the current gradient.
+    pub fn grad_sq_norm(&mut self) -> f32 {
+        let mut total = 0.0;
+        self.stack
+            .visit_param_grad_pairs(&mut |_, g| total += g.norm_sq());
+        total
+    }
+
+    /// Sets all gradients to zero.
+    pub fn zero_grads(&mut self) {
+        self.stack.zero_grads();
+    }
+
+    /// Visits `(parameter, gradient)` pairs — the optimizer entry point.
+    pub fn visit_param_grad_pairs(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        self.stack.visit_param_grad_pairs(f);
+    }
+}
+
+/// Averages the parameter snapshots of several replicas — eq. 3's averaging
+/// step, operating tensor-by-tensor.
+///
+/// # Panics
+///
+/// Panics if `snapshots` is empty or shapes are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use nn::{average_params, models};
+///
+/// let a = models::mlp_classifier(4, &[8], 2, 1).params_snapshot();
+/// let b = models::mlp_classifier(4, &[8], 2, 2).params_snapshot();
+/// let avg = average_params(&[a, b]);
+/// assert_eq!(avg.len(), 4); // two dense layers x (weight, bias)
+/// ```
+pub fn average_params(snapshots: &[Vec<Tensor>]) -> Vec<Tensor> {
+    assert!(!snapshots.is_empty(), "cannot average zero snapshots");
+    let n = snapshots[0].len();
+    for s in snapshots {
+        assert_eq!(
+            s.len(),
+            n,
+            "inconsistent snapshot lengths: {} vs {n}",
+            s.len()
+        );
+    }
+    (0..n)
+        .map(|i| {
+            let tensors: Vec<Tensor> = snapshots.iter().map(|s| s[i].clone()).collect();
+            tensor::average(&tensors)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_load_roundtrip() {
+        let net = models::mlp_classifier(4, &[6], 3, 0);
+        let snap = net.params_snapshot();
+        let mut other = models::mlp_classifier(4, &[6], 3, 99);
+        assert_ne!(other.params_snapshot(), snap);
+        other.load_params(&snap);
+        assert_eq!(other.params_snapshot(), snap);
+    }
+
+    #[test]
+    fn identical_params_give_identical_predictions() {
+        let mut a = models::mlp_classifier(4, &[6], 3, 0);
+        let mut b = models::mlp_classifier(4, &[6], 3, 1);
+        b.load_params(&a.params_snapshot());
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tensor::Tensor::randn(&[8, 4], 1.0, &mut rng);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn train_step_populates_gradients() {
+        let mut net = models::mlp_classifier(4, &[6], 3, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tensor::Tensor::randn(&[8, 4], 1.0, &mut rng);
+        let loss = net.train_step(&x, &[0, 1, 2, 0, 1, 2, 0, 1]);
+        assert!(loss > 0.0);
+        assert!(net.grad_sq_norm() > 0.0);
+        net.zero_grads();
+        assert_eq!(net.grad_sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn average_params_midpoint() {
+        let a = vec![tensor::Tensor::full(&[2], 0.0)];
+        let b = vec![tensor::Tensor::full(&[2], 4.0)];
+        let avg = average_params(&[a, b]);
+        assert_eq!(avg[0].as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few tensors")]
+    fn load_rejects_short_snapshot() {
+        let mut net = models::mlp_classifier(4, &[6], 3, 0);
+        net.load_params(&[]);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let net = models::mlp_classifier(4, &[6], 3, 0);
+        // dense(4->6): 24+6, dense(6->3): 18+3.
+        assert_eq!(net.param_count(), 24 + 6 + 18 + 3);
+    }
+}

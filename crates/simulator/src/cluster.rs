@@ -1,0 +1,610 @@
+//! The PASGD cluster: local-update rounds, periodic averaging, and the
+//! simulated wall clock.
+
+use crate::{AveragingStrategy, BlockMomentum, MomentumMode, Worker};
+use delay::RuntimeModel;
+use nn::{average_params, Network, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use tensor::Tensor;
+
+/// Static configuration of a [`PasgdCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of workers `m`.
+    pub workers: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate `η0`.
+    pub lr: f32,
+    /// L2 weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Momentum scheme.
+    pub momentum: MomentumMode,
+    /// How local models are combined at synchronization points.
+    pub averaging: AveragingStrategy,
+    /// Base RNG seed; worker RNGs and the delay stream derive from it.
+    pub seed: u64,
+    /// Cap on the number of examples used when evaluating training loss
+    /// (keeps evaluation cheap; 0 means the full training set).
+    pub eval_subset: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            batch_size: 32,
+            lr: 0.1,
+            weight_decay: 5e-4,
+            momentum: MomentumMode::None,
+            averaging: AveragingStrategy::FullAverage,
+            seed: 0,
+            eval_subset: 1024,
+        }
+    }
+}
+
+/// An `m`-worker periodic-averaging SGD cluster with a simulated wall clock.
+///
+/// The *training mathematics* is real — every worker runs genuine SGD on its
+/// own shard and the models are genuinely averaged — while *time* comes from
+/// the paper's delay model ([`RuntimeModel`]): a round of `τ` local steps
+/// advances the clock by `max_i(Σ_k Y_{i,k}) + D`.
+///
+/// The cluster is deliberately scheduler-agnostic: callers decide `τ` per
+/// round (see [`crate::Experiment`] for the interval-based driver).
+///
+/// # Example
+///
+/// ```
+/// use pasgd_sim::{ClusterConfig, PasgdCluster};
+/// use data::GaussianMixture;
+/// use delay::{CommModel, DelayDistribution, RuntimeModel};
+/// use nn::models;
+///
+/// let split = GaussianMixture::small_test().generate(1);
+/// let runtime = RuntimeModel::new(
+///     DelayDistribution::constant(1.0),
+///     CommModel::constant(0.5),
+///     2,
+/// );
+/// let mut cluster = PasgdCluster::new(
+///     models::mlp_classifier(8, &[16], 3, 0),
+///     split,
+///     runtime,
+///     ClusterConfig { workers: 2, ..ClusterConfig::default() },
+/// );
+/// let loss = cluster.run_round(4);
+/// assert!(loss > 0.0);
+/// assert!((cluster.clock() - 4.5).abs() < 1e-9); // 4 steps + 0.5 comm
+/// ```
+pub struct PasgdCluster {
+    workers: Vec<Worker>,
+    runtime: RuntimeModel,
+    momentum: MomentumMode,
+    averaging: AveragingStrategy,
+    block: Option<BlockMomentum>,
+    delay_rng: StdRng,
+    clock: f64,
+    iterations: u64,
+    rounds: u64,
+    comm_time: f64,
+    compute_time: f64,
+    current_lr: f32,
+    batch_size: usize,
+    train_eval: (Tensor, Vec<usize>),
+    test_eval: (Tensor, Vec<usize>),
+    train_size: usize,
+}
+
+impl PasgdCluster {
+    /// Builds a cluster: shards the training split across workers (each
+    /// worker gets an equal slice, reshuffled locally every epoch), clones
+    /// the initial model onto every worker (the paper's common
+    /// initialisation `x₁`), and prepares evaluation sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero workers/batch, more
+    /// workers than examples, invalid momentum factors) or the runtime
+    /// model's worker count differs from `config.workers`.
+    pub fn new(
+        model: Network,
+        split: data::TrainTestSplit,
+        runtime: RuntimeModel,
+        config: ClusterConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert_eq!(
+            runtime.workers(),
+            config.workers,
+            "runtime model is for {} workers but the cluster has {}",
+            runtime.workers(),
+            config.workers
+        );
+        config.momentum.validate();
+        config.averaging.validate();
+        assert!(
+            matches!(config.averaging, AveragingStrategy::FullAverage)
+                || !matches!(config.momentum, MomentumMode::Block { .. }),
+            "block momentum is defined over the all-node average (eq. 24); \
+             use MomentumMode::None or Local with other averaging strategies"
+        );
+        let train = split.train;
+        let test = split.test;
+        let train_size = train.len();
+
+        let shards = train.shard(config.workers);
+        let base_opt = {
+            let mut opt = Sgd::new(config.lr).with_weight_decay(config.weight_decay);
+            let beta = config.momentum.local_beta();
+            if beta > 0.0 {
+                opt = opt.with_momentum(beta);
+            }
+            opt
+        };
+        let workers: Vec<Worker> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                Worker::new(
+                    id,
+                    model.clone(),
+                    base_opt.clone(),
+                    shard,
+                    config.batch_size,
+                    config.seed,
+                )
+            })
+            .collect();
+
+        let block = match config.momentum {
+            MomentumMode::Block { global, .. } => {
+                Some(BlockMomentum::new(global, model.params_snapshot()))
+            }
+            _ => None,
+        };
+
+        let eval_n = if config.eval_subset == 0 {
+            train_size
+        } else {
+            config.eval_subset.min(train_size)
+        };
+        let train_eval = train.gather(&(0..eval_n).collect::<Vec<_>>());
+        let test_eval = test.gather(&(0..test.len()).collect::<Vec<_>>());
+
+        PasgdCluster {
+            workers,
+            runtime,
+            momentum: config.momentum,
+            averaging: config.averaging,
+            block,
+            delay_rng: StdRng::seed_from_u64(config.seed ^ 0xD15C_0C1C_D15C_0C1C),
+            clock: 0.0,
+            iterations: 0,
+            rounds: 0,
+            comm_time: 0.0,
+            compute_time: 0.0,
+            current_lr: config.lr,
+            batch_size: config.batch_size,
+            train_eval,
+            test_eval,
+            train_size,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Simulated wall-clock time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Local iterations completed per worker (the paper's `k`).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Averaging rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cumulative simulated communication time.
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// Cumulative simulated computation time (slowest-worker path).
+    pub fn compute_time(&self) -> f64 {
+        self.compute_time
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Epochs of the global dataset processed so far (total samples
+    /// consumed across workers divided by the training-set size).
+    pub fn epochs(&self) -> f64 {
+        let consumed: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.steps_taken() * self.batch_size() as u64)
+            .sum();
+        consumed as f64 / self.train_size as f64
+    }
+
+    /// Per-worker batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.current_lr
+    }
+
+    /// The runtime (delay) model in use.
+    pub fn runtime(&self) -> &RuntimeModel {
+        &self.runtime
+    }
+
+    // ------------------------------------------------------------------
+    // Training
+    // ------------------------------------------------------------------
+
+    /// Sets the learning rate on every worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        for w in &mut self.workers {
+            w.set_lr(lr);
+        }
+        self.current_lr = lr;
+    }
+
+    /// Runs one PASGD round: `tau` local steps on every worker (in
+    /// parallel), then an averaging step (eq. 3), block momentum if
+    /// configured, and the clock advance `max_i(Σ Y) + D`.
+    ///
+    /// Returns the mean local training loss observed during the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0`.
+    pub fn run_round(&mut self, tau: usize) -> f32 {
+        assert!(tau >= 1, "communication period must be at least 1");
+        let losses: Vec<f32> = self
+            .workers
+            .par_iter_mut()
+            .map(|w| w.local_steps(tau))
+            .collect();
+        self.iterations += tau as u64;
+        self.average_models(tau);
+        let round = self.runtime.sample_round(tau, &mut self.delay_rng);
+        self.clock += round.total();
+        self.compute_time += round.compute;
+        self.comm_time += round.comm;
+        self.rounds += 1;
+        losses.iter().sum::<f32>() / losses.len() as f32
+    }
+
+    /// Runs `steps` local steps on every worker *without* averaging,
+    /// advancing the clock by the slowest worker's compute time only.
+    /// Used by the Figure 14 experiment to probe local-model quality
+    /// mid-round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn run_local_only(&mut self, steps: usize) -> f32 {
+        assert!(steps >= 1, "must take at least one step");
+        let losses: Vec<f32> = self
+            .workers
+            .par_iter_mut()
+            .map(|w| w.local_steps(steps))
+            .collect();
+        self.iterations += steps as u64;
+        let round = self.runtime.sample_round(steps, &mut self.delay_rng);
+        self.clock += round.compute; // no communication happened
+        self.compute_time += round.compute;
+        losses.iter().sum::<f32>() / losses.len() as f32
+    }
+
+    /// Performs the averaging step immediately (eq. 3's first case),
+    /// including block momentum and local-momentum resets, and pays one
+    /// communication delay.
+    pub fn average_now(&mut self) {
+        // A direct averaging call closes whatever local stretch preceded
+        // it; treat it as a genuine local-update period for momentum
+        // purposes.
+        self.average_models(2);
+        let d = self
+            .runtime
+            .comm()
+            .sample(self.runtime.workers(), &mut self.delay_rng);
+        self.clock += d;
+        self.comm_time += d;
+        self.rounds += 1;
+    }
+
+    fn average_models(&mut self, tau: usize) {
+        let mut snapshots: Vec<Vec<Tensor>> =
+            self.workers.iter().map(Worker::params_snapshot).collect();
+        if !matches!(self.averaging, AveragingStrategy::FullAverage) {
+            // Extension strategies (ring gossip, partial participation,
+            // elastic averaging) mix in place and are momentum-agnostic.
+            self.averaging.mix(&mut snapshots, &mut self.delay_rng);
+            for (w, s) in self.workers.iter_mut().zip(snapshots.iter()) {
+                w.load_params(s);
+                if self.momentum.resets_local_at_sync(tau) {
+                    w.reset_momentum();
+                }
+            }
+            return;
+        }
+        let averaged = average_params(&snapshots);
+        let broadcast = match &mut self.block {
+            // The global buffer only accumulates over genuine local-update
+            // periods; with tau = 1 the scheme degenerates to plain
+            // momentum SGD (Section 5.3.1).
+            Some(block) if tau > 1 => block.apply(&averaged, self.current_lr),
+            Some(block) => {
+                block.observe_sync(&averaged);
+                averaged
+            }
+            None => averaged,
+        };
+        for w in &mut self.workers {
+            w.load_params(&broadcast);
+            if self.momentum.resets_local_at_sync(tau) {
+                w.reset_momentum();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Training loss of the synchronized model on the evaluation subset.
+    ///
+    /// Callers should invoke this right after a round (models agree then);
+    /// mid-round it reports worker 0's local model.
+    pub fn eval_train_loss(&mut self) -> f32 {
+        let (x, y) = (&self.train_eval.0, &self.train_eval.1);
+        self.workers[0].model_mut().eval_loss(x, y)
+    }
+
+    /// Test accuracy of the synchronized model (worker 0's replica).
+    pub fn eval_test_accuracy(&mut self) -> f64 {
+        let (x, y) = (&self.test_eval.0, &self.test_eval.1);
+        self.workers[0].model_mut().accuracy(x, y)
+    }
+
+    /// Test accuracy of one worker's *local* model (differs from the
+    /// synchronized model mid-round) — the Figure 14 probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn eval_local_test_accuracy(&mut self, worker: usize) -> f64 {
+        assert!(worker < self.workers.len(), "worker {worker} out of range");
+        let (x, y) = (&self.test_eval.0, &self.test_eval.1);
+        self.workers[worker].model_mut().accuracy(x, y)
+    }
+
+    /// Mean pairwise parameter distance between local models (a direct
+    /// measure of the model discrepancy that grows with `τ`, Figure 2).
+    pub fn model_discrepancy(&self) -> f32 {
+        let snaps: Vec<Vec<Tensor>> = self.workers.iter().map(Worker::params_snapshot).collect();
+        if snaps.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        let mut pairs = 0u32;
+        for i in 0..snaps.len() {
+            for j in i + 1..snaps.len() {
+                let dist_sq: f32 = snaps[i]
+                    .iter()
+                    .zip(snaps[j].iter())
+                    .map(|(a, b)| {
+                        let d = a.distance(b);
+                        d * d
+                    })
+                    .sum();
+                total += dist_sq.sqrt();
+                pairs += 1;
+            }
+        }
+        total / pairs as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::GaussianMixture;
+    use delay::{CommModel, DelayDistribution};
+    use nn::models;
+
+    fn constant_runtime(y: f64, d: f64, m: usize) -> RuntimeModel {
+        RuntimeModel::new(DelayDistribution::constant(y), CommModel::constant(d), m)
+    }
+
+    fn toy_cluster(momentum: MomentumMode, seed: u64) -> PasgdCluster {
+        let split = GaussianMixture::small_test().generate(3);
+        PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 2),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum,
+                averaging: crate::AveragingStrategy::FullAverage,
+                seed,
+                eval_subset: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn clock_advances_by_delay_model() {
+        let mut c = toy_cluster(MomentumMode::None, 0);
+        c.run_round(4);
+        // Constant delays: 4 * 1.0 compute + 0.5 comm.
+        assert!((c.clock() - 4.5).abs() < 1e-9);
+        assert_eq!(c.iterations(), 4);
+        assert_eq!(c.rounds(), 1);
+        c.run_round(1);
+        assert!((c.clock() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_and_compute_time_split() {
+        let mut c = toy_cluster(MomentumMode::None, 0);
+        c.run_round(10);
+        assert!((c.compute_time() - 10.0).abs() < 1e-9);
+        assert!((c.comm_time() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn models_agree_after_round() {
+        let mut c = toy_cluster(MomentumMode::None, 1);
+        c.run_round(5);
+        assert!(
+            c.model_discrepancy() < 1e-6,
+            "post-averaging discrepancy {}",
+            c.model_discrepancy()
+        );
+    }
+
+    #[test]
+    fn discrepancy_grows_during_local_steps() {
+        let mut c = toy_cluster(MomentumMode::None, 2);
+        c.run_round(1); // sync first
+        let d0 = c.model_discrepancy();
+        c.run_local_only(5);
+        let d5 = c.model_discrepancy();
+        assert!(d5 > d0, "discrepancy should grow: {d0} -> {d5}");
+        c.average_now();
+        assert!(c.model_discrepancy() < 1e-6);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut c = toy_cluster(MomentumMode::None, 3);
+        let before = c.eval_train_loss();
+        for _ in 0..30 {
+            c.run_round(4);
+        }
+        let after = c.eval_train_loss();
+        assert!(after < before * 0.8, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut c = toy_cluster(MomentumMode::None, seed);
+            for _ in 0..5 {
+                c.run_round(3);
+            }
+            (c.eval_train_loss(), c.clock())
+        };
+        let (l1, t1) = run(7);
+        let (l2, t2) = run(7);
+        assert_eq!(l1, l2);
+        assert_eq!(t1, t2);
+        let (l3, _) = run(8);
+        assert_ne!(l1, l3);
+    }
+
+    #[test]
+    fn block_momentum_runs_and_syncs() {
+        let mut c = toy_cluster(MomentumMode::paper_block(), 4);
+        for _ in 0..10 {
+            c.run_round(4);
+        }
+        assert!(c.model_discrepancy() < 1e-6);
+        assert!(c.eval_train_loss().is_finite());
+    }
+
+    #[test]
+    fn block_momentum_with_zero_global_matches_plain_averaging() {
+        // With beta_glob = 0 and local momentum 0, block momentum reduces to
+        // plain PASGD exactly.
+        let mk = |momentum| {
+            let split = GaussianMixture::small_test().generate(5);
+            PasgdCluster::new(
+                models::mlp_classifier(8, &[8], 3, 13),
+                split,
+                constant_runtime(1.0, 0.5, 2),
+                ClusterConfig {
+                    workers: 2,
+                    batch_size: 8,
+                    lr: 0.05,
+                    weight_decay: 0.0,
+                    momentum,
+                    averaging: crate::AveragingStrategy::FullAverage,
+                    seed: 21,
+                    eval_subset: 64,
+                },
+            )
+        };
+        let mut plain = mk(MomentumMode::None);
+        let mut block = mk(MomentumMode::Block {
+            global: 0.0,
+            local: 0.0,
+        });
+        for _ in 0..4 {
+            plain.run_round(3);
+            block.run_round(3);
+        }
+        let dl = (plain.eval_train_loss() - block.eval_train_loss()).abs();
+        assert!(dl < 1e-5, "losses diverged by {dl}");
+    }
+
+    #[test]
+    fn set_lr_applies_to_all_workers() {
+        let mut c = toy_cluster(MomentumMode::None, 6);
+        c.set_lr(0.005);
+        assert_eq!(c.lr(), 0.005);
+        c.run_round(2); // must not panic, workers updated
+    }
+
+    #[test]
+    fn epochs_track_consumed_samples() {
+        let mut c = toy_cluster(MomentumMode::None, 9);
+        // 96 training examples, 2 workers x batch 8: one round of 6 steps
+        // consumes 96 samples = 1 epoch.
+        c.run_round(6);
+        assert!((c.epochs() - 1.0).abs() < 1e-9, "epochs {}", c.epochs());
+    }
+
+    #[test]
+    fn eval_accuracy_in_unit_range() {
+        let mut c = toy_cluster(MomentumMode::None, 10);
+        let acc = c.eval_test_accuracy();
+        assert!((0.0..=1.0).contains(&acc));
+        let local = c.eval_local_test_accuracy(1);
+        assert!((0.0..=1.0).contains(&local));
+    }
+
+    #[test]
+    #[should_panic(expected = "communication period must be at least 1")]
+    fn zero_tau_rejected() {
+        let mut c = toy_cluster(MomentumMode::None, 11);
+        let _ = c.run_round(0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The interval-based experiment driver: wall-clock intervals of length
+//! `T0`, scheduler consultation at each boundary, learning-rate schedules,
+//! and trace recording.
+
+use crate::{ClusterConfig, MomentumMode, PasgdCluster};
+use adacomm::{CommSchedule, LrSchedule, ScheduleContext};
+use data::TrainTestSplit;
+use delay::RuntimeModel;
+use nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// One recorded point of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Simulated wall-clock time in seconds.
+    pub clock: f64,
+    /// Local iterations per worker completed so far.
+    pub iterations: u64,
+    /// Epochs of the global dataset processed.
+    pub epoch: f64,
+    /// Training loss of the synchronized model (evaluation subset).
+    pub train_loss: f32,
+    /// Test accuracy of the synchronized model.
+    pub test_accuracy: f64,
+    /// Communication period in effect when the point was recorded.
+    pub tau: usize,
+    /// Learning rate in effect.
+    pub lr: f32,
+}
+
+/// A complete training trace for one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Scheduler name (e.g. `"adacomm"`, `"tau=20"`, `"sync-sgd"`).
+    pub name: String,
+    /// Recorded points, in time order (first point is at `t = 0`).
+    pub points: Vec<TracePoint>,
+}
+
+impl RunTrace {
+    /// Final training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn final_loss(&self) -> f32 {
+        self.points.last().expect("non-empty trace").train_loss
+    }
+
+    /// Best (highest) test accuracy over the run — the paper's Table 1
+    /// metric ("we report the best accuracy within a time budget").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn best_test_accuracy(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.test_accuracy)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// First wall-clock time at which the training loss reached `target`,
+    /// or `None` if it never did. This is the paper's "X minutes to reach
+    /// loss Y" speed-up metric.
+    pub fn time_to_loss(&self, target: f32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.train_loss <= target)
+            .map(|p| p.clock)
+    }
+
+    /// The sequence of `(clock, tau)` pairs — the communication-period
+    /// trace plotted under every figure.
+    pub fn tau_trace(&self) -> Vec<(f64, usize)> {
+        self.points.iter().map(|p| (p.clock, p.tau)).collect()
+    }
+
+    /// Minimum training loss seen over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn min_loss(&self) -> f32 {
+        self.points
+            .iter()
+            .map(|p| p.train_loss)
+            .fold(f32::INFINITY, f32::min)
+    }
+}
+
+/// Configuration of an interval-driven experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Interval length `T0` in simulated seconds (paper: 60 s).
+    pub interval_secs: f64,
+    /// Total simulated training budget in seconds.
+    pub total_secs: f64,
+    /// Record a trace point roughly every this many simulated seconds.
+    pub record_every_secs: f64,
+    /// Apply the paper's "decay τ to 1 before decaying η" gating
+    /// (Section 4.3.2). Only meaningful with a non-constant [`LrSchedule`].
+    pub gate_lr_on_tau: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            interval_secs: 60.0,
+            total_secs: 600.0,
+            record_every_secs: 10.0,
+            gate_lr_on_tau: true,
+        }
+    }
+}
+
+/// Drives a [`PasgdCluster`] under a communication scheduler and a
+/// learning-rate schedule, producing a [`RunTrace`].
+///
+/// This is the top-level API the examples and every figure harness use.
+///
+/// # Example
+///
+/// ```
+/// use pasgd_sim::{run_experiment, ClusterConfig, ExperimentConfig};
+/// use adacomm::{FixedComm, LrSchedule};
+/// use data::GaussianMixture;
+/// use delay::{CommModel, DelayDistribution, RuntimeModel};
+/// use nn::models;
+///
+/// let split = GaussianMixture::small_test().generate(1);
+/// let runtime = RuntimeModel::new(
+///     DelayDistribution::constant(0.1),
+///     CommModel::constant(0.05),
+///     2,
+/// );
+/// let trace = run_experiment(
+///     models::mlp_classifier(8, &[16], 3, 0),
+///     split,
+///     runtime,
+///     ClusterConfig { workers: 2, batch_size: 8, ..ClusterConfig::default() },
+///     &mut FixedComm::new(4),
+///     &LrSchedule::constant(0.05),
+///     &ExperimentConfig {
+///         interval_secs: 5.0,
+///         total_secs: 20.0,
+///         record_every_secs: 2.0,
+///         gate_lr_on_tau: false,
+///     },
+/// );
+/// assert!(trace.points.len() > 2);
+/// assert!(trace.final_loss() < trace.points[0].train_loss);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment(
+    model: Network,
+    split: TrainTestSplit,
+    runtime: RuntimeModel,
+    cluster_config: ClusterConfig,
+    scheduler: &mut dyn CommSchedule,
+    lr_schedule: &LrSchedule,
+    config: &ExperimentConfig,
+) -> RunTrace {
+    assert!(
+        config.interval_secs > 0.0 && config.total_secs > 0.0,
+        "experiment durations must be positive"
+    );
+    let mut cluster = PasgdCluster::new(model, split, runtime, cluster_config);
+    let initial_lr = lr_schedule.initial();
+    cluster.set_lr(initial_lr);
+
+    let initial_loss = f64::from(cluster.eval_train_loss());
+    let mut points = vec![TracePoint {
+        clock: 0.0,
+        iterations: 0,
+        epoch: 0.0,
+        train_loss: initial_loss as f32,
+        test_accuracy: cluster.eval_test_accuracy(),
+        tau: 0,
+        lr: initial_lr,
+    }];
+
+    let mut interval = 0usize;
+    let mut last_loss = initial_loss;
+    let mut tau = scheduler.next_tau(&ScheduleContext {
+        interval_index: 0,
+        wall_clock: 0.0,
+        current_loss: initial_loss,
+        initial_loss,
+        current_lr: initial_lr,
+        initial_lr,
+    });
+    points[0].tau = tau;
+    let mut next_record = config.record_every_secs;
+
+    while cluster.clock() < config.total_secs {
+        // Interval boundary: consult the scheduler with the latest loss.
+        let boundary = (interval + 1) as f64 * config.interval_secs;
+        if cluster.clock() >= boundary {
+            interval = (cluster.clock() / config.interval_secs) as usize;
+            last_loss = f64::from(cluster.eval_train_loss());
+            let ctx = ScheduleContext {
+                interval_index: interval,
+                wall_clock: cluster.clock(),
+                current_loss: last_loss,
+                initial_loss,
+                current_lr: cluster.lr(),
+                initial_lr,
+            };
+            tau = scheduler.next_tau(&ctx);
+        }
+
+        // Learning-rate schedule (optionally gated on tau reaching 1).
+        let epoch = cluster.epochs();
+        let lr = if config.gate_lr_on_tau {
+            lr_schedule.lr_at_gated(epoch, tau)
+        } else {
+            lr_schedule.lr_at(epoch)
+        };
+        if (lr - cluster.lr()).abs() > f32::EPSILON * lr.abs() {
+            cluster.set_lr(lr);
+        }
+
+        let _ = cluster.run_round(tau);
+
+        if cluster.clock() >= next_record {
+            points.push(TracePoint {
+                clock: cluster.clock(),
+                iterations: cluster.iterations(),
+                epoch: cluster.epochs(),
+                train_loss: cluster.eval_train_loss(),
+                test_accuracy: cluster.eval_test_accuracy(),
+                tau,
+                lr: cluster.lr(),
+            });
+            while next_record <= cluster.clock() {
+                next_record += config.record_every_secs;
+            }
+            last_loss = f64::from(points.last().expect("just pushed").train_loss);
+        }
+    }
+    // Always record the terminal state.
+    points.push(TracePoint {
+        clock: cluster.clock(),
+        iterations: cluster.iterations(),
+        epoch: cluster.epochs(),
+        train_loss: cluster.eval_train_loss(),
+        test_accuracy: cluster.eval_test_accuracy(),
+        tau,
+        lr: cluster.lr(),
+    });
+    let _ = last_loss;
+
+    RunTrace {
+        name: scheduler.name(),
+        points,
+    }
+}
+
+/// Everything needed to build identical clusters for a family of methods —
+/// the comparison harness behind Figures 9–13.
+///
+/// Each call to [`ExperimentSuite::run`] constructs a fresh cluster from the
+/// same model/data/seed so that methods differ *only* in their scheduler,
+/// learning-rate schedule and momentum mode.
+pub struct ExperimentSuite {
+    model: Network,
+    split: TrainTestSplit,
+    runtime: RuntimeModel,
+    cluster_config: ClusterConfig,
+    experiment_config: ExperimentConfig,
+}
+
+impl ExperimentSuite {
+    /// Creates a suite with shared model, data and delay model.
+    pub fn new(
+        model: Network,
+        split: TrainTestSplit,
+        runtime: RuntimeModel,
+        cluster_config: ClusterConfig,
+        experiment_config: ExperimentConfig,
+    ) -> Self {
+        ExperimentSuite {
+            model,
+            split,
+            runtime,
+            cluster_config,
+            experiment_config,
+        }
+    }
+
+    /// Runs one method and returns its trace.
+    pub fn run(&self, scheduler: &mut dyn CommSchedule, lr_schedule: &LrSchedule) -> RunTrace {
+        self.run_with_options(scheduler, lr_schedule, None, None)
+    }
+
+    /// Runs one method with an overridden momentum mode (the momentum
+    /// figures give τ = 1 plain momentum but PASGD block momentum).
+    pub fn run_with_momentum(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        momentum: MomentumMode,
+    ) -> RunTrace {
+        self.run_with_options(scheduler, lr_schedule, Some(momentum), None)
+    }
+
+    /// Runs one method with optional per-run overrides.
+    ///
+    /// `gate_lr_on_tau` matters because the paper's "decay τ to 1 before
+    /// decaying η" policy (Section 4.3.2) applies to the *adaptive* method;
+    /// fixed-τ baselines decay the learning rate at the scheduled epochs
+    /// unconditionally.
+    pub fn run_with_options(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        momentum: Option<MomentumMode>,
+        gate_lr_on_tau: Option<bool>,
+    ) -> RunTrace {
+        let mut cluster_config = self.cluster_config.clone();
+        if let Some(m) = momentum {
+            cluster_config.momentum = m;
+        }
+        let mut experiment_config = self.experiment_config.clone();
+        if let Some(g) = gate_lr_on_tau {
+            experiment_config.gate_lr_on_tau = g;
+        }
+        run_experiment(
+            self.model.clone(),
+            self.split.clone(),
+            self.runtime,
+            cluster_config,
+            scheduler,
+            lr_schedule,
+            &experiment_config,
+        )
+    }
+
+    /// The experiment configuration (for reporting).
+    pub fn experiment_config(&self) -> &ExperimentConfig {
+        &self.experiment_config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adacomm::{AdaComm, FixedComm};
+    use data::GaussianMixture;
+    use delay::{CommModel, DelayDistribution};
+
+    fn quick_suite(seed: u64) -> ExperimentSuite {
+        let split = GaussianMixture::small_test().generate(seed);
+        let runtime = RuntimeModel::new(
+            DelayDistribution::constant(0.1),
+            CommModel::constant(0.1),
+            2,
+        );
+        ExperimentSuite::new(
+            nn::models::mlp_classifier(8, &[16], 3, 5),
+            split,
+            runtime,
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: MomentumMode::None,
+                averaging: crate::AveragingStrategy::FullAverage,
+                seed,
+                eval_subset: 96,
+            },
+            ExperimentConfig {
+                interval_secs: 4.0,
+                total_secs: 24.0,
+                record_every_secs: 2.0,
+                gate_lr_on_tau: false,
+            },
+        )
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_loss_drops() {
+        let suite = quick_suite(1);
+        let trace = suite.run(&mut FixedComm::new(4), &adacomm::LrSchedule::constant(0.05));
+        assert!(trace.points.len() >= 4);
+        for w in trace.points.windows(2) {
+            assert!(w[1].clock >= w[0].clock, "trace must be time-ordered");
+            assert!(w[1].iterations >= w[0].iterations);
+        }
+        assert!(trace.final_loss() < trace.points[0].train_loss);
+        assert_eq!(trace.name, "tau=4");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let suite = quick_suite(2);
+        let trace = suite.run(&mut FixedComm::new(2), &adacomm::LrSchedule::constant(0.05));
+        let last = trace.points.last().unwrap();
+        // The run can overshoot by at most one round.
+        assert!(last.clock >= 24.0 && last.clock < 30.0, "clock {}", last.clock);
+    }
+
+    #[test]
+    fn adacomm_tau_decreases_over_run() {
+        let suite = quick_suite(3);
+        let trace = suite.run(
+            &mut AdaComm::with_tau0(8),
+            &adacomm::LrSchedule::constant(0.05),
+        );
+        let taus: Vec<usize> = trace.tau_trace().iter().map(|&(_, t)| t).collect();
+        assert_eq!(*taus.first().unwrap(), 8);
+        assert!(
+            taus.last().unwrap() < taus.first().unwrap(),
+            "tau should decrease: {taus:?}"
+        );
+        // Monotone non-increasing under fixed lr.
+        for w in taus.windows(2) {
+            assert!(w[1] <= w[0], "tau increased: {taus:?}");
+        }
+    }
+
+    #[test]
+    fn time_to_loss_is_monotone_in_target() {
+        let suite = quick_suite(4);
+        let trace = suite.run(&mut FixedComm::new(4), &adacomm::LrSchedule::constant(0.05));
+        let loose = trace.time_to_loss(trace.points[0].train_loss);
+        let tight = trace.time_to_loss(trace.min_loss());
+        assert!(loose.unwrap() <= tight.unwrap());
+        assert_eq!(trace.time_to_loss(-1.0), None);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let t1 = quick_suite(5).run(&mut FixedComm::new(4), &adacomm::LrSchedule::constant(0.05));
+        let t2 = quick_suite(5).run(&mut FixedComm::new(4), &adacomm::LrSchedule::constant(0.05));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn momentum_override_applies() {
+        let suite = quick_suite(6);
+        let plain = suite.run(&mut FixedComm::new(4), &adacomm::LrSchedule::constant(0.05));
+        let block = suite.run_with_momentum(
+            &mut FixedComm::new(4),
+            &adacomm::LrSchedule::constant(0.05),
+            MomentumMode::paper_block(),
+        );
+        assert_ne!(plain, block, "momentum must change the trajectory");
+    }
+
+    #[test]
+    fn best_accuracy_at_least_first() {
+        let suite = quick_suite(7);
+        let trace = suite.run(&mut FixedComm::new(2), &adacomm::LrSchedule::constant(0.05));
+        assert!(trace.best_test_accuracy() >= trace.points[0].test_accuracy);
+    }
+}

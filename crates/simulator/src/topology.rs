@@ -1,0 +1,258 @@
+//! Averaging strategies beyond the paper's all-node broadcast.
+//!
+//! The paper's concluding remarks note that adapting the communication
+//! frequency "can be easily extended to other SGD frameworks including
+//! elastic-averaging, decentralized SGD (e.g., adapting network sparsity)
+//! and parameter server-based training". This module implements those
+//! synchronization patterns so the extension experiments can compare them
+//! under the same schedulers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// How local models are combined at a synchronization point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AveragingStrategy {
+    /// The paper's PASGD: every worker receives the all-node average
+    /// (eq. 3).
+    FullAverage,
+    /// Federated-averaging-style partial participation: only a sampled
+    /// subset of workers takes part in the round's average; the rest keep
+    /// their local models (McMahan et al., 2016).
+    PartialParticipation {
+        /// Fraction of workers sampled per synchronization, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Decentralized ring gossip (Lian et al., 2017): worker `i` mixes with
+    /// its ring neighbours using the doubly stochastic weights
+    /// `[1/3, 1/3, 1/3]`. Models agree only in the limit of many rounds.
+    Ring,
+    /// Elastic averaging (Zhang et al., 2015): every worker moves a step
+    /// `α` toward the group mean, `x_i ← x_i − α (x_i − x̄)`, retaining some
+    /// exploration around it.
+    Elastic {
+        /// Elasticity in `(0, 1]`; `1` recovers full averaging.
+        alpha: f32,
+    },
+}
+
+impl AveragingStrategy {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction/elasticity is outside `(0, 1]`.
+    pub fn validate(&self) {
+        match *self {
+            AveragingStrategy::FullAverage | AveragingStrategy::Ring => {}
+            AveragingStrategy::PartialParticipation { fraction } => {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "participation fraction must be in (0, 1], got {fraction}"
+                );
+            }
+            AveragingStrategy::Elastic { alpha } => {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "elasticity must be in (0, 1], got {alpha}"
+                );
+            }
+        }
+    }
+
+    /// Whether this strategy leaves all workers with identical parameters
+    /// after every synchronization.
+    pub fn fully_synchronizes(&self) -> bool {
+        matches!(self, AveragingStrategy::FullAverage)
+            || matches!(self, AveragingStrategy::Elastic { alpha } if *alpha >= 1.0)
+    }
+
+    /// Applies the strategy to the per-worker parameter snapshots in
+    /// place. `rng` drives participant sampling for
+    /// [`AveragingStrategy::PartialParticipation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` is empty or shapes are inconsistent.
+    pub fn mix<R: Rng + ?Sized>(&self, snapshots: &mut [Vec<Tensor>], rng: &mut R) {
+        assert!(!snapshots.is_empty(), "no models to mix");
+        let m = snapshots.len();
+        match *self {
+            AveragingStrategy::FullAverage => {
+                let avg = nn::average_params(snapshots);
+                for s in snapshots.iter_mut() {
+                    copy_into(s, &avg);
+                }
+            }
+            AveragingStrategy::PartialParticipation { fraction } => {
+                let k = ((fraction * m as f64).round() as usize).clamp(1, m);
+                let mut ids: Vec<usize> = (0..m).collect();
+                ids.shuffle(rng);
+                ids.truncate(k);
+                let participating: Vec<Vec<Tensor>> =
+                    ids.iter().map(|&i| snapshots[i].clone()).collect();
+                let avg = nn::average_params(&participating);
+                for &i in &ids {
+                    copy_into(&mut snapshots[i], &avg);
+                }
+            }
+            AveragingStrategy::Ring => {
+                if m < 3 {
+                    // A ring of 1 or 2 degenerates to full averaging.
+                    let avg = nn::average_params(snapshots);
+                    for s in snapshots.iter_mut() {
+                        copy_into(s, &avg);
+                    }
+                    return;
+                }
+                let originals: Vec<Vec<Tensor>> = snapshots.to_vec();
+                for i in 0..m {
+                    let left = (i + m - 1) % m;
+                    let right = (i + 1) % m;
+                    for (t, target) in snapshots[i].iter_mut().enumerate() {
+                        let mut mixed = originals[left][t].clone();
+                        mixed.add_assign(&originals[i][t]);
+                        mixed.add_assign(&originals[right][t]);
+                        mixed.scale(1.0 / 3.0);
+                        target.copy_from(&mixed);
+                    }
+                }
+            }
+            AveragingStrategy::Elastic { alpha } => {
+                let avg = nn::average_params(snapshots);
+                for s in snapshots.iter_mut() {
+                    for (t, target) in s.iter_mut().enumerate() {
+                        target.lerp_toward(&avg[t], alpha);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn copy_into(dst: &mut [Tensor], src: &[Tensor]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        d.copy_from(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn snapshots(values: &[f32]) -> Vec<Vec<Tensor>> {
+        values
+            .iter()
+            .map(|&v| vec![Tensor::full(&[2], v)])
+            .collect()
+    }
+
+    fn firsts(snaps: &[Vec<Tensor>]) -> Vec<f32> {
+        snaps.iter().map(|s| s[0].at(0)).collect()
+    }
+
+    #[test]
+    fn full_average_synchronizes() {
+        let mut snaps = snapshots(&[0.0, 2.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        AveragingStrategy::FullAverage.mix(&mut snaps, &mut rng);
+        assert_eq!(firsts(&snaps), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ring_preserves_global_mean() {
+        let mut snaps = snapshots(&[0.0, 3.0, 6.0, 9.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        AveragingStrategy::Ring.mix(&mut snaps, &mut rng);
+        let vals = firsts(&snaps);
+        let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+        assert!((mean - 4.5).abs() < 1e-6, "ring must preserve the mean");
+        // Not fully synchronized after one round.
+        assert!(vals.iter().any(|&v| (v - 4.5).abs() > 1e-6));
+    }
+
+    #[test]
+    fn ring_contracts_toward_consensus() {
+        let mut snaps = snapshots(&[0.0, 4.0, 8.0, 12.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spread = |snaps: &[Vec<Tensor>]| {
+            let v = firsts(snaps);
+            let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let min = v.iter().copied().fold(f32::INFINITY, f32::min);
+            max - min
+        };
+        let before = spread(&snaps);
+        for _ in 0..20 {
+            AveragingStrategy::Ring.mix(&mut snaps, &mut rng);
+        }
+        assert!(
+            spread(&snaps) < before * 0.05,
+            "repeated gossip must reach near-consensus"
+        );
+    }
+
+    #[test]
+    fn ring_of_two_is_full_average() {
+        let mut snaps = snapshots(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        AveragingStrategy::Ring.mix(&mut snaps, &mut rng);
+        assert_eq!(firsts(&snaps), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn elastic_moves_partway() {
+        let mut snaps = snapshots(&[0.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        AveragingStrategy::Elastic { alpha: 0.5 }.mix(&mut snaps, &mut rng);
+        assert_eq!(firsts(&snaps), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn elastic_with_alpha_one_is_full_average() {
+        let mut snaps = snapshots(&[0.0, 4.0, 8.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        AveragingStrategy::Elastic { alpha: 1.0 }.mix(&mut snaps, &mut rng);
+        assert_eq!(firsts(&snaps), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn partial_participation_touches_only_sampled_workers() {
+        let mut snaps = snapshots(&[0.0, 10.0, 20.0, 30.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        AveragingStrategy::PartialParticipation { fraction: 0.5 }.mix(&mut snaps, &mut rng);
+        let vals = firsts(&snaps);
+        // Exactly two workers share a new common value; two keep theirs.
+        let originals = [0.0f32, 10.0, 20.0, 30.0];
+        let kept = vals
+            .iter()
+            .zip(originals.iter())
+            .filter(|(v, o)| (**v - **o).abs() < 1e-6)
+            .count();
+        assert_eq!(kept, 2, "half the workers must be untouched: {vals:?}");
+    }
+
+    #[test]
+    fn full_participation_fraction_is_full_average() {
+        let mut snaps = snapshots(&[1.0, 2.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        AveragingStrategy::PartialParticipation { fraction: 1.0 }.mix(&mut snaps, &mut rng);
+        assert_eq!(firsts(&snaps), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "participation fraction must be in (0, 1]")]
+    fn zero_fraction_rejected() {
+        AveragingStrategy::PartialParticipation { fraction: 0.0 }.validate();
+    }
+
+    #[test]
+    fn fully_synchronizes_flags() {
+        assert!(AveragingStrategy::FullAverage.fully_synchronizes());
+        assert!(!AveragingStrategy::Ring.fully_synchronizes());
+        assert!(!AveragingStrategy::Elastic { alpha: 0.5 }.fully_synchronizes());
+    }
+}

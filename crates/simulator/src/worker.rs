@@ -1,0 +1,209 @@
+//! A single PASGD worker: local model replica, optimizer, and data shard.
+
+use data::{BatchIter, Dataset};
+use nn::{Network, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+/// One worker node: a model replica, a local SGD optimizer and a shuffled
+/// batch iterator over the worker's data shard.
+///
+/// Workers are deliberately self-contained (own RNG, own shard) so that the
+/// cluster can run their local-update phases on independent threads with
+/// bit-identical results regardless of scheduling.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    id: usize,
+    model: Network,
+    optimizer: Sgd,
+    batches: BatchIter,
+    rng: StdRng,
+    steps_taken: u64,
+}
+
+impl Worker {
+    /// Creates a worker from a model replica and its data shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is empty or `batch_size == 0` (via [`BatchIter`]).
+    pub fn new(
+        id: usize,
+        model: Network,
+        optimizer: Sgd,
+        shard: Dataset,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        Worker {
+            id,
+            model,
+            optimizer,
+            batches: BatchIter::new(shard, batch_size),
+            // Worker RNGs are decorrelated by id; the golden ratio constant
+            // avoids accidental seed collisions between adjacent ids.
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            steps_taken: 0,
+        }
+    }
+
+    /// Worker id (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of local SGD steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Epochs completed over this worker's shard.
+    pub fn epochs_completed(&self) -> usize {
+        self.batches.epochs_completed()
+    }
+
+    /// Borrow the local model.
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    /// Mutably borrow the local model (used by evaluation helpers).
+    pub fn model_mut(&mut self) -> &mut Network {
+        &mut self.model
+    }
+
+    /// Performs `count` local mini-batch SGD steps (eq. 2 applied locally),
+    /// returning the mean training loss over those batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn local_steps(&mut self, count: usize) -> f32 {
+        assert!(count > 0, "must take at least one local step");
+        let mut total = 0.0f64;
+        for _ in 0..count {
+            let (x, y) = self.batches.next_batch(&mut self.rng);
+            let loss = self.model.train_step(&x, &y);
+            self.optimizer.step(&mut self.model);
+            total += f64::from(loss);
+            self.steps_taken += 1;
+        }
+        (total / count as f64) as f32
+    }
+
+    /// Updates the learning rate of the local optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.optimizer.lr()
+    }
+
+    /// Clears the local momentum buffer (the paper's restart-at-sync rule
+    /// for block momentum, Section 5.3.1).
+    pub fn reset_momentum(&mut self) {
+        self.optimizer.reset_momentum();
+    }
+
+    /// Snapshot of the local model parameters.
+    pub fn params_snapshot(&self) -> Vec<Tensor> {
+        self.model.params_snapshot()
+    }
+
+    /// Overwrites the local model with `params` (the post-averaging
+    /// broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the model structure.
+    pub fn load_params(&mut self, params: &[Tensor]) {
+        self.model.load_params(params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use data::GaussianMixture;
+    use nn::models;
+
+    fn toy_worker(id: usize, seed: u64) -> Worker {
+        let split = GaussianMixture::small_test().generate(7);
+        Worker::new(
+            id,
+            models::mlp_classifier(8, &[16], 3, 42),
+            Sgd::new(0.05),
+            split.train,
+            8,
+            seed,
+        )
+    }
+
+    #[test]
+    fn local_steps_advance_the_model() {
+        let mut w = toy_worker(0, 1);
+        let before = w.params_snapshot();
+        let loss = w.local_steps(5);
+        assert!(loss > 0.0 && loss.is_finite());
+        assert_eq!(w.steps_taken(), 5);
+        let after = w.params_snapshot();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn workers_with_same_seed_and_id_are_identical() {
+        let mut a = toy_worker(0, 1);
+        let mut b = toy_worker(0, 1);
+        let la = a.local_steps(3);
+        let lb = b.local_steps(3);
+        assert_eq!(la, lb);
+        assert_eq!(a.params_snapshot(), b.params_snapshot());
+    }
+
+    #[test]
+    fn workers_with_different_ids_diverge() {
+        // Same model init, same shard, but decorrelated batch order.
+        let mut a = toy_worker(0, 1);
+        let mut b = toy_worker(1, 1);
+        a.local_steps(3);
+        b.local_steps(3);
+        assert_ne!(a.params_snapshot(), b.params_snapshot());
+    }
+
+    #[test]
+    fn load_params_synchronises() {
+        let mut a = toy_worker(0, 1);
+        let mut b = toy_worker(1, 1);
+        a.local_steps(2);
+        b.load_params(&a.params_snapshot());
+        assert_eq!(a.params_snapshot(), b.params_snapshot());
+    }
+
+    #[test]
+    fn set_lr_propagates() {
+        let mut w = toy_worker(0, 2);
+        w.set_lr(0.5);
+        assert_eq!(w.lr(), 0.5);
+    }
+
+    #[test]
+    fn training_reduces_loss_over_time() {
+        let mut w = toy_worker(0, 3);
+        let early = w.local_steps(5);
+        for _ in 0..20 {
+            w.local_steps(5);
+        }
+        let late = w.local_steps(5);
+        assert!(
+            late < early,
+            "loss should drop on an easy task: {early} -> {late}"
+        );
+    }
+}

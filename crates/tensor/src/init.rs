@@ -1,0 +1,181 @@
+//! Seeded random initialisation for tensors.
+
+use crate::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Weight-initialisation schemes.
+///
+/// All initialisers draw from a caller-provided RNG so that every experiment
+/// in the workspace is reproducible from a single seed.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{Init, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = Init::KaimingUniform { fan_in: 64 }.init(&[64, 32], &mut rng);
+/// assert_eq!(w.dims(), &[64, 32]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+    /// Uniform on `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the interval.
+        bound: f32,
+    },
+    /// He/Kaiming uniform: `U(-sqrt(6/fan_in), sqrt(6/fan_in))`, the standard
+    /// choice for ReLU networks.
+    KaimingUniform {
+        /// Number of input connections of the layer.
+        fan_in: usize,
+    },
+    /// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), ·)`.
+    XavierUniform {
+        /// Number of input connections of the layer.
+        fan_in: usize,
+        /// Number of output connections of the layer.
+        fan_out: usize,
+    },
+}
+
+impl Init {
+    /// Creates a tensor of the given shape initialised by this scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale parameter is non-finite or negative, or if a fan is
+    /// zero for the fan-based schemes.
+    pub fn init<R: Rng + ?Sized>(self, dims: &[usize], rng: &mut R) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(dims),
+            Init::Normal { std } => {
+                assert!(std >= 0.0 && std.is_finite(), "invalid std {std}");
+                let dist = Normal::new(0.0, f64::from(std)).expect("validated std");
+                fill(dims, || dist.sample(rng) as f32)
+            }
+            Init::Uniform { bound } => {
+                assert!(bound >= 0.0 && bound.is_finite(), "invalid bound {bound}");
+                if bound == 0.0 {
+                    return Tensor::zeros(dims);
+                }
+                let dist = Uniform::new_inclusive(-bound, bound);
+                fill(dims, || dist.sample(rng))
+            }
+            Init::KaimingUniform { fan_in } => {
+                assert!(fan_in > 0, "fan_in must be positive");
+                let bound = (6.0 / fan_in as f32).sqrt();
+                Init::Uniform { bound }.init(dims, rng)
+            }
+            Init::XavierUniform { fan_in, fan_out } => {
+                assert!(fan_in > 0 && fan_out > 0, "fans must be positive");
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Init::Uniform { bound }.init(dims, rng)
+            }
+        }
+    }
+}
+
+fn fill<F: FnMut() -> f32>(dims: &[usize], mut f: F) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let data: Vec<f32> = (0..volume).map(|_| f()).collect();
+    Tensor::from_vec(data, dims).expect("internal: volume matches by construction")
+}
+
+impl Tensor {
+    /// Creates a tensor with i.i.d. standard-normal entries scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Tensor {
+        Init::Normal { std }.init(dims, rng)
+    }
+
+    /// Creates a tensor with i.i.d. `U(lo, hi)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn rand_uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "invalid uniform range [{lo}, {hi}]"
+        );
+        if lo == hi {
+            return Tensor::full(dims, lo);
+        }
+        let dist = Uniform::new(lo, hi);
+        fill(dims, || dist.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_init_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::Zeros.init(&[4, 4], &mut rng);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = Tensor::randn(&[32], 1.0, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::randn(&[32], 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Tensor::randn(&[32], 1.0, &mut StdRng::seed_from_u64(1));
+        let b = Tensor::randn(&[32], 1.0, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Init::KaimingUniform { fan_in: 6 }.init(&[1000], &mut rng);
+        let bound = 1.0f32; // sqrt(6/6)
+        assert!(t.max() <= bound && t.min() >= -bound);
+        // A thousand samples should come close to the bound.
+        assert!(t.max() > 0.8 * bound);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Init::XavierUniform {
+            fan_in: 3,
+            fan_out: 3,
+        }
+        .init(&[500], &mut rng);
+        let bound = 1.0f32; // sqrt(6/6)
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn normal_std_scales_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let var = t.norm_sq() / t.len() as f32 - t.mean() * t.mean();
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std estimate {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = Tensor::rand_uniform(&[8], 3.0, 3.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| v == 3.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Minimal dense tensor library backing the AdaComm reproduction.
+//!
+//! This crate provides exactly the numerical substrate the rest of the
+//! workspace needs: a row-major dense [`Tensor`] of `f32` values with the
+//! linear-algebra kernels required to train small neural networks from
+//! scratch (matrix multiplication in all transpose combinations, elementwise
+//! arithmetic, reductions, and seeded random initialisation).
+//!
+//! It is deliberately small — no broadcasting DSL, no autograd, no unsafe —
+//! because the paper under reproduction ([Wang & Joshi, SysML 2019]) does not
+//! depend on any of that; the interesting systems behaviour lives in the
+//! `delay`, `adacomm` and `pasgd-sim` crates.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+//!
+//! [Wang & Joshi, SysML 2019]: https://arxiv.org/abs/1810.08313
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod linalg;
+mod matmul;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::Init;
+pub use linalg::{average, weighted_average};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

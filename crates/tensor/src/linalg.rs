@@ -1,0 +1,191 @@
+//! Vector-space helpers used across the workspace.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Dot product of two same-shape tensors (flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "dot shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice().iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean distance between two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn distance(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "distance shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice().iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Cosine similarity; returns 0 if either norm is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn cosine_similarity(&self, other: &Tensor) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Clips every element into `[-bound, bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is negative or NaN.
+    pub fn clip(&self, bound: f32) -> Tensor {
+        assert!(bound >= 0.0, "clip bound must be non-negative, got {bound}");
+        self.map(|v| v.clamp(-bound, bound))
+    }
+}
+
+/// Averages a set of same-shape tensors, the core model-averaging primitive
+/// of PASGD (eq. 3 of the paper).
+///
+/// # Panics
+///
+/// Panics if `tensors` is empty or the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{average, Tensor};
+///
+/// let models = vec![Tensor::full(&[2], 1.0), Tensor::full(&[2], 3.0)];
+/// let avg = average(&models);
+/// assert_eq!(avg.as_slice(), &[2.0, 2.0]);
+/// ```
+pub fn average(tensors: &[Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "cannot average zero tensors");
+    let mut acc = tensors[0].clone();
+    for t in &tensors[1..] {
+        acc.add_assign(t);
+    }
+    acc.scale(1.0 / tensors.len() as f32);
+    acc
+}
+
+/// Weighted average with the given non-negative weights (normalised
+/// internally).
+///
+/// # Panics
+///
+/// Panics if lengths differ, tensors are empty, or the weight sum is zero.
+pub fn weighted_average(tensors: &[Tensor], weights: &[f32]) -> Tensor {
+    assert_eq!(
+        tensors.len(),
+        weights.len(),
+        "got {} tensors but {} weights",
+        tensors.len(),
+        weights.len()
+    );
+    assert!(!tensors.is_empty(), "cannot average zero tensors");
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weight sum must be positive, got {total}");
+    let mut acc = Tensor::zeros(tensors[0].dims());
+    for (t, &w) in tensors.iter().zip(weights.iter()) {
+        acc.axpy(w / total, t);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        let a = Tensor::from_slice(&[1.0, 0.0]);
+        let b = Tensor::from_slice(&[0.0, 1.0]);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.dot(&a), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Tensor::from_slice(&[0.0, 0.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn cosine_similarity_handles_zero() {
+        let z = Tensor::zeros(&[2]);
+        let a = Tensor::from_slice(&[1.0, 0.0]);
+        assert_eq!(z.cosine_similarity(&a), 0.0);
+        assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_bounds_elements() {
+        let a = Tensor::from_slice(&[-5.0, 0.5, 5.0]);
+        assert_eq!(a.clip(1.0).as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        let avg = average(&[t.clone(), t.clone(), t.clone()]);
+        assert_eq!(avg, t);
+    }
+
+    #[test]
+    fn average_matches_manual_mean() {
+        let a = Tensor::from_slice(&[1.0, 5.0]);
+        let b = Tensor::from_slice(&[3.0, 7.0]);
+        let avg = average(&[a, b]);
+        assert_eq!(avg.as_slice(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero tensors")]
+    fn average_of_nothing_panics() {
+        let _ = average(&[]);
+    }
+
+    #[test]
+    fn weighted_average_normalises() {
+        let a = Tensor::from_slice(&[0.0]);
+        let b = Tensor::from_slice(&[10.0]);
+        let avg = weighted_average(&[a, b], &[1.0, 3.0]);
+        assert!((avg.at(0) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight sum must be positive")]
+    fn weighted_average_rejects_zero_weights() {
+        let a = Tensor::from_slice(&[0.0]);
+        let _ = weighted_average(&[a], &[0.0]);
+    }
+}

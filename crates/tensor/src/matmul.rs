@@ -1,0 +1,236 @@
+//! Matrix-multiplication kernels.
+//!
+//! All four transpose combinations needed for dense-layer backpropagation are
+//! provided so callers never have to materialise an explicit transpose:
+//!
+//! * forward:            `y = x · W`           — [`Tensor::matmul`]
+//! * weight gradient:    `dW = xᵀ · dy`        — [`Tensor::matmul_tn`]
+//! * input gradient:     `dx = dy · Wᵀ`        — [`Tensor::matmul_nt`]
+//!
+//! The kernels use the cache-friendly `i-k-j` loop order over row-major
+//! storage; on the model sizes in this workspace they are within a small
+//! factor of an optimised BLAS and keep the crate free of unsafe code.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product `self · other` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other)
+            .unwrap_or_else(|e| panic!("matmul failed: {e}"))
+    }
+
+    /// Checked matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not rank-2
+    /// and [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = rank2_dims(self)?;
+        let (k2, n) = rank2_dims(other)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: (m, k),
+                right: (k2, n),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// For `self: [k, m]` and `other: [k, n]` the result is `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared dimension differs.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, m) = rank2_dims(self).unwrap_or_else(|e| panic!("matmul_tn: {e}"));
+        let (k2, n) = rank2_dims(other).unwrap_or_else(|e| panic!("matmul_tn: {e}"));
+        assert_eq!(
+            k, k2,
+            "matmul_tn shared dimension mismatch: {k} vs {k2} (shapes {} and {})",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ki * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("internal: shape volume matches")
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// For `self: [m, k]` and `other: [n, k]` the result is `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or the shared dimension differs.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = rank2_dims(self).unwrap_or_else(|e| panic!("matmul_nt: {e}"));
+        let (n, k2) = rank2_dims(other).unwrap_or_else(|e| panic!("matmul_nt: {e}"));
+        assert_eq!(
+            k, k2,
+            "matmul_nt shared dimension mismatch: {k} vs {k2} (shapes {} and {})",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("internal: shape volume matches")
+    }
+
+    /// Matrix–vector product `self · v` for `self: [m, k]`, `v: [k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2 or the dimensions disagree.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let (m, k) = rank2_dims(self).unwrap_or_else(|e| panic!("matvec: {e}"));
+        assert_eq!(
+            v.len(),
+            k,
+            "matvec dimension mismatch: matrix has {k} columns, vector has {} elements",
+            v.len()
+        );
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x.iter()).map(|(&av, &xv)| av * xv).sum();
+        }
+        Tensor::from_slice(&out)
+    }
+}
+
+fn rank2_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.shape().rank(),
+        });
+    }
+    Ok((t.shape().dim(0), t.shape().dim(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x3_times_3x2() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = mat(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], 3, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn try_matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(
+            a.try_matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let b = mat(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], 3, 2);
+        let expected = a.transpose().matmul(&b);
+        assert_eq!(a.matmul_tn(&b), expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = mat(&[5.0, 6.0, 7.0, 8.0, 9.0, 10.0], 3, 2);
+        let expected = a.matmul(&b.transpose());
+        assert_eq!(a.matmul_nt(&b), expected);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let v = Tensor::from_slice(&[1.0, 0.5, 2.0]);
+        let got = a.matvec(&v);
+        let expected = a.matmul(&v.reshape(&[3, 1]));
+        assert_eq!(got.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[0, 4]);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Shape bookkeeping for dense row-major tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` that caches nothing and
+/// guarantees nothing beyond what the constructor was given; validation
+/// against data lengths happens in the tensor constructors.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A rank-0 (scalar) shape with volume 1.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides for this shape (innermost stride is 1).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interprets the shape as a matrix, returning `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are treated as a single row; higher ranks flatten all
+    /// leading dimensions into the row count.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.0.len() {
+            0 => (1, 1),
+            1 => (1, self.0[0]),
+            _ => {
+                let cols = *self.0.last().expect("non-empty");
+                (self.volume() / cols.max(1), cols)
+            }
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(Shape::scalar().volume(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn strides_of_vector() {
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn as_matrix_flattens_leading_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::new(&[5]).as_matrix(), (1, 5));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_volume() {
+        assert_eq!(Shape::new(&[3, 0, 2]).volume(), 0);
+    }
+}

@@ -1,0 +1,710 @@
+//! The dense row-major `f32` tensor.
+
+use crate::{Result, Shape, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// `Tensor` owns its storage (`Vec<f32>`). All arithmetic is eager and
+/// allocates a fresh output unless the method name ends in `_assign`,
+/// `_inplace`, or is one of the BLAS-style accumulators ([`Tensor::axpy`],
+/// [`Tensor::scale`], [`Tensor::lerp_toward`]).
+///
+/// Shape agreement is validated on every operation. Binary operators panic
+/// on mismatch (with a message naming both shapes) because a mismatch is a
+/// programming error in this workspace; `try_*` variants are provided where
+/// a caller may reasonably want to recover.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let x = Tensor::full(&[3], 2.0);
+/// let y = x.map(|v| v * v);
+/// assert_eq!(y.as_slice(), &[4.0, 4.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying storage (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a flat (row-major) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn at(&self, idx: usize) -> f32 {
+        self.data[idx]
+    }
+
+    /// Element of a rank-2 tensor at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the indices are out of bounds.
+    pub fn at2(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.rank(), 2, "at2 requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        self.data[row * cols + col]
+    }
+
+    /// Sets the element of a rank-2 tensor at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the indices are out of bounds.
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) {
+        assert_eq!(self.shape.rank(), 2, "set2 requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        self.data[row * cols + col] = value;
+    }
+
+    /// Interprets the tensor as a matrix `(rows, cols)`; see
+    /// [`Shape::as_matrix`].
+    pub fn matrix_dims(&self) -> (usize, usize) {
+        self.shape.as_matrix()
+    }
+
+    /// Borrows row `r` of a matrix-like tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let (rows, cols) = self.matrix_dims();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrows row `r` of a matrix-like tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let (rows, cols) = self.matrix_dims();
+        assert!(r < rows, "row {r} out of bounds for {rows} rows");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the new shape's volume
+    /// differs from the current element count.
+    pub fn try_reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Like [`Tensor::try_reshape`] but panics on volume mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's volume differs from the element count.
+    pub fn reshape(&self, dims: &[usize]) -> Self {
+        self.try_reshape(dims)
+            .unwrap_or_else(|e| panic!("reshape failed: {e}"))
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic (allocating)
+    // ------------------------------------------------------------------
+
+    fn check_same_shape(&self, other: &Tensor) {
+        assert_eq!(
+            self.shape,
+            other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+    }
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Self {
+        self.check_same_shape(other);
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Self {
+        self.check_same_shape(other);
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Self {
+        self.check_same_shape(other);
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn div(&self, other: &Tensor) -> Self {
+        self.check_same_shape(other);
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` pairwise to `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Self {
+        self.check_same_shape(other);
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Checked elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn try_add(&self, other: &Tensor) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self.add(other))
+    }
+
+    // ------------------------------------------------------------------
+    // In-place / accumulating arithmetic
+    // ------------------------------------------------------------------
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.check_same_shape(other);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        self.check_same_shape(other);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// In-place BLAS-style `self += alpha * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, x: &Tensor) {
+        self.check_same_shape(x);
+        for (a, b) in self.data.iter_mut().zip(x.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// In-place `self = (1 - t) * self + t * target` (linear interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn lerp_toward(&mut self, target: &Tensor, t: f32) {
+        self.check_same_shape(target);
+        for (a, b) in self.data.iter_mut().zip(target.data.iter()) {
+            *a += t * (b - *a);
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Overwrites this tensor's contents with `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.check_same_shape(other);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (`NEG_INFINITY` for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`INFINITY` for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (first on ties).
+    ///
+    /// Returns `None` for empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Per-row argmax of a matrix-like tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = self.matrix_dims();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Column-wise sum of a matrix-like tensor, producing a rank-1 tensor of
+    /// length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (rows, cols) = self.matrix_dims();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += self.data[r * cols + c];
+            }
+        }
+        Tensor {
+            shape: Shape::new(&[cols]),
+            data: out,
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Whether any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Row-broadcast helpers (bias addition and its gradient)
+    // ------------------------------------------------------------------
+
+    /// Adds a rank-1 `bias` to every row of a matrix-like tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len()` differs from the column count.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Self {
+        let (rows, cols) = self.matrix_dims();
+        assert_eq!(
+            bias.len(),
+            cols,
+            "bias length {} does not match column count {}",
+            bias.len(),
+            cols
+        );
+        let mut out = self.clone();
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[r * cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        write!(f, "[{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(&[4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full(&[2, 2], 2.5);
+        assert_eq!(f.mean(), 2.5);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at2(0, 0), 1.0);
+        assert_eq!(i.at2(0, 1), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        let ok = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(ok.dims(), &[3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_panics_on_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn try_add_reports_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        match a.try_add(&b) {
+            Err(TensorError::ShapeMismatch { left, right }) => {
+                assert_eq!(left, vec![2]);
+                assert_eq!(right, vec![3]);
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let x = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(0.5, &x);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn lerp_toward_midpoint() {
+        let mut a = Tensor::from_slice(&[0.0, 10.0]);
+        let b = Tensor::from_slice(&[10.0, 0.0]);
+        a.lerp_toward(&b, 0.5);
+        assert_eq!(a.as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at2(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let m = a.reshape(&[2, 2]);
+        assert_eq!(m.at2(1, 0), 3.0);
+        assert!(a.try_reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_slice(&[3.0, -1.0, 2.0]);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.argmax(), Some(0));
+        assert!((a.norm_sq() - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_ties() {
+        let m = Tensor::from_vec(vec![1.0, 1.0, 0.0, 2.0, 3.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(m.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn sum_rows_collapses_to_columns() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(m.sum_rows().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let m = Tensor::zeros(&[2, 3]);
+        let b = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let out = m.add_row_broadcast(&b);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan() {
+        let mut a = Tensor::zeros(&[2]);
+        assert!(!a.has_non_finite());
+        a.as_mut_slice()[1] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn display_truncates() {
+        let a = Tensor::zeros(&[20]);
+        let s = a.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

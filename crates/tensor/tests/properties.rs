@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor algebra.
+
+use proptest::prelude::*;
+use tensor::{average, Tensor};
+
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in vec_of(16), b in vec_of(16)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in vec_of(16), b in vec_of(16)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let back = ta.add(&tb).sub(&tb);
+        for (x, y) in back.as_slice().iter().zip(ta.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 + 1e-4 * y.abs());
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes(a in vec_of(8), s in -10.0f32..10.0) {
+        let ta = Tensor::from_slice(&a);
+        let left = ta.add(&ta).mul_scalar(s);
+        let right = ta.mul_scalar(s).add(&ta.mul_scalar(s));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-4 * y.abs());
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in vec_of(12)) {
+        let m = Tensor::from_vec(a, &[3, 4]).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(a in vec_of(9)) {
+        let m = Tensor::from_vec(a, &[3, 3]).unwrap();
+        prop_assert_eq!(m.matmul(&Tensor::eye(3)), m.clone());
+        prop_assert_eq!(Tensor::eye(3).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent_with_transpose(a in vec_of(12), b in vec_of(12)) {
+        let ma = Tensor::from_vec(a, &[4, 3]).unwrap();
+        let mb = Tensor::from_vec(b, &[4, 3]).unwrap();
+        // ma^T * mb via kernel vs explicit transpose.
+        let tn = ma.matmul_tn(&mb);
+        let explicit = ma.transpose().matmul(&mb);
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-4 * y.abs());
+        }
+        // ma * mb^T via kernel vs explicit transpose.
+        let nt = ma.matmul_nt(&mb);
+        let explicit = ma.matmul(&mb.transpose());
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 + 1e-4 * y.abs());
+        }
+    }
+
+    #[test]
+    fn average_bounded_by_extremes(a in vec_of(8), b in vec_of(8)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let avg = average(&[ta.clone(), tb.clone()]);
+        for i in 0..8 {
+            let lo = a[i].min(b[i]) - 1e-4;
+            let hi = a[i].max(b[i]) + 1e-4;
+            prop_assert!(avg.at(i) >= lo && avg.at(i) <= hi);
+        }
+    }
+
+    #[test]
+    fn average_preserves_mean(a in vec_of(8), b in vec_of(8), c in vec_of(8)) {
+        let ts = vec![
+            Tensor::from_slice(&a),
+            Tensor::from_slice(&b),
+            Tensor::from_slice(&c),
+        ];
+        let avg = average(&ts);
+        let manual: f32 = (Tensor::from_slice(&a).sum()
+            + Tensor::from_slice(&b).sum()
+            + Tensor::from_slice(&c).sum())
+            / 3.0;
+        prop_assert!((avg.sum() - manual).abs() <= 1e-2 + 1e-4 * manual.abs());
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in vec_of(16), b in vec_of(16)) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        prop_assert!(ta.add(&tb).norm() <= ta.norm() + tb.norm() + 1e-3);
+    }
+
+    #[test]
+    fn axpy_equals_add_scaled(a in vec_of(8), x in vec_of(8), alpha in -5.0f32..5.0) {
+        let mut acc = Tensor::from_slice(&a);
+        let tx = Tensor::from_slice(&x);
+        acc.axpy(alpha, &tx);
+        let expected = Tensor::from_slice(&a).add(&tx.mul_scalar(alpha));
+        for (p, q) in acc.as_slice().iter().zip(expected.as_slice()) {
+            prop_assert!((p - q).abs() <= 1e-3 + 1e-4 * q.abs());
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in vec_of(24)) {
+        let t = Tensor::from_slice(&a);
+        let r = t.reshape(&[2, 3, 4]);
+        prop_assert_eq!(t.sum(), r.sum());
+    }
+
+    #[test]
+    fn argmax_rows_within_bounds(a in vec_of(20)) {
+        let m = Tensor::from_vec(a, &[4, 5]).unwrap();
+        for idx in m.argmax_rows() {
+            prop_assert!(idx < 5);
+        }
+    }
+}

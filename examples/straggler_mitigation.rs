@@ -1,0 +1,85 @@
+//! Straggler mitigation through local updates (Section 3.2, Figure 5).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example straggler_mitigation
+//! ```
+//!
+//! With exponential per-step compute times, fully synchronous SGD waits for
+//! the slowest of `m` workers *every step* — an `H_m ≈ log m` penalty.
+//! PASGD waits for the slowest *average over τ steps*, whose variance is τ×
+//! smaller. This example reproduces the distribution comparison and sweeps
+//! the effect across cluster sizes and delay tails.
+
+use adacomm_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // The paper's Figure 5 setting: y = 1, D = 1, m = 16.
+    let model = RuntimeModel::new(
+        DelayDistribution::exponential(1.0),
+        CommModel::constant(1.0),
+        16,
+    );
+
+    println!("per-iteration runtime, m = 16, Y ~ Exp(1), D = 1:");
+    let sync_mean = model.expected_sync_iteration(&mut rng);
+    let pasgd_mean = model.expected_per_iteration(10, &mut rng);
+    println!("  sync SGD   mean: {sync_mean:.3} s");
+    println!("  PASGD tau=10 mean: {pasgd_mean:.3} s  ({:.2}x less)", sync_mean / pasgd_mean);
+
+    // ASCII histogram of the two distributions.
+    let n = 40_000;
+    let mut sync_hist = Histogram::new(0.0, 8.0, 32);
+    sync_hist.extend_from(&model.per_iteration_samples(1, n, &mut rng));
+    let mut pasgd_hist = Histogram::new(0.0, 8.0, 32);
+    pasgd_hist.extend_from(&model.per_iteration_samples(10, n, &mut rng));
+
+    println!("\n  runtime  | sync SGD             | PASGD (tau=10)");
+    println!("  {}", "-".repeat(56));
+    for ((centre, p_sync), (_, p_pasgd)) in sync_hist
+        .normalized()
+        .into_iter()
+        .zip(pasgd_hist.normalized())
+        .step_by(2)
+    {
+        let bar = |p: f64| "#".repeat((p * 150.0).round() as usize);
+        println!("  {centre:>7.2}  | {:<20} | {:<20}", bar(p_sync), bar(p_pasgd));
+    }
+
+    // Straggler penalty vs cluster size.
+    println!("\nexpected slowest-worker compute time vs cluster size (Y ~ Exp(1)):");
+    println!("  {:>4} | {:>10} | {:>14} | {:>9}", "m", "sync E[max]", "tau=10 E[max]", "saving");
+    for m in [2usize, 4, 8, 16, 32, 64] {
+        let sync = delay::mc_expected_max(&DelayDistribution::exponential(1.0), m, 20_000, &mut rng);
+        let avg = delay::mc_expected_max_mean(
+            &DelayDistribution::exponential(1.0),
+            m,
+            10,
+            20_000,
+            &mut rng,
+        );
+        println!("  {m:>4} | {sync:>10.3} | {avg:>14.3} | {:>8.1}%", 100.0 * (1.0 - avg / sync));
+    }
+
+    // Heavier tails straggle harder; local updates help more.
+    println!("\nper-iteration mean (m = 16, tau = 10) under different delay tails:");
+    for (name, dist) in [
+        ("constant", DelayDistribution::constant(1.0)),
+        ("uniform[0.5,1.5]", DelayDistribution::uniform(0.5, 1.5)),
+        ("exponential", DelayDistribution::exponential(1.0)),
+        ("pareto(a=2.5)", DelayDistribution::pareto(0.6, 2.5)),
+    ] {
+        let m = RuntimeModel::new(dist, CommModel::constant(1.0), 16);
+        let sync = m.expected_sync_iteration(&mut rng);
+        let pasgd = m.expected_per_iteration(10, &mut rng);
+        println!(
+            "  {name:>16}: sync {sync:>6.3} s  pasgd {pasgd:>6.3} s  ({:.2}x)",
+            sync / pasgd
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Validating Theorems 1 and 2 on a problem with known constants.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example theory_explorer
+//! ```
+//!
+//! On a least-squares problem the Lipschitz constant `L`, the gradient
+//! noise `σ²` and the optimality gap `F(x₁) − F_inf` are all measurable, so
+//! the paper's error-runtime bound (eq. 13) and the optimal communication
+//! period `τ*` (eq. 14) can be checked against an actual PASGD run instead
+//! of being taken on faith.
+
+use adacomm_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A bare-bones PASGD loop directly on the least-squares objective
+/// (m workers, shared problem, local SGD steps, periodic averaging).
+fn pasgd_least_squares(
+    problem: &data::LinearRegressionProblem,
+    workers: usize,
+    tau: usize,
+    lr: f32,
+    batch: usize,
+    total_time: f64,
+    runtime: &RuntimeModel,
+    seed: u64,
+) -> (f64, f32) {
+    let dim = problem.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut models = vec![Tensor::zeros(&[dim]); workers];
+    let all: Vec<usize> = (0..problem.len()).collect();
+    let mut clock = 0.0;
+    while clock < total_time {
+        for w in models.iter_mut() {
+            for _ in 0..tau {
+                let idx: Vec<usize> = all.choose_multiple(&mut rng, batch).copied().collect();
+                let g = problem.stochastic_grad(w, &idx);
+                w.axpy(-lr, &g);
+            }
+        }
+        let avg = tensor::average(&models);
+        for w in models.iter_mut() {
+            w.copy_from(&avg);
+        }
+        clock += runtime.sample_round(tau, &mut rng).total();
+    }
+    (clock, problem.loss(&models[0]))
+}
+
+fn main() {
+    let problem = LinearRegressionTask::default_task().generate(7);
+    let w0 = Tensor::zeros(&[problem.dim()]);
+    let batch = 8;
+
+    // Measure the paper's constants.
+    let lipschitz = f64::from(problem.lipschitz());
+    let sigma_sq = f64::from(problem.sigma_sq(&w0, batch, 2000, 11));
+    let f_init = f64::from(problem.loss(&w0));
+    let f_inf = f64::from(problem.f_inf());
+    println!("measured constants of the least-squares problem:");
+    println!("  L       = {lipschitz:.3}");
+    println!("  sigma^2 = {sigma_sq:.3}");
+    println!("  F(x1)   = {f_init:.3}");
+    println!("  F_inf   = {f_inf:.3}");
+
+    let workers = 8;
+    let lr = 0.25 / lipschitz as f32; // safe step size
+    let params = TheoryParams {
+        f_init,
+        f_inf,
+        lr: f64::from(lr),
+        lipschitz,
+        sigma_sq,
+        workers,
+    };
+
+    // Delay model: compute 1 ms/step, comm 20 ms (alpha = 20 — a
+    // communication-starved cluster where tau matters a lot).
+    let (y, d) = (0.001, 0.02);
+    let runtime = RuntimeModel::new(
+        DelayDistribution::constant(y),
+        CommModel::constant(d),
+        workers,
+    );
+
+    // Theorem 2: optimal tau at several horizons.
+    println!("\noptimal communication period tau* (eq. 14):");
+    for t in [1.0, 5.0, 25.0, 125.0] {
+        println!("  T = {t:>6.1} s  tau* = {:.1}", tau_star(&params, d, t));
+    }
+
+    // Theorem 1: bound vs an actual PASGD run at a fixed horizon.
+    let horizon = 20.0;
+    println!("\nbound (eq. 13) vs measured final loss gap at T = {horizon} s:");
+    println!(
+        "  {:>6} | {:>12} | {:>14} | {:>10}",
+        "tau", "bound", "measured loss", "iters/s"
+    );
+    for tau in [1usize, 2, 5, 10, 20, 50] {
+        let bound = error_runtime_bound(&params, y, d, tau, horizon);
+        let (clock, loss) =
+            pasgd_least_squares(&problem, workers, tau, lr, batch, horizon, &runtime, 3);
+        let per_iter = y + d / tau as f64;
+        let _ = clock;
+        println!(
+            "  {tau:>6} | {bound:>12.4} | {:>14.4} | {:>10.1}",
+            loss - f_inf as f32,
+            1.0 / per_iter
+        );
+    }
+    let star = tau_star_int(&params, d, horizon);
+    println!("  -> tau* at this horizon: {star}");
+
+    // Theorem 3: check schedules.
+    println!("\nTheorem 3 condition check (eq. 21):");
+    let decaying: Vec<Round> = (0..50_000)
+        .map(|r| Round {
+            lr: 0.5 / (r as f64 + 1.0),
+            tau: 8,
+        })
+        .collect();
+    let constant: Vec<Round> = (0..50_000).map(|_| Round { lr: 0.05, tau: 8 }).collect();
+    println!(
+        "  eta_r = 0.5/(r+1), tau = 8 : satisfied = {}",
+        ScheduleConvergence::analyze(&decaying).satisfied()
+    );
+    println!(
+        "  eta_r = 0.05,      tau = 8 : satisfied = {}",
+        ScheduleConvergence::analyze(&constant).satisfied()
+    );
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration tests: AdaComm's headline behaviour on a small
+//! but non-trivial task, spanning every crate in the workspace.
+
+use adacomm_repro::prelude::*;
+
+/// A communication-bound setting (α = 4, like the paper's VGG-16) where
+/// infrequent averaging buys a large wall-clock advantage.
+fn comm_bound_suite(seed: u64) -> ExperimentSuite {
+    let workers = 4;
+    let runtime = RuntimeModel::new(
+        DelayDistribution::constant(0.05),
+        CommModel::constant(0.2),
+        workers,
+    );
+    let split = GaussianMixture {
+        num_classes: 5,
+        dim: 32,
+        train_size: 1024,
+        test_size: 256,
+        separation: 2.5,
+        noise_std: 1.2,
+        warp: true,
+        label_noise: 0.05,
+    }
+    .generate(seed);
+    ExperimentSuite::new(
+        nn::models::mlp_classifier(32, &[32], 5, 9),
+        split,
+        runtime,
+        ClusterConfig {
+            workers,
+            batch_size: 16,
+            lr: 0.1,
+            weight_decay: 0.0,
+            momentum: MomentumMode::None,
+            averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            seed,
+            eval_subset: 512,
+        },
+        ExperimentConfig {
+            interval_secs: 10.0,
+            total_secs: 120.0,
+            record_every_secs: 5.0,
+            gate_lr_on_tau: false,
+        },
+    )
+}
+
+#[test]
+fn adacomm_beats_sync_in_wall_clock_time() {
+    let suite = comm_bound_suite(3);
+    let lr = LrSchedule::constant(0.1);
+    let sync = suite.run(&mut FixedComm::new(1), &lr);
+    let ada = suite.run(&mut AdaComm::with_tau0(16), &lr);
+
+    // The paper's headline: AdaComm reaches the sync final loss in a
+    // fraction of the time.
+    let target = sync.final_loss() * 1.05;
+    let t_sync = sync
+        .time_to_loss(target)
+        .expect("sync reaches its own final loss");
+    let t_ada = ada
+        .time_to_loss(target)
+        .unwrap_or_else(|| panic!("adacomm never reached {target}"));
+    assert!(
+        t_ada < t_sync * 0.75,
+        "expected >1.3x speedup, got sync {t_sync:.1}s vs adacomm {t_ada:.1}s"
+    );
+}
+
+#[test]
+fn large_tau_fast_start_high_floor() {
+    let suite = comm_bound_suite(4);
+    let lr = LrSchedule::constant(0.1);
+    let sync = suite.run(&mut FixedComm::new(1), &lr);
+    let huge = suite.run(&mut FixedComm::new(64), &lr);
+
+    // Early in the run, tau = 64 must be ahead (faster initial drop).
+    let early = 30.0;
+    let loss_at = |trace: &RunTrace, t: f64| {
+        trace
+            .points
+            .iter()
+            .take_while(|p| p.clock <= t)
+            .map(|p| p.train_loss)
+            .fold(f32::INFINITY, f32::min)
+    };
+    let sync_early = loss_at(&sync, early);
+    let huge_early = loss_at(&huge, early);
+    assert!(
+        huge_early < sync_early,
+        "tau=64 should lead early: {huge_early} vs sync {sync_early}"
+    );
+    // tau = 64 completes far more iterations in the same wall-clock budget.
+    let iters = |trace: &RunTrace| trace.points.last().unwrap().iterations;
+    assert!(iters(&huge) > 2 * iters(&sync));
+}
+
+#[test]
+fn adacomm_tau_trace_is_decreasing_and_reaches_one() {
+    let suite = comm_bound_suite(5);
+    let trace = suite.run(&mut AdaComm::with_tau0(16), &LrSchedule::constant(0.1));
+    let taus: Vec<usize> = trace.tau_trace().iter().map(|&(_, t)| t).collect();
+    assert_eq!(taus[0], 16, "starts at tau0");
+    for w in taus.windows(2) {
+        assert!(w[1] <= w[0], "tau must not increase under fixed lr: {taus:?}");
+    }
+    assert_eq!(*taus.last().unwrap(), 1, "tau should anneal to 1: {taus:?}");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = comm_bound_suite(6).run(&mut AdaComm::with_tau0(8), &LrSchedule::constant(0.1));
+    let b = comm_bound_suite(6).run(&mut AdaComm::with_tau0(8), &LrSchedule::constant(0.1));
+    assert_eq!(a, b);
+    let c = comm_bound_suite(7).run(&mut AdaComm::with_tau0(8), &LrSchedule::constant(0.1));
+    assert_ne!(a, c);
+}
+
+#[test]
+fn variable_lr_with_gating_still_trains() {
+    let suite = comm_bound_suite(8);
+    // Milestones in epochs; gate postpones decay until tau reaches 1.
+    let lr = LrSchedule::step(0.1, 0.1, vec![4.0, 8.0]);
+    let trace = suite.run(&mut AdaComm::with_tau0(8), &lr);
+    assert!(trace.final_loss() < trace.points[0].train_loss);
+    // The learning rate must never fall below the fully decayed value nor
+    // exceed the initial one.
+    for p in &trace.points {
+        assert!(p.lr <= 0.1 + 1e-6 && p.lr >= 0.1 * 0.01 - 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Semantic invariants of PASGD that the paper's analysis relies on.
+
+use adacomm_repro::prelude::*;
+use pasgd_sim::PasgdCluster;
+
+fn small_cluster(workers: usize, momentum: MomentumMode, seed: u64) -> PasgdCluster {
+    let split = GaussianMixture::small_test().generate(11);
+    PasgdCluster::new(
+        nn::models::mlp_classifier(8, &[12], 3, 5),
+        split,
+        RuntimeModel::new(
+            DelayDistribution::constant(1.0),
+            CommModel::constant(1.0),
+            workers,
+        ),
+        ClusterConfig {
+            workers,
+            batch_size: 8,
+            lr: 0.05,
+            weight_decay: 0.0,
+            momentum,
+            averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            seed,
+            eval_subset: 96,
+        },
+    )
+}
+
+#[test]
+fn tau_one_is_fully_synchronous_sgd() {
+    // With tau = 1 the models never diverge: after every single step the
+    // discrepancy is zero, which is the defining property of eq. 4.
+    let mut c = small_cluster(3, MomentumMode::None, 1);
+    for _ in 0..10 {
+        c.run_round(1);
+        assert!(c.model_discrepancy() < 1e-6);
+    }
+}
+
+#[test]
+fn single_worker_pasgd_is_serial_sgd() {
+    // With m = 1, averaging is a no-op: the trajectory must match a plain
+    // serial SGD run with the same seed, regardless of tau.
+    let run = |tau: usize| {
+        let mut c = small_cluster(1, MomentumMode::None, 2);
+        for _ in 0..4 {
+            c.run_round(tau);
+        }
+        (c.iterations(), c.eval_train_loss())
+    };
+    let (i1, l1) = run(2);
+    let (i2, l2) = run(4);
+    // Same number of total local steps => identical model state.
+    assert_eq!(i1 * 2, i2);
+    // Losses differ only because iteration counts differ; rerun with equal
+    // totals:
+    let mut a = small_cluster(1, MomentumMode::None, 3);
+    let mut b = small_cluster(1, MomentumMode::None, 3);
+    for _ in 0..4 {
+        a.run_round(2);
+    }
+    for _ in 0..2 {
+        b.run_round(4);
+    }
+    assert_eq!(a.eval_train_loss(), b.eval_train_loss());
+    let _ = (l1, l2);
+}
+
+#[test]
+fn averaging_frequency_changes_only_clock_not_math_for_deterministic_data() {
+    // Two clusters, same seeds: one averages every round of 6 steps, the
+    // other averages every round of 3 steps (twice as many rounds). Their
+    // *clocks* must differ (comm paid twice as often) even though both run
+    // the same number of local iterations.
+    let mut coarse = small_cluster(2, MomentumMode::None, 4);
+    let mut fine = small_cluster(2, MomentumMode::None, 4);
+    coarse.run_round(6);
+    fine.run_round(3);
+    fine.run_round(3);
+    assert_eq!(coarse.iterations(), fine.iterations());
+    // coarse: 6 compute + 1 comm = 7; fine: 6 compute + 2 comm = 8.
+    assert!((coarse.clock() - 7.0).abs() < 1e-9, "coarse {}", coarse.clock());
+    assert!((fine.clock() - 8.0).abs() < 1e-9, "fine {}", fine.clock());
+}
+
+#[test]
+fn block_momentum_differs_from_plain_averaging_after_two_rounds() {
+    let mut plain = small_cluster(2, MomentumMode::None, 5);
+    let mut block = small_cluster(
+        2,
+        MomentumMode::Block {
+            global: 0.5,
+            local: 0.0,
+        },
+        5,
+    );
+    // First round: u_0 = G_0, so block takes exactly the averaged step.
+    plain.run_round(3);
+    block.run_round(3);
+    let d1 = (plain.eval_train_loss() - block.eval_train_loss()).abs();
+    assert!(d1 < 1e-6, "first round should coincide, diff {d1}");
+    // Second round: the global buffer kicks in.
+    plain.run_round(3);
+    block.run_round(3);
+    let d2 = (plain.eval_train_loss() - block.eval_train_loss()).abs();
+    assert!(d2 > 1e-7, "block momentum should alter the trajectory");
+}
+
+#[test]
+fn local_model_quality_dips_between_syncs() {
+    // The Figure 14 phenomenon: mid-round local models are worse than the
+    // synchronized model. Train first so there is structure to lose.
+    let mut c = small_cluster(3, MomentumMode::None, 6);
+    for _ in 0..40 {
+        c.run_round(4);
+    }
+    let synced = c.eval_test_accuracy();
+    // Long unsynchronized stretch with a high learning rate amplifies
+    // model drift.
+    c.set_lr(0.2);
+    c.run_local_only(30);
+    let local: f64 = (0..3)
+        .map(|w| c.eval_local_test_accuracy(w))
+        .sum::<f64>()
+        / 3.0;
+    assert!(
+        local <= synced + 0.02,
+        "local models should not beat the synced model: {local} vs {synced}"
+    );
+    // After averaging, accuracy recovers to at least the local level.
+    c.average_now();
+    let resynced = c.eval_test_accuracy();
+    assert!(
+        resynced >= local - 0.05,
+        "averaging should not destroy accuracy: {resynced} vs local {local}"
+    );
+}
+
+#[test]
+fn weight_decay_and_momentum_compose() {
+    let mut c = PasgdCluster::new(
+        nn::models::mlp_classifier(8, &[12], 3, 5),
+        GaussianMixture::small_test().generate(11),
+        RuntimeModel::new(
+            DelayDistribution::constant(1.0),
+            CommModel::constant(1.0),
+            2,
+        ),
+        ClusterConfig {
+            workers: 2,
+            batch_size: 8,
+            lr: 0.05,
+            weight_decay: 5e-4,
+            momentum: MomentumMode::paper_block(),
+            averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            seed: 12,
+            eval_subset: 96,
+        },
+    );
+    let before = c.eval_train_loss();
+    for _ in 0..20 {
+        c.run_round(4);
+    }
+    assert!(c.eval_train_loss() < before);
+}
+
+#[test]
+fn extension_averaging_strategies_train() {
+    // Every synchronization pattern must still reduce the loss and keep the
+    // cluster consistent with its declared synchronization contract.
+    for (strategy, must_sync) in [
+        (AveragingStrategy::FullAverage, true),
+        (AveragingStrategy::Ring, false),
+        (
+            AveragingStrategy::PartialParticipation { fraction: 0.5 },
+            false,
+        ),
+        (AveragingStrategy::Elastic { alpha: 0.5 }, false),
+    ] {
+        let mut c = PasgdCluster::new(
+            nn::models::mlp_classifier(8, &[12], 3, 5),
+            GaussianMixture::small_test().generate(11),
+            RuntimeModel::new(
+                DelayDistribution::constant(1.0),
+                CommModel::constant(1.0),
+                4,
+            ),
+            ClusterConfig {
+                workers: 4,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: MomentumMode::None,
+                averaging: strategy,
+                seed: 33,
+                eval_subset: 96,
+            },
+        );
+        let before = c.eval_train_loss();
+        for _ in 0..25 {
+            c.run_round(3);
+        }
+        assert!(
+            c.eval_train_loss() < before,
+            "{strategy:?} failed to train"
+        );
+        if must_sync {
+            assert!(c.model_discrepancy() < 1e-6);
+        } else {
+            assert!(
+                c.model_discrepancy() > 0.0,
+                "{strategy:?} should not fully synchronize"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_momentum_requires_full_averaging() {
+    let result = std::panic::catch_unwind(|| {
+        PasgdCluster::new(
+            nn::models::mlp_classifier(8, &[12], 3, 5),
+            GaussianMixture::small_test().generate(11),
+            RuntimeModel::new(
+                DelayDistribution::constant(1.0),
+                CommModel::constant(1.0),
+                2,
+            ),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                momentum: MomentumMode::paper_block(),
+                averaging: AveragingStrategy::Ring,
+                seed: 1,
+                eval_subset: 48,
+            },
+        )
+    });
+    assert!(result.is_err(), "block momentum + ring must be rejected");
+}

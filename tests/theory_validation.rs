@@ -1,0 +1,199 @@
+//! Quantitative validation of Theorems 1–3 on a least-squares problem
+//! where every constant in the bounds is measurable.
+
+use adacomm_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+struct Measured {
+    problem: data::LinearRegressionProblem,
+    params: TheoryParams,
+    lr: f32,
+    batch: usize,
+}
+
+fn measured_problem(workers: usize) -> Measured {
+    let problem = LinearRegressionTask {
+        samples: 512,
+        dim: 16,
+        label_noise: 0.4,
+        conditioning: 2.0,
+    }
+    .generate(5);
+    let batch = 4;
+    let w0 = Tensor::zeros(&[problem.dim()]);
+    let lipschitz = f64::from(problem.lipschitz());
+    let params = TheoryParams {
+        f_init: f64::from(problem.loss(&w0)),
+        f_inf: f64::from(problem.f_inf()),
+        lr: 0.05 / lipschitz,
+        lipschitz,
+        sigma_sq: f64::from(problem.sigma_sq(&w0, batch, 1500, 3)),
+        workers,
+    };
+    let lr = params.lr as f32;
+    Measured {
+        problem,
+        params,
+        lr,
+        batch,
+    }
+}
+
+/// Direct PASGD on the quadratic objective; returns the final full-batch
+/// loss after `rounds` rounds of `tau` local steps.
+fn run_pasgd(m: &Measured, workers: usize, tau: usize, rounds: usize, seed: u64) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = m.problem.dim();
+    let mut models = vec![Tensor::zeros(&[dim]); workers];
+    let all: Vec<usize> = (0..m.problem.len()).collect();
+    for _ in 0..rounds {
+        for w in models.iter_mut() {
+            for _ in 0..tau {
+                let idx: Vec<usize> = all.choose_multiple(&mut rng, m.batch).copied().collect();
+                let g = m.problem.stochastic_grad(w, &idx);
+                w.axpy(-m.lr, &g);
+            }
+        }
+        let avg = tensor::average(&models);
+        for w in models.iter_mut() {
+            w.copy_from(&avg);
+        }
+    }
+    m.problem.loss(&models[0])
+}
+
+#[test]
+fn error_floor_increases_with_tau_as_theorem1_predicts() {
+    let workers = 4;
+    let m = measured_problem(workers);
+    // Train to saturation: equal number of *local* iterations each.
+    let total_iters = 4000;
+    let loss_tau_1 = run_pasgd(&m, workers, 1, total_iters, 7);
+    let loss_tau_16 = run_pasgd(&m, workers, 16, total_iters / 16, 7);
+    let loss_tau_64 = run_pasgd(&m, workers, 64, total_iters / 64, 7);
+    let f_inf = m.params.f_inf as f32;
+    let gap1 = loss_tau_1 - f_inf;
+    let gap16 = loss_tau_16 - f_inf;
+    let gap64 = loss_tau_64 - f_inf;
+    assert!(
+        gap64 > gap1,
+        "tau=64 floor ({gap64}) should exceed tau=1 floor ({gap1})"
+    );
+    assert!(
+        gap64 > gap16 * 0.9,
+        "floors should be non-decreasing in tau: {gap16} vs {gap64}"
+    );
+}
+
+#[test]
+fn theorem1_bound_is_an_upper_bound_in_practice() {
+    let workers = 4;
+    let m = measured_problem(workers);
+    let (y, d) = (0.01, 0.04);
+    for tau in [1usize, 8, 32] {
+        let rounds = 3000 / tau;
+        let time = rounds as f64 * (y * tau as f64 + d);
+        let bound = error_runtime_bound(&m.params, y, d, tau, time);
+        // Theorem 1 bounds E[min_k ||grad||^2]; for an L-smooth function,
+        // ||grad(w)||^2 <= 2 L (F(w) - F_inf), so compare against that.
+        let loss = run_pasgd(&m, workers, tau, rounds, 11);
+        let grad_sq = 2.0 * m.params.lipschitz * (f64::from(loss) - m.params.f_inf).max(0.0);
+        assert!(
+            grad_sq <= bound * 3.0,
+            "tau={tau}: measured grad^2 {grad_sq} far above bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn tau_star_ordering_matches_measured_performance() {
+    // At a short horizon tau* is large: large tau must beat tau = 1.
+    // At a long horizon tau* approaches 1: small tau must win.
+    let workers = 4;
+    let m = measured_problem(workers);
+    let (y, d) = (0.005, 0.1); // alpha = 20: communication-starved
+    let loss_at_time = |tau: usize, budget: f64, seed: u64| {
+        let per_round = y * tau as f64 + d;
+        let rounds = (budget / per_round).max(1.0) as usize;
+        run_pasgd(&m, workers, tau, rounds, seed)
+    };
+    // Short horizon.
+    let short = 2.0;
+    let small_tau_short = loss_at_time(1, short, 13);
+    let large_tau_short = loss_at_time(32, short, 13);
+    assert!(
+        large_tau_short < small_tau_short,
+        "short horizon: tau=32 ({large_tau_short}) should beat tau=1 ({small_tau_short})"
+    );
+    // Long horizon: the noise floor dominates; small tau ends lower.
+    let long = 400.0;
+    let small_tau_long = loss_at_time(1, long, 17);
+    let large_tau_long = loss_at_time(64, long, 17);
+    assert!(
+        small_tau_long < large_tau_long,
+        "long horizon: tau=1 ({small_tau_long}) should beat tau=64 ({large_tau_long})"
+    );
+    // And tau* agrees with the crossover direction.
+    let star_short = tau_star(&m.params, d, short);
+    let star_long = tau_star(&m.params, d, long);
+    assert!(star_short > star_long);
+}
+
+#[test]
+fn theorem3_checker_agrees_with_actual_convergence() {
+    // A schedule satisfying (21) drives the gradient norm to ~0; a
+    // constant-lr schedule stalls at a noise floor.
+    let workers = 2;
+    let m = measured_problem(workers);
+    let run_schedule = |schedule: &dyn Fn(usize) -> f32, rounds: usize, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = m.problem.dim();
+        let mut models = vec![Tensor::zeros(&[dim]); workers];
+        let all: Vec<usize> = (0..m.problem.len()).collect();
+        for r in 0..rounds {
+            let lr = schedule(r);
+            for w in models.iter_mut() {
+                for _ in 0..4 {
+                    let idx: Vec<usize> =
+                        all.choose_multiple(&mut rng, m.batch).copied().collect();
+                    let g = m.problem.stochastic_grad(w, &idx);
+                    w.axpy(-lr, &g);
+                }
+            }
+            let avg = tensor::average(&models);
+            for w in models.iter_mut() {
+                w.copy_from(&avg);
+            }
+        }
+        f64::from(m.problem.grad(&models[0]).norm_sq())
+    };
+    let base = m.lr;
+    let decaying = |r: usize| base * 20.0 / (20.0 + r as f32);
+    let constant = |_r: usize| base;
+
+    let rounds = 2500;
+    let g_decay = run_schedule(&decaying, rounds, 23);
+    let g_const = run_schedule(&constant, rounds, 23);
+    assert!(
+        g_decay < g_const,
+        "decaying-lr schedule should end with smaller gradient: {g_decay} vs {g_const}"
+    );
+
+    // The checker classifies the two schedules accordingly.
+    let rounds_meta: Vec<Round> = (0..rounds)
+        .map(|r| Round {
+            lr: f64::from(decaying(r)),
+            tau: 4,
+        })
+        .collect();
+    assert!(ScheduleConvergence::analyze(&rounds_meta).satisfied());
+    let const_meta: Vec<Round> = (0..rounds)
+        .map(|_| Round {
+            lr: f64::from(base),
+            tau: 4,
+        })
+        .collect();
+    assert!(!ScheduleConvergence::analyze(&const_meta).satisfied());
+}
