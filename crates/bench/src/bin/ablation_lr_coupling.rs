@@ -39,12 +39,7 @@ fn main() {
         });
         let mut trace = sc.suite.run(&mut sched, &lr);
         trace.name = name.to_string();
-        let max_tau = trace
-            .tau_trace()
-            .iter()
-            .map(|&(_, t)| t)
-            .max()
-            .unwrap_or(0);
+        let max_tau = trace.tau_trace().iter().map(|&(_, t)| t).max().unwrap_or(0);
         table.row(vec![
             name.to_string(),
             format!("{:.4}", trace.final_loss()),
@@ -77,6 +72,8 @@ fn main() {
     ctx.interval_index = 1;
     ctx.current_lr = 0.002; // two 10x decays
     let tau = raw.next_tau(&ctx);
-    println!("\nraw eq. 19 request after a 100x lr decay: tau = {tau} (paper saw ~1000 and divergence)");
+    println!(
+        "\nraw eq. 19 request after a 100x lr decay: tau = {tau} (paper saw ~1000 and divergence)"
+    );
     assert!(tau > 500, "eq. 19 should request an extreme tau, got {tau}");
 }

@@ -59,7 +59,11 @@ fn main() {
             format!("{speedup:.2}x"),
             format!("{straggler:.1}"),
         ]);
-        let _ = writeln!(csv, "{name},{},{t_sync},{t_pasgd},{speedup}", dist.variance());
+        let _ = writeln!(
+            csv,
+            "{name},{},{t_sync},{t_pasgd},{speedup}",
+            dist.variance()
+        );
     }
     table.print();
     write_csv("ablation_straggler", &csv);

@@ -28,8 +28,7 @@ fn main() {
     for t0 in [15.0, 30.0, 60.0, 120.0, 300.0] {
         // Rebuild the suite with a different interval length only.
         let split = data::GaussianMixture::cifar10_like().generate(1234 + 10);
-        let profile =
-            delay::vgg16_profile().time_scaled(if scale.is_full() { 1.0 } else { 4.0 });
+        let profile = delay::vgg16_profile().time_scaled(if scale.is_full() { 1.0 } else { 4.0 });
         let suite = ExperimentSuite::new(
             nn::models::mlp_classifier(256, &[64], 10, 77),
             split,

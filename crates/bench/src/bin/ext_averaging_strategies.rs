@@ -12,7 +12,9 @@ use adacomm::{AdaComm, LrSchedule};
 use adacomm_bench::{save_panel_csv, Scale, Table};
 use data::GaussianMixture;
 use delay::{CommModel, DelayDistribution, RuntimeModel};
-use pasgd_sim::{AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode};
+use pasgd_sim::{
+    AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode,
+};
 
 fn main() {
     let scale = Scale::from_env_and_args();
@@ -34,7 +36,10 @@ fn main() {
             "partial participation 50%",
             AveragingStrategy::PartialParticipation { fraction: 0.5 },
         ),
-        ("elastic alpha=0.5", AveragingStrategy::Elastic { alpha: 0.5 }),
+        (
+            "elastic alpha=0.5",
+            AveragingStrategy::Elastic { alpha: 0.5 },
+        ),
     ];
 
     let mut table = Table::new(vec![

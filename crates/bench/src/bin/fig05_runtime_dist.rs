@@ -33,7 +33,10 @@ fn main() {
     println!("  mean runtime/iteration:");
     println!("    sync SGD      : {:.3} s", sync.mean());
     println!("    PASGD (tau=10): {:.3} s", pasgd.mean());
-    println!("    ratio         : {:.2}x less (paper: ~2x)\n", sync.mean() / pasgd.mean());
+    println!(
+        "    ratio         : {:.2}x less (paper: ~2x)\n",
+        sync.mean() / pasgd.mean()
+    );
 
     println!("  runtime | probability (s = sync, p = pasgd)");
     let mut csv = String::from("bin_centre,sync_prob,pasgd_prob\n");

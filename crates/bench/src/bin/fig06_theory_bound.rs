@@ -36,8 +36,16 @@ fn main() {
     let early = 200.0;
     let late = 4000.0;
     let b = |tau, t| error_runtime_bound(&params, y, d, tau, t);
-    println!("bound at t = {early}:  tau=1: {:.4}  tau=10: {:.4}", b(1, early), b(10, early));
-    println!("bound at t = {late}: tau=1: {:.4}  tau=10: {:.4}", b(1, late), b(10, late));
+    println!(
+        "bound at t = {early}:  tau=1: {:.4}  tau=10: {:.4}",
+        b(1, early),
+        b(10, early)
+    );
+    println!(
+        "bound at t = {late}: tau=1: {:.4}  tau=10: {:.4}",
+        b(1, late),
+        b(10, late)
+    );
     assert!(b(10, early) < b(1, early), "PASGD must lead early");
     assert!(b(1, late) < b(10, late), "sync must win at the horizon");
     println!("\ncrossover confirmed: tau=10 leads early, tau=1 wins late (paper's trade-off).");

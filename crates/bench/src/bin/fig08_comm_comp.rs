@@ -52,7 +52,12 @@ fn main() {
                 format!("{:.2}", comp + comm),
                 format!("{:.1}", 100.0 * comm / (comp + comm)),
             ]);
-            let _ = writeln!(csv, "{},{tau},{comp},{comm},{}", profile.name(), comp + comm);
+            let _ = writeln!(
+                csv,
+                "{},{tau},{comp},{comm},{}",
+                profile.name(),
+                comp + comm
+            );
             bars.push((name, comp, comm));
         }
     }

@@ -18,13 +18,21 @@ fn main() {
     println!("Figure 9 (scale: {scale})\n");
 
     for (tag, panel, classes, lr_mode) in [
-        ("a", "9a: variable lr, CIFAR10-like", 10usize, LrMode::Variable),
+        (
+            "a",
+            "9a: variable lr, CIFAR10-like",
+            10usize,
+            LrMode::Variable,
+        ),
         ("b", "9b: fixed lr, CIFAR10-like", 10, LrMode::Fixed),
         ("c", "9c: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
     ] {
         let sc = scenario(ModelFamily::VggLike, classes, 4, scale);
         let traces = run_standard_panel(&sc, lr_mode, false);
-        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        println!(
+            "{}",
+            report_panel(&format!("{panel} — {}", sc.name), &traces)
+        );
         save_panel_csv(&format!("fig09{tag}"), &traces);
 
         // AdaComm's tau trace, printed like the figure's lower strip.

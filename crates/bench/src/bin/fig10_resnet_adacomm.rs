@@ -18,13 +18,21 @@ fn main() {
     println!("Figure 10 (scale: {scale})\n");
 
     for (tag, panel, classes, lr_mode) in [
-        ("a", "10a: variable lr, CIFAR10-like", 10usize, LrMode::Variable),
+        (
+            "a",
+            "10a: variable lr, CIFAR10-like",
+            10usize,
+            LrMode::Variable,
+        ),
         ("b", "10b: fixed lr, CIFAR10-like", 10, LrMode::Fixed),
         ("c", "10c: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
     ] {
         let sc = scenario(ModelFamily::ResnetLike, classes, 4, scale);
         let traces = run_standard_panel(&sc, lr_mode, false);
-        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        println!(
+            "{}",
+            report_panel(&format!("{panel} — {}", sc.name), &traces)
+        );
         save_panel_csv(&format!("fig10{tag}"), &traces);
 
         let ada = traces.last().expect("adacomm trace");

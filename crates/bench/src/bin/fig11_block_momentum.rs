@@ -18,15 +18,28 @@ fn main() {
     println!("Figure 11 (scale: {scale}) — block momentum runs\n");
 
     for (tag, panel, family, classes) in [
-        ("a", "11a: ResNet-like, CIFAR10-like", ModelFamily::ResnetLike, 10usize),
+        (
+            "a",
+            "11a: ResNet-like, CIFAR10-like",
+            ModelFamily::ResnetLike,
+            10usize,
+        ),
         ("b", "11b: VGG-like, CIFAR10-like", ModelFamily::VggLike, 10),
-        ("c", "11c: ResNet-like, CIFAR100-like", ModelFamily::ResnetLike, 100),
+        (
+            "c",
+            "11c: ResNet-like, CIFAR100-like",
+            ModelFamily::ResnetLike,
+            100,
+        ),
     ] {
         let sc = scenario(family, classes, 4, scale);
         // `true`: tau=1 gets plain momentum 0.9, PASGD methods get block
         // momentum (beta_glob 0.3, local 0.9 reset at sync).
         let traces = run_standard_panel(&sc, LrMode::Variable, true);
-        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        println!(
+            "{}",
+            report_panel(&format!("{panel} — {}", sc.name), &traces)
+        );
         save_panel_csv(&format!("fig11{tag}"), &traces);
 
         let ada = traces.last().expect("adacomm trace");

@@ -16,12 +16,20 @@ fn main() {
     println!("Figure 12 (scale: {scale}) — 8 workers\n");
 
     for (tag, panel, classes, lr_mode) in [
-        ("a", "12a: variable lr, CIFAR10-like", 10usize, LrMode::Variable),
+        (
+            "a",
+            "12a: variable lr, CIFAR10-like",
+            10usize,
+            LrMode::Variable,
+        ),
         ("b", "12b: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
     ] {
         let sc = scenario(ModelFamily::VggLike, classes, 8, scale);
         let traces = run_standard_panel(&sc, lr_mode, false);
-        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        println!(
+            "{}",
+            report_panel(&format!("{panel} — {}", sc.name), &traces)
+        );
         save_panel_csv(&format!("fig12{tag}"), &traces);
     }
 }

@@ -19,7 +19,12 @@ fn main() {
     println!("Figure 13 (scale: {scale}) — 8 workers\n");
 
     for (tag, panel, classes, lr_mode) in [
-        ("a", "13a: variable lr, CIFAR10-like", 10usize, LrMode::Variable),
+        (
+            "a",
+            "13a: variable lr, CIFAR10-like",
+            10usize,
+            LrMode::Variable,
+        ),
         ("b", "13b: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
     ] {
         let sc = scenario(ModelFamily::ResnetLike, classes, 8, scale);
@@ -43,7 +48,10 @@ fn main() {
         });
         traces.push(sc.suite.run(&mut ada, &lr_schedule));
 
-        println!("{}", report_panel(&format!("{panel} — {}", sc.name), &traces));
+        println!(
+            "{}",
+            report_panel(&format!("{panel} — {}", sc.name), &traces)
+        );
         save_panel_csv(&format!("fig13{tag}"), &traces);
     }
 }

@@ -65,7 +65,10 @@ fn main() {
 
     println!("\n================================================================");
     if failures.is_empty() {
-        println!("all {} reproduction targets completed; CSVs are in results/", binaries.len());
+        println!(
+            "all {} reproduction targets completed; CSVs are in results/",
+            binaries.len()
+        );
     } else {
         println!("FAILED targets: {failures:?}");
         std::process::exit(1);

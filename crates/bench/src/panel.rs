@@ -171,11 +171,7 @@ pub fn save_panel_csv(name: &str, traces: &[RunTrace]) {
 }
 
 /// Builds the scheduler box family used by ablation binaries.
-pub fn adacomm_with(
-    tau0: usize,
-    gamma: f64,
-    coupling: LrCoupling,
-) -> Box<dyn CommSchedule> {
+pub fn adacomm_with(tau0: usize, gamma: f64, coupling: LrCoupling) -> Box<dyn CommSchedule> {
     Box::new(AdaComm::new(AdaCommConfig {
         tau0,
         gamma,

@@ -174,12 +174,7 @@ pub fn ascii_series(series: &[(String, Vec<(f64, f64)>)], width: usize, height: 
         };
         let _ = writeln!(out, "{label}|{}", String::from_utf8_lossy(row));
     }
-    let _ = writeln!(
-        out,
-        "{}+{}",
-        " ".repeat(9),
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "{}+{}", " ".repeat(9), "-".repeat(width));
     let _ = writeln!(
         out,
         "{}{:<10.1}{:>w$.1}",
@@ -189,7 +184,11 @@ pub fn ascii_series(series: &[(String, Vec<(f64, f64)>)], width: usize, height: 
         w = width.saturating_sub(10)
     );
     for (si, (name, _)) in series.iter().enumerate() {
-        let _ = writeln!(out, "          {} = {name}", marks[si % marks.len()] as char);
+        let _ = writeln!(
+            out,
+            "          {} = {name}",
+            marks[si % marks.len()] as char
+        );
     }
     out
 }

@@ -46,7 +46,8 @@ pub fn select_tau0<F: FnMut(usize) -> f64>(candidates: &[usize], mut evaluate: F
             _ => best = Some((tau, score)),
         }
     }
-    best.expect("every tau0 trial diverged (non-finite scores)").0
+    best.expect("every tau0 trial diverged (non-finite scores)")
+        .0
 }
 
 #[cfg(test)]
@@ -61,13 +62,7 @@ mod tests {
 
     #[test]
     fn skips_diverged_trials() {
-        let best = select_tau0(&[1, 100], |tau| {
-            if tau == 100 {
-                f64::NAN
-            } else {
-                1.0
-            }
-        });
+        let best = select_tau0(&[1, 100], |tau| if tau == 100 { f64::NAN } else { 1.0 });
         assert_eq!(best, 1);
     }
 

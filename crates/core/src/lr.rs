@@ -1,7 +1,5 @@
 //! Learning-rate schedules and the paper's τ/η decay-ordering policy.
 
-use serde::{Deserialize, Serialize};
-
 /// A learning-rate schedule over training epochs.
 ///
 /// The paper uses a constant rate or a step schedule that divides the rate
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(sched.lr_at_gated(90.0, 5), 0.2);
 /// assert!((sched.lr_at_gated(90.0, 1) - 0.02).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LrSchedule {
     initial: f32,
     factor: f32,

@@ -1,13 +1,11 @@
 //! Communication-period schedulers: fixed-τ baselines and AdaComm.
 
-use serde::{Deserialize, Serialize};
-
 /// Everything a scheduler may consult at a `T0` interval boundary.
 ///
 /// The simulator fills this in at the start of every wall-clock interval;
 /// schedulers are pure functions of it (plus their own state), which keeps
 /// them unit-testable against the paper's formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleContext {
     /// Index `l` of the interval about to start (0 for the first).
     pub interval_index: usize,
@@ -53,7 +51,7 @@ pub trait CommSchedule: Send {
 /// };
 /// assert_eq!(s.next_tau(&ctx), 20);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FixedComm {
     tau: usize,
 }
@@ -92,7 +90,7 @@ impl CommSchedule for FixedComm {
 }
 
 /// How AdaComm couples the communication period to the learning rate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LrCoupling {
     /// No coupling: rules (17)/(18) only.
     #[default]
@@ -107,7 +105,7 @@ pub enum LrCoupling {
 }
 
 /// Configuration for [`AdaComm`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaCommConfig {
     /// Initial communication period `τ0` (from a grid search in practice;
     /// see [`crate::select_tau0`]).
@@ -149,7 +147,7 @@ impl Default for AdaCommConfig {
 /// strictly smaller than the previous `τ` (plus slack), the period is
 /// multiplied by `γ < 1` instead. The result is clamped into
 /// `[1, max_tau]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaComm {
     config: AdaCommConfig,
     prev_tau: Option<usize>,

@@ -1,14 +1,12 @@
 //! Theorems 1–3 of the paper: the error-runtime bound, the optimal
 //! communication period, and the variable-(τ, η) convergence conditions.
 
-use serde::{Deserialize, Serialize};
-
 /// Problem constants appearing in the paper's bounds.
 ///
 /// On the least-squares workload (`data::LinearRegressionProblem`) every
 /// field is computable exactly; on deep networks the paper itself treats
 /// them as unknown (motivating the practical rule (17)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TheoryParams {
     /// Initial objective value `F(x₁)`.
     pub f_init: f64,
@@ -51,7 +49,11 @@ impl TheoryParams {
             self.f_init,
             self.f_inf
         );
-        assert!(self.lr > 0.0 && self.lr.is_finite(), "invalid lr {}", self.lr);
+        assert!(
+            self.lr > 0.0 && self.lr.is_finite(),
+            "invalid lr {}",
+            self.lr
+        );
         assert!(
             self.lipschitz > 0.0 && self.lipschitz.is_finite(),
             "invalid Lipschitz constant {}",
@@ -107,7 +109,8 @@ pub fn error_runtime_bound(params: &TheoryParams, y: f64, d: f64, tau: usize, ti
     let per_iter = y + d / tau as f64;
     let opt_term = 2.0 * gap / (params.lr * time) * per_iter;
     let noise_floor = params.lr * params.lipschitz * params.sigma_sq / params.workers as f64;
-    let local_noise = params.lr * params.lr
+    let local_noise = params.lr
+        * params.lr
         * params.lipschitz
         * params.lipschitz
         * params.sigma_sq
@@ -155,8 +158,7 @@ pub fn tau_star(params: &TheoryParams, d: f64, time: f64) -> f64 {
         "tau* undefined for zero gradient noise"
     );
     let gap = params.f_init - params.f_inf;
-    (2.0 * gap * d / (params.lr.powi(3) * params.lipschitz.powi(2) * params.sigma_sq * time))
-        .sqrt()
+    (2.0 * gap * d / (params.lr.powi(3) * params.lipschitz.powi(2) * params.sigma_sq * time)).sqrt()
 }
 
 /// [`tau_star`] rounded up to an integer period `≥ 1` (the paper's ceil
@@ -171,7 +173,7 @@ pub fn tau_star_int(params: &TheoryParams, d: f64, time: f64) -> usize {
 
 /// One `(learning rate, communication period)` round of a variable
 /// schedule, as consumed by [`ScheduleConvergence`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Round {
     /// Learning rate `η_r` during the round.
     pub lr: f64,
@@ -207,7 +209,7 @@ pub struct Round {
 /// let report = ScheduleConvergence::analyze(&rounds);
 /// assert!(report.satisfied());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleConvergence {
     /// `Σ η τ` over the full prefix.
     pub sum_lr_tau: f64,

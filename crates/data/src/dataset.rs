@@ -101,8 +101,8 @@ impl Dataset {
             out.extend_from_slice(self.features.row(i));
             labels.push(self.labels[i]);
         }
-        let x = Tensor::from_vec(out, &[indices.len(), d])
-            .expect("internal: gathered volume matches");
+        let x =
+            Tensor::from_vec(out, &[indices.len(), d]).expect("internal: gathered volume matches");
         (x, labels)
     }
 
@@ -269,7 +269,10 @@ mod tests {
         ds.shuffle(&mut StdRng::seed_from_u64(2));
         // With 50 rows the first row stays put with probability 1/50.
         let moved = ds.features().row(0) != first_row.as_slice();
-        assert!(moved, "shuffle left data unchanged (astronomically unlikely)");
+        assert!(
+            moved,
+            "shuffle left data unchanged (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -8,12 +8,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
 /// Specification of a synthetic linear-regression task
 /// `y = X·w* + ε,  ε ~ N(0, label_noise²)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearRegressionTask {
     /// Number of examples `n`.
     pub samples: usize,
@@ -51,8 +50,8 @@ impl LinearRegressionTask {
         for r in 0..self.samples {
             let row = x.row_mut(r);
             for (j, v) in row.iter_mut().enumerate() {
-                let scale = 1.0
-                    + (self.conditioning - 1.0) * j as f32 / (self.dim.max(2) - 1) as f32;
+                let scale =
+                    1.0 + (self.conditioning - 1.0) * j as f32 / (self.dim.max(2) - 1) as f32;
                 *v *= scale;
             }
         }
@@ -197,8 +196,7 @@ impl LinearRegressionProblem {
         let all: Vec<usize> = (0..self.len()).collect();
         let mut total = 0.0f32;
         for _ in 0..rounds {
-            let batch_idx: Vec<usize> =
-                all.choose_multiple(&mut rng, batch).copied().collect();
+            let batch_idx: Vec<usize> = all.choose_multiple(&mut rng, batch).copied().collect();
             let g = self.stochastic_grad(w, &batch_idx);
             total += g.sub(&full).norm_sq();
         }

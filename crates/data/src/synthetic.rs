@@ -3,7 +3,6 @@
 use crate::{Dataset, TrainTestSplit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
 /// Specification of a synthetic `k`-class Gaussian-mixture classification
@@ -29,7 +28,7 @@ use tensor::Tensor;
 /// let split = GaussianMixture::cifar10_like().generate(7);
 /// assert_eq!(split.train.num_classes(), 10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianMixture {
     /// Number of classes `k`.
     pub num_classes: usize,

@@ -2,14 +2,13 @@
 
 use crate::DelayDistribution;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How the all-node broadcast delay scales with the number of workers `m`.
 ///
 /// The paper's eq. 5 writes `D = D0 · s(m)` and notes that in a
 /// parameter-server framework with a reduction tree the delay is proportional
 /// to `2·log2(m)` (Iandola et al., 2016).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommScaling {
     /// `s(m) = 1`: delay independent of cluster size (e.g. a fixed-rate
     /// broadcast medium).
@@ -47,7 +46,7 @@ impl CommScaling {
 /// let comm = CommModel::new(DelayDistribution::constant(0.5), CommScaling::LogTree);
 /// assert_eq!(comm.mean_delay(4), 0.5 * 2.0 * 2.0); // 2·log2(4) = 4
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommModel {
     base: DelayDistribution,
     scaling: CommScaling,

@@ -2,7 +2,6 @@
 
 use rand::Rng;
 use rand_distr::{Distribution, Exp, Pareto, Uniform};
-use serde::{Deserialize, Serialize};
 
 /// The distribution `F_Y` of a worker's per-step computation time (and, via
 /// [`CommModel`](crate::CommModel), of the base communication delay).
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(y.mean(), 2.0);
 /// assert_eq!(y.variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DelayDistribution {
     /// Deterministic delay: every draw equals `value`.
     Constant {

@@ -1,8 +1,6 @@
 //! Fixed-bin histogram used to reproduce the runtime distributions of
 //! Figure 5.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple fixed-width-bin histogram over `[lo, hi)`.
 ///
 /// Samples outside the range are clamped into the first/last bin so that no
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.count(), 5);
 /// assert_eq!(h.counts()[4], 2); // 9.9 and the clamped 42.0
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -14,7 +14,6 @@
 //! paper's runtime analysis assumes.
 
 use crate::{CommModel, CommScaling, DelayDistribution, RuntimeModel};
-use serde::{Deserialize, Serialize};
 
 /// A named calibration of the delay substrate for one neural-network model
 /// on one cluster type.
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// let model = profile.runtime_model(4);
 /// assert!(model.alpha() > 3.0, "VGG-16 must be communication-bound");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareProfile {
     name: String,
     parameters_millions: f64,
@@ -76,7 +75,11 @@ impl HardwareProfile {
     ///
     /// Panics if `m == 0`.
     pub fn runtime_model(&self, m: usize) -> RuntimeModel {
-        RuntimeModel::new(self.compute, CommModel::new(self.comm_base, self.scaling), m)
+        RuntimeModel::new(
+            self.compute,
+            CommModel::new(self.comm_base, self.scaling),
+            m,
+        )
     }
 
     /// The communication/computation ratio α for `m` workers.
@@ -189,9 +192,7 @@ mod tests {
         assert!((scaled.alpha(4) - base.alpha(4)).abs() < 1e-9);
         let m_base = base.runtime_model(4);
         let m_scaled = scaled.runtime_model(4);
-        assert!(
-            (m_scaled.compute().mean() - 5.0 * m_base.compute().mean()).abs() < 1e-12
-        );
+        assert!((m_scaled.compute().mean() - 5.0 * m_base.compute().mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -4,14 +4,13 @@
 use crate::order_stats::{expected_max_exponential, mc_expected_max, mc_expected_max_mean};
 use crate::{CommModel, DelayDistribution};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Default Monte-Carlo sample count for expectations without a closed form.
 const DEFAULT_MC_SAMPLES: usize = 20_000;
 
 /// One simulated PASGD round: `τ` local steps on every worker followed by an
 /// all-node averaging step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundSample {
     /// Time until the slowest worker finished its `τ` local steps.
     pub compute: f64,
@@ -47,7 +46,7 @@ impl RoundSample {
 /// let s = model.speedup_vs_sync(10, &mut rand::thread_rng());
 /// assert!((s - 1.9 / 1.09).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeModel {
     compute: DelayDistribution,
     comm: CommModel,
@@ -142,7 +141,9 @@ impl RuntimeModel {
         n: usize,
         rng: &mut R,
     ) -> Vec<f64> {
-        (0..n).map(|_| self.sample_per_iteration(tau, rng)).collect()
+        (0..n)
+            .map(|_| self.sample_per_iteration(tau, rng))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -176,9 +177,7 @@ impl RuntimeModel {
                 expected_max_exponential(*mean, self.workers)
             }
             (dist, 1) => mc_expected_max(dist, self.workers, DEFAULT_MC_SAMPLES, rng),
-            (dist, tau) => {
-                mc_expected_max_mean(dist, self.workers, tau, DEFAULT_MC_SAMPLES, rng)
-            }
+            (dist, tau) => mc_expected_max_mean(dist, self.workers, tau, DEFAULT_MC_SAMPLES, rng),
         }
     }
 

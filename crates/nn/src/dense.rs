@@ -41,8 +41,7 @@ impl Dense {
     pub fn new<R: Rng + ?Sized>(input_dim: usize, output_dim: usize, rng: &mut R) -> Self {
         assert!(input_dim > 0 && output_dim > 0, "degenerate dense layer");
         Dense {
-            weight: Init::KaimingUniform { fan_in: input_dim }
-                .init(&[input_dim, output_dim], rng),
+            weight: Init::KaimingUniform { fan_in: input_dim }.init(&[input_dim, output_dim], rng),
             bias: Tensor::zeros(&[output_dim]),
             grad_weight: Tensor::zeros(&[input_dim, output_dim]),
             grad_bias: Tensor::zeros(&[output_dim]),

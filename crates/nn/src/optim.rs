@@ -156,7 +156,10 @@ mod tests {
 
     fn toy_batch(seed: u64) -> (Tensor, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Tensor::randn(&[8, 4], 1.0, &mut rng), vec![0, 1, 1, 0, 1, 0, 0, 1])
+        (
+            Tensor::randn(&[8, 4], 1.0, &mut rng),
+            vec![0, 1, 1, 0, 1, 0, 0, 1],
+        )
     }
 
     #[test]

@@ -58,12 +58,21 @@ pub fn softmax_regression(input_dim: usize, classes: usize, seed: u64) -> Networ
 ///
 /// Panics if `side % 4 != 0`, or any dimension is zero.
 pub fn vgg_like(channels: usize, side: usize, classes: usize, seed: u64) -> Network {
-    assert!(channels > 0 && side > 0 && classes > 0, "degenerate network");
+    assert!(
+        channels > 0 && side > 0 && classes > 0,
+        "degenerate network"
+    );
     assert_eq!(side % 4, 0, "side must be divisible by 4, got {side}");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stack = Sequential::empty();
     // Block 1: conv-relu-conv-relu-pool.
-    stack.push(Box::new(Conv2d::new((channels, side, side), 8, 3, 1, &mut rng)));
+    stack.push(Box::new(Conv2d::new(
+        (channels, side, side),
+        8,
+        3,
+        1,
+        &mut rng,
+    )));
     stack.push(Box::new(Relu::new()));
     stack.push(Box::new(Conv2d::new((8, side, side), 8, 3, 1, &mut rng)));
     stack.push(Box::new(Relu::new()));
@@ -90,11 +99,20 @@ pub fn vgg_like(channels: usize, side: usize, classes: usize, seed: u64) -> Netw
 ///
 /// Panics if `side % 4 != 0`, or any dimension is zero.
 pub fn resnet_like(channels: usize, side: usize, classes: usize, seed: u64) -> Network {
-    assert!(channels > 0 && side > 0 && classes > 0, "degenerate network");
+    assert!(
+        channels > 0 && side > 0 && classes > 0,
+        "degenerate network"
+    );
     assert_eq!(side % 4, 0, "side must be divisible by 4, got {side}");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stack = Sequential::empty();
-    stack.push(Box::new(Conv2d::new((channels, side, side), 8, 3, 1, &mut rng)));
+    stack.push(Box::new(Conv2d::new(
+        (channels, side, side),
+        8,
+        3,
+        1,
+        &mut rng,
+    )));
     stack.push(Box::new(Relu::new()));
     // Residual block 1 at full resolution.
     stack.push(Box::new(Residual::new(Sequential::new(vec![

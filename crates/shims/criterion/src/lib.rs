@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) crate API used by this
+//! workspace's benchmarks.
+//!
+//! Provides [`Criterion`] with `bench_function`/`benchmark_group`, the
+//! [`Bencher`] with `iter`/`iter_batched`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple wall-clock loop: one warm-up call, then up to
+//! `sample_size` timed iterations capped by a per-benchmark time budget,
+//! reporting the median iteration time. When the binary is invoked by
+//! `cargo test` (a `--test` argument is present), each benchmark body runs
+//! exactly once as a smoke test so the suite stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; the shim times the routine
+/// identically for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Times `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.smoke_test, 30, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+
+    /// Prints the closing summary line (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.criterion.smoke_test, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) or
+/// [`iter_batched`](Bencher::iter_batched) with the code to time.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke_test: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+/// Per-benchmark wall-clock budget; keeps full `cargo bench` runs bounded.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        // Warm-up.
+        std::hint::black_box(routine(setup()));
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    smoke_test: bool,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        smoke_test,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if smoke_test {
+        println!("bench {name} ... ok (smoke test)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name}: median {} (min {}, max {}, {} samples)",
+        format_duration(median),
+        format_duration(min),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function that runs each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion { smoke_test: false };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion { smoke_test: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_test_mode_runs_once() {
+        let mut c = Criterion { smoke_test: true };
+        let mut count = 0;
+        c.bench_function("counted", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,61 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A vector length specification: either exact or a half-open range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            lo: len,
+            hi: len + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end,
+        }
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

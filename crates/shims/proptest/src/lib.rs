@@ -1,0 +1,301 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://docs.rs/proptest) crate API used by this
+//! workspace's property tests.
+//!
+//! Provides the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! range/tuple/[`collection::vec`] strategies, [`prop_oneof!`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertions. Each test runs
+//! [`ProptestConfig::cases`] cases with inputs drawn from a deterministic
+//! per-test seed (derived from the test's module path and name), so
+//! failures are reproducible. There is **no shrinking**: a failing case
+//! panics immediately with the assertion message, which should interpolate
+//! the generated inputs via the usual `{var}` captures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration, set inside [`proptest!`] via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Returns a strategy producing `map(value)` for each generated value.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// A type-erased strategy, produced by [`Strategy::boxed`] and
+/// [`prop_oneof!`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// A strategy choosing uniformly among boxed alternatives; built by
+/// [`prop_oneof!`].
+pub struct OneOf<V> {
+    alternatives: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the union strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        OneOf { alternatives }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rand::Rng::gen_range(rng, 0..self.alternatives.len());
+        self.alternatives[idx].generate(rng)
+    }
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property, reporting the formatted message
+/// on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Builds the deterministic RNG a [`proptest!`] test draws its cases from.
+///
+/// Public so the macro can call it from consuming crates that do not
+/// themselves depend on `rand`.
+pub fn test_rng(seed: u64) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Stable 64-bit FNV-1a hash of the test path, used to derive the
+/// deterministic per-test seed.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a regular `#[test]` running [`ProptestConfig::cases`] random
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    (@impl $config:expr; $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut proptest_rng = $crate::test_rng(seed);
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let seed = crate::seed_for("shim::self_test");
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let strategy = (0.0f64..1.0).prop_map(|x| x * 10.0);
+        for _ in 0..1_000 {
+            let v = strategy.generate(&mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strategy = prop_oneof![0usize..1, 1usize..2, 2usize..3];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strategy.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(a in 0u64..100, pair in (0.0f32..1.0, 1usize..4)) {
+            prop_assert!(a < 100);
+            prop_assert!((0.0..1.0).contains(&pair.0) && (1..4).contains(&pair.1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0i32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+}

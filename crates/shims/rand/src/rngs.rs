@@ -1,0 +1,158 @@
+//! Concrete RNG implementations: the seeded [`StdRng`] and the
+//! clock-seeded [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The workspace's standard RNG: xoshiro256++, seeded through SplitMix64.
+///
+/// Fast, 256 bits of state, passes the usual statistical batteries — more
+/// than adequate for the Monte-Carlo sampling and weight initialisation
+/// this workspace does. The stream differs from upstream `rand`'s `StdRng`
+/// (ChaCha12), so seeds are reproducible *within* this workspace only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A non-deterministically seeded RNG, returned by [`crate::thread_rng`].
+#[derive(Debug, Clone)]
+pub struct ThreadRng(StdRng);
+
+static THREAD_RNG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ThreadRng {
+    pub(crate) fn fresh() -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let salt = THREAD_RNG_COUNTER.fetch_add(1, Ordering::Relaxed);
+        ThreadRng(StdRng::seed_from_u64(nanos ^ salt.rotate_left(32)))
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn gen_range_signed_full_width_stays_exclusive() {
+        // Regression: the span i8::MIN..i8::MAX wraps the signed type, and
+        // a sign-extending cast used to admit the exclusive upper bound.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100_000 {
+            let v: i8 = rng.gen_range(i8::MIN..i8::MAX);
+            assert!(v < i8::MAX, "exclusive bound violated: {v}");
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_full_width_does_not_overflow() {
+        // Regression: the full-width inclusive span used to compute
+        // `(hi - lo) + 1`, panicking in debug builds.
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0..=u64::MAX);
+            let _: usize = rng.gen_range(0..=usize::MAX);
+            let v: u8 = rng.gen_range(0..=u8::MAX);
+            let _ = v;
+        }
+    }
+}

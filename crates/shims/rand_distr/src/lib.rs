@@ -1,0 +1,269 @@
+//! Offline stand-in for the subset of the
+//! [`rand_distr`](https://docs.rs/rand_distr) crate API used by this
+//! workspace: the [`Distribution`] trait and the [`Exp`], [`Pareto`],
+//! [`Uniform`] and [`Normal`] distributions.
+//!
+//! Sampling uses textbook methods on top of the `rand` shim's uniform
+//! source: inversion for the exponential and Pareto, affine transform for
+//! the uniform, and Box–Muller for the normal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::RngCore;
+
+/// Types that generate values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Floating-point scalars the generic distributions can produce.
+pub trait Float: Copy {
+    /// Converts from `f64` (used internally for all arithmetic).
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Error returned by [`Exp::new`] for a non-positive or non-finite rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpError;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; fails unless `lambda` is positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: -ln(1-U)/lambda with U in [0,1), so the argument of
+        // ln is in (0,1] and the result is finite and non-negative.
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+}
+
+/// Error returned by [`Pareto::new`] for invalid scale or shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoError;
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution; fails unless both parameters are positive
+    /// and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParetoError> {
+        if scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite() {
+            Ok(Pareto {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(ParetoError)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: scale * U^(-1/shape) with U in (0,1].
+        let u = 1.0 - rng.next_f64();
+        self.scale * u.powf(-self.inv_shape)
+    }
+}
+
+/// Uniform distribution on a half-open `[lo, hi)` or closed `[lo, hi]`
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Float> Uniform<T> {
+    /// Uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: T, hi: T) -> Self {
+        let (l, h) = (lo.to_f64(), hi.to_f64());
+        assert!(
+            l < h && l.is_finite() && h.is_finite(),
+            "invalid uniform range [{l}, {h})"
+        );
+        Uniform { lo, hi }
+    }
+
+    /// Uniform on the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi` and both are finite.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        let (l, h) = (lo.to_f64(), hi.to_f64());
+        assert!(
+            l <= h && l.is_finite() && h.is_finite(),
+            "invalid uniform range [{l}, {h}]"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: Float> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        let (lo, hi) = (self.lo.to_f64(), self.hi.to_f64());
+        T::from_f64(lo + rng.next_f64() * (hi - lo))
+    }
+}
+
+/// Error returned by [`Normal::new`] for a non-finite mean or invalid
+/// standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+/// Normal (Gaussian) distribution with the given mean and standard
+/// deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std: T,
+}
+
+impl<T: Float> Normal<T> {
+    /// Creates the distribution; fails unless `std >= 0` and both
+    /// parameters are finite.
+    pub fn new(mean: T, std: T) -> Result<Self, NormalError> {
+        let (m, s) = (mean.to_f64(), std.to_f64());
+        if m.is_finite() && s.is_finite() && s >= 0.0 {
+            Ok(Normal { mean, std })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<T: Float> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        // Box–Muller. The first uniform is clamped away from zero so the
+        // logarithm stays finite.
+        let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        T::from_f64(self.mean.to_f64() + self.std.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    fn draw<D: Distribution<f64>>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exp_mean_and_variance() {
+        let d = Exp::new(0.5).unwrap();
+        let (mean, var) = moments(&draw(&d, 200_000, 1));
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exp_rejects_bad_rate() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pareto_mean_matches_formula() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        let (mean, _) = moments(&draw(&d, 400_000, 2));
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_samples_at_least_scale() {
+        let d = Pareto::new(2.0, 2.5).unwrap();
+        assert!(draw(&d, 10_000, 3).iter().all(|&x| x >= 2.0));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = Uniform::new(-1.0f64, 3.0);
+        let samples = draw(&d, 50_000, 4);
+        assert!(samples.iter().all(|&x| (-1.0..3.0).contains(&x)));
+        let (mean, _) = moments(&samples);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_f32_inclusive() {
+        let d = Uniform::new_inclusive(-2.0f32, 2.0f32);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(1.0f64, 2.0).unwrap();
+        let (mean, var) = moments(&draw(&d, 200_000, 6));
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_negative_std() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+    }
+}

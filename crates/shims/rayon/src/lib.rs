@@ -1,0 +1,142 @@
+//! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
+//! crate API used by this workspace: `par_iter_mut()` over slices followed
+//! by `map(..).collect()` or `for_each(..)`.
+//!
+//! Unlike a sequential fallback, this shim genuinely runs the closure in
+//! parallel: the slice is split into one contiguous chunk per available
+//! core and each chunk is processed on its own scoped `std::thread`.
+//! Results are concatenated in slice order, so `map(..).collect()`
+//! preserves element order exactly like rayon does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits and adaptors, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Extension trait adding [`par_iter_mut`](ParallelSliceMut::par_iter_mut)
+/// to slices (and through auto-deref, to `Vec`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// A parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps every element through `op`, in parallel.
+    pub fn map<R, F>(self, op: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            op,
+        }
+    }
+
+    /// Runs `op` on every element, in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        run_chunks(self.slice, &|item| op(item));
+    }
+}
+
+/// The parallel `map` adaptor; terminate it with
+/// [`collect`](ParMap::collect).
+pub struct ParMap<'a, T, F> {
+    slice: &'a mut [T],
+    op: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    /// Collects the mapped values in slice order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(run_chunks(self.slice, &self.op))
+    }
+}
+
+/// Splits `slice` into one chunk per core, maps each chunk on its own
+/// scoped thread, and concatenates the per-chunk outputs in order.
+fn run_chunks<T, R, F>(slice: &mut [T], op: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let len = slice.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(len);
+    if threads <= 1 {
+        return slice.iter_mut().map(op).collect();
+    }
+    let chunk_len = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks_mut(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(op).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let mut v: Vec<u64> = (0..1_000).collect();
+        let out: Vec<u64> = v.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_can_mutate_elements() {
+        let mut v: Vec<u64> = vec![1; 64];
+        let _: Vec<()> = v.par_iter_mut().map(|x| *x += 1).collect();
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn for_each_mutates_everything() {
+        let mut v: Vec<u64> = (0..257).collect();
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, (10..267).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_slices() {
+        let mut empty: Vec<u32> = vec![];
+        let out: Vec<u32> = empty.par_iter_mut().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let mut one = vec![5u32];
+        let out: Vec<u32> = one.par_iter_mut().map(|x| *x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+}

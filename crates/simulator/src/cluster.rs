@@ -54,7 +54,7 @@ impl Default for ClusterConfig {
 /// advances the clock by `max_i(Σ_k Y_{i,k}) + D`.
 ///
 /// The cluster is deliberately scheduler-agnostic: callers decide `τ` per
-/// round (see [`crate::Experiment`] for the interval-based driver).
+/// round (see [`run_experiment`](crate::run_experiment) for the interval-based driver).
 ///
 /// # Example
 ///

@@ -7,10 +7,9 @@ use adacomm::{CommSchedule, LrSchedule, ScheduleContext};
 use data::TrainTestSplit;
 use delay::RuntimeModel;
 use nn::Network;
-use serde::{Deserialize, Serialize};
 
 /// One recorded point of a training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Simulated wall-clock time in seconds.
     pub clock: f64,
@@ -29,7 +28,7 @@ pub struct TracePoint {
 }
 
 /// A complete training trace for one method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunTrace {
     /// Scheduler name (e.g. `"adacomm"`, `"tau=20"`, `"sync-sgd"`).
     pub name: String,
@@ -399,7 +398,11 @@ mod tests {
         let trace = suite.run(&mut FixedComm::new(2), &adacomm::LrSchedule::constant(0.05));
         let last = trace.points.last().unwrap();
         // The run can overshoot by at most one round.
-        assert!(last.clock >= 24.0 && last.clock < 30.0, "clock {}", last.clock);
+        assert!(
+            last.clock >= 24.0 && last.clock < 30.0,
+            "clock {}",
+            last.clock
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Momentum handling at averaging steps, including the paper's block
 //! momentum (Section 5.3.1, eqs. 24–25).
 
-use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
 /// How momentum interacts with periodic averaging.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MomentumMode {
     /// No momentum anywhere (the paper's Section 5.2 setting).
     None,

@@ -9,11 +9,10 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use tensor::Tensor;
 
 /// How local models are combined at a synchronization point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AveragingStrategy {
     /// The paper's PASGD: every worker receives the all-node average
     /// (eq. 3).

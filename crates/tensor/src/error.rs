@@ -61,7 +61,10 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected}, got rank {actual}")
             }
             TensorError::IndexOutOfBounds { index, bound } => {
-                write!(f, "index {index} out of bounds for dimension of size {bound}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of size {bound}"
+                )
             }
         }
     }
@@ -96,9 +99,6 @@ mod tests {
             left: (2, 3),
             right: (4, 5),
         };
-        assert_eq!(
-            err.to_string(),
-            "matmul dimension mismatch: 2x3 times 4x5"
-        );
+        assert_eq!(err.to_string(), "matmul dimension mismatch: 2x3 times 4x5");
     }
 }

@@ -169,7 +169,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = Tensor::randn(&[10_000], 2.0, &mut rng);
         let var = t.norm_sq() / t.len() as f32 - t.mean() * t.mean();
-        assert!((var.sqrt() - 2.0).abs() < 0.1, "std estimate {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.1,
+            "std estimate {}",
+            var.sqrt()
+        );
     }
 
     #[test]

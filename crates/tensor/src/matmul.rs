@@ -69,7 +69,8 @@ impl Tensor {
         let (k, m) = rank2_dims(self).unwrap_or_else(|e| panic!("matmul_tn: {e}"));
         let (k2, n) = rank2_dims(other).unwrap_or_else(|e| panic!("matmul_tn: {e}"));
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_tn shared dimension mismatch: {k} vs {k2} (shapes {} and {})",
             self.shape(),
             other.shape()
@@ -104,7 +105,8 @@ impl Tensor {
         let (m, k) = rank2_dims(self).unwrap_or_else(|e| panic!("matmul_nt: {e}"));
         let (n, k2) = rank2_dims(other).unwrap_or_else(|e| panic!("matmul_nt: {e}"));
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_nt shared dimension mismatch: {k} vs {k2} (shapes {} and {})",
             self.shape(),
             other.shape()

@@ -1,6 +1,5 @@
 //! Shape bookkeeping for dense row-major tensors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(s.volume(), 24);
 /// assert_eq!(s.rank(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

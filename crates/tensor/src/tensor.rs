@@ -1,7 +1,6 @@
 //! The dense row-major `f32` tensor.
 
 use crate::{Result, Shape, TensorError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, row-major tensor of `f32` values.
@@ -25,7 +24,7 @@ use std::fmt;
 /// let y = x.map(|v| v * v);
 /// assert_eq!(y.as_slice(), &[4.0, 4.0, 4.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -252,11 +251,9 @@ impl Tensor {
 
     fn check_same_shape(&self, other: &Tensor) {
         assert_eq!(
-            self.shape,
-            other.shape,
+            self.shape, other.shape,
             "shape mismatch: {} vs {}",
-            self.shape,
-            other.shape
+            self.shape, other.shape
         );
     }
 

@@ -60,7 +60,10 @@ fn main() {
     let sync = suite.run(&mut FixedComm::new(1), &lr);
     let ada = suite.run(&mut AdaComm::with_tau0(8), &lr);
 
-    println!("{:>10} | {:>12} | {:>12} | {:>9}", "method", "final loss", "best acc", "iters");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>9}",
+        "method", "final loss", "best acc", "iters"
+    );
     println!("{}", "-".repeat(54));
     for trace in [&sync, &ada] {
         let last = trace.points.last().expect("non-empty trace");

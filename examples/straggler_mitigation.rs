@@ -30,7 +30,10 @@ fn main() {
     let sync_mean = model.expected_sync_iteration(&mut rng);
     let pasgd_mean = model.expected_per_iteration(10, &mut rng);
     println!("  sync SGD   mean: {sync_mean:.3} s");
-    println!("  PASGD tau=10 mean: {pasgd_mean:.3} s  ({:.2}x less)", sync_mean / pasgd_mean);
+    println!(
+        "  PASGD tau=10 mean: {pasgd_mean:.3} s  ({:.2}x less)",
+        sync_mean / pasgd_mean
+    );
 
     // ASCII histogram of the two distributions.
     let n = 40_000;
@@ -48,14 +51,22 @@ fn main() {
         .step_by(2)
     {
         let bar = |p: f64| "#".repeat((p * 150.0).round() as usize);
-        println!("  {centre:>7.2}  | {:<20} | {:<20}", bar(p_sync), bar(p_pasgd));
+        println!(
+            "  {centre:>7.2}  | {:<20} | {:<20}",
+            bar(p_sync),
+            bar(p_pasgd)
+        );
     }
 
     // Straggler penalty vs cluster size.
     println!("\nexpected slowest-worker compute time vs cluster size (Y ~ Exp(1)):");
-    println!("  {:>4} | {:>10} | {:>14} | {:>9}", "m", "sync E[max]", "tau=10 E[max]", "saving");
+    println!(
+        "  {:>4} | {:>10} | {:>14} | {:>9}",
+        "m", "sync E[max]", "tau=10 E[max]", "saving"
+    );
     for m in [2usize, 4, 8, 16, 32, 64] {
-        let sync = delay::mc_expected_max(&DelayDistribution::exponential(1.0), m, 20_000, &mut rng);
+        let sync =
+            delay::mc_expected_max(&DelayDistribution::exponential(1.0), m, 20_000, &mut rng);
         let avg = delay::mc_expected_max_mean(
             &DelayDistribution::exponential(1.0),
             m,
@@ -63,7 +74,10 @@ fn main() {
             20_000,
             &mut rng,
         );
-        println!("  {m:>4} | {sync:>10.3} | {avg:>14.3} | {:>8.1}%", 100.0 * (1.0 - avg / sync));
+        println!(
+            "  {m:>4} | {sync:>10.3} | {avg:>14.3} | {:>8.1}%",
+            100.0 * (1.0 - avg / sync)
+        );
     }
 
     // Heavier tails straggle harder; local updates help more.

@@ -86,7 +86,11 @@ fn main() {
     for t in &traces {
         match (t.time_to_loss(target), sync_time) {
             (Some(time), Some(st)) => {
-                println!("  {:>10}: {time:>7.1} s  ({:.2}x vs sync)", t.name, st / time)
+                println!(
+                    "  {:>10}: {time:>7.1} s  ({:.2}x vs sync)",
+                    t.name,
+                    st / time
+                )
             }
             (Some(time), None) => println!("  {:>10}: {time:>7.1} s", t.name),
             (None, _) => println!("  {:>10}: not reached", t.name),

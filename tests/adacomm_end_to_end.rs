@@ -103,7 +103,10 @@ fn adacomm_tau_trace_is_decreasing_and_reaches_one() {
     let taus: Vec<usize> = trace.tau_trace().iter().map(|&(_, t)| t).collect();
     assert_eq!(taus[0], 16, "starts at tau0");
     for w in taus.windows(2) {
-        assert!(w[1] <= w[0], "tau must not increase under fixed lr: {taus:?}");
+        assert!(
+            w[1] <= w[0],
+            "tau must not increase under fixed lr: {taus:?}"
+        );
     }
     assert_eq!(*taus.last().unwrap(), 1, "tau should anneal to 1: {taus:?}");
 }

@@ -79,7 +79,11 @@ fn averaging_frequency_changes_only_clock_not_math_for_deterministic_data() {
     fine.run_round(3);
     assert_eq!(coarse.iterations(), fine.iterations());
     // coarse: 6 compute + 1 comm = 7; fine: 6 compute + 2 comm = 8.
-    assert!((coarse.clock() - 7.0).abs() < 1e-9, "coarse {}", coarse.clock());
+    assert!(
+        (coarse.clock() - 7.0).abs() < 1e-9,
+        "coarse {}",
+        coarse.clock()
+    );
     assert!((fine.clock() - 8.0).abs() < 1e-9, "fine {}", fine.clock());
 }
 
@@ -119,10 +123,7 @@ fn local_model_quality_dips_between_syncs() {
     // model drift.
     c.set_lr(0.2);
     c.run_local_only(30);
-    let local: f64 = (0..3)
-        .map(|w| c.eval_local_test_accuracy(w))
-        .sum::<f64>()
-        / 3.0;
+    let local: f64 = (0..3).map(|w| c.eval_local_test_accuracy(w)).sum::<f64>() / 3.0;
     assert!(
         local <= synced + 0.02,
         "local models should not beat the synced model: {local} vs {synced}"
@@ -200,10 +201,7 @@ fn extension_averaging_strategies_train() {
         for _ in 0..25 {
             c.run_round(3);
         }
-        assert!(
-            c.eval_train_loss() < before,
-            "{strategy:?} failed to train"
-        );
+        assert!(c.eval_train_loss() < before, "{strategy:?} failed to train");
         if must_sync {
             assert!(c.model_discrepancy() < 1e-6);
         } else {

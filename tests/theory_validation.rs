@@ -156,8 +156,7 @@ fn theorem3_checker_agrees_with_actual_convergence() {
             let lr = schedule(r);
             for w in models.iter_mut() {
                 for _ in 0..4 {
-                    let idx: Vec<usize> =
-                        all.choose_multiple(&mut rng, m.batch).copied().collect();
+                    let idx: Vec<usize> = all.choose_multiple(&mut rng, m.batch).copied().collect();
                     let g = m.problem.stochastic_grad(w, &idx);
                     w.axpy(-lr, &g);
                 }
