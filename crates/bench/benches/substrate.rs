@@ -1,5 +1,6 @@
 //! Criterion micro-benchmarks for the substrate crates: tensor kernels,
-//! layer passes, PASGD rounds, scheduler and averaging overhead.
+//! layer passes, PASGD rounds, scheduler overhead, and the compression
+//! kernels (Top-K select, sign pack/unpack, quantize/dequantize).
 //!
 //! ```sh
 //! cargo bench -p adacomm-bench --bench substrate
@@ -9,6 +10,8 @@ use adacomm::{AdaComm, CommSchedule, ScheduleContext};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use data::GaussianMixture;
 use delay::{CommModel, DelayDistribution, RuntimeModel};
+use gradcomp::kernels::{dequantize, pack_signs, quantize_stochastic, top_k_indices, unpack_signs};
+use gradcomp::{Compressor, TopK};
 use nn::{models, Layer};
 use pasgd_sim::{ClusterConfig, MomentumMode, PasgdCluster};
 use rand::rngs::StdRng;
@@ -89,6 +92,7 @@ fn bench_simulator(c: &mut Criterion) {
                 weight_decay: 0.0,
                 momentum: MomentumMode::None,
                 averaging: pasgd_sim::AveragingStrategy::FullAverage,
+                codec: gradcomp::CodecSpec::Identity,
                 seed: 2,
                 eval_subset: 48,
             },
@@ -134,6 +138,38 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::randn(&[16384], 1.0, &mut rng);
+    let values = x.as_slice().to_vec();
+
+    group.bench_function("top_k_select_1pct_16k", |bench| {
+        bench.iter(|| black_box(top_k_indices(&values, 164)))
+    });
+    group.bench_function("sign_pack_unpack_16k", |bench| {
+        bench.iter(|| {
+            let packed = pack_signs(&values);
+            black_box(unpack_signs(&packed, values.len(), 0.5))
+        })
+    });
+    group.bench_function("qsgd4_roundtrip_16k", |bench| {
+        let norm = x.norm();
+        let mut qrng = StdRng::seed_from_u64(8);
+        bench.iter(|| {
+            let q = quantize_stochastic(&values, norm, 15, &mut qrng);
+            black_box(dequantize(&q, norm, 15))
+        })
+    });
+    group.bench_function("topk_codec_1pct_16k", |bench| {
+        let codec = TopK::new(0.01);
+        let mut crng = StdRng::seed_from_u64(9);
+        bench.iter(|| black_box(codec.compress(&x, &mut crng)))
+    });
+    group.finish();
+}
+
 fn bench_delay(c: &mut Criterion) {
     let mut group = c.benchmark_group("delay");
     let model = RuntimeModel::new(
@@ -154,6 +190,7 @@ criterion_group!(
     bench_nn,
     bench_simulator,
     bench_scheduler,
+    bench_compress,
     bench_delay
 );
 criterion_main!(benches);

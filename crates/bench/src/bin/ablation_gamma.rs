@@ -12,7 +12,7 @@ use adacomm::{AdaComm, AdaCommConfig};
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Ablation: AdaComm gamma (eq. 18), VGG-like CIFAR10-like (scale {scale})\n");
     let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
@@ -49,8 +49,9 @@ fn main() {
         traces.push(trace);
     }
     table.print();
-    save_panel_csv("ablation_gamma", &traces);
+    save_panel_csv("ablation_gamma", &traces)?;
 
     println!("\nsmaller gamma anneals tau to 1 sooner (lower floor, slower late");
     println!("iterations); gamma = 1.0 can leave tau stuck above 1 on plateaus.");
+    Ok(())
 }

@@ -13,7 +13,7 @@ use adacomm::{AdaComm, AdaCommConfig, CommSchedule, LrCoupling, ScheduleContext}
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Ablation: lr coupling (eqs. 19 vs 20), VGG-like CIFAR10-like, variable lr (scale {scale})\n");
     let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
@@ -49,7 +49,7 @@ fn main() {
         traces.push(trace);
     }
     table.print();
-    save_panel_csv("ablation_lr_coupling", &traces);
+    save_panel_csv("ablation_lr_coupling", &traces)?;
 
     // Demonstrate the raw (uncapped) eq. 19 blow-up the paper reports,
     // directly on the scheduler.
@@ -76,4 +76,5 @@ fn main() {
         "\nraw eq. 19 request after a 100x lr decay: tau = {tau} (paper saw ~1000 and divergence)"
     );
     assert!(tau > 500, "eq. 19 should request an extreme tau, got {tau}");
+    Ok(())
 }

@@ -15,7 +15,7 @@ use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 use pasgd_sim::MomentumMode;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Ablation: momentum handling at averaging steps, tau = 20 (scale {scale})\n");
     let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
@@ -61,8 +61,9 @@ fn main() {
         traces.push(trace);
     }
     table.print();
-    save_panel_csv("ablation_momentum_mode", &traces);
+    save_panel_csv("ablation_momentum_mode", &traces)?;
 
     println!("\nthe paper's claim: block momentum >= local-with-reset > naive local for");
     println!("large tau, because stale buffers side-track the first post-sync steps.");
+    Ok(())
 }

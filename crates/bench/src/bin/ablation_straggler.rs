@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     let mut rng = StdRng::seed_from_u64(7);
     let m = 16;
@@ -66,10 +66,11 @@ fn main() {
         );
     }
     table.print();
-    write_csv("ablation_straggler", &csv);
+    write_csv("ablation_straggler", &csv)?;
     let _ = scale;
 
     println!("\nheavier tails inflate E[T_sync] (waiting for the slowest of {m}) much more");
     println!("than E[T_pasgd]; the speed-up grows with the delay variance — local updates");
     println!("are a straggler-mitigation mechanism, not just a communication saver.");
+    Ok(())
 }

@@ -11,7 +11,7 @@ use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 use pasgd_sim::{ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Ablation: AdaComm interval length T0, VGG-like CIFAR10-like (scale {scale})\n");
     let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
@@ -40,6 +40,7 @@ fn main() {
                 weight_decay: 5e-4,
                 momentum: MomentumMode::None,
                 averaging: pasgd_sim::AveragingStrategy::FullAverage,
+                codec: gradcomp::CodecSpec::Identity,
                 seed: 42,
                 eval_subset: 1024,
             },
@@ -62,8 +63,9 @@ fn main() {
         traces.push(trace);
     }
     table.print();
-    save_panel_csv("ablation_t0", &traces);
+    save_panel_csv("ablation_t0", &traces)?;
 
     println!("\nvery large T0 adapts too slowly (few tau updates); very small T0 anneals");
     println!("tau to 1 early and gives up the communication savings.");
+    Ok(())
 }

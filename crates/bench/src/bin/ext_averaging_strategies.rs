@@ -16,7 +16,7 @@ use pasgd_sim::{
     AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode,
 };
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Extension: AdaComm under different averaging strategies (scale {scale})\n");
 
@@ -62,6 +62,7 @@ fn main() {
                 weight_decay: 5e-4,
                 momentum: MomentumMode::None,
                 averaging: strategy,
+                codec: gradcomp::CodecSpec::Identity,
                 seed: 9,
                 eval_subset: 1024,
             },
@@ -85,10 +86,11 @@ fn main() {
         traces.push(trace);
     }
     table.print();
-    save_panel_csv("ext_averaging_strategies", &traces);
+    save_panel_csv("ext_averaging_strategies", &traces)?;
 
     println!("\nthe adaptive schedule composes with every strategy; full averaging");
     println!("reaches the lowest floor while gossip/partial variants trade a little");
     println!("final loss for cheaper or more failure-tolerant synchronization —");
     println!("the extension direction the paper's concluding remarks sketch.");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use data::GaussianMixture;
 use delay::{CommModel, DelayDistribution, RuntimeModel};
 use pasgd_sim::{ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode, RunTrace};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let workers = 4;
     // alpha = 4: communication-bound, where the x-axis change matters most.
     let runtime = RuntimeModel::new(
@@ -47,6 +47,7 @@ fn main() {
             weight_decay: 0.0,
             momentum: MomentumMode::None,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 17,
             eval_subset: 512,
         },
@@ -96,7 +97,7 @@ fn main() {
     println!("loss vs WALL-CLOCK TIME (large tau leads early; adaptive wins):");
     println!("{}", ascii_series(&by_time, 70, 14));
 
-    save_panel_csv("fig01_concept", &traces);
+    save_panel_csv("fig01_concept", &traces)?;
 
     // Shape assertion: per-iteration, sync is at least as good as tau=16 at
     // a matched iteration count; per-time, tau=16 is ahead early.
@@ -126,4 +127,5 @@ fn main() {
         tau16_early < sync_early,
         "wall-clock view must favour large tau early"
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@ use adacomm_bench::{write_csv, Table};
 use delay::speedup_constant;
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let alphas = [0.1, 0.5, 0.9];
     let taus: Vec<usize> = vec![1, 2, 5, 10, 20, 40, 60, 80, 100];
 
@@ -30,7 +30,7 @@ fn main() {
         table.row(row);
     }
     table.print();
-    write_csv("fig04_speedup", &csv);
+    write_csv("fig04_speedup", &csv)?;
 
     // The paper's headline observation for this figure.
     println!(
@@ -41,4 +41,5 @@ fn main() {
         (speedup_constant(0.9, 100) - 1.9 / 1.009).abs() < 1e-12,
         "closed form drifted from eq. 12"
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     let n = scale.mc_samples();
     let mut rng = StdRng::seed_from_u64(55);
@@ -49,7 +49,7 @@ fn main() {
         }
         let _ = writeln!(csv, "{centre},{ps},{pp}");
     }
-    write_csv("fig05_runtime_dist", &csv);
+    write_csv("fig05_runtime_dist", &csv)?;
 
     // Shape assertions: the PASGD distribution must be tighter (lighter
     // tail) and its mean roughly half the sync mean.
@@ -58,4 +58,5 @@ fn main() {
         ratio > 1.6 && ratio < 2.6,
         "mean ratio {ratio} outside the paper's ~2x regime"
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use adacomm::theory::{error_runtime_bound, TheoryParams};
 use adacomm_bench::{ascii_series, write_csv};
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let params = TheoryParams::figure6();
     // Constant-delay reading of the Figure 5 parameters: y = 1, D = 1.
     let (y, d) = (1.0, 1.0);
@@ -30,7 +30,7 @@ fn main() {
         series.push((format!("tau={tau}"), pts));
     }
     println!("{}", ascii_series(&series, 70, 16));
-    write_csv("fig06_theory_bound", &csv);
+    write_csv("fig06_theory_bound", &csv)?;
 
     // The figure's two claims: PASGD leads early, sync wins at the horizon.
     let early = 200.0;
@@ -49,4 +49,5 @@ fn main() {
     assert!(b(10, early) < b(1, early), "PASGD must lead early");
     assert!(b(1, late) < b(10, late), "sync must win at the horizon");
     println!("\ncrossover confirmed: tau=10 leads early, tau=1 wins late (paper's trade-off).");
+    Ok(())
 }

@@ -14,7 +14,7 @@ use adacomm::theory::{error_runtime_bound, tau_star_int, TheoryParams};
 use adacomm_bench::{write_csv, Table};
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let mut params = TheoryParams::figure6();
     let (y, d) = (1.0, 1.0);
     let t0 = 200.0; // interval length, same spirit as the paper's T0
@@ -54,6 +54,7 @@ fn main() {
         f_t = next_f.max(params.f_inf);
     }
     table.print();
-    write_csv("fig07_switching", &csv);
+    write_csv("fig07_switching", &csv)?;
     println!("\ntau* decreases interval over interval — the adaptive schedule of Figure 7(b).");
+    Ok(())
 }

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     let workers = 4;
     let iterations = 100;
@@ -62,7 +62,7 @@ fn main() {
         }
     }
     table.print();
-    write_csv("fig08_comm_comp", &csv);
+    write_csv("fig08_comm_comp", &csv)?;
 
     // ASCII stacked bars like the paper's figure ('#' compute, '=' comm).
     println!("\n  ('#' = computation, '=' = communication; 1 char = 0.25 s)");
@@ -85,4 +85,5 @@ fn main() {
         vgg.alpha(),
         resnet.alpha()
     );
+    Ok(())
 }

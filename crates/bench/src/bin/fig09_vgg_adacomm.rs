@@ -13,7 +13,7 @@
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Figure 9 (scale: {scale})\n");
 
@@ -33,7 +33,7 @@ fn main() {
             "{}",
             report_panel(&format!("{panel} — {}", sc.name), &traces)
         );
-        save_panel_csv(&format!("fig09{tag}"), &traces);
+        save_panel_csv(&format!("fig09{tag}"), &traces)?;
 
         // AdaComm's tau trace, printed like the figure's lower strip.
         let ada = traces.last().expect("adacomm trace");
@@ -43,4 +43,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -13,7 +13,7 @@
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Figure 11 (scale: {scale}) — block momentum runs\n");
 
@@ -40,7 +40,7 @@ fn main() {
             "{}",
             report_panel(&format!("{panel} — {}", sc.name), &traces)
         );
-        save_panel_csv(&format!("fig11{tag}"), &traces);
+        save_panel_csv(&format!("fig11{tag}"), &traces)?;
 
         let ada = traces.last().expect("adacomm trace");
         println!("adacomm comm-period trace:");
@@ -49,4 +49,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -11,7 +11,7 @@
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Figure 12 (scale: {scale}) — 8 workers\n");
 
@@ -30,6 +30,7 @@ fn main() {
             "{}",
             report_panel(&format!("{panel} — {}", sc.name), &traces)
         );
-        save_panel_csv(&format!("fig12{tag}"), &traces);
+        save_panel_csv(&format!("fig12{tag}"), &traces)?;
     }
+    Ok(())
 }

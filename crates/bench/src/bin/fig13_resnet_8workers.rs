@@ -14,7 +14,7 @@ use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{report_panel, save_panel_csv, LrMode, Scale};
 use pasgd_sim::RunTrace;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Figure 13 (scale: {scale}) — 8 workers\n");
 
@@ -52,6 +52,7 @@ fn main() {
             "{}",
             report_panel(&format!("{panel} — {}", sc.name), &traces)
         );
-        save_panel_csv(&format!("fig13{tag}"), &traces);
+        save_panel_csv(&format!("fig13{tag}"), &traces)?;
     }
+    Ok(())
 }

@@ -12,7 +12,7 @@ use adacomm_bench::{write_csv, Scale, Table};
 use pasgd_sim::PasgdCluster;
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Figure 14 (scale: {scale}) — local vs synchronized model accuracy\n");
 
@@ -36,6 +36,7 @@ fn main() {
             weight_decay: 5e-4,
             momentum: pasgd_sim::MomentumMode::None,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 42,
             eval_subset: 1024,
         },
@@ -86,7 +87,7 @@ fn main() {
         }
     }
     table.print();
-    write_csv("fig14_local_gap", &csv);
+    write_csv("fig14_local_gap", &csv)?;
 
     let late_mean = late_gaps.iter().sum::<f64>() / late_gaps.len().max(1) as f64;
     println!(
@@ -101,4 +102,5 @@ fn main() {
         late_mean > 0.0,
         "synchronized model should beat mid-round local models on average"
     );
+    Ok(())
 }

@@ -33,6 +33,7 @@ fn main() {
         "ablation_t0",
         "ablation_straggler",
         "ext_averaging_strategies",
+        "ext_compression",
     ];
 
     let exe_dir = std::env::current_exe()

@@ -14,7 +14,7 @@ use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::{run_standard_panel, LrMode, Scale, Table};
 use std::fmt::Write as _;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env_and_args();
     println!("Table 1 (scale: {scale}) — best test accuracy, CIFAR10-like, no momentum\n");
 
@@ -65,5 +65,6 @@ fn main() {
     }
     println!();
     table.print();
-    adacomm_bench::write_csv("table1_accuracy", &csv);
+    adacomm_bench::write_csv("table1_accuracy", &csv)?;
+    Ok(())
 }

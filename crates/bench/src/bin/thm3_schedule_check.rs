@@ -31,7 +31,7 @@ fn analyze(name: &str, rounds: Vec<Round>, table: &mut Table, csv: &mut String) 
     );
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     println!("Theorem 3 (eq. 21): schedule convergence conditions\n");
     let horizon = 60_000usize;
     let mut table = Table::new(vec![
@@ -117,7 +117,7 @@ fn main() {
     );
 
     table.print();
-    write_csv("thm3_schedule_check", &csv);
+    write_csv("thm3_schedule_check", &csv)?;
 
     println!("\nratios are I2/I1 tail-mass ratios; >= 0.81 reads as divergent.");
     println!("rows 1 and 5 satisfy eq. 21; rows 2 and 3 do not (constant-lr floor).");
@@ -127,4 +127,5 @@ fn main() {
     );
     assert!(rep_dec.sum_lr2_tau < rep_const.sum_lr2_tau / 3.0);
     assert!(rep_dec.sum_lr3_tau2 < rep_const.sum_lr3_tau2 / 2.0);
+    Ok(())
 }

@@ -155,19 +155,33 @@ pub fn report_panel(title: &str, traces: &[RunTrace]) -> String {
 }
 
 /// Saves a panel's traces as one CSV: columns
-/// `method, clock, iterations, epoch, train_loss, test_accuracy, tau, lr`.
-pub fn save_panel_csv(name: &str, traces: &[RunTrace]) {
-    let mut csv = String::from("method,clock,iterations,epoch,train_loss,test_accuracy,tau,lr\n");
+/// `method, clock, iterations, epoch, train_loss, test_accuracy, tau, lr,
+/// comm_bytes`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the CSV cannot be written.
+pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<()> {
+    let mut csv =
+        String::from("method,clock,iterations,epoch,train_loss,test_accuracy,tau,lr,comm_bytes\n");
     for t in traces {
         for p in &t.points {
             let _ = writeln!(
                 csv,
-                "{},{},{},{},{},{},{},{}",
-                t.name, p.clock, p.iterations, p.epoch, p.train_loss, p.test_accuracy, p.tau, p.lr
+                "{},{},{},{},{},{},{},{},{}",
+                t.name,
+                p.clock,
+                p.iterations,
+                p.epoch,
+                p.train_loss,
+                p.test_accuracy,
+                p.tau,
+                p.lr,
+                p.comm_bytes
             );
         }
     }
-    write_csv(name, &csv);
+    write_csv(name, &csv)
 }
 
 /// Builds the scheduler box family used by ablation binaries.

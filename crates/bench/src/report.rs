@@ -3,6 +3,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io;
 use std::path::Path;
 
 /// A simple fixed-column text table, printed like the paper's tables.
@@ -88,17 +89,18 @@ impl Table {
 
     /// Writes the table as CSV to `results/<name>.csv` (see [`write_csv`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the file cannot be written.
-    pub fn save_csv(&self, name: &str) {
+    /// Returns the underlying I/O error if the results directory or the
+    /// file cannot be created.
+    pub fn save_csv(&self, name: &str) -> io::Result<()> {
         let mut csv = self.headers.join(",");
         csv.push('\n');
         for row in &self.rows {
             csv.push_str(&row.join(","));
             csv.push('\n');
         }
-        write_csv(name, &csv);
+        write_csv(name, &csv)
     }
 }
 
@@ -106,15 +108,17 @@ impl Table {
 /// needed. The path is relative to the workspace root when run via cargo,
 /// or to the current directory otherwise.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the directory or file cannot be created.
-pub fn write_csv(name: &str, content: &str) {
+/// Returns the underlying I/O error if the directory or file cannot be
+/// created.
+pub fn write_csv(name: &str, content: &str) -> io::Result<()> {
     let dir = results_dir();
-    fs::create_dir_all(&dir).expect("create results directory");
+    fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
-    fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(&path, content)?;
     println!("[saved {}]", path.display());
+    Ok(())
 }
 
 fn results_dir() -> std::path::PathBuf {

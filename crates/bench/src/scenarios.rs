@@ -150,6 +150,7 @@ pub fn scenario(family: ModelFamily, classes: usize, workers: usize, scale: Scal
             weight_decay: 5e-4,
             momentum: MomentumMode::None,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 42,
             eval_subset: 1024,
         },

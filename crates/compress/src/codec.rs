@@ -1,0 +1,614 @@
+//! The [`Compressor`] trait and the four codecs: Top-K, Random-K, 1-bit
+//! sign and QSGD-style stochastic quantization.
+
+use crate::kernels::{dequantize, pack_signs, quantize_stochastic, top_k_indices, unpack_signs};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tensor::Tensor;
+
+/// Bytes of an `f32` payload entry.
+const F32_BYTES: usize = 4;
+/// Bytes of a `u32` sparse index.
+const INDEX_BYTES: usize = 4;
+
+/// The result of compressing one tensor: the reconstruction the receiver
+/// would decode, plus the encoded payload size in bytes.
+///
+/// The simulator trains on `tensor` (so compression genuinely perturbs the
+/// mathematics) and charges `bytes` to the communication clock (so
+/// compression genuinely changes the runtime).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// Decode(encode(input)) — what arrives on the other side of the wire.
+    pub tensor: Tensor,
+    /// Encoded payload size in bytes.
+    pub bytes: usize,
+}
+
+/// A gradient/model-update compression codec.
+///
+/// Implementations compress one tensor at a time and report the encoded
+/// payload size. The trait is object-safe (`&mut StdRng` rather than a
+/// generic RNG) so workers can hold `Box<dyn Compressor>` or dispatch
+/// through [`CodecSpec`].
+pub trait Compressor: Send + Sync + std::fmt::Debug {
+    /// Compresses `input`, returning the reconstruction and payload bytes.
+    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed;
+
+    /// Whether `E[decode(encode(x))] = x` (Random-K, QSGD, identity).
+    /// Biased codecs (Top-K, sign) need error feedback to converge.
+    fn is_unbiased(&self) -> bool;
+
+    /// Short name used in reports, e.g. `"topk(0.01)"`.
+    fn name(&self) -> String;
+}
+
+/// The no-op codec: full-precision payloads (4 bytes per entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Identity;
+
+impl Compressor for Identity {
+    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
+        Compressed {
+            tensor: input.clone(),
+            bytes: input.len() * F32_BYTES,
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "full".to_string()
+    }
+}
+
+/// Top-K sparsification: keep the `⌈ratio·n⌉` largest-magnitude entries,
+/// zero the rest. Biased but norm-contractive; the standard partner of
+/// error feedback (Stich et al., 2018).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopK {
+    ratio: f64,
+}
+
+impl TopK {
+    /// Creates a Top-K codec keeping a `ratio` fraction of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "sparsification ratio must be in (0, 1], got {ratio}"
+        );
+        TopK { ratio }
+    }
+
+    /// The kept fraction.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+}
+
+/// `⌈ratio·n⌉` clamped into `[1, n]`.
+fn kept_count(ratio: f64, n: usize) -> usize {
+    ((ratio * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Sparse payload size: value + index per kept entry, capped at the dense
+/// 4-bytes-per-entry encoding a real encoder would fall back to once
+/// `k > n/2` (matches [`CodecSpec::payload_fraction`]'s cap at 1).
+fn sparse_bytes(k: usize, n: usize) -> usize {
+    (k * (F32_BYTES + INDEX_BYTES)).min(n * F32_BYTES)
+}
+
+impl Compressor for TopK {
+    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
+        let x = input.as_slice();
+        let k = kept_count(self.ratio, x.len());
+        let keep = top_k_indices(x, k);
+        let mut out = Tensor::zeros(input.dims());
+        let data = out.as_mut_slice();
+        for &i in &keep {
+            data[i as usize] = x[i as usize];
+        }
+        Compressed {
+            tensor: out,
+            bytes: sparse_bytes(k, x.len()),
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> String {
+        format!("topk({})", self.ratio)
+    }
+}
+
+/// Random-K sparsification: keep `⌈ratio·n⌉` uniformly sampled entries,
+/// scaled by `n/k` so the reconstruction is unbiased.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomK {
+    ratio: f64,
+}
+
+impl RandomK {
+    /// Creates a Random-K codec keeping a `ratio` fraction of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "sparsification ratio must be in (0, 1], got {ratio}"
+        );
+        RandomK { ratio }
+    }
+
+    /// The kept fraction.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+}
+
+impl Compressor for RandomK {
+    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
+        let x = input.as_slice();
+        let n = x.len();
+        let k = kept_count(self.ratio, n);
+        // Partial Fisher-Yates: one index vector, shuffled only over the
+        // first k positions — a uniform k-subset without the extra
+        // allocations of a full shuffle.
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        for j in 0..k {
+            let r = rng.gen_range(j..n);
+            indices.swap(j, r);
+        }
+        let scale = n as f32 / k as f32;
+        let mut out = Tensor::zeros(input.dims());
+        let data = out.as_mut_slice();
+        for &i in &indices[..k] {
+            data[i as usize] = x[i as usize] * scale;
+        }
+        Compressed {
+            tensor: out,
+            bytes: sparse_bytes(k, n),
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("randk({})", self.ratio)
+    }
+}
+
+/// 1-bit sign compression (Seide et al., 2014; signSGD): each entry is
+/// replaced by `±scale` with `scale` the mean absolute value, packed one
+/// bit per entry plus the 4-byte scale. Biased; pair with error feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignOneBit;
+
+impl Compressor for SignOneBit {
+    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
+        let x = input.as_slice();
+        let n = x.len();
+        let scale = x.iter().map(|v| v.abs()).sum::<f32>() / n as f32;
+        let packed = pack_signs(x);
+        let tensor = Tensor::from_vec(unpack_signs(&packed, n, scale), input.dims())
+            .expect("sign reconstruction preserves the length");
+        Compressed {
+            tensor,
+            bytes: F32_BYTES + n.div_ceil(8),
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> String {
+        "sign".to_string()
+    }
+}
+
+/// QSGD-style stochastic quantization (Alistarh et al., 2017): entries are
+/// stochastically rounded onto `2^bits − 1` uniform levels of the bucket's
+/// `ℓ2` norm, so reconstruction is unbiased. Quantizing in buckets (default
+/// 512 entries) bounds the relative variance by `sqrt(bucket)/levels`
+/// instead of `sqrt(n)/levels` — the deployment trick from the QSGD paper,
+/// without which few-bit quantization of large tensors diverges. Payload:
+/// one 4-byte norm per bucket plus `bits + 1` bits per entry (level +
+/// sign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Qsgd {
+    bits: u8,
+    bucket: usize,
+}
+
+/// Default quantization bucket size (entries sharing one norm).
+pub const QSGD_DEFAULT_BUCKET: usize = 512;
+
+impl Qsgd {
+    /// Creates a stochastic quantizer with `bits` bits per level and the
+    /// default bucket size ([`QSGD_DEFAULT_BUCKET`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `[1, 16]`.
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "quantization bits must be in [1, 16], got {bits}"
+        );
+        Qsgd {
+            bits,
+            bucket: QSGD_DEFAULT_BUCKET,
+        }
+    }
+
+    /// Returns a copy quantizing in buckets of `bucket` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket == 0`.
+    pub fn with_bucket(mut self, bucket: usize) -> Self {
+        assert!(bucket >= 1, "bucket size must be at least 1");
+        self.bucket = bucket;
+        self
+    }
+
+    /// Bits per quantization level.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Entries sharing one quantization norm.
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+
+    /// Number of positive magnitude levels, `2^bits − 1`.
+    fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+}
+
+impl Compressor for Qsgd {
+    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
+        let x = input.as_slice();
+        let levels = self.levels();
+        let mut out = Vec::with_capacity(x.len());
+        let mut buckets = 0usize;
+        for chunk in x.chunks(self.bucket) {
+            let norm = chunk.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let q = quantize_stochastic(chunk, norm, levels, rng);
+            out.extend(dequantize(&q, norm, levels));
+            buckets += 1;
+        }
+        let tensor =
+            Tensor::from_vec(out, input.dims()).expect("quantization preserves the length");
+        let payload_bits = x.len() * (usize::from(self.bits) + 1);
+        Compressed {
+            tensor,
+            bytes: buckets * F32_BYTES + payload_bits.div_ceil(8),
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("qsgd{}bit", self.bits)
+    }
+}
+
+/// A plain-data description of a codec, used to thread the choice through
+/// configuration structs (`Copy`, `PartialEq`) and to rebuild codecs per
+/// interval when a schedule adapts the compression ratio.
+///
+/// `CodecSpec` itself implements [`Compressor`] by delegating to the codec
+/// it describes, so call sites never need boxing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CodecSpec {
+    /// Full-precision payloads ([`Identity`]).
+    #[default]
+    Identity,
+    /// Top-K sparsification keeping a `ratio` fraction of entries.
+    TopK {
+        /// Kept fraction, in `(0, 1]`.
+        ratio: f64,
+    },
+    /// Random-K sparsification keeping a `ratio` fraction of entries.
+    RandomK {
+        /// Kept fraction, in `(0, 1]`.
+        ratio: f64,
+    },
+    /// 1-bit sign compression.
+    Sign,
+    /// Stochastic quantization with `bits` bits per level.
+    Qsgd {
+        /// Bits per quantization level, in `[1, 16]`.
+        bits: u8,
+    },
+}
+
+impl CodecSpec {
+    /// Validates the parameters (same conditions as the codec
+    /// constructors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a ratio is outside `(0, 1]` or bits outside `[1, 16]`.
+    pub fn validate(&self) {
+        match *self {
+            CodecSpec::Identity | CodecSpec::Sign => {}
+            CodecSpec::TopK { ratio } => {
+                let _ = TopK::new(ratio);
+            }
+            CodecSpec::RandomK { ratio } => {
+                let _ = RandomK::new(ratio);
+            }
+            CodecSpec::Qsgd { bits } => {
+                let _ = Qsgd::new(bits);
+            }
+        }
+    }
+
+    /// The payload fraction this codec keeps relative to full precision
+    /// (approximate for quantizers: bits-per-entry over 32).
+    pub fn payload_fraction(&self) -> f64 {
+        match *self {
+            CodecSpec::Identity => 1.0,
+            // Value + index per kept entry: 8 of 4 bytes.
+            CodecSpec::TopK { ratio } | CodecSpec::RandomK { ratio } => (2.0 * ratio).min(1.0),
+            CodecSpec::Sign => 1.0 / 32.0,
+            CodecSpec::Qsgd { bits } => f64::from(bits + 1) / 32.0,
+        }
+    }
+
+    /// The sparsification keep-ratio, if this codec has one (Top-K and
+    /// Random-K only).
+    pub fn ratio(&self) -> Option<f64> {
+        match *self {
+            CodecSpec::TopK { ratio } | CodecSpec::RandomK { ratio } => Some(ratio),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of this spec with its sparsification ratio replaced
+    /// by `ratio` — the hook a τ×compression co-adaptive schedule uses.
+    /// Non-sparsifying codecs (identity, sign, QSGD) have no continuous
+    /// ratio knob and are returned unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]`.
+    pub fn with_ratio(self, ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "sparsification ratio must be in (0, 1], got {ratio}"
+        );
+        match self {
+            CodecSpec::TopK { .. } => CodecSpec::TopK { ratio },
+            CodecSpec::RandomK { .. } => CodecSpec::RandomK { ratio },
+            other => other,
+        }
+    }
+}
+
+impl Compressor for CodecSpec {
+    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
+        match *self {
+            CodecSpec::Identity => Identity.compress(input, rng),
+            CodecSpec::TopK { ratio } => TopK::new(ratio).compress(input, rng),
+            CodecSpec::RandomK { ratio } => RandomK::new(ratio).compress(input, rng),
+            CodecSpec::Sign => SignOneBit.compress(input, rng),
+            CodecSpec::Qsgd { bits } => Qsgd::new(bits).compress(input, rng),
+        }
+    }
+
+    fn is_unbiased(&self) -> bool {
+        match *self {
+            CodecSpec::Identity => Identity.is_unbiased(),
+            CodecSpec::TopK { .. } => false,
+            CodecSpec::RandomK { .. } => true,
+            CodecSpec::Sign => false,
+            CodecSpec::Qsgd { .. } => true,
+        }
+    }
+
+    fn name(&self) -> String {
+        match *self {
+            CodecSpec::Identity => Identity.name(),
+            CodecSpec::TopK { ratio } => TopK::new(ratio).name(),
+            CodecSpec::RandomK { ratio } => RandomK::new(ratio).name(),
+            CodecSpec::Sign => SignOneBit.name(),
+            CodecSpec::Qsgd { bits } => Qsgd::new(bits).name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn sample_tensor() -> Tensor {
+        Tensor::from_slice(&[0.5, -3.0, 0.1, 2.0, -0.2, 0.0, 1.5, -1.0])
+    }
+
+    #[test]
+    fn identity_is_lossless_and_full_size() {
+        let x = sample_tensor();
+        let c = Identity.compress(&x, &mut rng());
+        assert_eq!(c.tensor, x);
+        assert_eq!(c.bytes, 8 * 4);
+    }
+
+    #[test]
+    fn topk_keeps_largest_and_counts_bytes() {
+        let x = sample_tensor();
+        let c = TopK::new(0.25).compress(&x, &mut rng());
+        // k = ceil(0.25 * 8) = 2 entries: -3.0 and 2.0.
+        assert_eq!(c.bytes, 2 * 8);
+        let kept: Vec<f32> = c
+            .tensor
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|v| *v != 0.0)
+            .collect();
+        assert_eq!(kept, vec![-3.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_full_ratio_is_lossless() {
+        let x = sample_tensor();
+        let c = TopK::new(1.0).compress(&x, &mut rng());
+        assert_eq!(c.tensor, x);
+    }
+
+    #[test]
+    fn sparse_payload_never_exceeds_dense() {
+        // Above a keep-ratio of 1/2 the value+index encoding would cost
+        // more than dense; a real encoder falls back, and so do the bytes.
+        let x = sample_tensor();
+        let dense = x.len() * 4;
+        for ratio in [0.75, 1.0] {
+            assert_eq!(TopK::new(ratio).compress(&x, &mut rng()).bytes, dense);
+            assert_eq!(RandomK::new(ratio).compress(&x, &mut rng()).bytes, dense);
+        }
+        assert!(TopK::new(0.5).compress(&x, &mut rng()).bytes <= dense);
+    }
+
+    #[test]
+    fn randk_keeps_k_scaled_entries() {
+        let x = sample_tensor();
+        let c = RandomK::new(0.5).compress(&x, &mut rng());
+        assert_eq!(c.bytes, 4 * 8);
+        let kept = c.tensor.as_slice().iter().filter(|v| **v != 0.0).count();
+        // x itself has one zero entry, which may or may not be sampled.
+        assert!(kept <= 4, "kept {kept} of 4 sampled entries");
+    }
+
+    #[test]
+    fn sign_payload_is_one_bit_per_entry() {
+        let x = sample_tensor();
+        let c = SignOneBit.compress(&x, &mut rng());
+        assert_eq!(c.bytes, 4 + 1); // scale + 8 bits
+        let scale = x.as_slice().iter().map(|v| v.abs()).sum::<f32>() / 8.0;
+        for (orig, rec) in x.as_slice().iter().zip(c.tensor.as_slice()) {
+            assert_eq!(rec.abs(), scale);
+            if *orig != 0.0 {
+                assert_eq!(orig.is_sign_negative(), rec.is_sign_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn qsgd_respects_norm_bound_and_bytes() {
+        let x = sample_tensor();
+        let c = Qsgd::new(4).compress(&x, &mut rng());
+        assert_eq!(c.bytes, 4 + 8 * 5 / 8); // norm + 5 bits/entry
+        let norm = x.norm();
+        for v in c.tensor.as_slice() {
+            assert!(v.abs() <= norm * 1.001);
+        }
+    }
+
+    #[test]
+    fn qsgd_buckets_bound_bytes_and_noise() {
+        let n = 1030usize;
+        let x = Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), &[n])
+            .expect("vector tensor");
+        let c = Qsgd::new(4).compress(&x, &mut rng());
+        // 3 buckets of <= 512 entries: 3 norms + 5 bits/entry.
+        assert_eq!(c.bytes, 3 * 4 + (n * 5).div_ceil(8));
+        // Each reconstructed entry is bounded by its own bucket's norm,
+        // which is far below the whole-tensor norm for n >> bucket.
+        let full_norm = x.norm();
+        for (chunk_in, chunk_out) in x
+            .as_slice()
+            .chunks(512)
+            .zip(c.tensor.as_slice().chunks(512))
+        {
+            let bucket_norm = chunk_in.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!(bucket_norm < full_norm);
+            for v in chunk_out {
+                assert!(v.abs() <= bucket_norm * 1.001);
+            }
+        }
+        // A tiny bucket size degrades gracefully too.
+        let fine = Qsgd::new(4).with_bucket(8).compress(&x, &mut rng());
+        assert_eq!(fine.bytes, n.div_ceil(8) * 4 + (n * 5).div_ceil(8));
+    }
+
+    #[test]
+    fn qsgd_one_bit_still_works() {
+        let x = sample_tensor();
+        let c = Qsgd::new(1).compress(&x, &mut rng());
+        assert!(c.tensor.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn spec_delegates_to_codecs() {
+        let x = sample_tensor();
+        let spec = CodecSpec::TopK { ratio: 0.25 };
+        let direct = TopK::new(0.25).compress(&x, &mut rng());
+        let via_spec = spec.compress(&x, &mut rng());
+        assert_eq!(direct, via_spec);
+        assert_eq!(spec.name(), "topk(0.25)");
+        assert!(!spec.is_unbiased());
+        assert!(CodecSpec::Qsgd { bits: 4 }.is_unbiased());
+    }
+
+    #[test]
+    fn spec_ratio_override_only_touches_sparsifiers() {
+        assert_eq!(
+            CodecSpec::TopK { ratio: 0.5 }.with_ratio(0.1),
+            CodecSpec::TopK { ratio: 0.1 }
+        );
+        assert_eq!(
+            CodecSpec::RandomK { ratio: 0.5 }.with_ratio(0.1),
+            CodecSpec::RandomK { ratio: 0.1 }
+        );
+        assert_eq!(CodecSpec::Sign.with_ratio(0.1), CodecSpec::Sign);
+        assert_eq!(CodecSpec::Identity.with_ratio(0.1), CodecSpec::Identity);
+    }
+
+    #[test]
+    fn payload_fractions_ordered() {
+        assert!(
+            CodecSpec::Sign.payload_fraction() < CodecSpec::Qsgd { bits: 4 }.payload_fraction()
+        );
+        assert!(
+            CodecSpec::TopK { ratio: 0.01 }.payload_fraction()
+                < CodecSpec::Identity.payload_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0, 1]")]
+    fn zero_ratio_rejected() {
+        let _ = TopK::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in [1, 16]")]
+    fn zero_bits_rejected() {
+        let _ = Qsgd::new(0);
+    }
+}

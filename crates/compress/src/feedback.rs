@@ -1,0 +1,187 @@
+//! Error-feedback residual memory (Seide et al., 2014; Stich et al., 2018).
+//!
+//! Biased codecs (Top-K, sign) drop part of every update; error feedback
+//! keeps the dropped part locally and adds it back before the next
+//! compression, so the bias cancels over rounds and convergence is
+//! restored.
+
+use crate::codec::{Compressed, Compressor};
+use rand::rngs::StdRng;
+use tensor::Tensor;
+
+/// Per-worker residual memory, one residual tensor per parameter tensor.
+///
+/// The memory is lazily shaped on first use and validates shapes on every
+/// subsequent round.
+///
+/// # Example
+///
+/// ```
+/// use gradcomp::{ErrorFeedback, TopK};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use tensor::Tensor;
+///
+/// let mut ef = ErrorFeedback::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let update = vec![Tensor::from_slice(&[1.0, -0.1, 0.2, 3.0])];
+/// let (sent, bytes) = ef.compress(&TopK::new(0.25), &update, &mut rng);
+/// // Only the largest entry went through; the rest is remembered.
+/// assert_eq!(sent[0].as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+/// assert!(bytes < 16);
+/// assert!(ef.residual_norm() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorFeedback {
+    residuals: Vec<Tensor>,
+}
+
+impl ErrorFeedback {
+    /// Creates an empty residual memory.
+    pub fn new() -> Self {
+        ErrorFeedback::default()
+    }
+
+    /// Compresses `update` with `codec`, compensating with the stored
+    /// residuals: each tensor is compressed as `update + residual`, and the
+    /// new residual is whatever the codec dropped. Returns the compressed
+    /// (transmitted) tensors and the total payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update` has a different tensor count or shapes than the
+    /// previous round.
+    pub fn compress(
+        &mut self,
+        codec: &dyn Compressor,
+        update: &[Tensor],
+        rng: &mut StdRng,
+    ) -> (Vec<Tensor>, usize) {
+        if self.residuals.is_empty() {
+            self.residuals = update.iter().map(|t| Tensor::zeros(t.dims())).collect();
+        }
+        assert_eq!(
+            self.residuals.len(),
+            update.len(),
+            "error-feedback memory holds {} tensors but the update has {}",
+            self.residuals.len(),
+            update.len()
+        );
+        let mut sent = Vec::with_capacity(update.len());
+        let mut bytes = 0usize;
+        for (residual, u) in self.residuals.iter_mut().zip(update.iter()) {
+            let mut target = u.clone();
+            target.add_assign(residual);
+            let Compressed {
+                tensor: transmitted,
+                bytes: b,
+            } = codec.compress(&target, rng);
+            residual.copy_from(&target);
+            residual.sub_assign(&transmitted);
+            bytes += b;
+            sent.push(transmitted);
+        }
+        (sent, bytes)
+    }
+
+    /// Total `ℓ2` norm of the stored residuals (0 before the first round).
+    pub fn residual_norm(&self) -> f32 {
+        self.residuals
+            .iter()
+            .map(|r| r.norm_sq())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Drops all stored residuals (e.g. when the codec changes family).
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+
+    /// Whether any residual is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Identity, SignOneBit, TopK};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn identity_codec_leaves_no_residual() {
+        let mut ef = ErrorFeedback::new();
+        let update = vec![Tensor::from_slice(&[1.0, -2.0, 3.0])];
+        let (sent, bytes) = ef.compress(&Identity, &update, &mut rng());
+        assert_eq!(sent, update);
+        assert_eq!(bytes, 12);
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn dropped_mass_is_remembered_and_resent() {
+        let mut ef = ErrorFeedback::new();
+        let codec = TopK::new(0.25); // keeps 1 of 4 entries
+        let update = vec![Tensor::from_slice(&[1.0, 0.5, 0.25, 4.0])];
+        let (sent, _) = ef.compress(&codec, &update, &mut rng());
+        assert_eq!(sent[0].as_slice(), &[0.0, 0.0, 0.0, 4.0]);
+        // Next round sends a zero update; the residual alone drives what is
+        // transmitted, and its largest entry (1.0) goes through.
+        let zero = vec![Tensor::zeros(&[4])];
+        let (sent2, _) = ef.compress(&codec, &zero, &mut rng());
+        assert_eq!(sent2[0].as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn residuals_sum_with_updates() {
+        // Transmitted-plus-residual always equals update-plus-old-residual:
+        // nothing is lost, only delayed.
+        let mut ef = ErrorFeedback::new();
+        let codec = SignOneBit;
+        let mut carried = Tensor::zeros(&[3]);
+        for step in 0..5 {
+            let update = vec![Tensor::from_slice(&[
+                0.3 * step as f32,
+                -1.0,
+                2.0 - step as f32,
+            ])];
+            let before = ef.residuals.first().cloned().unwrap_or(Tensor::zeros(&[3]));
+            let (sent, _) = ef.compress(&codec, &update, &mut rng());
+            let mut total = update[0].clone();
+            total.add_assign(&before);
+            let mut roundtrip = sent[0].clone();
+            roundtrip.add_assign(&ef.residuals[0]);
+            assert_eq!(roundtrip, total);
+            carried.add_assign(&sent[0]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut ef = ErrorFeedback::new();
+        let update = vec![Tensor::from_slice(&[1.0, 2.0])];
+        let _ = ef.compress(&TopK::new(0.5), &update, &mut rng());
+        assert!(!ef.is_empty());
+        ef.reset();
+        assert!(ef.is_empty());
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "error-feedback memory holds")]
+    fn tensor_count_mismatch_rejected() {
+        let mut ef = ErrorFeedback::new();
+        let _ = ef.compress(&Identity, &[Tensor::zeros(&[2])], &mut rng());
+        let _ = ef.compress(
+            &Identity,
+            &[Tensor::zeros(&[2]), Tensor::zeros(&[2])],
+            &mut rng(),
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Low-level compression kernels: Top-K selection, sign bit packing and
+//! stochastic quantization.
+//!
+//! The codecs ([`crate::TopK`], [`crate::SignOneBit`], [`crate::Qsgd`])
+//! are thin wrappers around these functions; they are exported separately
+//! so the micro-benchmarks can time each kernel in isolation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Returns the indices of the `k` largest-magnitude entries of `x`,
+/// sorted ascending.
+///
+/// Ties are broken toward the lower index, which makes the selection — and
+/// therefore Top-K compression — deterministic and idempotent.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > x.len()`.
+pub fn top_k_indices(x: &[f32], k: usize) -> Vec<u32> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= x.len(), "k = {k} exceeds length {}", x.len());
+    let mut order: Vec<u32> = (0..x.len() as u32).collect();
+    // Full selection is O(n); the subsequent sort of the selected prefix is
+    // O(k log k). `select_nth_unstable_by` needs a total order, so compare
+    // (magnitude desc, index asc).
+    let cmp = |&a: &u32, &b: &u32| {
+        let ma = x[a as usize].abs();
+        let mb = x[b as usize].abs();
+        mb.partial_cmp(&ma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    };
+    if k < x.len() {
+        order.select_nth_unstable_by(k - 1, cmp);
+        order.truncate(k);
+    }
+    order.sort_unstable();
+    order
+}
+
+/// Packs the signs of `x` into 64-bit words, least-significant bit first.
+/// A set bit means the entry is negative; zero packs as non-negative.
+pub fn pack_signs(x: &[f32]) -> Vec<u64> {
+    let mut words = vec![0u64; x.len().div_ceil(64)];
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_sign_negative() && v != 0.0 {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Unpacks `n` signs from `words` (see [`pack_signs`]) into `±scale`
+/// values.
+///
+/// # Panics
+///
+/// Panics if `words` holds fewer than `n` bits.
+pub fn unpack_signs(words: &[u64], n: usize, scale: f32) -> Vec<f32> {
+    assert!(
+        words.len() * 64 >= n,
+        "need {n} bits but only {} packed",
+        words.len() * 64
+    );
+    (0..n)
+        .map(|i| {
+            if words[i / 64] >> (i % 64) & 1 == 1 {
+                -scale
+            } else {
+                scale
+            }
+        })
+        .collect()
+}
+
+/// Stochastically quantizes `x` onto `levels + 1` uniform magnitude levels
+/// per sign, QSGD-style: entry `x_i` with `p = |x_i|/norm · levels` rounds
+/// down to `⌊p⌋` with probability `1 − (p − ⌊p⌋)` and up otherwise, so the
+/// reconstruction [`dequantize`] is unbiased.
+///
+/// Returns the per-entry levels; negative entries get negative levels.
+/// `norm` should be the tensor's `ℓ2` norm (or any positive scale bounding
+/// `|x_i|`); a zero `norm` quantizes everything to level 0.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `norm` is negative/non-finite.
+pub fn quantize_stochastic(x: &[f32], norm: f32, levels: u32, rng: &mut StdRng) -> Vec<i32> {
+    assert!(levels >= 1, "need at least one quantization level");
+    assert!(
+        norm >= 0.0 && norm.is_finite(),
+        "invalid quantization norm {norm}"
+    );
+    if norm == 0.0 {
+        return vec![0; x.len()];
+    }
+    x.iter()
+        .map(|&v| {
+            let p = (v.abs() / norm).min(1.0) * levels as f32;
+            let lo = p.floor();
+            let level = if rng.gen::<f32>() < p - lo {
+                lo as i32 + 1
+            } else {
+                lo as i32
+            };
+            if v < 0.0 {
+                -level
+            } else {
+                level
+            }
+        })
+        .collect()
+}
+
+/// Reconstructs quantized values: level `ℓ` maps to `norm · ℓ / levels`.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`.
+pub fn dequantize(levels_per_entry: &[i32], norm: f32, levels: u32) -> Vec<f32> {
+    assert!(levels >= 1, "need at least one quantization level");
+    levels_per_entry
+        .iter()
+        .map(|&l| norm * l as f32 / levels as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_k_finds_largest_magnitudes() {
+        let x = [0.1, -5.0, 2.0, -0.3, 4.0];
+        assert_eq!(top_k_indices(&x, 2), vec![1, 4]);
+        assert_eq!(top_k_indices(&x, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let x = [1.0, -1.0, 1.0];
+        assert_eq!(top_k_indices(&x, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn top_k_rejects_oversized_k() {
+        let _ = top_k_indices(&[1.0], 2);
+    }
+
+    #[test]
+    fn signs_roundtrip() {
+        let x = [1.5, -0.25, 0.0, -7.0, 3.0];
+        let packed = pack_signs(&x);
+        let back = unpack_signs(&packed, x.len(), 2.0);
+        assert_eq!(back, vec![2.0, -2.0, 2.0, -2.0, 2.0]);
+    }
+
+    #[test]
+    fn signs_pack_across_word_boundaries() {
+        let x: Vec<f32> = (0..130)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let packed = pack_signs(&x);
+        assert_eq!(packed.len(), 3);
+        let back = unpack_signs(&packed, x.len(), 1.0);
+        for (i, v) in back.iter().enumerate() {
+            assert_eq!(*v < 0.0, i % 3 == 0, "sign mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_unbiased_on_average() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = [0.3f32, -0.7, 0.5];
+        let norm = 1.0;
+        let n = 20_000;
+        let mut sums = [0.0f64; 3];
+        for _ in 0..n {
+            let q = quantize_stochastic(&x, norm, 4, &mut rng);
+            let d = dequantize(&q, norm, 4);
+            for (s, v) in sums.iter_mut().zip(d.iter()) {
+                *s += f64::from(*v);
+            }
+        }
+        for (s, v) in sums.iter().zip(x.iter()) {
+            let mean = s / f64::from(n);
+            assert!(
+                (mean - f64::from(*v)).abs() < 0.01,
+                "biased reconstruction: {mean} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_zero_norm_gives_zero_levels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = quantize_stochastic(&[1.0, -1.0], 0.0, 4, &mut rng);
+        assert_eq!(q, vec![0, 0]);
+    }
+
+    #[test]
+    fn dequantize_maps_levels_linearly() {
+        assert_eq!(dequantize(&[0, 2, -4], 2.0, 4), vec![0.0, 1.0, -2.0]);
+    }
+}

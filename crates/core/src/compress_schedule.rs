@@ -1,0 +1,244 @@
+//! τ×compression co-adaptation: AdaComm's loss-proportional rule applied
+//! to *both* halves of the communication budget.
+//!
+//! The paper adapts the communication frequency τ (eq. 17); related work
+//! (Hanna et al., 2022) shows the same error-runtime frontier is shaped by
+//! the *size* of each averaging message. [`AdaCommCompress`] runs the two
+//! knobs together on the same wall-clock interval protocol:
+//!
+//! * **τ** follows the inner [`AdaComm`] exactly — large early, shrinking
+//!   with `sqrt(F_l / F_0)` as the loss drops (eqs. 17–18);
+//! * **fidelity** follows the mirrored rule: the sparsification keep-ratio
+//!   starts at an aggressive `k0` and *grows* with `sqrt(F_0 / F_l)`, so a
+//!   run communicates coarsely while far from the optimum and sharpens the
+//!   messages as it approaches the error floor — the compression analogue
+//!   of decaying τ to 1.
+
+use crate::schedule::{AdaComm, AdaCommConfig, CommSchedule, ScheduleContext};
+use gradcomp::CodecSpec;
+
+/// A scheduler co-adapting the communication period and the compression
+/// ratio over wall-clock intervals.
+///
+/// The τ side delegates to an inner [`AdaComm`]; the codec side applies
+/// the loss-proportional fidelity rule
+///
+/// ```text
+/// ratio_l = clamp( k0 · sqrt(F(x_0) / F(x_{lT0})),  k0,  1 )
+/// ```
+///
+/// to sparsifying codecs (Top-K / Random-K), monotonically non-decreasing
+/// so loss noise never *coarsens* the messages (the same robustness
+/// consideration as eq. 18). Codecs without a continuous ratio knob
+/// (sign, QSGD, identity) are held fixed while τ still adapts.
+///
+/// # Example
+///
+/// ```
+/// use adacomm::{AdaCommCompress, AdaCommConfig, CommSchedule, ScheduleContext};
+/// use gradcomp::CodecSpec;
+///
+/// let mut s = AdaCommCompress::new(
+///     AdaCommConfig { tau0: 16, ..AdaCommConfig::default() },
+///     CodecSpec::TopK { ratio: 0.01 },
+/// );
+/// let ctx = ScheduleContext {
+///     interval_index: 1, wall_clock: 60.0,
+///     current_loss: 0.25, initial_loss: 1.0,
+///     current_lr: 0.2, initial_lr: 0.2,
+/// };
+/// assert_eq!(s.next_tau(&ctx), 8); // ceil(sqrt(0.25) * 16)
+/// let codec = s.codec_override(&ctx).unwrap();
+/// // Fidelity doubled: 0.01 * sqrt(1/0.25) = 0.02.
+/// assert!((codec.ratio().unwrap() - 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaCommCompress {
+    inner: AdaComm,
+    codec0: CodecSpec,
+    current: CodecSpec,
+}
+
+impl AdaCommCompress {
+    /// Creates a co-adaptive scheduler from an AdaComm configuration and
+    /// the starting codec (whose ratio, for sparsifiers, is the most
+    /// aggressive fidelity the schedule will ever use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`AdaComm::new`]) or `codec0`
+    /// has invalid parameters.
+    pub fn new(config: AdaCommConfig, codec0: CodecSpec) -> Self {
+        codec0.validate();
+        AdaCommCompress {
+            inner: AdaComm::new(config),
+            codec0,
+            current: codec0,
+        }
+    }
+
+    /// Convenience constructor: the paper's AdaComm defaults with a given
+    /// `τ0`, co-adapted with Top-K starting at keep-ratio `k0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau0 == 0` or `k0` is outside `(0, 1]`.
+    pub fn top_k(tau0: usize, k0: f64) -> Self {
+        AdaCommCompress::new(
+            AdaCommConfig {
+                tau0,
+                max_tau: AdaCommConfig::default().max_tau.max(tau0),
+                ..AdaCommConfig::default()
+            },
+            CodecSpec::TopK { ratio: k0 },
+        )
+    }
+
+    /// The codec currently in effect.
+    pub fn codec(&self) -> CodecSpec {
+        self.current
+    }
+
+    /// The starting codec.
+    pub fn initial_codec(&self) -> CodecSpec {
+        self.codec0
+    }
+}
+
+impl CommSchedule for AdaCommCompress {
+    fn next_tau(&mut self, ctx: &ScheduleContext) -> usize {
+        self.inner.next_tau(ctx)
+    }
+
+    fn codec_override(&mut self, ctx: &ScheduleContext) -> Option<CodecSpec> {
+        if let (Some(k0), Some(prev)) = (self.codec0.ratio(), self.current.ratio()) {
+            let loss_ratio = if ctx.current_loss > 0.0 && ctx.initial_loss > 0.0 {
+                ctx.initial_loss / ctx.current_loss
+            } else {
+                1.0
+            };
+            let candidate = k0 * loss_ratio.sqrt();
+            // Monotone non-decreasing fidelity, clamped to full precision.
+            let ratio = candidate.clamp(prev, 1.0);
+            self.current = self.current.with_ratio(ratio);
+        }
+        Some(self.current)
+    }
+
+    fn name(&self) -> String {
+        use gradcomp::Compressor as _;
+        format!("adacomm-x-{}", self.codec0.name())
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.current = self.codec0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(l: usize, loss: f64, f0: f64) -> ScheduleContext {
+        ScheduleContext {
+            interval_index: l,
+            wall_clock: l as f64 * 60.0,
+            current_loss: loss,
+            initial_loss: f0,
+            current_lr: 0.2,
+            initial_lr: 0.2,
+        }
+    }
+
+    #[test]
+    fn tau_side_matches_plain_adacomm() {
+        let config = AdaCommConfig {
+            tau0: 10,
+            ..AdaCommConfig::default()
+        };
+        let mut plain = AdaComm::new(config);
+        let mut co = AdaCommCompress::new(config, CodecSpec::TopK { ratio: 0.01 });
+        for (l, loss) in [(0, 2.0), (1, 1.0), (2, 0.5), (3, 0.2)] {
+            assert_eq!(
+                plain.next_tau(&ctx(l, loss, 2.0)),
+                co.next_tau(&ctx(l, loss, 2.0))
+            );
+        }
+    }
+
+    #[test]
+    fn fidelity_grows_as_loss_drops() {
+        let mut s = AdaCommCompress::top_k(16, 0.01);
+        let r0 = s
+            .codec_override(&ctx(0, 1.0, 1.0))
+            .unwrap()
+            .ratio()
+            .unwrap();
+        assert!((r0 - 0.01).abs() < 1e-12);
+        let r1 = s
+            .codec_override(&ctx(1, 0.25, 1.0))
+            .unwrap()
+            .ratio()
+            .unwrap();
+        assert!((r1 - 0.02).abs() < 1e-12);
+        let r2 = s
+            .codec_override(&ctx(2, 0.01, 1.0))
+            .unwrap()
+            .ratio()
+            .unwrap();
+        assert!((r2 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_monotone_under_loss_noise() {
+        let mut s = AdaCommCompress::top_k(16, 0.05);
+        let _ = s.codec_override(&ctx(1, 0.05, 1.0));
+        let sharp = s.codec().ratio().unwrap();
+        // Loss bounces back up: the ratio must not coarsen.
+        let _ = s.codec_override(&ctx(2, 0.8, 1.0));
+        assert_eq!(s.codec().ratio().unwrap(), sharp);
+    }
+
+    #[test]
+    fn fidelity_caps_at_full_precision() {
+        let mut s = AdaCommCompress::top_k(16, 0.1);
+        let _ = s.codec_override(&ctx(1, 1e-6, 1.0));
+        assert_eq!(s.codec().ratio().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn non_sparsifying_codecs_stay_fixed() {
+        let mut s = AdaCommCompress::new(AdaCommConfig::default(), CodecSpec::Sign);
+        assert_eq!(s.codec_override(&ctx(1, 0.01, 1.0)), Some(CodecSpec::Sign));
+        let mut q = AdaCommCompress::new(AdaCommConfig::default(), CodecSpec::Qsgd { bits: 4 });
+        assert_eq!(
+            q.codec_override(&ctx(1, 0.01, 1.0)),
+            Some(CodecSpec::Qsgd { bits: 4 })
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_codec() {
+        let mut s = AdaCommCompress::top_k(16, 0.02);
+        let _ = s.next_tau(&ctx(0, 1.0, 1.0));
+        let _ = s.codec_override(&ctx(1, 0.01, 1.0));
+        s.reset();
+        assert_eq!(s.codec(), CodecSpec::TopK { ratio: 0.02 });
+        assert_eq!(s.next_tau(&ctx(0, 1.0, 1.0)), 16);
+    }
+
+    #[test]
+    fn name_identifies_codec() {
+        assert_eq!(
+            AdaCommCompress::top_k(8, 0.01).name(),
+            "adacomm-x-topk(0.01)"
+        );
+    }
+
+    #[test]
+    fn plain_schedulers_have_no_codec_override() {
+        let mut s = crate::FixedComm::new(4);
+        assert_eq!(s.codec_override(&ctx(0, 1.0, 1.0)), None);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`AdaComm`] — the paper's adaptive rule: eq. 17 (basic), eq. 18
 //!   (multiplicative γ-decay refinement) and eq. 19/20 (learning-rate
 //!   coupling);
+//! * [`AdaCommCompress`] — the τ×compression co-adaptive extension: the
+//!   same loss-proportional rule drives the communication period *and* the
+//!   sparsification ratio of a `gradcomp` codec;
 //! * [`LrSchedule`] — constant and step learning-rate schedules, plus the
 //!   paper's "decay `τ` to 1 before decaying `η`" interaction;
 //! * [`theory`] — Theorem 1's error-runtime bound (eq. 13), Theorem 2's
@@ -49,11 +52,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compress_schedule;
 mod grid;
 mod lr;
 mod schedule;
 pub mod theory;
 
+pub use compress_schedule::AdaCommCompress;
 pub use grid::select_tau0;
 pub use lr::LrSchedule;
 pub use schedule::{AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, ScheduleContext};

@@ -1,5 +1,7 @@
 //! Communication-period schedulers: fixed-τ baselines and AdaComm.
 
+use gradcomp::CodecSpec;
+
 /// Everything a scheduler may consult at a `T0` interval boundary.
 ///
 /// The simulator fills this in at the start of every wall-clock interval;
@@ -28,6 +30,16 @@ pub struct ScheduleContext {
 pub trait CommSchedule: Send {
     /// The communication period to use for the upcoming interval.
     fn next_tau(&mut self, ctx: &ScheduleContext) -> usize;
+
+    /// The gradient-compression codec for the upcoming interval, or `None`
+    /// to keep whatever the run was configured with. Schedulers that
+    /// co-adapt τ and compression (e.g. [`crate::AdaCommCompress`])
+    /// override this; the driver consults it right after
+    /// [`CommSchedule::next_tau`] at every interval boundary.
+    fn codec_override(&mut self, ctx: &ScheduleContext) -> Option<CodecSpec> {
+        let _ = ctx;
+        None
+    }
 
     /// Short name used in experiment reports (e.g. `"adacomm"`, `"tau=20"`).
     fn name(&self) -> String;

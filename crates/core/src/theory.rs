@@ -118,6 +118,64 @@ pub fn error_runtime_bound(params: &TheoryParams, y: f64, d: f64, tau: usize, ti
     opt_term + noise_floor + local_noise
 }
 
+/// Expected communication time of one averaging round under a bytes-aware
+/// delay model: `latency + β·B·c`, where `latency` is the payload-free
+/// delay, `β` the seconds-per-byte bandwidth cost, `B` the full-precision
+/// payload in bytes, and `c ∈ (0, 1]` the codec's payload fraction
+/// (`gradcomp::CodecSpec::payload_fraction`).
+///
+/// This is the runtime-model counterpart of substituting a compressed `d`
+/// into Theorem 1's bound (eq. 13) and Theorem 2's `τ*` (eq. 14):
+/// compression shrinks the effective `d`, which shifts the whole
+/// error-runtime frontier left and *lowers* the optimal communication
+/// period for the same wall-clock budget.
+///
+/// # Panics
+///
+/// Panics if any argument is negative/non-finite or
+/// `payload_fraction` is outside `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use adacomm::theory::{compressed_comm_time, tau_star, TheoryParams};
+///
+/// // 180 ms full-precision round, 90% of it bandwidth: a 1% Top-K payload
+/// // (2% of the bytes, value + index) cuts the round below 22 ms.
+/// let full = compressed_comm_time(0.018, 3e-10, 540e6, 1.0);
+/// let compressed = compressed_comm_time(0.018, 3e-10, 540e6, 0.02);
+/// assert!((full - 0.18).abs() < 1e-9);
+/// assert!(compressed < 0.022);
+///
+/// // And the cheaper round lowers tau* (eq. 14 with the compressed d).
+/// let p = TheoryParams::figure6();
+/// assert!(tau_star(&p, compressed, 100.0) < tau_star(&p, full, 100.0));
+/// ```
+pub fn compressed_comm_time(
+    latency: f64,
+    seconds_per_byte: f64,
+    full_bytes: f64,
+    payload_fraction: f64,
+) -> f64 {
+    assert!(
+        latency >= 0.0 && latency.is_finite(),
+        "invalid latency {latency}"
+    );
+    assert!(
+        seconds_per_byte >= 0.0 && seconds_per_byte.is_finite(),
+        "invalid seconds-per-byte {seconds_per_byte}"
+    );
+    assert!(
+        full_bytes >= 0.0 && full_bytes.is_finite(),
+        "invalid payload bytes {full_bytes}"
+    );
+    assert!(
+        payload_fraction > 0.0 && payload_fraction <= 1.0,
+        "payload fraction must be in (0, 1], got {payload_fraction}"
+    );
+    latency + seconds_per_byte * full_bytes * payload_fraction
+}
+
 /// The error floor of eq. 13 as `T → ∞`: `ηLσ²/m + η²L²σ²(τ−1)`.
 ///
 /// # Panics
@@ -448,6 +506,36 @@ mod tests {
             rep_dec.sum_lr2_tau,
             rep_const.sum_lr2_tau
         );
+    }
+
+    #[test]
+    fn compressed_comm_time_interpolates() {
+        // Fraction 1 recovers the full cost; the latency is the floor.
+        let full = compressed_comm_time(0.02, 1e-9, 160e6, 1.0);
+        assert!((full - 0.18).abs() < 1e-12);
+        let floor = compressed_comm_time(0.02, 1e-9, 160e6, 1e-9_f64.max(1e-9));
+        assert!(floor > 0.02 && floor < full);
+        // Monotone in the payload fraction.
+        let mut prev = 0.0;
+        for f in [0.01, 0.1, 0.5, 1.0] {
+            let t = compressed_comm_time(0.02, 1e-9, 160e6, f);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn compression_lowers_tau_star() {
+        let p = TheoryParams::figure6();
+        let full = compressed_comm_time(0.1, 1e-9, 9e8, 1.0);
+        let sparse = compressed_comm_time(0.1, 1e-9, 9e8, 0.02);
+        assert!(tau_star(&p, sparse, 500.0) < tau_star(&p, full, 500.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload fraction must be in (0, 1]")]
+    fn zero_payload_fraction_rejected() {
+        let _ = compressed_comm_time(0.1, 1e-9, 1e6, 0.0);
     }
 
     #[test]

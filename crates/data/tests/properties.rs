@@ -59,12 +59,12 @@ proptest! {
         let mut it = BatchIter::new(ds.clone(), 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let (x, y) = it.next_batch(&mut rng);
-        for r in 0..4 {
+        for (r, &label) in y.iter().enumerate().take(4) {
             let row = x.row(r);
             // find the matching row in the source dataset
             let found = (0..ds.len()).find(|&i| ds.features().row(i) == row);
             prop_assert!(found.is_some());
-            prop_assert_eq!(ds.labels()[found.unwrap()], y[r]);
+            prop_assert_eq!(ds.labels()[found.unwrap()], label);
         }
     }
 

@@ -35,8 +35,19 @@ impl CommScaling {
     }
 }
 
-/// The communication-delay model: a base delay distribution `D0` scaled by
-/// [`CommScaling`].
+/// The communication-delay model: a per-round latency distribution `D0`
+/// plus an optional per-byte bandwidth term, both scaled by
+/// [`CommScaling`]:
+///
+/// ```text
+/// D(B) = (D0 + β·B) · s(m)
+/// ```
+///
+/// where `B` is the round's payload in bytes and `β` the seconds-per-byte
+/// bandwidth cost. With `β = 0` (the default and the paper's setting) the
+/// model reduces to eq. 5's pure latency `D = D0·s(m)`; a positive `β`
+/// makes compressed averaging rounds genuinely cheaper on the simulated
+/// clock.
 ///
 /// # Example
 ///
@@ -45,18 +56,42 @@ impl CommScaling {
 ///
 /// let comm = CommModel::new(DelayDistribution::constant(0.5), CommScaling::LogTree);
 /// assert_eq!(comm.mean_delay(4), 0.5 * 2.0 * 2.0); // 2·log2(4) = 4
+///
+/// // 10 MB at 1e-8 s/byte (~100 MB/s effective bandwidth) on top of the
+/// // 0.5 s latency, before worker scaling.
+/// let comm = comm.with_bandwidth(1e-8);
+/// assert_eq!(comm.mean_delay_bytes(4, 10e6), (0.5 + 0.1) * 4.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommModel {
     base: DelayDistribution,
     scaling: CommScaling,
+    seconds_per_byte: f64,
 }
 
 impl CommModel {
-    /// Creates a communication model from a base delay `D0` and a scaling
-    /// law `s(m)`.
+    /// Creates a latency-only communication model from a base delay `D0`
+    /// and a scaling law `s(m)`.
     pub fn new(base: DelayDistribution, scaling: CommScaling) -> Self {
-        CommModel { base, scaling }
+        CommModel {
+            base,
+            scaling,
+            seconds_per_byte: 0.0,
+        }
+    }
+
+    /// Returns a copy with a per-byte bandwidth cost of `seconds_per_byte`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds_per_byte` is negative or non-finite.
+    pub fn with_bandwidth(mut self, seconds_per_byte: f64) -> Self {
+        assert!(
+            seconds_per_byte >= 0.0 && seconds_per_byte.is_finite(),
+            "seconds-per-byte must be non-negative and finite, got {seconds_per_byte}"
+        );
+        self.seconds_per_byte = seconds_per_byte;
+        self
     }
 
     /// A model with a constant delay and no worker scaling — the setting of
@@ -79,22 +114,58 @@ impl CommModel {
         self.scaling
     }
 
-    /// Expected delay `E[D] = E[D0]·s(m)` for `m` workers.
+    /// The per-byte bandwidth cost `β` in seconds (0 for latency-only
+    /// models).
+    pub fn seconds_per_byte(&self) -> f64 {
+        self.seconds_per_byte
+    }
+
+    /// Expected latency-only delay `E[D] = E[D0]·s(m)` for `m` workers
+    /// (the payload-free cost; see [`CommModel::mean_delay_bytes`]).
     ///
     /// # Panics
     ///
     /// Panics if `m == 0`.
     pub fn mean_delay(&self, m: usize) -> f64 {
-        self.base.mean() * self.scaling.factor(m)
+        self.mean_delay_bytes(m, 0.0)
     }
 
-    /// Draws one communication delay for `m` workers.
+    /// Expected delay `E[D(B)] = (E[D0] + β·B)·s(m)` for a round carrying
+    /// `bytes` of payload per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `bytes` is negative or non-finite.
+    pub fn mean_delay_bytes(&self, m: usize, bytes: f64) -> f64 {
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "payload bytes must be non-negative and finite, got {bytes}"
+        );
+        (self.base.mean() + self.seconds_per_byte * bytes) * self.scaling.factor(m)
+    }
+
+    /// Draws one latency-only communication delay for `m` workers.
     ///
     /// # Panics
     ///
     /// Panics if `m == 0`.
     pub fn sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> f64 {
-        self.base.sample(rng) * self.scaling.factor(m)
+        self.sample_bytes(m, 0.0, rng)
+    }
+
+    /// Draws one communication delay for `m` workers moving `bytes` of
+    /// payload per worker: latency is stochastic, the byte term
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `bytes` is negative or non-finite.
+    pub fn sample_bytes<R: Rng + ?Sized>(&self, m: usize, bytes: f64, rng: &mut R) -> f64 {
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "payload bytes must be non-negative and finite, got {bytes}"
+        );
+        (self.base.sample(rng) + self.seconds_per_byte * bytes) * self.scaling.factor(m)
     }
 }
 
@@ -141,6 +212,43 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(c.sample(3, &mut rng), 0.75);
         assert_eq!(c.mean_delay(3), 0.75);
+    }
+
+    #[test]
+    fn bandwidth_term_charges_per_byte() {
+        let c = CommModel::constant(0.1).with_bandwidth(1e-6);
+        // 100 kB at 1 µs/byte: 0.1 s latency + 0.1 s transfer.
+        assert!((c.mean_delay_bytes(4, 100_000.0) - 0.2).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((c.sample_bytes(4, 100_000.0, &mut rng) - 0.2).abs() < 1e-12);
+        // Zero payload reduces to the latency-only model.
+        assert_eq!(c.mean_delay_bytes(4, 0.0), c.mean_delay(4));
+    }
+
+    #[test]
+    fn bandwidth_scales_with_workers() {
+        let c = CommModel::new(DelayDistribution::constant(0.0), CommScaling::Linear)
+            .with_bandwidth(1e-3);
+        assert!((c.mean_delay_bytes(5, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_bandwidth_is_zero() {
+        let c = CommModel::constant(0.5);
+        assert_eq!(c.seconds_per_byte(), 0.0);
+        assert_eq!(c.mean_delay_bytes(4, 1e9), c.mean_delay(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "seconds-per-byte must be non-negative")]
+    fn negative_bandwidth_rejected() {
+        let _ = CommModel::constant(0.5).with_bandwidth(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload bytes must be non-negative")]
+    fn negative_bytes_rejected() {
+        let _ = CommModel::constant(0.5).mean_delay_bytes(4, -1.0);
     }
 
     #[test]

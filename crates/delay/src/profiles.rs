@@ -87,6 +87,42 @@ impl HardwareProfile {
         self.runtime_model(m).alpha()
     }
 
+    /// Builds a **bytes-aware** [`RuntimeModel`]: the profile's mean
+    /// communication delay is split into a latency part
+    /// (`1 − bandwidth_fraction`) and a per-byte bandwidth part calibrated
+    /// so that a full-precision payload of `full_payload_bytes` costs the
+    /// profile's original mean delay. A compressed averaging round carrying
+    /// fewer bytes then lands between the latency floor and the full cost.
+    ///
+    /// `bandwidth_fraction = 0` recovers [`HardwareProfile::runtime_model`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `bandwidth_fraction` is outside `[0, 1)`, or
+    /// `full_payload_bytes` is not positive and finite.
+    pub fn bytes_aware_runtime_model(
+        &self,
+        m: usize,
+        bandwidth_fraction: f64,
+        full_payload_bytes: f64,
+    ) -> RuntimeModel {
+        assert!(
+            (0.0..1.0).contains(&bandwidth_fraction),
+            "bandwidth fraction must be in [0, 1), got {bandwidth_fraction}"
+        );
+        assert!(
+            full_payload_bytes > 0.0 && full_payload_bytes.is_finite(),
+            "full payload bytes must be positive and finite, got {full_payload_bytes}"
+        );
+        let seconds_per_byte = self.comm_base.mean() * bandwidth_fraction / full_payload_bytes;
+        let comm = CommModel::new(
+            self.comm_base.scaled(1.0 - bandwidth_fraction),
+            self.scaling,
+        )
+        .with_bandwidth(seconds_per_byte);
+        RuntimeModel::new(self.compute, comm, m)
+    }
+
     /// Returns a copy with both compute and communication delays scaled by
     /// `factor`. The ratio α is preserved, so experiments keep the paper's
     /// regime while the number of simulated iterations per wall-clock second
@@ -199,5 +235,37 @@ mod tests {
     #[should_panic(expected = "time scale must be positive")]
     fn zero_time_scale_rejected() {
         let _ = vgg16_profile().time_scaled(0.0);
+    }
+
+    #[test]
+    fn bytes_aware_model_preserves_full_precision_cost() {
+        let profile = vgg16_profile();
+        let payload = 552e6; // 138 M f32 parameters
+        let plain = profile.runtime_model(4);
+        let aware = profile.bytes_aware_runtime_model(4, 0.9, payload);
+        // Full payload: same mean cost as the latency-only profile.
+        let full_cost = aware.comm().mean_delay_bytes(4, payload);
+        assert!((full_cost - plain.comm().mean_delay(4)).abs() < 1e-9);
+        // A 1% payload collapses toward the latency floor.
+        let small = aware.comm().mean_delay_bytes(4, payload * 0.01);
+        assert!(
+            small < 0.12 * full_cost + 1e-12,
+            "got {small} vs {full_cost}"
+        );
+        assert!(small > 0.09 * full_cost);
+    }
+
+    #[test]
+    fn zero_bandwidth_fraction_recovers_plain_model() {
+        let profile = resnet50_profile();
+        let aware = profile.bytes_aware_runtime_model(4, 0.0, 1e6);
+        assert_eq!(aware.comm().seconds_per_byte(), 0.0);
+        assert!((aware.alpha() - profile.alpha(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth fraction must be in [0, 1)")]
+    fn full_bandwidth_fraction_rejected() {
+        let _ = vgg16_profile().bytes_aware_runtime_model(4, 1.0, 1e6);
     }
 }

@@ -107,6 +107,26 @@ impl RuntimeModel {
     ///
     /// Panics if `tau == 0`.
     pub fn sample_round<R: Rng + ?Sized>(&self, tau: usize, rng: &mut R) -> RoundSample {
+        self.sample_round_bytes(tau, 0.0, rng)
+    }
+
+    /// Samples one PASGD round whose averaging step carries `bytes` of
+    /// payload per worker: the slowest worker's compute time plus one
+    /// bytes-aware communication delay (see [`CommModel::sample_bytes`]).
+    ///
+    /// With a latency-only [`CommModel`] (`β = 0`) this is identical to
+    /// [`RuntimeModel::sample_round`]; with a positive bandwidth term a
+    /// compressed round is genuinely cheaper on the simulated clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0` or `bytes` is negative or non-finite.
+    pub fn sample_round_bytes<R: Rng + ?Sized>(
+        &self,
+        tau: usize,
+        bytes: f64,
+        rng: &mut R,
+    ) -> RoundSample {
         assert!(tau > 0, "communication period must be positive");
         let mut slowest = f64::NEG_INFINITY;
         for _ in 0..self.workers {
@@ -115,7 +135,7 @@ impl RuntimeModel {
         }
         RoundSample {
             compute: slowest,
-            comm: self.comm.sample(self.workers, rng),
+            comm: self.comm.sample_bytes(self.workers, bytes, rng),
         }
     }
 
@@ -323,6 +343,32 @@ mod tests {
         let model = constant_model(1.0, 1.0, 2);
         let mut rng = StdRng::seed_from_u64(6);
         assert_eq!(model.per_iteration_samples(5, 32, &mut rng).len(), 32);
+    }
+
+    #[test]
+    fn bytes_round_charges_bandwidth() {
+        let model = RuntimeModel::new(
+            DelayDistribution::constant(1.0),
+            CommModel::constant(0.5).with_bandwidth(1e-6),
+            3,
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let full = model.sample_round_bytes(4, 1_000_000.0, &mut rng);
+        let compressed = model.sample_round_bytes(4, 10_000.0, &mut rng);
+        // 1 MB at 1 µs/byte adds 1.0 s; 10 kB adds 0.01 s.
+        assert!((full.comm - 1.5).abs() < 1e-12);
+        assert!((compressed.comm - 0.51).abs() < 1e-12);
+        assert!(compressed.total() < full.total());
+    }
+
+    #[test]
+    fn zero_bytes_round_matches_plain_round() {
+        let model = constant_model(1.0, 0.5, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = model.sample_round(3, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = model.sample_round_bytes(3, 0.0, &mut rng);
+        assert_eq!(a, b);
     }
 
     #[test]

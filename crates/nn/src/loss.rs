@@ -46,12 +46,11 @@ fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let (batch, classes) = check(logits, labels);
     let mut grad = Tensor::zeros(&[batch, classes]);
     let mut total = 0.0f64;
-    for r in 0..batch {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[r];
         // loss = -log softmax[label]
         total += -f64::from((exps[label] / sum).max(f32::MIN_POSITIVE).ln());
         let grow = grad.row_mut(r);
@@ -70,11 +69,11 @@ fn mse_one_hot(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let n = (batch * classes) as f32;
     let mut grad = Tensor::zeros(&[batch, classes]);
     let mut total = 0.0f64;
-    for r in 0..batch {
+    for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let grow = grad.row_mut(r);
         for c in 0..classes {
-            let target = if c == labels[r] { 1.0 } else { 0.0 };
+            let target = if c == label { 1.0 } else { 0.0 };
             let diff = row[c] - target;
             total += f64::from(diff * diff);
             grow[c] = 2.0 * diff / n;

@@ -135,7 +135,7 @@ mod tests {
         let mut empty: Vec<u32> = vec![];
         let out: Vec<u32> = empty.par_iter_mut().map(|x| *x).collect();
         assert!(out.is_empty());
-        let mut one = vec![5u32];
+        let mut one = [5u32];
         let out: Vec<u32> = one.par_iter_mut().map(|x| *x + 1).collect();
         assert_eq!(out, vec![6]);
     }

@@ -3,6 +3,7 @@
 
 use crate::{AveragingStrategy, BlockMomentum, MomentumMode, Worker};
 use delay::RuntimeModel;
+use gradcomp::CodecSpec;
 use nn::{average_params, Network, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +25,10 @@ pub struct ClusterConfig {
     pub momentum: MomentumMode,
     /// How local models are combined at synchronization points.
     pub averaging: AveragingStrategy,
+    /// Gradient-compression codec applied to every averaging message
+    /// ([`CodecSpec::Identity`] reproduces the paper's full-precision
+    /// setting exactly).
+    pub codec: CodecSpec,
     /// Base RNG seed; worker RNGs and the delay stream derive from it.
     pub seed: u64,
     /// Cap on the number of examples used when evaluating training loss
@@ -40,6 +45,7 @@ impl Default for ClusterConfig {
             weight_decay: 5e-4,
             momentum: MomentumMode::None,
             averaging: AveragingStrategy::FullAverage,
+            codec: CodecSpec::Identity,
             seed: 0,
             eval_subset: 1024,
         }
@@ -85,6 +91,7 @@ pub struct PasgdCluster {
     runtime: RuntimeModel,
     momentum: MomentumMode,
     averaging: AveragingStrategy,
+    codec: CodecSpec,
     block: Option<BlockMomentum>,
     delay_rng: StdRng,
     clock: f64,
@@ -92,6 +99,8 @@ pub struct PasgdCluster {
     rounds: u64,
     comm_time: f64,
     compute_time: f64,
+    comm_bytes: f64,
+    full_payload_bytes: usize,
     current_lr: f32,
     batch_size: usize,
     train_eval: (Tensor, Vec<usize>),
@@ -126,6 +135,7 @@ impl PasgdCluster {
         );
         config.momentum.validate();
         config.averaging.validate();
+        config.codec.validate();
         assert!(
             matches!(config.averaging, AveragingStrategy::FullAverage)
                 || !matches!(config.momentum, MomentumMode::Block { .. }),
@@ -145,7 +155,7 @@ impl PasgdCluster {
             }
             opt
         };
-        let workers: Vec<Worker> = shards
+        let mut workers: Vec<Worker> = shards
             .into_iter()
             .enumerate()
             .map(|(id, shard)| {
@@ -159,6 +169,11 @@ impl PasgdCluster {
                 )
             })
             .collect();
+        if !matches!(config.codec, CodecSpec::Identity) {
+            for w in &mut workers {
+                w.set_reference_tracking(true);
+            }
+        }
 
         let block = match config.momentum {
             MomentumMode::Block { global, .. } => {
@@ -175,11 +190,17 @@ impl PasgdCluster {
         let train_eval = train.gather(&(0..eval_n).collect::<Vec<_>>());
         let test_eval = test.gather(&(0..test.len()).collect::<Vec<_>>());
 
+        let full_payload_bytes = model
+            .params_snapshot()
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<f32>())
+            .sum();
         PasgdCluster {
             workers,
             runtime,
             momentum: config.momentum,
             averaging: config.averaging,
+            codec: config.codec,
             block,
             delay_rng: StdRng::seed_from_u64(config.seed ^ 0xD15C_0C1C_D15C_0C1C),
             clock: 0.0,
@@ -187,6 +208,8 @@ impl PasgdCluster {
             rounds: 0,
             comm_time: 0.0,
             compute_time: 0.0,
+            comm_bytes: 0.0,
+            full_payload_bytes,
             current_lr: config.lr,
             batch_size: config.batch_size,
             train_eval,
@@ -222,6 +245,59 @@ impl PasgdCluster {
     /// Cumulative simulated computation time (slowest-worker path).
     pub fn compute_time(&self) -> f64 {
         self.compute_time
+    }
+
+    /// Cumulative per-worker communication payload in bytes: the sum over
+    /// rounds of the (largest) encoded message one worker transmitted.
+    pub fn comm_bytes(&self) -> f64 {
+        self.comm_bytes
+    }
+
+    /// Size in bytes of one full-precision averaging message (4 bytes per
+    /// model parameter).
+    pub fn full_payload_bytes(&self) -> usize {
+        self.full_payload_bytes
+    }
+
+    /// The codec currently applied to averaging messages.
+    pub fn codec(&self) -> CodecSpec {
+        self.codec
+    }
+
+    /// Replaces the codec for subsequent averaging steps — the hook a
+    /// τ×compression co-adaptive schedule uses at interval boundaries.
+    ///
+    /// Error-feedback residuals are kept across ratio changes within the
+    /// same codec family (they remain valid compensation state) and
+    /// dropped when the codec family changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codec` has invalid parameters.
+    pub fn set_codec(&mut self, codec: CodecSpec) {
+        codec.validate();
+        let same_family = std::mem::discriminant(&self.codec) == std::mem::discriminant(&codec);
+        if !same_family {
+            for w in &mut self.workers {
+                w.reset_feedback();
+            }
+        }
+        // Reference tracking follows the codec: compressed runs need the
+        // per-worker sync reference, full-precision runs should not pay
+        // for the duplicate parameter copy. Enabling is a no-op when
+        // already on (the stored reference stays anchored).
+        let tracking = !matches!(codec, CodecSpec::Identity);
+        for w in &mut self.workers {
+            w.set_reference_tracking(tracking);
+        }
+        self.codec = codec;
+    }
+
+    /// Mean error-feedback residual norm across workers (0 under the
+    /// identity codec).
+    pub fn mean_residual_norm(&self) -> f32 {
+        let total: f32 = self.workers.iter().map(Worker::residual_norm).sum();
+        total / self.workers.len() as f32
     }
 
     /// Number of workers.
@@ -288,11 +364,14 @@ impl PasgdCluster {
             .map(|w| w.local_steps(tau))
             .collect();
         self.iterations += tau as u64;
-        self.average_models(tau);
-        let round = self.runtime.sample_round(tau, &mut self.delay_rng);
+        let bytes = self.average_models(tau);
+        let round = self
+            .runtime
+            .sample_round_bytes(tau, bytes, &mut self.delay_rng);
         self.clock += round.total();
         self.compute_time += round.compute;
         self.comm_time += round.comm;
+        self.comm_bytes += bytes;
         self.rounds += 1;
         losses.iter().sum::<f32>() / losses.len() as f32
     }
@@ -326,30 +405,72 @@ impl PasgdCluster {
         // A direct averaging call closes whatever local stretch preceded
         // it; treat it as a genuine local-update period for momentum
         // purposes.
-        self.average_models(2);
-        let d = self
-            .runtime
-            .comm()
-            .sample(self.runtime.workers(), &mut self.delay_rng);
+        let bytes = self.average_models(2);
+        let d =
+            self.runtime
+                .comm()
+                .sample_bytes(self.runtime.workers(), bytes, &mut self.delay_rng);
         self.clock += d;
         self.comm_time += d;
+        self.comm_bytes += bytes;
         self.rounds += 1;
     }
 
-    fn average_models(&mut self, tau: usize) {
-        let mut snapshots: Vec<Vec<Tensor>> =
-            self.workers.iter().map(Worker::params_snapshot).collect();
+    /// Collects each worker's averaging message (compressing it when a
+    /// codec is configured), applies the averaging strategy, and
+    /// broadcasts. Returns the round's per-worker payload in bytes — the
+    /// size the communication model charges for.
+    fn average_models(&mut self, tau: usize) -> f64 {
+        // Under the identity codec the snapshots are the messages and the
+        // payload is the full model; no compression state is touched, so
+        // full-precision runs are bit-identical to the pre-compression
+        // simulator.
+        let mut payload_bytes = self.full_payload_bytes as f64;
+        let mut snapshots: Vec<Vec<Tensor>> = if matches!(self.codec, CodecSpec::Identity) {
+            self.workers.iter().map(Worker::params_snapshot).collect()
+        } else {
+            let codec = self.codec;
+            let mut max_bytes = 0usize;
+            let snaps = self
+                .workers
+                .iter_mut()
+                .map(|w| {
+                    let (reconstruction, bytes) = w.encode_update(&codec);
+                    max_bytes = max_bytes.max(bytes);
+                    reconstruction
+                })
+                .collect();
+            payload_bytes = max_bytes as f64;
+            snaps
+        };
         if !matches!(self.averaging, AveragingStrategy::FullAverage) {
             // Extension strategies (ring gossip, partial participation,
             // elastic averaging) mix in place and are momentum-agnostic.
-            self.averaging.mix(&mut snapshots, &mut self.delay_rng);
-            for (w, s) in self.workers.iter_mut().zip(snapshots.iter()) {
-                w.load_params(s);
+            //
+            // Under a codec, a worker the mix left untouched (e.g. a
+            // partial-participation non-participant) must keep its exact
+            // local parameters: its lossy self-reconstruction was a
+            // message for *others*, and overwriting the worker with it
+            // would discard real local progress nothing compensates. Its
+            // error-feedback residual is cleared rather than kept — the
+            // worker was not re-anchored, so the un-transmitted mass is
+            // still wholly contained in its next delta, and carrying the
+            // residual too would double-count it.
+            let compressed = !matches!(self.codec, CodecSpec::Identity);
+            let touched = self
+                .averaging
+                .mix_tracked(&mut snapshots, &mut self.delay_rng);
+            for ((w, s), touched) in self.workers.iter_mut().zip(snapshots.iter()).zip(touched) {
+                if touched {
+                    w.load_params(s);
+                } else if compressed {
+                    w.reset_feedback();
+                }
                 if self.momentum.resets_local_at_sync(tau) {
                     w.reset_momentum();
                 }
             }
-            return;
+            return payload_bytes;
         }
         let averaged = average_params(&snapshots);
         let broadcast = match &mut self.block {
@@ -369,6 +490,7 @@ impl PasgdCluster {
                 w.reset_momentum();
             }
         }
+        payload_bytes
     }
 
     // ------------------------------------------------------------------
@@ -453,6 +575,7 @@ mod tests {
                 weight_decay: 0.0,
                 momentum,
                 averaging: crate::AveragingStrategy::FullAverage,
+                codec: gradcomp::CodecSpec::Identity,
                 seed,
                 eval_subset: 64,
             },
@@ -557,6 +680,7 @@ mod tests {
                     weight_decay: 0.0,
                     momentum,
                     averaging: crate::AveragingStrategy::FullAverage,
+                    codec: gradcomp::CodecSpec::Identity,
                     seed: 21,
                     eval_subset: 64,
                 },
@@ -599,6 +723,198 @@ mod tests {
         assert!((0.0..=1.0).contains(&acc));
         let local = c.eval_local_test_accuracy(1);
         assert!((0.0..=1.0).contains(&local));
+    }
+
+    #[test]
+    fn compressed_round_synchronizes_and_shrinks_payload() {
+        let split = GaussianMixture::small_test().generate(3);
+        let mut c = PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 2),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                codec: CodecSpec::TopK { ratio: 0.1 },
+                seed: 4,
+                eval_subset: 64,
+                ..ClusterConfig::default()
+            },
+        );
+        c.run_round(4);
+        assert!(
+            c.model_discrepancy() < 1e-6,
+            "full averaging of reconstructions must still synchronize"
+        );
+        assert!(c.mean_residual_norm() > 0.0, "Top-K must leave a residual");
+        let full = c.full_payload_bytes() as f64;
+        assert!(
+            c.comm_bytes() < 0.25 * full,
+            "10% Top-K payload {} must be far below full {}",
+            c.comm_bytes(),
+            full
+        );
+    }
+
+    #[test]
+    fn bandwidth_model_makes_compressed_rounds_cheaper() {
+        let run = |codec| {
+            let split = GaussianMixture::small_test().generate(3);
+            // Bandwidth-dominated regime: 5 ms latency, ~78 ms transfer
+            // for the ~195-parameter toy model at 0.1 ms/byte.
+            let comm = CommModel::constant(0.005).with_bandwidth(1e-4);
+            let mut c = PasgdCluster::new(
+                models::mlp_classifier(8, &[16], 3, 11),
+                split,
+                RuntimeModel::new(DelayDistribution::constant(1.0), comm, 2),
+                ClusterConfig {
+                    workers: 2,
+                    batch_size: 8,
+                    codec,
+                    seed: 4,
+                    eval_subset: 64,
+                    ..ClusterConfig::default()
+                },
+            );
+            for _ in 0..3 {
+                c.run_round(4);
+            }
+            (c.clock(), c.comm_time())
+        };
+        let (full_clock, full_comm) = run(CodecSpec::Identity);
+        let (sparse_clock, sparse_comm) = run(CodecSpec::TopK { ratio: 0.01 });
+        assert!(
+            sparse_comm < full_comm * 0.2,
+            "compressed comm {sparse_comm} vs full {full_comm}"
+        );
+        assert!(sparse_clock < full_clock);
+    }
+
+    #[test]
+    fn compressed_training_still_reduces_loss() {
+        let split = GaussianMixture::small_test().generate(5);
+        let mut c = PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 2),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                codec: CodecSpec::TopK { ratio: 0.25 },
+                seed: 3,
+                eval_subset: 64,
+                ..ClusterConfig::default()
+            },
+        );
+        let before = c.eval_train_loss();
+        for _ in 0..30 {
+            c.run_round(4);
+        }
+        let after = c.eval_train_loss();
+        assert!(
+            after < before * 0.8,
+            "error feedback must keep Top-K converging: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn compression_composes_with_extension_averaging() {
+        for averaging in [
+            crate::AveragingStrategy::Ring,
+            crate::AveragingStrategy::Elastic { alpha: 0.5 },
+            crate::AveragingStrategy::PartialParticipation { fraction: 0.5 },
+        ] {
+            let split = GaussianMixture::small_test().generate(6);
+            let mut c = PasgdCluster::new(
+                models::mlp_classifier(8, &[16], 3, 11),
+                split,
+                constant_runtime(1.0, 0.5, 4),
+                ClusterConfig {
+                    workers: 4,
+                    batch_size: 8,
+                    averaging,
+                    codec: CodecSpec::Sign,
+                    seed: 8,
+                    eval_subset: 64,
+                    ..ClusterConfig::default()
+                },
+            );
+            for _ in 0..3 {
+                c.run_round(2);
+            }
+            assert!(c.eval_train_loss().is_finite(), "{averaging:?} diverged");
+            assert!(c.comm_bytes() > 0.0);
+            assert!(c.comm_bytes() < 0.2 * 3.0 * c.full_payload_bytes() as f64);
+        }
+    }
+
+    #[test]
+    fn unbiased_codec_leaves_non_participants_untouched() {
+        // PartialParticipation with fraction 0.25 of 4 workers samples a
+        // single participant, whose "average" is itself — so no worker's
+        // parameters may change at the sync point. With the n/k-scaled
+        // Random-K at 1%, overwriting idle workers with their own lossy
+        // self-reconstruction (the pre-fix behaviour) injects ~100x-variance
+        // noise every round and visibly blows the loss up.
+        let split = GaussianMixture::small_test().generate(9);
+        let mut c = PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 4),
+            ClusterConfig {
+                workers: 4,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                averaging: crate::AveragingStrategy::PartialParticipation { fraction: 0.25 },
+                codec: CodecSpec::RandomK { ratio: 0.01 },
+                seed: 10,
+                eval_subset: 64,
+                ..ClusterConfig::default()
+            },
+        );
+        let before = c.eval_train_loss();
+        for _ in 0..12 {
+            c.run_round(3);
+        }
+        let after = c.eval_train_loss();
+        // With nobody actually mixing, this is local-only SGD: the loss
+        // must improve, not explode under self-reconstruction noise.
+        assert!(
+            after.is_finite() && after < before,
+            "idle workers were noised by their own codec: {before} -> {after}"
+        );
+        // The messages were still priced on the wire.
+        assert!(c.comm_bytes() > 0.0);
+    }
+
+    #[test]
+    fn set_codec_keeps_residuals_within_family_and_drops_across() {
+        let split = GaussianMixture::small_test().generate(7);
+        let mut c = PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 2),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                codec: CodecSpec::TopK { ratio: 0.05 },
+                seed: 9,
+                eval_subset: 64,
+                ..ClusterConfig::default()
+            },
+        );
+        c.run_round(2);
+        assert!(c.mean_residual_norm() > 0.0);
+        // Ratio change within Top-K keeps the compensation state.
+        c.set_codec(CodecSpec::TopK { ratio: 0.2 });
+        assert!(c.mean_residual_norm() > 0.0);
+        assert_eq!(c.codec(), CodecSpec::TopK { ratio: 0.2 });
+        // Family change drops it.
+        c.set_codec(CodecSpec::Qsgd { bits: 4 });
+        assert_eq!(c.mean_residual_norm(), 0.0);
     }
 
     #[test]

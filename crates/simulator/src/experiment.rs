@@ -6,6 +6,7 @@ use crate::{ClusterConfig, MomentumMode, PasgdCluster};
 use adacomm::{CommSchedule, LrSchedule, ScheduleContext};
 use data::TrainTestSplit;
 use delay::RuntimeModel;
+use gradcomp::CodecSpec;
 use nn::Network;
 
 /// One recorded point of a training run.
@@ -25,6 +26,10 @@ pub struct TracePoint {
     pub tau: usize,
     /// Learning rate in effect.
     pub lr: f32,
+    /// Cumulative per-worker communication payload in bytes (grows by one
+    /// encoded message per averaging round; see
+    /// [`PasgdCluster::comm_bytes`]).
+    pub comm_bytes: f64,
 }
 
 /// A complete training trace for one method.
@@ -177,18 +182,23 @@ pub fn run_experiment(
         test_accuracy: cluster.eval_test_accuracy(),
         tau: 0,
         lr: initial_lr,
+        comm_bytes: 0.0,
     }];
 
     let mut interval = 0usize;
     let mut last_loss = initial_loss;
-    let mut tau = scheduler.next_tau(&ScheduleContext {
+    let initial_ctx = ScheduleContext {
         interval_index: 0,
         wall_clock: 0.0,
         current_loss: initial_loss,
         initial_loss,
         current_lr: initial_lr,
         initial_lr,
-    });
+    };
+    let mut tau = scheduler.next_tau(&initial_ctx);
+    if let Some(codec) = scheduler.codec_override(&initial_ctx) {
+        cluster.set_codec(codec);
+    }
     points[0].tau = tau;
     let mut next_record = config.record_every_secs;
 
@@ -207,6 +217,9 @@ pub fn run_experiment(
                 initial_lr,
             };
             tau = scheduler.next_tau(&ctx);
+            if let Some(codec) = scheduler.codec_override(&ctx) {
+                cluster.set_codec(codec);
+            }
         }
 
         // Learning-rate schedule (optionally gated on tau reaching 1).
@@ -231,6 +244,7 @@ pub fn run_experiment(
                 test_accuracy: cluster.eval_test_accuracy(),
                 tau,
                 lr: cluster.lr(),
+                comm_bytes: cluster.comm_bytes(),
             });
             while next_record <= cluster.clock() {
                 next_record += config.record_every_secs;
@@ -247,6 +261,7 @@ pub fn run_experiment(
         test_accuracy: cluster.eval_test_accuracy(),
         tau,
         lr: cluster.lr(),
+        comm_bytes: cluster.comm_bytes(),
     });
     let _ = last_loss;
 
@@ -302,6 +317,27 @@ impl ExperimentSuite {
         momentum: MomentumMode,
     ) -> RunTrace {
         self.run_with_options(scheduler, lr_schedule, Some(momentum), None)
+    }
+
+    /// Runs one method with a fixed gradient-compression codec applied to
+    /// every averaging message (the compression-sweep harness).
+    pub fn run_with_codec(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        codec: CodecSpec,
+    ) -> RunTrace {
+        let mut cluster_config = self.cluster_config.clone();
+        cluster_config.codec = codec;
+        run_experiment(
+            self.model.clone(),
+            self.split.clone(),
+            self.runtime,
+            cluster_config,
+            scheduler,
+            lr_schedule,
+            &self.experiment_config,
+        )
     }
 
     /// Runs one method with optional per-run overrides.
@@ -367,6 +403,7 @@ mod tests {
                 weight_decay: 0.0,
                 momentum: MomentumMode::None,
                 averaging: crate::AveragingStrategy::FullAverage,
+                codec: gradcomp::CodecSpec::Identity,
                 seed,
                 eval_subset: 96,
             },

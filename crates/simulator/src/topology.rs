@@ -76,6 +76,26 @@ impl AveragingStrategy {
     ///
     /// Panics if `snapshots` is empty or shapes are inconsistent.
     pub fn mix<R: Rng + ?Sized>(&self, snapshots: &mut [Vec<Tensor>], rng: &mut R) {
+        let _ = self.mix_tracked(snapshots, rng);
+    }
+
+    /// Like [`AveragingStrategy::mix`], additionally reporting which
+    /// workers the synchronization actually touched: `touched[i]` is true
+    /// iff worker `i`'s snapshot was (re)written by the mix. Partial
+    /// participation leaves sampled-out workers untouched; a degenerate
+    /// participant group of one exchanges nothing and counts as untouched
+    /// too. The compressed-averaging path uses this to decide which
+    /// workers adopt a mixed (lossy) model and which keep their exact
+    /// local parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` is empty or shapes are inconsistent.
+    pub fn mix_tracked<R: Rng + ?Sized>(
+        &self,
+        snapshots: &mut [Vec<Tensor>],
+        rng: &mut R,
+    ) -> Vec<bool> {
         assert!(!snapshots.is_empty(), "no models to mix");
         let m = snapshots.len();
         match *self {
@@ -84,18 +104,28 @@ impl AveragingStrategy {
                 for s in snapshots.iter_mut() {
                     copy_into(s, &avg);
                 }
+                vec![true; m]
             }
             AveragingStrategy::PartialParticipation { fraction } => {
                 let k = ((fraction * m as f64).round() as usize).clamp(1, m);
+                let mut touched = vec![false; m];
                 let mut ids: Vec<usize> = (0..m).collect();
                 ids.shuffle(rng);
                 ids.truncate(k);
+                if k < 2 {
+                    // One participant averages with nobody; the round
+                    // moves no parameters. (The sampling draw above still
+                    // happens, keeping the RNG stream identical.)
+                    return touched;
+                }
                 let participating: Vec<Vec<Tensor>> =
                     ids.iter().map(|&i| snapshots[i].clone()).collect();
                 let avg = nn::average_params(&participating);
                 for &i in &ids {
                     copy_into(&mut snapshots[i], &avg);
+                    touched[i] = true;
                 }
+                touched
             }
             AveragingStrategy::Ring => {
                 if m < 3 {
@@ -104,7 +134,7 @@ impl AveragingStrategy {
                     for s in snapshots.iter_mut() {
                         copy_into(s, &avg);
                     }
-                    return;
+                    return vec![true; m];
                 }
                 let originals: Vec<Vec<Tensor>> = snapshots.to_vec();
                 for i in 0..m {
@@ -118,6 +148,7 @@ impl AveragingStrategy {
                         target.copy_from(&mixed);
                     }
                 }
+                vec![true; m]
             }
             AveragingStrategy::Elastic { alpha } => {
                 let avg = nn::average_params(snapshots);
@@ -126,6 +157,7 @@ impl AveragingStrategy {
                         target.lerp_toward(&avg[t], alpha);
                     }
                 }
+                vec![true; m]
             }
         }
     }
@@ -246,6 +278,40 @@ mod tests {
     #[should_panic(expected = "participation fraction must be in (0, 1]")]
     fn zero_fraction_rejected() {
         AveragingStrategy::PartialParticipation { fraction: 0.0 }.validate();
+    }
+
+    #[test]
+    fn mix_tracked_reports_participants() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut snaps = snapshots(&[0.0, 1.0, 2.0]);
+        assert_eq!(
+            AveragingStrategy::FullAverage.mix_tracked(&mut snaps, &mut rng),
+            vec![true; 3]
+        );
+        assert_eq!(
+            AveragingStrategy::Ring.mix_tracked(&mut snaps, &mut rng),
+            vec![true; 3]
+        );
+        let mut snaps = snapshots(&[0.0, 10.0, 20.0, 30.0]);
+        let touched = AveragingStrategy::PartialParticipation { fraction: 0.5 }
+            .mix_tracked(&mut snaps, &mut rng);
+        assert_eq!(touched.iter().filter(|&&t| t).count(), 2);
+        // Untouched workers keep their exact values.
+        for (i, t) in touched.iter().enumerate() {
+            if !t {
+                assert_eq!(snaps[i][0].at(0), [0.0, 10.0, 20.0, 30.0][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn lone_participant_touches_nobody() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut snaps = snapshots(&[1.0, 2.0, 3.0, 4.0]);
+        let touched = AveragingStrategy::PartialParticipation { fraction: 0.25 }
+            .mix_tracked(&mut snaps, &mut rng);
+        assert_eq!(touched, vec![false; 4]);
+        assert_eq!(firsts(&snaps), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

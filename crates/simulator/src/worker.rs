@@ -1,6 +1,8 @@
-//! A single PASGD worker: local model replica, optimizer, and data shard.
+//! A single PASGD worker: local model replica, optimizer, data shard, and
+//! per-worker gradient-compression state (error feedback + sync reference).
 
 use data::{BatchIter, Dataset};
+use gradcomp::{Compressor, ErrorFeedback};
 use nn::{Network, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,6 +14,15 @@ use tensor::Tensor;
 /// Workers are deliberately self-contained (own RNG, own shard) so that the
 /// cluster can run their local-update phases on independent threads with
 /// bit-identical results regardless of scheduling.
+///
+/// For compressed averaging each worker additionally keeps the
+/// gradient-compression state that is local by construction: the
+/// error-feedback residual memory ([`ErrorFeedback`]) and the *sync
+/// reference* — the parameters the worker held right after the previous
+/// averaging step, against which the transmitted model delta is formed.
+/// The reference is only recorded while tracking is enabled
+/// ([`Worker::set_reference_tracking`]), so full-precision runs never pay
+/// the extra parameter copy.
 #[derive(Debug, Clone)]
 pub struct Worker {
     id: usize,
@@ -19,6 +30,13 @@ pub struct Worker {
     optimizer: Sgd,
     batches: BatchIter,
     rng: StdRng,
+    /// RNG driving stochastic codecs (Random-K, QSGD). Separate from the
+    /// batch RNG so enabling compression never perturbs the data order.
+    comm_rng: StdRng,
+    feedback: ErrorFeedback,
+    /// Last post-averaging parameters; empty unless tracking is on.
+    sync_reference: Vec<Tensor>,
+    track_reference: bool,
     steps_taken: u64,
 }
 
@@ -44,6 +62,12 @@ impl Worker {
             // Worker RNGs are decorrelated by id; the golden ratio constant
             // avoids accidental seed collisions between adjacent ids.
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            comm_rng: StdRng::seed_from_u64(
+                seed ^ (id as u64).wrapping_mul(0xC0DE_C0DE_C0DE_C0DF) ^ 0x6772_6164_636F_6D70,
+            ),
+            feedback: ErrorFeedback::new(),
+            sync_reference: Vec::new(),
+            track_reference: false,
             steps_taken: 0,
         }
     }
@@ -118,13 +142,102 @@ impl Worker {
     }
 
     /// Overwrites the local model with `params` (the post-averaging
-    /// broadcast).
+    /// broadcast). While reference tracking is enabled they are also
+    /// recorded as the new sync reference for the next compressed round.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot does not match the model structure.
     pub fn load_params(&mut self, params: &[Tensor]) {
         self.model.load_params(params);
+        if self.track_reference {
+            // Shapes are fixed after the first round; reuse the stored
+            // buffers instead of reallocating a full parameter set.
+            if self.sync_reference.len() == params.len() {
+                for (r, p) in self.sync_reference.iter_mut().zip(params) {
+                    r.copy_from(p);
+                }
+            } else {
+                self.sync_reference = params.to_vec();
+            }
+        }
+    }
+
+    /// Turns sync-reference tracking on or off. Enabling snapshots the
+    /// *current* parameters as the reference (callers do this at a
+    /// synchronization point, where they equal the last broadcast);
+    /// disabling drops the stored copy so full-precision runs hold no
+    /// duplicate parameter set.
+    pub fn set_reference_tracking(&mut self, on: bool) {
+        if on && !self.track_reference {
+            self.sync_reference = self.model.params_snapshot();
+        } else if !on {
+            self.sync_reference = Vec::new();
+        }
+        self.track_reference = on;
+    }
+
+    /// Encodes this worker's averaging message under `codec`: the model
+    /// delta since the last sync reference is compressed, and the
+    /// *reconstruction* the receivers would decode — `reference +
+    /// transmitted` — is returned together with the encoded payload size
+    /// in bytes.
+    ///
+    /// Biased codecs (Top-K, sign) go through the worker's error-feedback
+    /// memory, which assumes the codec is norm-contractive; whatever is
+    /// dropped is compensated on the next round. Unbiased codecs
+    /// (Random-K, QSGD) are applied directly — their compensation is in
+    /// expectation, and feeding their (non-contractive) error into the
+    /// residual memory would make it oscillate.
+    ///
+    /// The caller (the cluster) mixes the reconstructions and broadcasts
+    /// the result back via [`Worker::load_params`], which re-anchors the
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reference tracking is not enabled (see
+    /// [`Worker::set_reference_tracking`]).
+    pub fn encode_update(&mut self, codec: &dyn Compressor) -> (Vec<Tensor>, usize) {
+        assert!(
+            self.track_reference,
+            "encode_update requires sync-reference tracking; \
+             call set_reference_tracking(true) at a synchronization point first"
+        );
+        let mut delta = self.model.params_snapshot();
+        for (d, r) in delta.iter_mut().zip(self.sync_reference.iter()) {
+            d.sub_assign(r);
+        }
+        let (mut sent, bytes) = if codec.is_unbiased() {
+            let mut sent = Vec::with_capacity(delta.len());
+            let mut bytes = 0usize;
+            for d in &delta {
+                let compressed = codec.compress(d, &mut self.comm_rng);
+                bytes += compressed.bytes;
+                sent.push(compressed.tensor);
+            }
+            (sent, bytes)
+        } else {
+            self.feedback.compress(codec, &delta, &mut self.comm_rng)
+        };
+        // Build the reconstruction in the transmitted buffers (sent +
+        // reference) rather than cloning the reference again.
+        for (s, r) in sent.iter_mut().zip(self.sync_reference.iter()) {
+            s.add_assign(r);
+        }
+        (sent, bytes)
+    }
+
+    /// Total `ℓ2` norm of the error-feedback residual (0 when compression
+    /// has not run or the codec is lossless).
+    pub fn residual_norm(&self) -> f32 {
+        self.feedback.residual_norm()
+    }
+
+    /// Drops the error-feedback residuals (e.g. when the codec family
+    /// changes mid-run).
+    pub fn reset_feedback(&mut self) {
+        self.feedback.reset();
     }
 }
 
@@ -191,6 +304,63 @@ mod tests {
         let mut w = toy_worker(0, 2);
         w.set_lr(0.5);
         assert_eq!(w.lr(), 0.5);
+    }
+
+    #[test]
+    fn identity_encoding_is_lossless() {
+        let mut w = toy_worker(0, 4);
+        w.set_reference_tracking(true);
+        w.local_steps(3);
+        let snapshot = w.params_snapshot();
+        let (reconstruction, bytes) = w.encode_update(&gradcomp::Identity);
+        // reference + (x − reference) re-associates float additions, so
+        // compare up to rounding noise.
+        let drift: f32 = reconstruction
+            .iter()
+            .zip(snapshot.iter())
+            .map(|(a, b)| a.distance(b))
+            .sum();
+        assert!(drift < 1e-6, "identity roundtrip drifted by {drift}");
+        let total: usize = snapshot.iter().map(|t| t.len() * 4).sum();
+        assert_eq!(bytes, total);
+        assert_eq!(w.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn biased_encoding_leaves_residual_and_shrinks_payload() {
+        let mut w = toy_worker(0, 5);
+        w.set_reference_tracking(true);
+        w.local_steps(3);
+        let snapshot = w.params_snapshot();
+        let full: usize = snapshot.iter().map(|t| t.len() * 4).sum();
+        let (reconstruction, bytes) = w.encode_update(&gradcomp::TopK::new(0.05));
+        assert!(bytes < full / 5, "payload {bytes} vs full {full}");
+        assert_ne!(reconstruction, snapshot);
+        assert!(w.residual_norm() > 0.0);
+        // Re-anchoring at the reconstruction then encoding a zero delta
+        // flushes residual mass, not nothing.
+        w.load_params(&reconstruction);
+        let (flushed, _) = w.encode_update(&gradcomp::TopK::new(0.05));
+        assert_ne!(flushed, reconstruction);
+    }
+
+    #[test]
+    fn reset_feedback_clears_residual() {
+        let mut w = toy_worker(0, 6);
+        w.set_reference_tracking(true);
+        w.local_steps(2);
+        let _ = w.encode_update(&gradcomp::SignOneBit);
+        assert!(w.residual_norm() > 0.0);
+        w.reset_feedback();
+        assert_eq!(w.residual_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sync-reference tracking")]
+    fn encode_without_tracking_rejected() {
+        let mut w = toy_worker(0, 7);
+        w.local_steps(1);
+        let _ = w.encode_update(&gradcomp::Identity);
     }
 
     #[test]

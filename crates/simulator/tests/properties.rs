@@ -23,6 +23,7 @@ fn cluster(workers: usize, seed: u64, y: f64, d: f64) -> PasgdCluster {
             weight_decay: 0.0,
             momentum: MomentumMode::None,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 48,
         },

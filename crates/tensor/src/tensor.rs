@@ -489,8 +489,9 @@ impl Tensor {
         let (rows, cols) = self.matrix_dims();
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (acc, v) in out.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         Tensor {

@@ -44,6 +44,7 @@ fn main() {
             weight_decay: 0.0,
             momentum: MomentumMode::None,
             averaging: AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 1,
             eval_subset: 256,
         },

@@ -19,6 +19,7 @@ use rand::SeedableRng;
 
 /// A bare-bones PASGD loop directly on the least-squares objective
 /// (m workers, shared problem, local SGD steps, periodic averaging).
+#[allow(clippy::too_many_arguments)]
 fn pasgd_least_squares(
     problem: &data::LinearRegressionProblem,
     workers: usize,

@@ -39,6 +39,7 @@ fn main() {
             weight_decay: 5e-4,
             momentum: MomentumMode::None,
             averaging: AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 5,
             eval_subset: 1024,
         },

@@ -48,6 +48,7 @@
 pub use adacomm;
 pub use data;
 pub use delay;
+pub use gradcomp;
 pub use nn;
 pub use pasgd_sim;
 pub use tensor;
@@ -59,14 +60,15 @@ pub mod prelude {
         TheoryParams,
     };
     pub use adacomm::{
-        select_tau0, AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, LrSchedule,
-        ScheduleContext,
+        select_tau0, AdaComm, AdaCommCompress, AdaCommConfig, CommSchedule, FixedComm, LrCoupling,
+        LrSchedule, ScheduleContext,
     };
     pub use data::{BatchIter, Dataset, GaussianMixture, LinearRegressionTask, TrainTestSplit};
     pub use delay::{
         resnet50_profile, speedup_constant, vgg16_profile, CommModel, CommScaling,
         DelayDistribution, HardwareProfile, Histogram, RuntimeModel,
     };
+    pub use gradcomp::{CodecSpec, Compressed, Compressor, ErrorFeedback};
     pub use nn::{models, Loss, Network, Sgd};
     pub use pasgd_sim::{
         run_experiment, AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite,

@@ -34,6 +34,7 @@ fn comm_bound_suite(seed: u64) -> ExperimentSuite {
             weight_decay: 0.0,
             momentum: MomentumMode::None,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 512,
         },

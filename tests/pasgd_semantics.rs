@@ -20,6 +20,7 @@ fn small_cluster(workers: usize, momentum: MomentumMode, seed: u64) -> PasgdClus
             weight_decay: 0.0,
             momentum,
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 96,
         },
@@ -154,6 +155,7 @@ fn weight_decay_and_momentum_compose() {
             weight_decay: 5e-4,
             momentum: MomentumMode::paper_block(),
             averaging: pasgd_sim::AveragingStrategy::FullAverage,
+            codec: gradcomp::CodecSpec::Identity,
             seed: 12,
             eval_subset: 96,
         },
@@ -193,6 +195,7 @@ fn extension_averaging_strategies_train() {
                 weight_decay: 0.0,
                 momentum: MomentumMode::None,
                 averaging: strategy,
+                codec: gradcomp::CodecSpec::Identity,
                 seed: 33,
                 eval_subset: 96,
             },
@@ -231,6 +234,7 @@ fn block_momentum_requires_full_averaging() {
                 weight_decay: 0.0,
                 momentum: MomentumMode::paper_block(),
                 averaging: AveragingStrategy::Ring,
+                codec: gradcomp::CodecSpec::Identity,
                 seed: 1,
                 eval_subset: 48,
             },
