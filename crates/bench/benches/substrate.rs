@@ -51,6 +51,124 @@ fn bench_tensor(c: &mut Criterion) {
     group.finish();
 }
 
+/// The seed's naive i-k-j kernel, kept verbatim for old-vs-new comparison.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("volume matches")
+}
+
+/// The seed's naive dot-product `a · bᵀ` kernel.
+fn naive_matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("volume matches")
+}
+
+/// Old (naive loops) vs new (k-blocked, register-tiled) kernels on the
+/// exact shapes the training hot path runs: dense forward/backward and the
+/// im2col GEMM. Results are bit-identical; only the wall clock differs.
+fn bench_matmul_old_vs_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_old_vs_new");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(17);
+    // Dense forward: x[32,256] · W[256,64].
+    let x = Tensor::randn(&[32, 256], 1.0, &mut rng);
+    let w = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    group.bench_function("dense_fwd_32x256x64/old", |b| {
+        b.iter(|| black_box(naive_matmul(&x, &w)))
+    });
+    group.bench_function("dense_fwd_32x256x64/new", |b| {
+        b.iter(|| black_box(x.matmul(&w)))
+    });
+    // Dense input gradient: dy[32,64] · W[256,64]ᵀ.
+    let dy = Tensor::randn(&[32, 64], 1.0, &mut rng);
+    let w1 = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    group.bench_function("dense_bwd_dx_32x64x256/old", |b| {
+        b.iter(|| black_box(naive_matmul_nt(&dy, &w1)))
+    });
+    group.bench_function("dense_bwd_dx_32x64x256/new", |b| {
+        b.iter(|| black_box(dy.matmul_nt(&w1)))
+    });
+    // im2col GEMM of the vgg_like first conv: W[16,144] · col[144,64].
+    let wc = Tensor::randn(&[16, 144], 1.0, &mut rng);
+    let col = Tensor::randn(&[144, 64], 1.0, &mut rng);
+    group.bench_function("im2col_gemm_16x144x64/old", |b| {
+        b.iter(|| black_box(naive_matmul(&wc, &col)))
+    });
+    group.bench_function("im2col_gemm_16x144x64/new", |b| {
+        b.iter(|| black_box(wc.matmul(&col)))
+    });
+    group.finish();
+}
+
+/// Snapshot-per-round averaging (the seed's path: clone every worker's
+/// tensors, average tensor-by-tensor) vs the flat-plane path (copy into
+/// preallocated planes, accumulate into a reused accumulator).
+fn bench_averaging_old_vs_new(c: &mut Criterion) {
+    let mut group = c.benchmark_group("averaging_old_vs_new");
+    group.sample_size(20);
+    let replicas: Vec<nn::Network> = (0..4)
+        .map(|s| models::mlp_classifier(256, &[64], 10, s))
+        .collect();
+    group.bench_function("snapshot_4xmlp", |b| {
+        b.iter(|| {
+            let snaps: Vec<Vec<Tensor>> =
+                replicas.iter().map(nn::Network::params_snapshot).collect();
+            black_box(nn::average_params(&snaps))
+        })
+    });
+    let plane_len = replicas[0].param_count();
+    group.bench_function("flat_plane_4xmlp", |b| {
+        let mut accum = vec![0.0f32; plane_len];
+        let mut scratch = vec![0.0f32; plane_len];
+        b.iter(|| {
+            replicas[0].copy_params_into(&mut accum);
+            for r in &replicas[1..] {
+                r.copy_params_into(&mut scratch);
+                for (a, &s) in accum.iter_mut().zip(&scratch) {
+                    *a += s;
+                }
+            }
+            let inv = 1.0 / replicas.len() as f32;
+            for a in accum.iter_mut() {
+                *a *= inv;
+            }
+            black_box(accum[0])
+        })
+    });
+    group.finish();
+}
+
 fn bench_nn(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn");
     group.sample_size(20);
@@ -187,6 +305,8 @@ fn bench_delay(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tensor,
+    bench_matmul_old_vs_new,
+    bench_averaging_old_vs_new,
     bench_nn,
     bench_simulator,
     bench_scheduler,

@@ -1,7 +1,7 @@
 //! The [`Compressor`] trait and the four codecs: Top-K, Random-K, 1-bit
 //! sign and QSGD-style stochastic quantization.
 
-use crate::kernels::{dequantize, pack_signs, quantize_stochastic, top_k_indices, unpack_signs};
+use crate::kernels::top_k_indices;
 use rand::rngs::StdRng;
 use rand::Rng;
 use tensor::Tensor;
@@ -32,8 +32,27 @@ pub struct Compressed {
 /// generic RNG) so workers can hold `Box<dyn Compressor>` or dispatch
 /// through [`CodecSpec`].
 pub trait Compressor: Send + Sync + std::fmt::Debug {
+    /// Compresses `input`, writing the reconstruction into `output` and
+    /// returning the encoded payload size in bytes — the slice-based entry
+    /// point the flat-parameter-plane averaging path uses, so steady-state
+    /// compression touches no tensor allocations.
+    ///
+    /// The reconstruction and byte count are identical to
+    /// [`Compressor::compress`] (which is implemented on top of this for
+    /// every codec in this crate), including the RNG draw sequence of
+    /// stochastic codecs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output.len() != input.len()`.
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], rng: &mut StdRng) -> usize;
+
     /// Compresses `input`, returning the reconstruction and payload bytes.
-    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed;
+    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
+        let mut out = Tensor::zeros(input.dims());
+        let bytes = self.compress_slice(input.as_slice(), out.as_mut_slice(), rng);
+        Compressed { tensor: out, bytes }
+    }
 
     /// Whether `E[decode(encode(x))] = x` (Random-K, QSGD, identity).
     /// Biased codecs (Top-K, sign) need error feedback to converge.
@@ -43,16 +62,25 @@ pub trait Compressor: Send + Sync + std::fmt::Debug {
     fn name(&self) -> String;
 }
 
+fn check_output_len(input: &[f32], output: &[f32]) {
+    assert_eq!(
+        input.len(),
+        output.len(),
+        "reconstruction buffer holds {} values but the input has {}",
+        output.len(),
+        input.len()
+    );
+}
+
 /// The no-op codec: full-precision payloads (4 bytes per entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Identity;
 
 impl Compressor for Identity {
-    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
-        Compressed {
-            tensor: input.clone(),
-            bytes: input.len() * F32_BYTES,
-        }
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], _rng: &mut StdRng) -> usize {
+        check_output_len(input, output);
+        output.copy_from_slice(input);
+        input.len() * F32_BYTES
     }
 
     fn is_unbiased(&self) -> bool {
@@ -105,19 +133,15 @@ fn sparse_bytes(k: usize, n: usize) -> usize {
 }
 
 impl Compressor for TopK {
-    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
-        let x = input.as_slice();
-        let k = kept_count(self.ratio, x.len());
-        let keep = top_k_indices(x, k);
-        let mut out = Tensor::zeros(input.dims());
-        let data = out.as_mut_slice();
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], _rng: &mut StdRng) -> usize {
+        check_output_len(input, output);
+        let k = kept_count(self.ratio, input.len());
+        let keep = top_k_indices(input, k);
+        output.fill(0.0);
         for &i in &keep {
-            data[i as usize] = x[i as usize];
+            output[i as usize] = input[i as usize];
         }
-        Compressed {
-            tensor: out,
-            bytes: sparse_bytes(k, x.len()),
-        }
+        sparse_bytes(k, input.len())
     }
 
     fn is_unbiased(&self) -> bool {
@@ -157,9 +181,9 @@ impl RandomK {
 }
 
 impl Compressor for RandomK {
-    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
-        let x = input.as_slice();
-        let n = x.len();
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], rng: &mut StdRng) -> usize {
+        check_output_len(input, output);
+        let n = input.len();
         let k = kept_count(self.ratio, n);
         // Partial Fisher-Yates: one index vector, shuffled only over the
         // first k positions — a uniform k-subset without the extra
@@ -170,15 +194,11 @@ impl Compressor for RandomK {
             indices.swap(j, r);
         }
         let scale = n as f32 / k as f32;
-        let mut out = Tensor::zeros(input.dims());
-        let data = out.as_mut_slice();
+        output.fill(0.0);
         for &i in &indices[..k] {
-            data[i as usize] = x[i as usize] * scale;
+            output[i as usize] = input[i as usize] * scale;
         }
-        Compressed {
-            tensor: out,
-            bytes: sparse_bytes(k, n),
-        }
+        sparse_bytes(k, n)
     }
 
     fn is_unbiased(&self) -> bool {
@@ -197,17 +217,21 @@ impl Compressor for RandomK {
 pub struct SignOneBit;
 
 impl Compressor for SignOneBit {
-    fn compress(&self, input: &Tensor, _rng: &mut StdRng) -> Compressed {
-        let x = input.as_slice();
-        let n = x.len();
-        let scale = x.iter().map(|v| v.abs()).sum::<f32>() / n as f32;
-        let packed = pack_signs(x);
-        let tensor = Tensor::from_vec(unpack_signs(&packed, n, scale), input.dims())
-            .expect("sign reconstruction preserves the length");
-        Compressed {
-            tensor,
-            bytes: F32_BYTES + n.div_ceil(8),
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], _rng: &mut StdRng) -> usize {
+        check_output_len(input, output);
+        let n = input.len();
+        let scale = input.iter().map(|v| v.abs()).sum::<f32>() / n as f32;
+        // Pack-then-unpack semantics without materialising the bit words: a
+        // set bit (strictly negative entry) decodes to -scale, everything
+        // else to +scale (see `kernels::pack_signs`/`unpack_signs`).
+        for (o, &v) in output.iter_mut().zip(input) {
+            *o = if v.is_sign_negative() && v != 0.0 {
+                -scale
+            } else {
+                scale
+            };
         }
+        F32_BYTES + n.div_ceil(8)
     }
 
     fn is_unbiased(&self) -> bool {
@@ -282,24 +306,45 @@ impl Qsgd {
 }
 
 impl Compressor for Qsgd {
-    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
-        let x = input.as_slice();
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], rng: &mut StdRng) -> usize {
+        check_output_len(input, output);
         let levels = self.levels();
-        let mut out = Vec::with_capacity(x.len());
         let mut buckets = 0usize;
-        for chunk in x.chunks(self.bucket) {
+        for (chunk, out_chunk) in input
+            .chunks(self.bucket)
+            .zip(output.chunks_mut(self.bucket))
+        {
             let norm = chunk.iter().map(|v| v * v).sum::<f32>().sqrt();
-            let q = quantize_stochastic(chunk, norm, levels, rng);
-            out.extend(dequantize(&q, norm, levels));
+            // Same guard as `kernels::quantize_stochastic`: a diverged
+            // (inf/NaN) update must fail fast, not quantize into silent
+            // NaN broadcasts.
+            assert!(
+                norm >= 0.0 && norm.is_finite(),
+                "invalid quantization norm {norm}"
+            );
+            if norm == 0.0 {
+                // Matches `kernels::quantize_stochastic`: a zero norm
+                // quantizes everything to level 0 without consuming RNG.
+                out_chunk.fill(0.0);
+            } else {
+                // Fused quantize + dequantize, drawing the RNG in the same
+                // per-entry order as the kernel pair.
+                for (o, &v) in out_chunk.iter_mut().zip(chunk) {
+                    let p = (v.abs() / norm).min(1.0) * levels as f32;
+                    let lo = p.floor();
+                    let level = if rng.gen::<f32>() < p - lo {
+                        lo as i32 + 1
+                    } else {
+                        lo as i32
+                    };
+                    let signed = if v < 0.0 { -level } else { level };
+                    *o = norm * signed as f32 / levels as f32;
+                }
+            }
             buckets += 1;
         }
-        let tensor =
-            Tensor::from_vec(out, input.dims()).expect("quantization preserves the length");
-        let payload_bits = x.len() * (usize::from(self.bits) + 1);
-        Compressed {
-            tensor,
-            bytes: buckets * F32_BYTES + payload_bits.div_ceil(8),
-        }
+        let payload_bits = input.len() * (usize::from(self.bits) + 1);
+        buckets * F32_BYTES + payload_bits.div_ceil(8)
     }
 
     fn is_unbiased(&self) -> bool {
@@ -406,13 +451,13 @@ impl CodecSpec {
 }
 
 impl Compressor for CodecSpec {
-    fn compress(&self, input: &Tensor, rng: &mut StdRng) -> Compressed {
+    fn compress_slice(&self, input: &[f32], output: &mut [f32], rng: &mut StdRng) -> usize {
         match *self {
-            CodecSpec::Identity => Identity.compress(input, rng),
-            CodecSpec::TopK { ratio } => TopK::new(ratio).compress(input, rng),
-            CodecSpec::RandomK { ratio } => RandomK::new(ratio).compress(input, rng),
-            CodecSpec::Sign => SignOneBit.compress(input, rng),
-            CodecSpec::Qsgd { bits } => Qsgd::new(bits).compress(input, rng),
+            CodecSpec::Identity => Identity.compress_slice(input, output, rng),
+            CodecSpec::TopK { ratio } => TopK::new(ratio).compress_slice(input, output, rng),
+            CodecSpec::RandomK { ratio } => RandomK::new(ratio).compress_slice(input, output, rng),
+            CodecSpec::Sign => SignOneBit.compress_slice(input, output, rng),
+            CodecSpec::Qsgd { bits } => Qsgd::new(bits).compress_slice(input, output, rng),
         }
     }
 
@@ -557,6 +602,42 @@ mod tests {
     }
 
     #[test]
+    fn fused_codecs_match_kernel_pipeline() {
+        // The fused slice codecs re-implement the kernels inline for
+        // zero-allocation operation; this pins them to the kernel pair so
+        // the two copies of the math cannot drift apart.
+        use crate::kernels::{dequantize, pack_signs, quantize_stochastic, unpack_signs};
+        let x: Vec<f32> = (0..1030).map(|i| ((i * 37) as f32 * 0.013).sin()).collect();
+
+        // QSGD: same buckets, same RNG stream, same reconstruction.
+        let q = Qsgd::new(4).with_bucket(512);
+        let mut fused = vec![0.0f32; x.len()];
+        let _ = q.compress_slice(&x, &mut fused, &mut rng());
+        let mut kernel_rng = rng();
+        let mut via_kernels = Vec::with_capacity(x.len());
+        for chunk in x.chunks(512) {
+            let norm = chunk.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let levels = quantize_stochastic(chunk, norm, 15, &mut kernel_rng);
+            via_kernels.extend(dequantize(&levels, norm, 15));
+        }
+        assert_eq!(fused, via_kernels, "qsgd fused loop drifted from kernels");
+
+        // Sign: same scale, same pack/unpack decode.
+        let mut fused = vec![0.0f32; x.len()];
+        let _ = SignOneBit.compress_slice(&x, &mut fused, &mut rng());
+        let scale = x.iter().map(|v| v.abs()).sum::<f32>() / x.len() as f32;
+        let via_kernels = unpack_signs(&pack_signs(&x), x.len(), scale);
+        assert_eq!(fused, via_kernels, "sign fused loop drifted from kernels");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quantization norm")]
+    fn qsgd_rejects_non_finite_input() {
+        let x = Tensor::from_slice(&[1.0, f32::INFINITY]);
+        let _ = Qsgd::new(4).compress(&x, &mut rng());
+    }
+
+    #[test]
     fn qsgd_one_bit_still_works() {
         let x = sample_tensor();
         let c = Qsgd::new(1).compress(&x, &mut rng());
@@ -587,6 +668,40 @@ mod tests {
         );
         assert_eq!(CodecSpec::Sign.with_ratio(0.1), CodecSpec::Sign);
         assert_eq!(CodecSpec::Identity.with_ratio(0.1), CodecSpec::Identity);
+    }
+
+    #[test]
+    fn slice_and_tensor_entry_points_agree() {
+        let x = Tensor::from_vec(
+            (0..1030).map(|i| ((i * 37) as f32 * 0.013).sin()).collect(),
+            &[1030],
+        )
+        .expect("vector tensor");
+        for spec in [
+            CodecSpec::Identity,
+            CodecSpec::TopK { ratio: 0.05 },
+            CodecSpec::RandomK { ratio: 0.05 },
+            CodecSpec::Sign,
+            CodecSpec::Qsgd { bits: 4 },
+        ] {
+            let via_tensor = spec.compress(&x, &mut rng());
+            let mut out = vec![0.0f32; x.len()];
+            let bytes = spec.compress_slice(x.as_slice(), &mut out, &mut rng());
+            assert_eq!(
+                via_tensor.tensor.as_slice(),
+                &out[..],
+                "{} reconstruction mismatch",
+                spec.name()
+            );
+            assert_eq!(via_tensor.bytes, bytes, "{} byte mismatch", spec.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reconstruction buffer holds")]
+    fn slice_entry_point_rejects_bad_output_len() {
+        let mut out = vec![0.0f32; 3];
+        let _ = Identity.compress_slice(&[1.0, 2.0], &mut out, &mut rng());
     }
 
     #[test]

@@ -4,15 +4,23 @@
 //! keeps the dropped part locally and adds it back before the next
 //! compression, so the bias cancels over rounds and convergence is
 //! restored.
+//!
+//! The memory is stored as one contiguous flat plane segmented like the
+//! model's parameter plane, so the simulator's flat averaging path runs
+//! compensation without any per-round allocation
+//! ([`ErrorFeedback::compress_flat`]); the tensor-based entry point
+//! ([`ErrorFeedback::compress`]) wraps it.
 
-use crate::codec::{Compressed, Compressor};
+use crate::codec::Compressor;
 use rand::rngs::StdRng;
 use tensor::Tensor;
 
-/// Per-worker residual memory, one residual tensor per parameter tensor.
+/// Per-worker residual memory: one flat residual plane, segmented per
+/// parameter tensor (codecs are applied segment-by-segment, exactly like
+/// the tensor-based path).
 ///
-/// The memory is lazily shaped on first use and validates shapes on every
-/// subsequent round.
+/// The memory is lazily shaped on first use and validates the segment
+/// layout on every subsequent round.
 ///
 /// # Example
 ///
@@ -33,7 +41,8 @@ use tensor::Tensor;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ErrorFeedback {
-    residuals: Vec<Tensor>,
+    residual: Vec<f32>,
+    segments: Vec<usize>,
 }
 
 impl ErrorFeedback {
@@ -42,10 +51,86 @@ impl ErrorFeedback {
         ErrorFeedback::default()
     }
 
-    /// Compresses `update` with `codec`, compensating with the stored
-    /// residuals: each tensor is compressed as `update + residual`, and the
-    /// new residual is whatever the codec dropped. Returns the compressed
-    /// (transmitted) tensors and the total payload bytes.
+    /// Flat-plane compression with error feedback — the simulator's
+    /// allocation-free entry point.
+    ///
+    /// `update` is the flat concatenation of per-tensor segments
+    /// (`segments` lists their lengths, summing to `update.len()`). Each
+    /// segment is compensated with its stored residual (the target
+    /// `update + residual` is formed in `scratch`), compressed with
+    /// `codec`, and the reconstruction written into `out`; the new
+    /// residual is whatever the codec dropped. Returns the total payload
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment layout differs from the previous round, the
+    /// segment lengths do not sum to `update.len()`, or the buffer lengths
+    /// disagree.
+    pub fn compress_flat(
+        &mut self,
+        codec: &dyn Compressor,
+        update: &[f32],
+        segments: &[usize],
+        scratch: &mut [f32],
+        out: &mut [f32],
+        rng: &mut StdRng,
+    ) -> usize {
+        assert_eq!(
+            segments.iter().sum::<usize>(),
+            update.len(),
+            "segment lengths must sum to the plane length"
+        );
+        assert_eq!(scratch.len(), update.len(), "scratch plane length mismatch");
+        assert_eq!(out.len(), update.len(), "output plane length mismatch");
+        if self.residual.is_empty() {
+            self.residual = vec![0.0f32; update.len()];
+            self.segments = segments.to_vec();
+        }
+        assert_eq!(
+            self.segments.len(),
+            segments.len(),
+            "error-feedback memory holds {} tensors but the update has {}",
+            self.segments.len(),
+            segments.len()
+        );
+        assert_eq!(
+            self.segments, segments,
+            "error-feedback segment layout changed between rounds"
+        );
+        let mut bytes = 0usize;
+        let mut offset = 0usize;
+        for &len in segments {
+            let range = offset..offset + len;
+            let residual = &mut self.residual[range.clone()];
+            let target = &mut scratch[range.clone()];
+            // target = update + residual (the compensated message).
+            for ((t, &u), &r) in target
+                .iter_mut()
+                .zip(&update[range.clone()])
+                .zip(residual.iter())
+            {
+                *t = u + r;
+            }
+            bytes += codec.compress_slice(target, &mut out[range], rng);
+            // residual = target - transmitted.
+            for ((r, &t), &sent) in residual
+                .iter_mut()
+                .zip(target.iter())
+                .zip(out[offset..offset + len].iter())
+            {
+                *r = t - sent;
+            }
+            offset += len;
+        }
+        bytes
+    }
+
+    /// Tensor-based compression with error feedback: compresses each
+    /// tensor of `update` as `update + residual`, remembering what the
+    /// codec dropped. Returns the compressed (transmitted) tensors and the
+    /// total payload bytes. Delegates to [`ErrorFeedback::compress_flat`],
+    /// so both entry points share one residual state.
     ///
     /// # Panics
     ///
@@ -57,50 +142,42 @@ impl ErrorFeedback {
         update: &[Tensor],
         rng: &mut StdRng,
     ) -> (Vec<Tensor>, usize) {
-        if self.residuals.is_empty() {
-            self.residuals = update.iter().map(|t| Tensor::zeros(t.dims())).collect();
+        let segments: Vec<usize> = update.iter().map(Tensor::len).collect();
+        let total: usize = segments.iter().sum();
+        let mut flat = Vec::with_capacity(total);
+        for t in update {
+            flat.extend_from_slice(t.as_slice());
         }
-        assert_eq!(
-            self.residuals.len(),
-            update.len(),
-            "error-feedback memory holds {} tensors but the update has {}",
-            self.residuals.len(),
-            update.len()
-        );
+        let mut scratch = vec![0.0f32; total];
+        let mut out = vec![0.0f32; total];
+        let bytes = self.compress_flat(codec, &flat, &segments, &mut scratch, &mut out, rng);
         let mut sent = Vec::with_capacity(update.len());
-        let mut bytes = 0usize;
-        for (residual, u) in self.residuals.iter_mut().zip(update.iter()) {
-            let mut target = u.clone();
-            target.add_assign(residual);
-            let Compressed {
-                tensor: transmitted,
-                bytes: b,
-            } = codec.compress(&target, rng);
-            residual.copy_from(&target);
-            residual.sub_assign(&transmitted);
-            bytes += b;
-            sent.push(transmitted);
+        let mut offset = 0usize;
+        for t in update {
+            let seg = &out[offset..offset + t.len()];
+            sent.push(
+                Tensor::from_vec(seg.to_vec(), t.dims()).expect("segment matches tensor shape"),
+            );
+            offset += t.len();
         }
         (sent, bytes)
     }
 
-    /// Total `ℓ2` norm of the stored residuals (0 before the first round).
+    /// Total `ℓ2` norm of the stored residual plane (0 before the first
+    /// round).
     pub fn residual_norm(&self) -> f32 {
-        self.residuals
-            .iter()
-            .map(|r| r.norm_sq())
-            .sum::<f32>()
-            .sqrt()
+        self.residual.iter().map(|r| r * r).sum::<f32>().sqrt()
     }
 
-    /// Drops all stored residuals (e.g. when the codec changes family).
+    /// Drops the stored residuals (e.g. when the codec changes family).
     pub fn reset(&mut self) {
-        self.residuals.clear();
+        self.residual.clear();
+        self.segments.clear();
     }
 
     /// Whether any residual is stored yet.
     pub fn is_empty(&self) -> bool {
-        self.residuals.is_empty()
+        self.residual.is_empty()
     }
 }
 
@@ -144,21 +221,50 @@ mod tests {
         // nothing is lost, only delayed.
         let mut ef = ErrorFeedback::new();
         let codec = SignOneBit;
-        let mut carried = Tensor::zeros(&[3]);
         for step in 0..5 {
             let update = vec![Tensor::from_slice(&[
                 0.3 * step as f32,
                 -1.0,
                 2.0 - step as f32,
             ])];
-            let before = ef.residuals.first().cloned().unwrap_or(Tensor::zeros(&[3]));
+            let before = if ef.is_empty() {
+                vec![0.0f32; 3]
+            } else {
+                ef.residual.clone()
+            };
             let (sent, _) = ef.compress(&codec, &update, &mut rng());
-            let mut total = update[0].clone();
-            total.add_assign(&before);
-            let mut roundtrip = sent[0].clone();
-            roundtrip.add_assign(&ef.residuals[0]);
-            assert_eq!(roundtrip, total);
-            carried.add_assign(&sent[0]);
+            for (i, &b) in before.iter().enumerate() {
+                let total = update[0].at(i) + b;
+                let roundtrip = sent[0].at(i) + ef.residual[i];
+                assert_eq!(roundtrip, total, "mass lost at entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_and_tensor_entry_points_share_state() {
+        // Alternate entry points on two separately evolving memories; the
+        // residuals and transmissions must agree bit-for-bit.
+        let codec = TopK::new(0.5);
+        let segments = [3usize, 2];
+        let updates: Vec<Vec<f32>> = (0..4)
+            .map(|s| (0..5).map(|i| ((s * 5 + i) as f32 * 0.73).sin()).collect())
+            .collect();
+        let mut tensor_ef = ErrorFeedback::new();
+        let mut flat_ef = ErrorFeedback::new();
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        for u in &updates {
+            let tensors = vec![Tensor::from_slice(&u[..3]), Tensor::from_slice(&u[3..])];
+            let (sent, bytes_a) = tensor_ef.compress(&codec, &tensors, &mut rng_a);
+            let mut scratch = vec![0.0f32; 5];
+            let mut out = vec![0.0f32; 5];
+            let bytes_b =
+                flat_ef.compress_flat(&codec, u, &segments, &mut scratch, &mut out, &mut rng_b);
+            let sent_flat: Vec<f32> = sent.iter().flat_map(|t| t.as_slice().to_vec()).collect();
+            assert_eq!(sent_flat, out);
+            assert_eq!(bytes_a, bytes_b);
+            assert_eq!(tensor_ef.residual, flat_ef.residual);
         }
     }
 
@@ -181,6 +287,30 @@ mod tests {
         let _ = ef.compress(
             &Identity,
             &[Tensor::zeros(&[2]), Tensor::zeros(&[2])],
+            &mut rng(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "segment layout changed")]
+    fn segment_reshape_rejected() {
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = vec![0.0f32; 4];
+        let mut out = vec![0.0f32; 4];
+        let _ = ef.compress_flat(
+            &Identity,
+            &[1.0, 2.0, 3.0, 4.0],
+            &[2, 2],
+            &mut scratch,
+            &mut out,
+            &mut rng(),
+        );
+        let _ = ef.compress_flat(
+            &Identity,
+            &[1.0, 2.0, 3.0, 4.0],
+            &[3, 1],
+            &mut scratch,
+            &mut out,
             &mut rng(),
         );
     }

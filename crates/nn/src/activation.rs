@@ -29,7 +29,10 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        // Reuse the mask allocation across batches (clear keeps capacity).
+        let mask = self.mask.get_or_insert_with(Vec::new);
+        mask.clear();
+        mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
         x.map(|v| v.max(0.0))
     }
 

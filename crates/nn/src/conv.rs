@@ -7,7 +7,7 @@
 
 use crate::Layer;
 use rand::Rng;
-use tensor::{Init, Tensor};
+use tensor::{matmul_into, matmul_nt_into, matmul_tn_into, Init, Tensor};
 
 /// The `(channels, height, width)` geometry of a flattened image tensor.
 pub type ImageDims = (usize, usize, usize);
@@ -40,7 +40,13 @@ pub struct Conv2d {
     bias: Tensor,   // [c_out]
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_cols: Vec<Tensor>, // one im2col matrix per batch element
+    cached_cols: Vec<Tensor>, // one im2col matrix per batch element, reused
+    // Per-layer workspaces reused across batches (steady-state the forward
+    // and backward passes allocate only their returned tensors).
+    scratch_y: Vec<f32>,    // [c_out, oh*ow] GEMM output
+    scratch_dy: Vec<f32>,   // [c_out, oh*ow] one batch element's grad
+    scratch_dw: Vec<f32>,   // [c_out, c_in*k*k] per-element dW
+    scratch_dcol: Vec<f32>, // [c_in*k*k, oh*ow] dcol
 }
 
 impl Conv2d {
@@ -75,6 +81,10 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_cols: Vec::new(),
+            scratch_y: Vec::new(),
+            scratch_dy: Vec::new(),
+            scratch_dw: Vec::new(),
+            scratch_dcol: Vec::new(),
         }
     }
 
@@ -88,71 +98,130 @@ impl Conv2d {
         )
     }
 
-    /// im2col for one flattened image: result is
-    /// `[c_in·k·k, out_h·out_w]`.
-    fn im2col(&self, img: &[f32]) -> Tensor {
-        let (c, h, w) = self.input_dims;
-        let (_, oh, ow) = self.output_dims();
-        let k = self.kernel;
-        let pad = self.pad as isize;
-        let mut col = vec![0.0f32; c * k * k * oh * ow];
+    /// The parameter-gradient half shared by `backward` and
+    /// `backward_param_only`: per batch element, `dW += dy·colᵀ` and
+    /// `db += row sums of dy` into the preallocated gradient buffers.
+    /// Returns the batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or the batch size changed.
+    fn accumulate_param_grads(&mut self, grad_out: &Tensor) -> usize {
+        assert!(
+            !self.cached_cols.is_empty(),
+            "backward called before forward"
+        );
+        let batch = grad_out.dims()[0];
+        assert_eq!(
+            batch,
+            self.cached_cols.len(),
+            "batch size changed between forward and backward"
+        );
+        let (co, oh, ow) = self.output_dims();
+        let (c, _, _) = self.input_dims;
         let row_len = oh * ow;
-        for ch in 0..c {
-            for ky in 0..k {
-                for kx in 0..k {
-                    let col_row = (ch * k * k + ky * k + kx) * row_len;
-                    for oy in 0..oh {
-                        let iy = oy as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for ox in 0..ow {
-                            let ix = ox as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            col[col_row + oy * ow + ox] =
-                                img[ch * h * w + iy as usize * w + ix as usize];
-                        }
-                    }
-                }
+        let fan_in = c * self.kernel * self.kernel;
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+        self.scratch_dy.resize(co * row_len, 0.0);
+        self.scratch_dw.resize(co * fan_in, 0.0);
+        for b in 0..batch {
+            self.scratch_dy.copy_from_slice(grad_out.row(b));
+            matmul_nt_into(
+                &self.scratch_dy,
+                self.cached_cols[b].as_slice(),
+                &mut self.scratch_dw,
+                co,
+                row_len,
+                fan_in,
+            );
+            for (gw, &dwv) in self
+                .grad_weight
+                .as_mut_slice()
+                .iter_mut()
+                .zip(&self.scratch_dw)
+            {
+                *gw += dwv;
+            }
+            for ch in 0..co {
+                let s: f32 = self.scratch_dy[ch * row_len..(ch + 1) * row_len]
+                    .iter()
+                    .sum();
+                self.grad_bias.as_mut_slice()[ch] += s;
             }
         }
-        Tensor::from_vec(col, &[c * k * k, row_len]).expect("volume matches")
+        batch
     }
+}
 
-    /// col2im: scatter-add a `[c_in·k·k, out_h·out_w]` gradient back into a
-    /// flattened image gradient.
-    fn col2im(&self, col: &Tensor) -> Vec<f32> {
-        let (c, h, w) = self.input_dims;
-        let (_, oh, ow) = self.output_dims();
-        let k = self.kernel;
-        let pad = self.pad as isize;
-        let data = col.as_slice();
-        let row_len = oh * ow;
-        let mut img = vec![0.0f32; c * h * w];
-        for ch in 0..c {
-            for ky in 0..k {
-                for kx in 0..k {
-                    let col_row = (ch * k * k + ky * k + kx) * row_len;
-                    for oy in 0..oh {
-                        let iy = oy as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+/// im2col for one flattened image, written into the reused `col` buffer
+/// (`[c_in·k·k, out_h·out_w]`); padding positions are zero-filled first.
+fn im2col_into(
+    (c, h, w): ImageDims,
+    (oh, ow): (usize, usize),
+    k: usize,
+    pad: usize,
+    img: &[f32],
+    col: &mut [f32],
+) {
+    let pad = pad as isize;
+    let row_len = oh * ow;
+    col.fill(0.0);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let col_row = (ch * k * k + ky * k + kx) * row_len;
+                for oy in 0..oh {
+                    let iy = oy as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = ox as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for ox in 0..ow {
-                            let ix = ox as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            img[ch * h * w + iy as usize * w + ix as usize] +=
-                                data[col_row + oy * ow + ox];
-                        }
+                        col[col_row + oy * ow + ox] =
+                            img[ch * h * w + iy as usize * w + ix as usize];
                     }
                 }
             }
         }
-        img
+    }
+}
+
+/// col2im: scatter-add a `[c_in·k·k, out_h·out_w]` gradient into a (zeroed
+/// by the caller) flattened image gradient.
+fn col2im_into(
+    (c, h, w): ImageDims,
+    (oh, ow): (usize, usize),
+    k: usize,
+    pad: usize,
+    col: &[f32],
+    img: &mut [f32],
+) {
+    let pad = pad as isize;
+    let row_len = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let col_row = (ch * k * k + ky * k + kx) * row_len;
+                for oy in 0..oh {
+                    let iy = oy as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = ox as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[ch * h * w + iy as usize * w + ix as usize] +=
+                            col[col_row + oy * ow + ox];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -168,54 +237,83 @@ impl Layer for Conv2d {
         );
         let batch = x.dims()[0];
         let (co, oh, ow) = self.output_dims();
-        self.cached_cols.clear();
-        let mut out = Vec::with_capacity(batch * co * oh * ow);
+        let row_len = oh * ow;
+        let fan_in = c * self.kernel * self.kernel;
+        // The im2col matrices double as the backward cache; reuse their
+        // buffers whenever the batch size is unchanged.
+        if self.cached_cols.len() != batch {
+            self.cached_cols = (0..batch)
+                .map(|_| Tensor::zeros(&[fan_in, row_len]))
+                .collect();
+        }
+        self.scratch_y.resize(co * row_len, 0.0);
+        let mut out = vec![0.0f32; batch * co * row_len];
         for b in 0..batch {
-            let col = self.im2col(x.row(b));
+            im2col_into(
+                self.input_dims,
+                (oh, ow),
+                self.kernel,
+                self.pad,
+                x.row(b),
+                self.cached_cols[b].as_mut_slice(),
+            );
             // [c_out, k*k*c] · [k*k*c, oh*ow] = [c_out, oh*ow]
-            let y = self.weight.matmul(&col);
+            matmul_into(
+                self.weight.as_slice(),
+                self.cached_cols[b].as_slice(),
+                &mut self.scratch_y,
+                co,
+                fan_in,
+                row_len,
+            );
+            let dst = &mut out[b * co * row_len..(b + 1) * co * row_len];
             for ch in 0..co {
-                let base = ch * oh * ow;
                 let bias = self.bias.at(ch);
-                for i in 0..oh * ow {
-                    out.push(y.as_slice()[base + i] + bias);
+                let y_row = &self.scratch_y[ch * row_len..(ch + 1) * row_len];
+                for (o, &y) in dst[ch * row_len..(ch + 1) * row_len].iter_mut().zip(y_row) {
+                    *o = y + bias;
                 }
             }
-            self.cached_cols.push(col);
         }
-        Tensor::from_vec(out, &[batch, co * oh * ow]).expect("volume matches")
+        Tensor::from_vec(out, &[batch, co * row_len]).expect("volume matches")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(
-            !self.cached_cols.is_empty(),
-            "backward called before forward"
-        );
-        let batch = grad_out.dims()[0];
-        assert_eq!(
-            batch,
-            self.cached_cols.len(),
-            "batch size changed between forward and backward"
-        );
+        let batch = self.accumulate_param_grads(grad_out);
         let (co, oh, ow) = self.output_dims();
         let (c, h, w) = self.input_dims;
-        self.grad_weight.fill_zero();
-        self.grad_bias.fill_zero();
-        let mut dx = Vec::with_capacity(batch * c * h * w);
+        let row_len = oh * ow;
+        let fan_in = c * self.kernel * self.kernel;
+        self.scratch_dcol.resize(fan_in * row_len, 0.0);
+        let mut dx = vec![0.0f32; batch * c * h * w];
         for b in 0..batch {
-            let dy = Tensor::from_vec(grad_out.row(b).to_vec(), &[co, oh * ow])
-                .expect("row volume matches");
-            // dW += dy · col^T ; dcol = W^T · dy ; db += row sums of dy.
-            let col = &self.cached_cols[b];
-            self.grad_weight.add_assign(&dy.matmul_nt(col));
-            for ch in 0..co {
-                let s: f32 = dy.row(ch).iter().sum();
-                self.grad_bias.as_mut_slice()[ch] += s;
-            }
-            let dcol = self.weight.matmul_tn(&dy);
-            dx.extend_from_slice(&self.col2im(&dcol));
+            // dcol = W^T · dy, scattered back with col2im.
+            self.scratch_dy.copy_from_slice(grad_out.row(b));
+            matmul_tn_into(
+                self.weight.as_slice(),
+                &self.scratch_dy,
+                &mut self.scratch_dcol,
+                co,
+                fan_in,
+                row_len,
+            );
+            col2im_into(
+                self.input_dims,
+                (oh, ow),
+                self.kernel,
+                self.pad,
+                &self.scratch_dcol,
+                &mut dx[b * c * h * w..(b + 1) * c * h * w],
+            );
         }
         Tensor::from_vec(dx, &[batch, c * h * w]).expect("volume matches")
+    }
+
+    fn backward_param_only(&mut self, grad_out: &Tensor) -> Tensor {
+        let _ = self.accumulate_param_grads(grad_out);
+        // Skip the Wᵀ·dy GEMM and the col2im scatter entirely: nothing
+        // reads the input gradient of a model's first layer.
+        Tensor::zeros(&[0])
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {

@@ -2,7 +2,7 @@
 
 use crate::Layer;
 use rand::Rng;
-use tensor::{Init, Tensor};
+use tensor::{matmul_into, matmul_nt_into, matmul_tn_into, Init, Tensor};
 
 /// A fully connected layer `y = x·W + b` with `W: [in, out]`, `b: [out]`.
 ///
@@ -68,6 +68,39 @@ impl Dense {
     pub fn bias(&self) -> &Tensor {
         &self.bias
     }
+
+    /// The parameter-gradient half shared by `backward` and
+    /// `backward_param_only`: `dW = xᵀ·dy` and `db = column sums of dy`
+    /// into the preallocated gradient buffers. Returns `(batch, din,
+    /// dout)` for the caller's input-gradient GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    fn accumulate_param_grads(&mut self, grad_out: &Tensor) -> (usize, usize, usize) {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (batch, din) = (x.dims()[0], self.input_dim());
+        let dout = self.output_dim();
+        matmul_tn_into(
+            x.as_slice(),
+            grad_out.as_slice(),
+            self.grad_weight.as_mut_slice(),
+            batch,
+            din,
+            dout,
+        );
+        let gb = self.grad_bias.as_mut_slice();
+        gb.fill(0.0);
+        for row in grad_out.as_slice().chunks_exact(dout) {
+            for (acc, &v) in gb.iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        (batch, din, dout)
+    }
 }
 
 impl Layer for Dense {
@@ -79,19 +112,53 @@ impl Layer for Dense {
             self.input_dim(),
             x.shape()
         );
-        self.cached_input = Some(x.clone());
-        x.matmul(&self.weight).add_row_broadcast(&self.bias)
+        // Reuse the cached-input buffer across batches of the same shape
+        // instead of allocating a fresh clone per step.
+        match &mut self.cached_input {
+            Some(c) if c.dims() == x.dims() => c.copy_from(x),
+            c => *c = Some(x.clone()),
+        }
+        let (batch, din) = (x.dims()[0], self.input_dim());
+        let dout = self.output_dim();
+        let mut out = vec![0.0f32; batch * dout];
+        matmul_into(
+            x.as_slice(),
+            self.weight.as_slice(),
+            &mut out,
+            batch,
+            din,
+            dout,
+        );
+        // Bias is added once after the GEMM, exactly like the former
+        // `add_row_broadcast` pass (but without the intermediate clone).
+        let bias = self.bias.as_slice();
+        for row in out.chunks_exact_mut(dout) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        Tensor::from_vec(out, &[batch, dout]).expect("volume matches")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward");
-        // dW = x^T · dy, db = column sums of dy, dx = dy · W^T.
-        self.grad_weight = x.matmul_tn(grad_out);
-        self.grad_bias = grad_out.sum_rows();
-        grad_out.matmul_nt(&self.weight)
+        let (batch, din, dout) = self.accumulate_param_grads(grad_out);
+        // dx = dy · W^T.
+        let mut dx = vec![0.0f32; batch * din];
+        matmul_nt_into(
+            grad_out.as_slice(),
+            self.weight.as_slice(),
+            &mut dx,
+            batch,
+            dout,
+            din,
+        );
+        Tensor::from_vec(dx, &[batch, din]).expect("volume matches")
+    }
+
+    fn backward_param_only(&mut self, grad_out: &Tensor) -> Tensor {
+        let _ = self.accumulate_param_grads(grad_out);
+        // The dy·Wᵀ GEMM is the whole point of this entry: skip it.
+        Tensor::zeros(&[0])
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {

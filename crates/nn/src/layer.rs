@@ -29,6 +29,17 @@ pub trait Layer: Send {
     /// activations).
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Like [`Layer::backward`], but the caller promises never to read the
+    /// returned input gradient. Parameter gradients must still be computed
+    /// in full; the return value is unspecified (layers with an expensive
+    /// input-gradient GEMM, like [`Dense`](crate::Dense) and
+    /// [`Conv2d`](crate::Conv2d), return an empty tensor instead of paying
+    /// for it). The training loop uses this for the *first* layer of a
+    /// model, whose input gradient nothing consumes.
+    fn backward_param_only(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward(grad_out)
+    }
+
     /// Visits every parameter tensor (immutably), outermost layer first.
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor));
 

@@ -70,7 +70,9 @@ impl Network {
     pub fn train_step(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.stack.forward(x, true);
         let (loss, dlogits) = self.loss.loss_and_grad(&logits, labels);
-        let _ = self.stack.backward(&dlogits);
+        // The first layer's input gradient feeds nothing in a training
+        // step; backward_param_only lets it skip that GEMM.
+        let _ = self.stack.backward_param_only(&dlogits);
         loss
     }
 
@@ -124,6 +126,77 @@ impl Network {
             params.len(),
             "snapshot has {} tensors but the network has {idx}",
             params.len()
+        );
+    }
+
+    /// Lengths of every parameter tensor in visitor order — the segment
+    /// layout of the flat parameter plane used by
+    /// [`Network::copy_params_into`] / [`Network::load_params_from`].
+    pub fn param_sizes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.stack.visit_params(&mut |p| out.push(p.len()));
+        out
+    }
+
+    /// Copies every parameter into the flat plane `out` (row-major within
+    /// each tensor, visitor order across tensors). The allocation-free
+    /// counterpart of [`Network::params_snapshot`]; the PASGD cluster keeps
+    /// one preallocated plane per worker and refills it every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`Network::param_count`].
+    pub fn copy_params_into(&self, out: &mut [f32]) {
+        let mut offset = 0;
+        self.stack.visit_params(&mut |p| {
+            let next = offset + p.len();
+            assert!(
+                next <= out.len(),
+                "flat plane holds {} values but the network has more",
+                out.len()
+            );
+            out[offset..next].copy_from_slice(p.as_slice());
+            offset = next;
+        });
+        assert_eq!(
+            offset,
+            out.len(),
+            "flat plane holds {} values but the network has {offset}",
+            out.len()
+        );
+    }
+
+    /// Allocating convenience around [`Network::copy_params_into`].
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.param_count()];
+        self.copy_params_into(&mut out);
+        out
+    }
+
+    /// Overwrites every parameter from the flat plane `src` (the layout
+    /// produced by [`Network::copy_params_into`]). The allocation-free
+    /// counterpart of [`Network::load_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from [`Network::param_count`].
+    pub fn load_params_from(&mut self, src: &[f32]) {
+        let mut offset = 0;
+        self.stack.visit_params_mut(&mut |p| {
+            let next = offset + p.len();
+            assert!(
+                next <= src.len(),
+                "flat snapshot holds {} values but the network has more",
+                src.len()
+            );
+            p.as_mut_slice().copy_from_slice(&src[offset..next]);
+            offset = next;
+        });
+        assert_eq!(
+            offset,
+            src.len(),
+            "flat snapshot holds {} values but the network has {offset}",
+            src.len()
         );
     }
 
@@ -243,6 +316,32 @@ mod tests {
     fn load_rejects_short_snapshot() {
         let mut net = models::mlp_classifier(4, &[6], 3, 0);
         net.load_params(&[]);
+    }
+
+    #[test]
+    fn flat_plane_roundtrip_matches_snapshot() {
+        let net = models::mlp_classifier(4, &[6], 3, 0);
+        let plane = net.params_flat();
+        assert_eq!(plane.len(), net.param_count());
+        assert_eq!(net.param_sizes(), vec![24, 6, 18, 3]);
+        // The plane is the concatenation of the snapshot tensors.
+        let concat: Vec<f32> = net
+            .params_snapshot()
+            .iter()
+            .flat_map(|t| t.as_slice().to_vec())
+            .collect();
+        assert_eq!(plane, concat);
+        let mut other = models::mlp_classifier(4, &[6], 3, 99);
+        other.load_params_from(&plane);
+        assert_eq!(other.params_flat(), plane);
+        assert_eq!(other.params_snapshot(), net.params_snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat snapshot holds")]
+    fn load_from_rejects_short_plane() {
+        let mut net = models::mlp_classifier(4, &[6], 3, 0);
+        net.load_params_from(&[0.0; 3]);
     }
 
     #[test]

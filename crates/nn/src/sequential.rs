@@ -72,19 +72,47 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
+        // Feed the input straight into the first layer instead of cloning
+        // it; only the empty stack still needs the identity copy.
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return x.clone();
+        };
+        let mut h = first.forward(x, train);
+        for layer in layers {
             h = layer.forward(&h, train);
         }
         h
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return grad_out.clone();
+        };
+        let mut g = last.backward(grad_out);
+        for layer in layers {
             g = layer.backward(&g);
         }
         g
+    }
+
+    fn backward_param_only(&mut self, grad_out: &Tensor) -> Tensor {
+        // All layers but the first back-propagate normally; the first
+        // layer's input gradient feeds nothing, so it may skip its dx GEMM
+        // (recursing into a nested Sequential head, if any).
+        let Some((first, rest)) = self.layers.split_first_mut() else {
+            return grad_out.clone();
+        };
+        let mut layers = rest.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return first.backward_param_only(grad_out);
+        };
+        let mut g = last.backward(grad_out);
+        for layer in layers {
+            g = layer.backward(&g);
+        }
+        first.backward_param_only(&g)
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {

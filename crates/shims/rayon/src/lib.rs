@@ -1,15 +1,32 @@
 //! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
 //! crate API used by this workspace: `par_iter_mut()` over slices followed
-//! by `map(..).collect()` or `for_each(..)`.
+//! by `map(..).collect()`, `map(..).sum()` or `for_each(..)`.
 //!
-//! Unlike a sequential fallback, this shim genuinely runs the closure in
-//! parallel: the slice is split into one contiguous chunk per available
-//! core and each chunk is processed on its own scoped `std::thread`.
-//! Results are concatenated in slice order, so `map(..).collect()`
+//! Like real rayon — and unlike the scoped-thread shim it replaces — work
+//! runs on a **lazily-initialized persistent worker pool**: the first
+//! parallel call spawns one worker per available core and every subsequent
+//! call just enqueues chunk jobs, so a simulation driving thousands of
+//! training rounds pays the thread-spawn cost once instead of per round.
+//! The slice is split into one contiguous chunk per worker and per-chunk
+//! outputs are concatenated in slice order, so `map(..).collect()`
 //! preserves element order exactly like rayon does.
+//!
+//! # Safety
+//!
+//! Dispatching borrowed chunks onto long-lived threads requires erasing the
+//! job's lifetime (the same obligation real rayon discharges in its scoped
+//! machinery). Soundness rests on one invariant, enforced in the private
+//! `run_jobs` dispatcher: the submitting call **blocks on a completion
+//! latch until every chunk job has finished running** (panicking jobs are
+//! caught and still counted), so no borrow escapes the caller's stack
+//! frame. This is the only unsafe code in the workspace.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// The traits and adaptors, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -52,18 +69,20 @@ impl<'a, T: Send> ParIterMut<'a, T> {
     where
         F: Fn(&mut T) + Sync,
     {
-        run_chunks(self.slice, &|item| op(item));
+        let _: Vec<()> = run_chunks(self.slice, &|item| op(item), |chunk, op| {
+            chunk.iter_mut().for_each(op);
+        });
     }
 }
 
-/// The parallel `map` adaptor; terminate it with
-/// [`collect`](ParMap::collect).
+/// The parallel `map` adaptor; terminate it with [`collect`](ParMap::collect)
+/// or [`sum`](ParMap::sum).
 pub struct ParMap<'a, T, F> {
     slice: &'a mut [T],
     op: F,
 }
 
-impl<'a, T, R, F> ParMap<'a, T, F>
+impl<T, R, F> ParMap<'_, T, F>
 where
     T: Send,
     R: Send,
@@ -71,38 +90,237 @@ where
 {
     /// Collects the mapped values in slice order.
     pub fn collect<C: From<Vec<R>>>(self) -> C {
-        C::from(run_chunks(self.slice, &self.op))
+        let per_chunk = run_chunks(self.slice, &self.op, |chunk, op| {
+            chunk.iter_mut().map(op).collect::<Vec<R>>()
+        });
+        let mut out = Vec::new();
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        C::from(out)
+    }
+
+    /// Sums the mapped values without materialising them: each chunk folds
+    /// its elements in slice order, and the per-chunk partial sums are
+    /// combined in chunk order. (Like rayon's `sum`, the float result may
+    /// differ from a sequential sum in the last bits because partials are
+    /// re-associated.)
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
+    {
+        run_chunks(self.slice, &self.op, |chunk, op| {
+            chunk.iter_mut().map(op).sum::<S>()
+        })
+        .into_iter()
+        .sum()
     }
 }
 
-/// Splits `slice` into one chunk per core, maps each chunk on its own
-/// scoped thread, and concatenates the per-chunk outputs in order.
-fn run_chunks<T, R, F>(slice: &mut [T], op: &F) -> Vec<R>
+// ---------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------
+
+/// A type-erased chunk job. `'static` is a lie told once, in
+/// [`run_jobs`], which blocks until the job has run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            let pool = Pool {
+                queue: Mutex::new(VecDeque::new()),
+                job_ready: Condvar::new(),
+                workers,
+            };
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(worker_loop)
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        self.job_ready.notify_one();
+    }
+}
+
+thread_local! {
+    /// Set on pool workers so a nested parallel call degrades to
+    /// sequential instead of deadlocking the (finite) pool on itself.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker_loop() {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let pool = Pool::global();
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool.job_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// Counts outstanding chunk jobs of one parallel call; the submitting
+/// thread blocks on it. A panicking job is caught inside the job (keeping
+/// the worker thread alive), flagged here, and re-raised on the caller.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// Splits `slice` into one chunk per pool worker, processes every chunk on
+/// the pool via `process` (which receives the chunk and `op`), and returns
+/// the per-chunk outputs in slice order.
+fn run_chunks<T, R, F, P, V>(slice: &mut [T], op: &F, process: P) -> Vec<V>
 where
     T: Send,
     R: Send,
     F: Fn(&mut T) -> R + Sync,
+    P: Fn(&mut [T], &F) -> V + Sync,
+    V: Send,
 {
     let len = slice.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(len);
+    let sequential = |slice: &mut [T]| -> Vec<V> {
+        if slice.is_empty() {
+            return Vec::new();
+        }
+        vec![process(slice, op)]
+    };
+    if IS_POOL_WORKER.with(|f| f.get()) {
+        // Nested parallelism: run inline rather than deadlock the pool.
+        return sequential(slice);
+    }
+    let threads = Pool::global().workers.min(len);
     if threads <= 1 {
-        return slice.iter_mut().map(op).collect();
+        return sequential(slice);
     }
     let chunk_len = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = slice
-            .chunks_mut(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(op).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
+    let mut slots: Vec<Option<V>> = Vec::new();
+    slots.resize_with(slice.chunks_mut(chunk_len).len(), || None);
+    run_jobs(slice, chunk_len, op, &process, &mut slots);
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("completed chunk job left no output"))
+        .collect()
+}
+
+/// Dispatches one job per chunk onto the pool and blocks until all have
+/// completed, panicking afterwards if any job panicked (matching the
+/// scoped-thread behaviour this pool replaced).
+#[allow(unsafe_code)]
+fn run_jobs<T, R, F, P, V>(
+    slice: &mut [T],
+    chunk_len: usize,
+    op: &F,
+    process: &P,
+    slots: &mut [Option<V>],
+) where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+    P: Fn(&mut [T], &F) -> V + Sync,
+    V: Send,
+{
+    let latch = Latch::new(slots.len());
+    // Once the first job is submitted, unwinding out of this frame before
+    // `latch.wait()` returns would free stack data that lifetime-erased
+    // jobs still reference. None of the code between submit and wait is
+    // expected to panic (jobs catch their own panics, so the pool mutexes
+    // cannot be poisoned by them), but if it ever does, abort instead of
+    // handing workers dangling pointers — the same escalation std's scoped
+    // threads use for un-joinable panics.
+    let abort_guard = AbortOnUnwind;
+    {
+        let pool = Pool::global();
+        for (chunk, slot) in slice.chunks_mut(chunk_len).zip(slots.iter_mut()) {
+            let latch_ref = &latch;
+            let job = move || {
+                // Catch panics inside the job so the long-lived worker
+                // thread survives and the caller is always released.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(chunk, op)));
+                match result {
+                    Ok(v) => *slot = Some(v),
+                    Err(_) => latch_ref.panicked.store(true, Ordering::SeqCst),
+                }
+                latch_ref.complete_one();
+            };
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+            // SAFETY: `wait()` below does not return until every job has
+            // signalled the latch, so the borrows captured by `job`
+            // (chunk, slot, op, process, latch) outlive its execution; the
+            // 'static lifetime is never observable. `abort_guard` upholds
+            // this even if this frame unwinds early.
+            let boxed: Job = unsafe { std::mem::transmute(boxed) };
+            pool.submit(boxed);
         }
-        out
-    })
+        latch.wait();
+    }
+    std::mem::forget(abort_guard);
+    if latch.panicked.load(Ordering::SeqCst) {
+        panic!("parallel worker panicked");
+    }
+}
+
+/// Escalates an unwind between job submission and latch completion to a
+/// process abort (see the safety discussion in [`run_jobs`]'s body).
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +356,43 @@ mod tests {
         let mut one = [5u32];
         let out: Vec<u32> = one.par_iter_mut().map(|x| *x + 1).collect();
         assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn sum_folds_without_collecting() {
+        let mut v: Vec<u64> = (0..1_000).collect();
+        let total: u64 = v.par_iter_mut().map(|x| *x).sum();
+        assert_eq!(total, 499_500);
+        let mut f: Vec<f32> = vec![0.5; 64];
+        let total: f32 = f.par_iter_mut().map(|x| *x).sum();
+        assert_eq!(total, 32.0);
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        // Thousands of calls reuse the same workers; this is the shape of
+        // the simulator's per-round fan-out.
+        let mut v: Vec<u64> = (0..16).collect();
+        for round in 0..2_000 {
+            v.par_iter_mut().for_each(|x| *x += 1);
+            assert_eq!(v[0], round + 1);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut v: Vec<u64> = (0..64).collect();
+            v.par_iter_mut().for_each(|x| {
+                if *x == 63 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must still be usable afterwards.
+        let mut v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v.par_iter_mut().map(|x| *x).collect();
+        assert_eq!(out.len(), 64);
     }
 }

@@ -4,7 +4,7 @@
 use crate::{AveragingStrategy, BlockMomentum, MomentumMode, Worker};
 use delay::RuntimeModel;
 use gradcomp::CodecSpec;
-use nn::{average_params, Network, Sgd};
+use nn::{Network, Sgd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -100,12 +100,22 @@ pub struct PasgdCluster {
     comm_time: f64,
     compute_time: f64,
     comm_bytes: f64,
+    peak_payload_bytes: f64,
     full_payload_bytes: usize,
     current_lr: f32,
     batch_size: usize,
     train_eval: (Tensor, Vec<usize>),
     test_eval: (Tensor, Vec<usize>),
     train_size: usize,
+    /// Per-tensor segment lengths of the flat parameter plane.
+    param_sizes: Vec<usize>,
+    /// One reused message plane per worker (averaging messages / mixing).
+    msg_planes: Vec<Vec<f32>>,
+    /// Reused averaging accumulator, which doubles as the broadcast plane.
+    accum: Vec<f32>,
+    /// Reused general scratch plane (error-feedback targets, block
+    /// momentum output, partial sums).
+    scratch: Vec<f32>,
 }
 
 impl PasgdCluster {
@@ -177,7 +187,7 @@ impl PasgdCluster {
 
         let block = match config.momentum {
             MomentumMode::Block { global, .. } => {
-                Some(BlockMomentum::new(global, model.params_snapshot()))
+                Some(BlockMomentum::new(global, model.params_flat()))
             }
             _ => None,
         };
@@ -190,11 +200,9 @@ impl PasgdCluster {
         let train_eval = train.gather(&(0..eval_n).collect::<Vec<_>>());
         let test_eval = test.gather(&(0..test.len()).collect::<Vec<_>>());
 
-        let full_payload_bytes = model
-            .params_snapshot()
-            .iter()
-            .map(|t| t.len() * std::mem::size_of::<f32>())
-            .sum();
+        let plane_len = model.param_count();
+        let full_payload_bytes = plane_len * std::mem::size_of::<f32>();
+        let param_sizes = model.param_sizes();
         PasgdCluster {
             workers,
             runtime,
@@ -209,12 +217,17 @@ impl PasgdCluster {
             comm_time: 0.0,
             compute_time: 0.0,
             comm_bytes: 0.0,
+            peak_payload_bytes: 0.0,
             full_payload_bytes,
             current_lr: config.lr,
             batch_size: config.batch_size,
             train_eval,
             test_eval,
             train_size,
+            param_sizes,
+            msg_planes: vec![vec![0.0f32; plane_len]; config.workers],
+            accum: vec![0.0f32; plane_len],
+            scratch: vec![0.0f32; plane_len],
         }
     }
 
@@ -251,6 +264,13 @@ impl PasgdCluster {
     /// rounds of the (largest) encoded message one worker transmitted.
     pub fn comm_bytes(&self) -> f64 {
         self.comm_bytes
+    }
+
+    /// Largest per-worker encoded message transmitted in any single
+    /// averaging round so far (equals [`PasgdCluster::full_payload_bytes`]
+    /// for full-precision runs).
+    pub fn peak_payload_bytes(&self) -> f64 {
+        self.peak_payload_bytes
     }
 
     /// Size in bytes of one full-precision averaging message (4 bytes per
@@ -352,18 +372,18 @@ impl PasgdCluster {
     /// configured, and the clock advance `max_i(Σ Y) + D`.
     ///
     /// Returns the mean local training loss observed during the round.
+    /// This observational mean is folded inside the parallel map, so its
+    /// last float bits can vary with the machine's core count (unlike the
+    /// training state and clock, which are bit-deterministic per seed;
+    /// compare with [`PasgdCluster::eval_train_loss`] for a
+    /// parameter-derived loss).
     ///
     /// # Panics
     ///
     /// Panics if `tau == 0`.
     pub fn run_round(&mut self, tau: usize) -> f32 {
         assert!(tau >= 1, "communication period must be at least 1");
-        let losses: Vec<f32> = self
-            .workers
-            .par_iter_mut()
-            .map(|w| w.local_steps(tau))
-            .collect();
-        self.iterations += tau as u64;
+        let mean_loss = self.local_fanout(tau);
         let bytes = self.average_models(tau);
         let round = self
             .runtime
@@ -372,30 +392,42 @@ impl PasgdCluster {
         self.compute_time += round.compute;
         self.comm_time += round.comm;
         self.comm_bytes += bytes;
+        self.peak_payload_bytes = self.peak_payload_bytes.max(bytes);
         self.rounds += 1;
-        losses.iter().sum::<f32>() / losses.len() as f32
+        mean_loss
     }
 
     /// Runs `steps` local steps on every worker *without* averaging,
     /// advancing the clock by the slowest worker's compute time only.
     /// Used by the Figure 14 experiment to probe local-model quality
-    /// mid-round.
+    /// mid-round. The returned mean loss carries the same core-count
+    /// caveat as [`PasgdCluster::run_round`].
     ///
     /// # Panics
     ///
     /// Panics if `steps == 0`.
     pub fn run_local_only(&mut self, steps: usize) -> f32 {
         assert!(steps >= 1, "must take at least one step");
-        let losses: Vec<f32> = self
-            .workers
-            .par_iter_mut()
-            .map(|w| w.local_steps(steps))
-            .collect();
-        self.iterations += steps as u64;
+        let mean_loss = self.local_fanout(steps);
         let round = self.runtime.sample_round(steps, &mut self.delay_rng);
         self.clock += round.compute; // no communication happened
         self.compute_time += round.compute;
-        losses.iter().sum::<f32>() / losses.len() as f32
+        mean_loss
+    }
+
+    /// The shared local-update fan-out of [`PasgdCluster::run_round`] and
+    /// [`PasgdCluster::run_local_only`]: every worker takes `steps` local
+    /// SGD steps in parallel on the persistent pool, and the per-worker
+    /// losses are folded inside the parallel map (no per-round `Vec`).
+    /// Returns the mean local training loss.
+    fn local_fanout(&mut self, steps: usize) -> f32 {
+        let total: f32 = self
+            .workers
+            .par_iter_mut()
+            .map(|w| w.local_steps(steps))
+            .sum();
+        self.iterations += steps as u64;
+        total / self.workers.len() as f32
     }
 
     /// Performs the averaging step immediately (eq. 3's first case),
@@ -413,6 +445,7 @@ impl PasgdCluster {
         self.clock += d;
         self.comm_time += d;
         self.comm_bytes += bytes;
+        self.peak_payload_bytes = self.peak_payload_bytes.max(bytes);
         self.rounds += 1;
     }
 
@@ -420,30 +453,38 @@ impl PasgdCluster {
     /// codec is configured), applies the averaging strategy, and
     /// broadcasts. Returns the round's per-worker payload in bytes — the
     /// size the communication model charges for.
+    ///
+    /// The entire path runs over reused flat parameter planes: in steady
+    /// state a full-precision round performs no heap allocation. All
+    /// averaging reduces through the one shared
+    /// [`mean_plane_into`](crate::topology::mean_plane_into) helper, whose
+    /// per-element float sequence matches the old snapshot-based path
+    /// exactly, so full-precision results are bit-identical (golden-trace
+    /// test).
     fn average_models(&mut self, tau: usize) -> f64 {
-        // Under the identity codec the snapshots are the messages and the
-        // payload is the full model; no compression state is touched, so
-        // full-precision runs are bit-identical to the pre-compression
-        // simulator.
+        let identity = matches!(self.codec, CodecSpec::Identity);
+        let full_average = matches!(self.averaging, AveragingStrategy::FullAverage);
         let mut payload_bytes = self.full_payload_bytes as f64;
-        let mut snapshots: Vec<Vec<Tensor>> = if matches!(self.codec, CodecSpec::Identity) {
-            self.workers.iter().map(Worker::params_snapshot).collect()
+
+        // Fill one message plane per worker. Under the identity codec the
+        // parameters are the messages; under a codec each worker encodes
+        // its delta (error feedback included) into its plane.
+        if identity {
+            for (w, plane) in self.workers.iter().zip(self.msg_planes.iter_mut()) {
+                w.copy_params_into(plane);
+            }
         } else {
             let codec = self.codec;
             let mut max_bytes = 0usize;
-            let snaps = self
-                .workers
-                .iter_mut()
-                .map(|w| {
-                    let (reconstruction, bytes) = w.encode_update(&codec);
-                    max_bytes = max_bytes.max(bytes);
-                    reconstruction
-                })
-                .collect();
+            for (w, plane) in self.workers.iter_mut().zip(self.msg_planes.iter_mut()) {
+                let bytes =
+                    w.encode_update_into(&codec, &self.param_sizes, &mut self.scratch, plane);
+                max_bytes = max_bytes.max(bytes);
+            }
             payload_bytes = max_bytes as f64;
-            snaps
-        };
-        if !matches!(self.averaging, AveragingStrategy::FullAverage) {
+        }
+
+        if !full_average {
             // Extension strategies (ring gossip, partial participation,
             // elastic averaging) mix in place and are momentum-agnostic.
             //
@@ -456,13 +497,18 @@ impl PasgdCluster {
             // worker was not re-anchored, so the un-transmitted mass is
             // still wholly contained in its next delta, and carrying the
             // residual too would double-count it.
-            let compressed = !matches!(self.codec, CodecSpec::Identity);
+            let compressed = !identity;
             let touched = self
                 .averaging
-                .mix_tracked(&mut snapshots, &mut self.delay_rng);
-            for ((w, s), touched) in self.workers.iter_mut().zip(snapshots.iter()).zip(touched) {
+                .mix_tracked(&mut self.msg_planes, &mut self.delay_rng);
+            for ((w, plane), touched) in self
+                .workers
+                .iter_mut()
+                .zip(self.msg_planes.iter())
+                .zip(touched)
+            {
                 if touched {
-                    w.load_params(s);
+                    w.load_params_from(plane);
                 } else if compressed {
                     w.reset_feedback();
                 }
@@ -472,25 +518,43 @@ impl PasgdCluster {
             }
             return payload_bytes;
         }
-        let averaged = average_params(&snapshots);
-        let broadcast = match &mut self.block {
+
+        // Full average of the (reconstructed) messages into the reused
+        // accumulator, in worker order — the shared reduction that keeps
+        // results bit-identical to snapshot averaging.
+        crate::topology::mean_plane_into(
+            &mut self.accum,
+            &self.msg_planes[0],
+            self.msg_planes[1..].iter().map(|p| p.as_slice()),
+            self.workers.len(),
+        );
+        self.broadcast_accum(tau);
+        payload_bytes
+    }
+
+    /// Applies block momentum to the averaged plane in `self.accum` (if
+    /// configured) and broadcasts the result to every worker.
+    fn broadcast_accum(&mut self, tau: usize) {
+        let broadcast: &[f32] = match &mut self.block {
             // The global buffer only accumulates over genuine local-update
             // periods; with tau = 1 the scheme degenerates to plain
             // momentum SGD (Section 5.3.1).
-            Some(block) if tau > 1 => block.apply(&averaged, self.current_lr),
-            Some(block) => {
-                block.observe_sync(&averaged);
-                averaged
+            Some(block) if tau > 1 => {
+                block.apply_into(&self.accum, self.current_lr, &mut self.scratch);
+                &self.scratch
             }
-            None => averaged,
+            Some(block) => {
+                block.observe_sync(&self.accum);
+                &self.accum
+            }
+            None => &self.accum,
         };
         for w in &mut self.workers {
-            w.load_params(&broadcast);
+            w.load_params_from(broadcast);
             if self.momentum.resets_local_at_sync(tau) {
                 w.reset_momentum();
             }
         }
-        payload_bytes
     }
 
     // ------------------------------------------------------------------

@@ -39,6 +39,12 @@ pub struct RunTrace {
     pub name: String,
     /// Recorded points, in time order (first point is at `t = 0`).
     pub points: Vec<TracePoint>,
+    /// Largest per-worker encoded message transmitted in any single
+    /// averaging round of the run (see
+    /// [`PasgdCluster::peak_payload_bytes`]).
+    pub peak_payload_bytes: f64,
+    /// Total averaging rounds completed over the run.
+    pub rounds: u64,
 }
 
 impl RunTrace {
@@ -268,6 +274,8 @@ pub fn run_experiment(
     RunTrace {
         name: scheduler.name(),
         points,
+        peak_payload_bytes: cluster.peak_payload_bytes(),
+        rounds: cluster.rounds(),
     }
 }
 
@@ -375,6 +383,23 @@ impl ExperimentSuite {
     /// The experiment configuration (for reporting).
     pub fn experiment_config(&self) -> &ExperimentConfig {
         &self.experiment_config
+    }
+
+    /// Returns the suite with a replaced simulated-time budget and
+    /// recording cadence — the hook the perf harness uses to run smoke
+    /// slices of the canonical scenarios without rebuilding them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is not positive.
+    pub fn with_budget(mut self, total_secs: f64, record_every_secs: f64) -> Self {
+        assert!(
+            total_secs > 0.0 && record_every_secs > 0.0,
+            "budget durations must be positive"
+        );
+        self.experiment_config.total_secs = total_secs;
+        self.experiment_config.record_every_secs = record_every_secs;
+        self
     }
 }
 

@@ -1,8 +1,6 @@
 //! Momentum handling at averaging steps, including the paper's block
 //! momentum (Section 5.3.1, eqs. 24–25).
 
-use tensor::Tensor;
-
 /// How momentum interacts with periodic averaging.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MomentumMode {
@@ -102,30 +100,35 @@ impl MomentumMode {
 /// ```
 ///
 /// With `β_glob = 0` this reduces exactly to plain averaging.
+///
+/// The state lives on flat parameter planes (see
+/// [`Network::copy_params_into`](nn::Network::copy_params_into)); the
+/// per-element float sequence matches the earlier tensor-by-tensor
+/// implementation exactly, so block-momentum runs are bit-identical across
+/// the flat-plane refactor.
 #[derive(Debug, Clone)]
 pub struct BlockMomentum {
     global_beta: f32,
-    buffer: Vec<Tensor>,
-    prev_sync: Vec<Tensor>,
+    buffer: Vec<f32>,
+    prev_sync: Vec<f32>,
 }
 
 impl BlockMomentum {
     /// Creates block-momentum state anchored at the initial synchronized
-    /// parameters.
+    /// parameter plane.
     ///
     /// # Panics
     ///
     /// Panics if `global_beta` is outside `[0, 1)` or `initial` is empty.
-    pub fn new(global_beta: f32, initial: Vec<Tensor>) -> Self {
+    pub fn new(global_beta: f32, initial: Vec<f32>) -> Self {
         assert!(
             (0.0..1.0).contains(&global_beta),
             "global momentum factor must be in [0, 1), got {global_beta}"
         );
         assert!(!initial.is_empty(), "empty parameter snapshot");
-        let buffer = initial.iter().map(|t| Tensor::zeros(t.dims())).collect();
         BlockMomentum {
             global_beta,
-            buffer,
+            buffer: vec![0.0f32; initial.len()],
             prev_sync: initial,
         }
     }
@@ -136,53 +139,58 @@ impl BlockMomentum {
     ///
     /// # Panics
     ///
-    /// Panics if the parameter structure changed.
-    pub fn observe_sync(&mut self, averaged: &[Tensor]) {
+    /// Panics if the parameter plane length changed.
+    pub fn observe_sync(&mut self, averaged: &[f32]) {
         assert_eq!(
             averaged.len(),
             self.prev_sync.len(),
             "parameter structure changed between rounds"
         );
-        for (prev, avg) in self.prev_sync.iter_mut().zip(averaged.iter()) {
-            prev.copy_from(avg);
-        }
+        self.prev_sync.copy_from_slice(averaged);
     }
 
-    /// Applies eqs. 24–25: consumes the plain average of the local models
-    /// and returns the parameters to broadcast.
+    /// Applies eqs. 24–25 into `out`: consumes the plain average of the
+    /// local models and writes the parameters to broadcast, updating the
+    /// momentum buffer and anchor in place (no allocation).
     ///
     /// `lr` must be the learning rate the workers used during the round
     /// (needed to reconstruct `G_j` from the parameter displacement).
     ///
     /// # Panics
     ///
-    /// Panics if shapes mismatch or `lr` is not positive.
-    pub fn apply(&mut self, averaged: &[Tensor], lr: f32) -> Vec<Tensor> {
+    /// Panics if the lengths mismatch or `lr` is not positive.
+    pub fn apply_into(&mut self, averaged: &[f32], lr: f32, out: &mut [f32]) {
         assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
         assert_eq!(
             averaged.len(),
             self.prev_sync.len(),
             "parameter structure changed between rounds"
         );
-        let mut next = Vec::with_capacity(averaged.len());
-        for ((avg, prev), buf) in averaged
-            .iter()
-            .zip(self.prev_sync.iter())
-            .zip(self.buffer.iter_mut())
+        assert_eq!(out.len(), self.prev_sync.len(), "output plane length");
+        let beta = self.global_beta;
+        let inv_lr = 1.0 / lr;
+        for ((prev, &avg), (buf, o)) in self
+            .prev_sync
+            .iter_mut()
+            .zip(averaged)
+            .zip(self.buffer.iter_mut().zip(out.iter_mut()))
         {
             // G_j = (prev − avg)/η.
-            let mut g = prev.sub(avg);
-            g.scale(1.0 / lr);
+            let g = (*prev - avg) * inv_lr;
             // u = β·u + G.
-            buf.scale(self.global_beta);
-            buf.add_assign(&g);
+            *buf = *buf * beta + g;
             // x_next = prev − η·u.
-            let mut x = prev.clone();
-            x.axpy(-lr, buf);
-            next.push(x);
+            let x = *prev + (-lr) * *buf;
+            *o = x;
+            *prev = x;
         }
-        self.prev_sync = next.clone();
-        next
+    }
+
+    /// Allocating convenience around [`BlockMomentum::apply_into`].
+    pub fn apply(&mut self, averaged: &[f32], lr: f32) -> Vec<f32> {
+        let mut out = vec![0.0f32; averaged.len()];
+        self.apply_into(averaged, lr, &mut out);
+        out
     }
 }
 
@@ -190,38 +198,34 @@ impl BlockMomentum {
 mod tests {
     use super::*;
 
-    fn t(vals: &[f32]) -> Tensor {
-        Tensor::from_slice(vals)
-    }
-
     #[test]
     fn zero_global_beta_is_plain_averaging() {
-        let init = vec![t(&[1.0, 1.0])];
-        let mut bm = BlockMomentum::new(0.0, init);
-        let avg = vec![t(&[0.5, 0.7])];
+        let mut bm = BlockMomentum::new(0.0, vec![1.0, 1.0]);
+        let avg = [0.5f32, 0.7];
         let out = bm.apply(&avg, 0.1);
-        assert!(out[0].distance(&avg[0]) < 1e-6, "got {:?}", out[0]);
+        for (o, a) in out.iter().zip(avg.iter()) {
+            assert!((o - a).abs() < 1e-6, "got {out:?}");
+        }
     }
 
     #[test]
     fn momentum_amplifies_consistent_progress() {
         // Two rounds moving in the same direction: with beta > 0 the second
         // broadcast overshoots the plain average (heavy-ball behaviour).
-        let init = vec![t(&[1.0])];
-        let mut bm = BlockMomentum::new(0.5, init);
+        let mut bm = BlockMomentum::new(0.5, vec![1.0]);
         let lr = 0.1;
-        let first = bm.apply(&[t(&[0.8])], lr);
-        assert!((first[0].at(0) - 0.8).abs() < 1e-6, "first round unchanged");
+        let first = bm.apply(&[0.8], lr);
+        assert!((first[0] - 0.8).abs() < 1e-6, "first round unchanged");
         // Second round: plain average would be 0.6.
-        let second = bm.apply(&[t(&[0.6])], lr);
+        let second = bm.apply(&[0.6], lr);
         assert!(
-            second[0].at(0) < 0.6 - 1e-6,
+            second[0] < 0.6 - 1e-6,
             "expected overshoot below 0.6, got {}",
-            second[0].at(0)
+            second[0]
         );
         // Exactly: G1 = (1-0.8)/.1 = 2, u1 = 2, x1 = 0.8.
         // G2 = (0.8-0.6)/.1 = 2, u2 = 0.5*2+2 = 3, x2 = 0.8 - 0.3 = 0.5.
-        assert!((second[0].at(0) - 0.5).abs() < 1e-5);
+        assert!((second[0] - 0.5).abs() < 1e-5);
     }
 
     #[test]
@@ -247,13 +251,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be in [0, 1)")]
     fn invalid_global_beta_rejected() {
-        let _ = BlockMomentum::new(1.0, vec![t(&[0.0])]);
+        let _ = BlockMomentum::new(1.0, vec![0.0]);
     }
 
     #[test]
     #[should_panic(expected = "parameter structure changed")]
     fn structure_change_detected() {
-        let mut bm = BlockMomentum::new(0.3, vec![t(&[0.0])]);
-        let _ = bm.apply(&[t(&[0.0]), t(&[1.0])], 0.1);
+        let mut bm = BlockMomentum::new(0.3, vec![0.0]);
+        let _ = bm.apply(&[0.0, 1.0], 0.1);
     }
 }

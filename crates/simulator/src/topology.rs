@@ -6,10 +6,13 @@
 //! and parameter server-based training". This module implements those
 //! synchronization patterns so the extension experiments can compare them
 //! under the same schedulers.
+//!
+//! Strategies operate on **flat parameter planes** — one `Vec<f32>` per
+//! worker, the concatenation of that worker's parameter tensors — which is
+//! how the cluster's zero-allocation averaging path represents models.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use tensor::Tensor;
 
 /// How local models are combined at a synchronization point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,20 +71,20 @@ impl AveragingStrategy {
             || matches!(self, AveragingStrategy::Elastic { alpha } if *alpha >= 1.0)
     }
 
-    /// Applies the strategy to the per-worker parameter snapshots in
-    /// place. `rng` drives participant sampling for
+    /// Applies the strategy to the per-worker parameter planes in place.
+    /// `rng` drives participant sampling for
     /// [`AveragingStrategy::PartialParticipation`].
     ///
     /// # Panics
     ///
-    /// Panics if `snapshots` is empty or shapes are inconsistent.
-    pub fn mix<R: Rng + ?Sized>(&self, snapshots: &mut [Vec<Tensor>], rng: &mut R) {
-        let _ = self.mix_tracked(snapshots, rng);
+    /// Panics if `planes` is empty or the plane lengths differ.
+    pub fn mix<R: Rng + ?Sized>(&self, planes: &mut [Vec<f32>], rng: &mut R) {
+        let _ = self.mix_tracked(planes, rng);
     }
 
     /// Like [`AveragingStrategy::mix`], additionally reporting which
     /// workers the synchronization actually touched: `touched[i]` is true
-    /// iff worker `i`'s snapshot was (re)written by the mix. Partial
+    /// iff worker `i`'s plane was (re)written by the mix. Partial
     /// participation leaves sampled-out workers untouched; a degenerate
     /// participant group of one exchanges nothing and counts as untouched
     /// too. The compressed-averaging path uses this to decide which
@@ -90,19 +93,19 @@ impl AveragingStrategy {
     ///
     /// # Panics
     ///
-    /// Panics if `snapshots` is empty or shapes are inconsistent.
-    pub fn mix_tracked<R: Rng + ?Sized>(
-        &self,
-        snapshots: &mut [Vec<Tensor>],
-        rng: &mut R,
-    ) -> Vec<bool> {
-        assert!(!snapshots.is_empty(), "no models to mix");
-        let m = snapshots.len();
+    /// Panics if `planes` is empty or the plane lengths differ.
+    pub fn mix_tracked<R: Rng + ?Sized>(&self, planes: &mut [Vec<f32>], rng: &mut R) -> Vec<bool> {
+        assert!(!planes.is_empty(), "no models to mix");
+        let m = planes.len();
+        let n = planes[0].len();
+        for p in planes.iter() {
+            assert_eq!(p.len(), n, "inconsistent plane lengths: {} vs {n}", p.len());
+        }
         match *self {
             AveragingStrategy::FullAverage => {
-                let avg = nn::average_params(snapshots);
-                for s in snapshots.iter_mut() {
-                    copy_into(s, &avg);
+                let avg = average_planes(planes, (0..m).collect::<Vec<_>>().as_slice());
+                for p in planes.iter_mut() {
+                    p.copy_from_slice(&avg);
                 }
                 vec![true; m]
             }
@@ -118,11 +121,9 @@ impl AveragingStrategy {
                     // happens, keeping the RNG stream identical.)
                     return touched;
                 }
-                let participating: Vec<Vec<Tensor>> =
-                    ids.iter().map(|&i| snapshots[i].clone()).collect();
-                let avg = nn::average_params(&participating);
+                let avg = average_planes(planes, &ids);
                 for &i in &ids {
-                    copy_into(&mut snapshots[i], &avg);
+                    planes[i].copy_from_slice(&avg);
                     touched[i] = true;
                 }
                 touched
@@ -130,31 +131,31 @@ impl AveragingStrategy {
             AveragingStrategy::Ring => {
                 if m < 3 {
                     // A ring of 1 or 2 degenerates to full averaging.
-                    let avg = nn::average_params(snapshots);
-                    for s in snapshots.iter_mut() {
-                        copy_into(s, &avg);
+                    let avg = average_planes(planes, (0..m).collect::<Vec<_>>().as_slice());
+                    for p in planes.iter_mut() {
+                        p.copy_from_slice(&avg);
                     }
                     return vec![true; m];
                 }
-                let originals: Vec<Vec<Tensor>> = snapshots.to_vec();
-                for i in 0..m {
-                    let left = (i + m - 1) % m;
-                    let right = (i + 1) % m;
-                    for (t, target) in snapshots[i].iter_mut().enumerate() {
-                        let mut mixed = originals[left][t].clone();
-                        mixed.add_assign(&originals[i][t]);
-                        mixed.add_assign(&originals[right][t]);
-                        mixed.scale(1.0 / 3.0);
-                        target.copy_from(&mixed);
+                let originals: Vec<Vec<f32>> = planes.to_vec();
+                for (i, plane) in planes.iter_mut().enumerate() {
+                    let left = &originals[(i + m - 1) % m];
+                    let mid = &originals[i];
+                    let right = &originals[(i + 1) % m];
+                    for (((t, &l), &c), &r) in plane.iter_mut().zip(left).zip(mid).zip(right) {
+                        let mut mixed = l;
+                        mixed += c;
+                        mixed += r;
+                        *t = mixed * (1.0 / 3.0);
                     }
                 }
                 vec![true; m]
             }
             AveragingStrategy::Elastic { alpha } => {
-                let avg = nn::average_params(snapshots);
-                for s in snapshots.iter_mut() {
-                    for (t, target) in s.iter_mut().enumerate() {
-                        target.lerp_toward(&avg[t], alpha);
+                let avg = average_planes(planes, (0..m).collect::<Vec<_>>().as_slice());
+                for p in planes.iter_mut() {
+                    for (t, &a) in p.iter_mut().zip(&avg) {
+                        *t += alpha * (a - *t);
                     }
                 }
                 vec![true; m]
@@ -163,10 +164,51 @@ impl AveragingStrategy {
     }
 }
 
-fn copy_into(dst: &mut [Tensor], src: &[Tensor]) {
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        d.copy_from(s);
+/// The one shared mean reduction every averaging path uses: `acc` is
+/// overwritten with `first`, the `rest` planes are accumulated **in
+/// iteration order**, and the result is scaled by `1/count`.
+///
+/// The golden-trace bit-exactness guarantee depends on this exact
+/// per-element float sequence (it matches the seed's tensor-based
+/// `tensor::average`): copy, add in order, multiply by the reciprocal.
+/// Keep every averaging site on this helper rather than hand-rolling the
+/// loop.
+///
+/// # Panics
+///
+/// Panics if `count` disagrees with the number of planes provided.
+pub(crate) fn mean_plane_into<'a>(
+    acc: &mut [f32],
+    first: &[f32],
+    rest: impl Iterator<Item = &'a [f32]>,
+    count: usize,
+) {
+    acc.copy_from_slice(first);
+    let mut seen = 1usize;
+    for plane in rest {
+        for (a, &p) in acc.iter_mut().zip(plane) {
+            *a += p;
+        }
+        seen += 1;
     }
+    assert_eq!(seen, count, "mean over {count} planes but {seen} provided");
+    let inv = 1.0 / count as f32;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+}
+
+/// Averages the planes selected by `ids`, in `ids` order, into a fresh
+/// plane (see [`mean_plane_into`]).
+fn average_planes(planes: &[Vec<f32>], ids: &[usize]) -> Vec<f32> {
+    let mut acc = vec![0.0f32; planes[ids[0]].len()];
+    mean_plane_into(
+        &mut acc,
+        &planes[ids[0]],
+        ids[1..].iter().map(|&i| planes[i].as_slice()),
+        ids.len(),
+    );
+    acc
 }
 
 #[cfg(test)]
@@ -175,20 +217,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn snapshots(values: &[f32]) -> Vec<Vec<Tensor>> {
-        values
-            .iter()
-            .map(|&v| vec![Tensor::full(&[2], v)])
-            .collect()
+    fn planes(values: &[f32]) -> Vec<Vec<f32>> {
+        values.iter().map(|&v| vec![v; 2]).collect()
     }
 
-    fn firsts(snaps: &[Vec<Tensor>]) -> Vec<f32> {
-        snaps.iter().map(|s| s[0].at(0)).collect()
+    fn firsts(planes: &[Vec<f32>]) -> Vec<f32> {
+        planes.iter().map(|p| p[0]).collect()
     }
 
     #[test]
     fn full_average_synchronizes() {
-        let mut snaps = snapshots(&[0.0, 2.0, 4.0]);
+        let mut snaps = planes(&[0.0, 2.0, 4.0]);
         let mut rng = StdRng::seed_from_u64(0);
         AveragingStrategy::FullAverage.mix(&mut snaps, &mut rng);
         assert_eq!(firsts(&snaps), vec![2.0, 2.0, 2.0]);
@@ -196,7 +235,7 @@ mod tests {
 
     #[test]
     fn ring_preserves_global_mean() {
-        let mut snaps = snapshots(&[0.0, 3.0, 6.0, 9.0]);
+        let mut snaps = planes(&[0.0, 3.0, 6.0, 9.0]);
         let mut rng = StdRng::seed_from_u64(1);
         AveragingStrategy::Ring.mix(&mut snaps, &mut rng);
         let vals = firsts(&snaps);
@@ -208,9 +247,9 @@ mod tests {
 
     #[test]
     fn ring_contracts_toward_consensus() {
-        let mut snaps = snapshots(&[0.0, 4.0, 8.0, 12.0]);
+        let mut snaps = planes(&[0.0, 4.0, 8.0, 12.0]);
         let mut rng = StdRng::seed_from_u64(2);
-        let spread = |snaps: &[Vec<Tensor>]| {
+        let spread = |snaps: &[Vec<f32>]| {
             let v = firsts(snaps);
             let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let min = v.iter().copied().fold(f32::INFINITY, f32::min);
@@ -228,7 +267,7 @@ mod tests {
 
     #[test]
     fn ring_of_two_is_full_average() {
-        let mut snaps = snapshots(&[1.0, 3.0]);
+        let mut snaps = planes(&[1.0, 3.0]);
         let mut rng = StdRng::seed_from_u64(3);
         AveragingStrategy::Ring.mix(&mut snaps, &mut rng);
         assert_eq!(firsts(&snaps), vec![2.0, 2.0]);
@@ -236,7 +275,7 @@ mod tests {
 
     #[test]
     fn elastic_moves_partway() {
-        let mut snaps = snapshots(&[0.0, 4.0]);
+        let mut snaps = planes(&[0.0, 4.0]);
         let mut rng = StdRng::seed_from_u64(4);
         AveragingStrategy::Elastic { alpha: 0.5 }.mix(&mut snaps, &mut rng);
         assert_eq!(firsts(&snaps), vec![1.0, 3.0]);
@@ -244,7 +283,7 @@ mod tests {
 
     #[test]
     fn elastic_with_alpha_one_is_full_average() {
-        let mut snaps = snapshots(&[0.0, 4.0, 8.0]);
+        let mut snaps = planes(&[0.0, 4.0, 8.0]);
         let mut rng = StdRng::seed_from_u64(5);
         AveragingStrategy::Elastic { alpha: 1.0 }.mix(&mut snaps, &mut rng);
         assert_eq!(firsts(&snaps), vec![4.0, 4.0, 4.0]);
@@ -252,7 +291,7 @@ mod tests {
 
     #[test]
     fn partial_participation_touches_only_sampled_workers() {
-        let mut snaps = snapshots(&[0.0, 10.0, 20.0, 30.0]);
+        let mut snaps = planes(&[0.0, 10.0, 20.0, 30.0]);
         let mut rng = StdRng::seed_from_u64(6);
         AveragingStrategy::PartialParticipation { fraction: 0.5 }.mix(&mut snaps, &mut rng);
         let vals = firsts(&snaps);
@@ -268,7 +307,7 @@ mod tests {
 
     #[test]
     fn full_participation_fraction_is_full_average() {
-        let mut snaps = snapshots(&[1.0, 2.0, 3.0]);
+        let mut snaps = planes(&[1.0, 2.0, 3.0]);
         let mut rng = StdRng::seed_from_u64(7);
         AveragingStrategy::PartialParticipation { fraction: 1.0 }.mix(&mut snaps, &mut rng);
         assert_eq!(firsts(&snaps), vec![2.0, 2.0, 2.0]);
@@ -283,7 +322,7 @@ mod tests {
     #[test]
     fn mix_tracked_reports_participants() {
         let mut rng = StdRng::seed_from_u64(8);
-        let mut snaps = snapshots(&[0.0, 1.0, 2.0]);
+        let mut snaps = planes(&[0.0, 1.0, 2.0]);
         assert_eq!(
             AveragingStrategy::FullAverage.mix_tracked(&mut snaps, &mut rng),
             vec![true; 3]
@@ -292,14 +331,14 @@ mod tests {
             AveragingStrategy::Ring.mix_tracked(&mut snaps, &mut rng),
             vec![true; 3]
         );
-        let mut snaps = snapshots(&[0.0, 10.0, 20.0, 30.0]);
+        let mut snaps = planes(&[0.0, 10.0, 20.0, 30.0]);
         let touched = AveragingStrategy::PartialParticipation { fraction: 0.5 }
             .mix_tracked(&mut snaps, &mut rng);
         assert_eq!(touched.iter().filter(|&&t| t).count(), 2);
         // Untouched workers keep their exact values.
         for (i, t) in touched.iter().enumerate() {
             if !t {
-                assert_eq!(snaps[i][0].at(0), [0.0, 10.0, 20.0, 30.0][i]);
+                assert_eq!(snaps[i][0], [0.0, 10.0, 20.0, 30.0][i]);
             }
         }
     }
@@ -307,7 +346,7 @@ mod tests {
     #[test]
     fn lone_participant_touches_nobody() {
         let mut rng = StdRng::seed_from_u64(9);
-        let mut snaps = snapshots(&[1.0, 2.0, 3.0, 4.0]);
+        let mut snaps = planes(&[1.0, 2.0, 3.0, 4.0]);
         let touched = AveragingStrategy::PartialParticipation { fraction: 0.25 }
             .mix_tracked(&mut snaps, &mut rng);
         assert_eq!(touched, vec![false; 4]);
@@ -319,5 +358,13 @@ mod tests {
         assert!(AveragingStrategy::FullAverage.fully_synchronizes());
         assert!(!AveragingStrategy::Ring.fully_synchronizes());
         assert!(!AveragingStrategy::Elastic { alpha: 0.5 }.fully_synchronizes());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent plane lengths")]
+    fn mismatched_planes_rejected() {
+        let mut snaps = vec![vec![0.0f32; 2], vec![0.0f32; 3]];
+        let mut rng = StdRng::seed_from_u64(10);
+        AveragingStrategy::FullAverage.mix(&mut snaps, &mut rng);
     }
 }

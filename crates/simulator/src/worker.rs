@@ -34,8 +34,11 @@ pub struct Worker {
     /// batch RNG so enabling compression never perturbs the data order.
     comm_rng: StdRng,
     feedback: ErrorFeedback,
-    /// Last post-averaging parameters; empty unless tracking is on.
-    sync_reference: Vec<Tensor>,
+    /// Last post-averaging parameters as a flat plane; empty unless
+    /// tracking is on.
+    sync_reference: Vec<f32>,
+    /// Reused buffer holding the model delta during encoding.
+    delta_scratch: Vec<f32>,
     track_reference: bool,
     steps_taken: u64,
 }
@@ -67,6 +70,7 @@ impl Worker {
             ),
             feedback: ErrorFeedback::new(),
             sync_reference: Vec::new(),
+            delta_scratch: Vec::new(),
             track_reference: false,
             steps_taken: 0,
         }
@@ -141,6 +145,16 @@ impl Worker {
         self.model.params_snapshot()
     }
 
+    /// Copies the local model parameters into the flat plane `out` — the
+    /// allocation-free counterpart of [`Worker::params_snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the model's parameter count.
+    pub fn copy_params_into(&self, out: &mut [f32]) {
+        self.model.copy_params_into(out);
+    }
+
     /// Overwrites the local model with `params` (the post-averaging
     /// broadcast). While reference tracking is enabled they are also
     /// recorded as the new sync reference for the next compressed round.
@@ -151,15 +165,24 @@ impl Worker {
     pub fn load_params(&mut self, params: &[Tensor]) {
         self.model.load_params(params);
         if self.track_reference {
-            // Shapes are fixed after the first round; reuse the stored
-            // buffers instead of reallocating a full parameter set.
-            if self.sync_reference.len() == params.len() {
-                for (r, p) in self.sync_reference.iter_mut().zip(params) {
-                    r.copy_from(p);
-                }
-            } else {
-                self.sync_reference = params.to_vec();
-            }
+            self.sync_reference.resize(self.model.param_count(), 0.0);
+            self.model.copy_params_into(&mut self.sync_reference);
+        }
+    }
+
+    /// Overwrites the local model from the flat broadcast plane `plane`
+    /// (the layout of [`Worker::copy_params_into`]), re-anchoring the sync
+    /// reference when tracking is on — the cluster's zero-allocation
+    /// broadcast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane.len()` differs from the model's parameter count.
+    pub fn load_params_from(&mut self, plane: &[f32]) {
+        self.model.load_params_from(plane);
+        if self.track_reference {
+            self.sync_reference.resize(plane.len(), 0.0);
+            self.sync_reference.copy_from_slice(plane);
         }
     }
 
@@ -170,60 +193,114 @@ impl Worker {
     /// duplicate parameter set.
     pub fn set_reference_tracking(&mut self, on: bool) {
         if on && !self.track_reference {
-            self.sync_reference = self.model.params_snapshot();
+            self.sync_reference = self.model.params_flat();
         } else if !on {
             self.sync_reference = Vec::new();
         }
         self.track_reference = on;
     }
 
-    /// Encodes this worker's averaging message under `codec`: the model
-    /// delta since the last sync reference is compressed, and the
+    /// Encodes this worker's averaging message under `codec` into the flat
+    /// plane `out`: the model delta since the last sync reference is
+    /// compressed segment-by-segment (`segments` is the model's parameter
+    /// layout, see [`nn::Network::param_sizes`]), and `out` receives the
     /// *reconstruction* the receivers would decode — `reference +
-    /// transmitted` — is returned together with the encoded payload size
-    /// in bytes.
+    /// transmitted`. Returns the encoded payload size in bytes.
     ///
     /// Biased codecs (Top-K, sign) go through the worker's error-feedback
-    /// memory, which assumes the codec is norm-contractive; whatever is
-    /// dropped is compensated on the next round. Unbiased codecs
-    /// (Random-K, QSGD) are applied directly — their compensation is in
-    /// expectation, and feeding their (non-contractive) error into the
-    /// residual memory would make it oscillate.
+    /// memory (whose compensated target is formed in `scratch`), which
+    /// assumes the codec is norm-contractive; whatever is dropped is
+    /// compensated on the next round. Unbiased codecs (Random-K, QSGD) are
+    /// applied directly — their compensation is in expectation, and
+    /// feeding their (non-contractive) error into the residual memory
+    /// would make it oscillate.
     ///
     /// The caller (the cluster) mixes the reconstructions and broadcasts
-    /// the result back via [`Worker::load_params`], which re-anchors the
-    /// reference.
+    /// the result back via [`Worker::load_params_from`], which re-anchors
+    /// the reference. In steady state this path allocates nothing.
     ///
     /// # Panics
     ///
     /// Panics if reference tracking is not enabled (see
-    /// [`Worker::set_reference_tracking`]).
-    pub fn encode_update(&mut self, codec: &dyn Compressor) -> (Vec<Tensor>, usize) {
+    /// [`Worker::set_reference_tracking`]) or the plane lengths disagree.
+    pub fn encode_update_into(
+        &mut self,
+        codec: &dyn Compressor,
+        segments: &[usize],
+        scratch: &mut [f32],
+        out: &mut [f32],
+    ) -> usize {
         assert!(
             self.track_reference,
             "encode_update requires sync-reference tracking; \
              call set_reference_tracking(true) at a synchronization point first"
         );
-        let mut delta = self.model.params_snapshot();
-        for (d, r) in delta.iter_mut().zip(self.sync_reference.iter()) {
-            d.sub_assign(r);
+        let n = self.sync_reference.len();
+        assert_eq!(out.len(), n, "message plane length mismatch");
+        self.delta_scratch.resize(n, 0.0);
+        self.model.copy_params_into(&mut self.delta_scratch);
+        for (d, &r) in self.delta_scratch.iter_mut().zip(&self.sync_reference) {
+            *d -= r;
         }
-        let (mut sent, bytes) = if codec.is_unbiased() {
-            let mut sent = Vec::with_capacity(delta.len());
+        let bytes = if codec.is_unbiased() {
             let mut bytes = 0usize;
-            for d in &delta {
-                let compressed = codec.compress(d, &mut self.comm_rng);
-                bytes += compressed.bytes;
-                sent.push(compressed.tensor);
+            let mut offset = 0usize;
+            for &len in segments {
+                bytes += codec.compress_slice(
+                    &self.delta_scratch[offset..offset + len],
+                    &mut out[offset..offset + len],
+                    &mut self.comm_rng,
+                );
+                offset += len;
             }
-            (sent, bytes)
+            assert_eq!(offset, n, "segments must cover the parameter plane");
+            bytes
         } else {
-            self.feedback.compress(codec, &delta, &mut self.comm_rng)
+            self.feedback.compress_flat(
+                codec,
+                &self.delta_scratch,
+                segments,
+                scratch,
+                out,
+                &mut self.comm_rng,
+            )
         };
-        // Build the reconstruction in the transmitted buffers (sent +
-        // reference) rather than cloning the reference again.
-        for (s, r) in sent.iter_mut().zip(self.sync_reference.iter()) {
-            s.add_assign(r);
+        // Build the reconstruction in the transmitted plane (sent +
+        // reference) rather than copying the reference again.
+        for (o, &r) in out.iter_mut().zip(&self.sync_reference) {
+            *o += r;
+        }
+        bytes
+    }
+
+    /// Tensor-based convenience around [`Worker::encode_update_into`]
+    /// (used by tests and diagnostics; the cluster uses the flat entry
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if reference tracking is not enabled.
+    pub fn encode_update(&mut self, codec: &dyn Compressor) -> (Vec<Tensor>, usize) {
+        let segments = self.model.param_sizes();
+        let n: usize = segments.iter().sum();
+        let mut scratch = vec![0.0f32; n];
+        let mut out = vec![0.0f32; n];
+        let bytes = self.encode_update_into(codec, &segments, &mut scratch, &mut out);
+        let shapes: Vec<Vec<usize>> = self
+            .model
+            .params_snapshot()
+            .iter()
+            .map(|t| t.dims().to_vec())
+            .collect();
+        let mut sent = Vec::with_capacity(shapes.len());
+        let mut offset = 0usize;
+        for dims in shapes {
+            let len: usize = dims.iter().product();
+            sent.push(
+                Tensor::from_vec(out[offset..offset + len].to_vec(), &dims)
+                    .expect("segment matches tensor shape"),
+            );
+            offset += len;
         }
         (sent, bytes)
     }

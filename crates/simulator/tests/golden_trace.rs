@@ -1,0 +1,191 @@
+//! Golden-trace regression test for the training hot path.
+//!
+//! A fixed-seed, full-precision quick run is recorded bit-exactly — every
+//! per-round evaluation loss (`f32` bits) and simulated clock (`f64` bits)
+//! — and compared against a committed fixture. The fixture was generated
+//! from the snapshot-based averaging path *before* the flat-parameter-plane
+//! refactor, so this test proves the refactor (flat planes, tiled matmul
+//! kernels, per-layer workspaces, pooled parallelism) left full-precision
+//! results bit-identical.
+//!
+//! Only parameter-derived quantities are recorded (evaluation loss, test
+//! accuracy, simulated clock). The *mean local loss* returned by
+//! `run_round` is deliberately excluded: it is a purely observational
+//! reduction whose float summation order is allowed to change with the
+//! parallel fold.
+//!
+//! To regenerate after an *intentional* math change:
+//!
+//! ```sh
+//! ADACOMM_REGEN_GOLDEN=1 cargo test -p pasgd-sim --test golden_trace
+//! ```
+
+use data::GaussianMixture;
+use delay::{CommModel, DelayDistribution, RuntimeModel};
+use gradcomp::CodecSpec;
+use pasgd_sim::{AveragingStrategy, ClusterConfig, MomentumMode, PasgdCluster};
+use std::fmt::Write as _;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_trace_quick.txt"
+);
+
+/// Communication periods exercised per section: a mix of τ = 1 (sync),
+/// short and long local-update periods.
+const TAUS: [usize; 10] = [1, 4, 2, 8, 3, 5, 1, 6, 2, 4];
+
+fn build_cluster(
+    workers: usize,
+    momentum: MomentumMode,
+    averaging: AveragingStrategy,
+    seed: u64,
+) -> PasgdCluster {
+    let split = GaussianMixture::small_test().generate(seed);
+    let runtime = RuntimeModel::new(
+        DelayDistribution::exponential(0.5),
+        CommModel::constant(0.3),
+        workers,
+    );
+    PasgdCluster::new(
+        nn::models::mlp_classifier(8, &[16], 3, 42),
+        split,
+        runtime,
+        ClusterConfig {
+            workers,
+            batch_size: 8,
+            lr: 0.05,
+            weight_decay: 5e-4,
+            momentum,
+            averaging,
+            codec: CodecSpec::Identity,
+            seed,
+            eval_subset: 64,
+        },
+    )
+}
+
+fn record_round(out: &mut String, section: &str, round: usize, c: &mut PasgdCluster) {
+    let loss = c.eval_train_loss();
+    let _ = writeln!(
+        out,
+        "{section},{round},{iters},{clock:016x},{loss:08x}",
+        iters = c.iterations(),
+        clock = c.clock().to_bits(),
+        loss = loss.to_bits(),
+    );
+}
+
+fn run_section(out: &mut String, section: &str, mut c: PasgdCluster) {
+    for (round, &tau) in TAUS.iter().enumerate() {
+        let _ = c.run_round(tau);
+        record_round(out, section, round, &mut c);
+    }
+    let acc = c.eval_test_accuracy();
+    let _ = writeln!(out, "{section},accuracy,{:016x}", acc.to_bits());
+}
+
+/// Generates the full golden trace with the current code.
+fn golden_trace() -> String {
+    let mut out = String::new();
+    out.push_str("# section,round,iterations,clock_f64_bits,train_loss_f32_bits\n");
+
+    run_section(
+        &mut out,
+        "full-average",
+        build_cluster(3, MomentumMode::None, AveragingStrategy::FullAverage, 7),
+    );
+    run_section(
+        &mut out,
+        "block-momentum",
+        build_cluster(
+            2,
+            MomentumMode::paper_block(),
+            AveragingStrategy::FullAverage,
+            8,
+        ),
+    );
+    run_section(
+        &mut out,
+        "local-momentum",
+        build_cluster(
+            2,
+            MomentumMode::Local {
+                beta: 0.9,
+                reset_at_sync: true,
+            },
+            AveragingStrategy::FullAverage,
+            9,
+        ),
+    );
+    run_section(
+        &mut out,
+        "ring",
+        build_cluster(4, MomentumMode::None, AveragingStrategy::Ring, 10),
+    );
+    run_section(
+        &mut out,
+        "elastic",
+        build_cluster(
+            3,
+            MomentumMode::None,
+            AveragingStrategy::Elastic { alpha: 0.5 },
+            11,
+        ),
+    );
+    run_section(
+        &mut out,
+        "partial",
+        build_cluster(
+            4,
+            MomentumMode::None,
+            AveragingStrategy::PartialParticipation { fraction: 0.5 },
+            12,
+        ),
+    );
+
+    // The Figure 14 probe path: local-only stretches closed by explicit
+    // averaging calls.
+    let mut c = build_cluster(2, MomentumMode::None, AveragingStrategy::FullAverage, 13);
+    for round in 0..6 {
+        let _ = c.run_local_only(3);
+        record_round(&mut out, "local-only", round, &mut c);
+        c.average_now();
+        record_round(&mut out, "local-only-avg", round, &mut c);
+    }
+    let acc = c.eval_test_accuracy();
+    let _ = writeln!(out, "local-only,accuracy,{:016x}", acc.to_bits());
+
+    out
+}
+
+#[test]
+fn full_precision_trace_is_bit_identical_to_fixture() {
+    let trace = golden_trace();
+    if std::env::var("ADACOMM_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(
+            std::path::Path::new(FIXTURE)
+                .parent()
+                .expect("fixture has a parent dir"),
+        )
+        .expect("create fixtures dir");
+        std::fs::write(FIXTURE, &trace).expect("write golden fixture");
+        eprintln!("regenerated {FIXTURE}");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {FIXTURE} ({e}); \
+             run with ADACOMM_REGEN_GOLDEN=1 to create it"
+        )
+    });
+    // Compare line-by-line for a readable diff on mismatch.
+    for (i, (got, want)) in trace.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(got, want, "golden trace diverged at line {} (0-indexed)", i);
+    }
+    assert_eq!(
+        trace.lines().count(),
+        expected.lines().count(),
+        "golden trace length changed"
+    );
+}

@@ -7,11 +7,213 @@
 //! * weight gradient:    `dW = xᵀ · dy`        — [`Tensor::matmul_tn`]
 //! * input gradient:     `dx = dy · Wᵀ`        — [`Tensor::matmul_nt`]
 //!
-//! The kernels use the cache-friendly `i-k-j` loop order over row-major
-//! storage; on the model sizes in this workspace they are within a small
-//! factor of an optimised BLAS and keep the crate free of unsafe code.
+//! The kernels are k-blocked and register-tiled safe Rust: the `·` and `ᵀ·`
+//! variants stream four `k`-slices per pass over the output row (so the
+//! output row is loaded/stored once per four rank-1 updates and the inner
+//! loop autovectorises over `n`), while the `·ᵀ` variant computes four
+//! output columns per pass with four independent dot-product accumulators
+//! (instruction-level parallelism across the chains).
+//!
+//! **Bit-exactness contract:** every output element is reduced with a
+//! single accumulator in ascending-`k` order, exactly like the textbook
+//! three-loop kernel — tiling changes memory traffic, not the sequence of
+//! float operations per element. Training trajectories on finite values
+//! are therefore bit-identical to the naive kernels (the golden-trace
+//! regression test in the simulator crate relies on this); inputs that
+//! have already diverged to inf/NaN carry no bit contract.
+//!
+//! The `*_into` free functions are the allocation-free entry points used by
+//! the `nn` layer workspaces; the `Tensor` methods wrap them with a fresh
+//! output buffer.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Writes `a · b` into `out` for row-major `a: [m, k]`, `b: [k, n]`,
+/// `out: [m, n]`, overwriting `out` entirely.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check_len("a", a.len(), m, k);
+    check_len("b", b.len(), k, n);
+    check_len("out", out.len(), m, n);
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        accumulate_row(a_row, b, out_row, k, n, 1, 0);
+    }
+}
+
+/// Writes `aᵀ · b` into `out` for row-major `a: [k, m]`, `b: [k, n]`,
+/// `out: [m, n]`, overwriting `out` entirely.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its dimensions.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    check_len("a", a.len(), k, m);
+    check_len("b", b.len(), k, n);
+    check_len("out", out.len(), m, n);
+    out.fill(0.0);
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        // Column `i` of `a`, strided by `m`.
+        accumulate_row(a, b, out_row, k, n, m, i);
+    }
+}
+
+/// Below this many output rows the `·ᵀ` kernel uses direct dot products;
+/// at or above it, transposing `b` once (into a reused thread-local
+/// scratch) is amortised and the vectorizable rank-1 kernel takes over.
+const NT_TRANSPOSE_MIN_ROWS: usize = 8;
+
+thread_local! {
+    /// Reused transpose scratch for [`matmul_nt_into`]; grows to the
+    /// largest `k·n` seen on this thread, so steady-state GEMMs allocate
+    /// nothing.
+    static NT_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Writes `a · bᵀ` into `out` for row-major `a: [m, k]`, `b: [n, k]`,
+/// `out: [m, n]`, overwriting `out` entirely.
+///
+/// For enough output rows (`m ≥ 8`), `b` is first transposed into a
+/// reused thread-local scratch so the inner loops become the same
+/// autovectorized rank-1 updates as [`matmul_into`]; either path reduces
+/// each output element with a single accumulator in ascending-`k` order,
+/// so results are bit-identical **for finite inputs**. (The transposed
+/// path skips all-zero `a` blocks, which is exact for finite `b` but
+/// would turn a `0·inf = NaN` into a skipped term; a run whose values
+/// have diverged to inf/NaN has no meaningful bit contract either way.)
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its dimensions.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check_len("a", a.len(), m, k);
+    check_len("b", b.len(), n, k);
+    check_len("out", out.len(), m, n);
+    if m >= NT_TRANSPOSE_MIN_ROWS && k > 0 && n > 0 {
+        NT_SCRATCH.with(|scratch| {
+            let mut bt = scratch.borrow_mut();
+            bt.resize(k * n, 0.0);
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                for (kk, &v) in b_row.iter().enumerate() {
+                    bt[kk * n + j] = v;
+                }
+            }
+            out.fill(0.0);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                accumulate_row(a_row, &bt, out_row, k, n, 1, 0);
+            }
+        });
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        // Four output columns per pass: four independent single-accumulator
+        // dot products over ascending k.
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        for (jr, o) in out_row.iter_mut().enumerate().skip(j) {
+            let b_row = &b[jr * k..(jr + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Rank-1-update core shared by [`matmul_into`] and [`matmul_tn_into`]:
+/// accumulates `Σ_k a[k]·b[k, ·]` into `out_row`, streaming four `k`-slices
+/// of `b` per pass. `a` values are read at stride `a_stride` from offset
+/// `a_offset` (stride 1 reads a contiguous row, stride `m` reads a column
+/// of a `[k, m]` matrix).
+///
+/// Per output element the reduction is a single accumulator in ascending-k
+/// order, so results are bit-identical to the naive kernel.
+#[inline]
+fn accumulate_row(
+    a: &[f32],
+    b: &[f32],
+    out_row: &mut [f32],
+    k: usize,
+    n: usize,
+    a_stride: usize,
+    a_offset: usize,
+) {
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let a0 = a[a_offset + kk * a_stride];
+        let a1 = a[a_offset + (kk + 1) * a_stride];
+        let a2 = a[a_offset + (kk + 2) * a_stride];
+        let a3 = a[a_offset + (kk + 3) * a_stride];
+        // Skipping an all-zero block is exact: the accumulator can never be
+        // -0.0 (round-to-nearest never produces -0 from +0 + ±0), so adding
+        // the four ±0 products would be the identity. This keeps the
+        // ReLU-sparse forward passes cheap.
+        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+            kk += 4;
+            continue;
+        }
+        let b0 = &b[kk * n..(kk + 1) * n];
+        let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+        let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+        let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            let mut acc = *o;
+            acc += a0 * v0;
+            acc += a1 * v1;
+            acc += a2 * v2;
+            acc += a3 * v3;
+            *o = acc;
+        }
+        kk += 4;
+    }
+    for kr in kk..k {
+        let av = a[a_offset + kr * a_stride];
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[kr * n..(kr + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+fn check_len(name: &str, len: usize, rows: usize, cols: usize) {
+    assert_eq!(
+        len,
+        rows * cols,
+        "{name} slice holds {len} values but the shape is {rows}x{cols}"
+    );
+}
 
 impl Tensor {
     /// Matrix product `self · other` for rank-2 tensors.
@@ -39,22 +241,8 @@ impl Tensor {
                 right: (k2, n),
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * bv;
-                }
-            }
-        }
+        matmul_into(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -75,22 +263,8 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ki * bv;
-                }
-            }
-        }
+        matmul_tn_into(self.as_slice(), other.as_slice(), &mut out, k, m, n);
         Tensor::from_vec(out, &[m, n]).expect("internal: shape volume matches")
     }
 
@@ -111,21 +285,8 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        }
+        matmul_nt_into(self.as_slice(), other.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n]).expect("internal: shape volume matches")
     }
 
@@ -169,6 +330,22 @@ mod tests {
 
     fn mat(data: &[f32], r: usize, c: usize) -> Tensor {
         Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    /// The textbook i-k-j kernel the tiled ones must match bit-for-bit.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.as_slice()[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * b.as_slice()[kk * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
     }
 
     #[test]
@@ -234,5 +411,76 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.dims(), &[0, 4]);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn tiled_kernels_are_bit_identical_to_naive() {
+        // Awkward sizes exercise every remainder path (k % 4, n % 4).
+        let mut seed = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 40) as f32 / 1e5 - 0.08
+        };
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 4), (7, 13, 9), (32, 37, 10)] {
+            let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]).unwrap();
+            let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]).unwrap();
+            let tiled = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(tiled.as_slice(), naive.as_slice(), "shape {m}x{k}x{n}");
+            // tn/nt agree with their transpose definitions bitwise too:
+            // per-element single-accumulator ascending-k order all around.
+            let at = a.transpose();
+            assert_eq!(
+                at.matmul_tn(&b).as_slice(),
+                naive.as_slice(),
+                "tn shape {m}x{k}x{n}"
+            );
+            let bt = b.transpose();
+            assert_eq!(
+                a.matmul_nt(&bt).as_slice(),
+                naive_matmul(&a, &b).as_slice(),
+                "nt shape {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_blocks_are_skipped_exactly() {
+        // A ReLU-sparse left operand: whole k-blocks of zeros.
+        let mut a = Tensor::zeros(&[2, 8]);
+        a.as_mut_slice()[5] = 2.0;
+        a.as_mut_slice()[8] = -1.5;
+        let b = mat(
+            &(0..8 * 3)
+                .map(|i| (i as f32) * 0.25 - 1.0)
+                .collect::<Vec<_>>(),
+            8,
+            3,
+        );
+        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn into_kernels_overwrite_stale_output() {
+        let a = mat(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = Tensor::eye(2);
+        let mut out = vec![99.0f32; 4];
+        matmul_into(a.as_slice(), b.as_slice(), &mut out, 2, 2, 2);
+        assert_eq!(out, a.as_slice());
+        let mut out_nt = vec![-7.0f32; 4];
+        matmul_nt_into(a.as_slice(), b.as_slice(), &mut out_nt, 2, 2, 2);
+        assert_eq!(out_nt, a.as_slice());
+        let mut out_tn = vec![3.5f32; 4];
+        matmul_tn_into(b.as_slice(), a.as_slice(), &mut out_tn, 2, 2, 2);
+        assert_eq!(out_tn, a.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice holds")]
+    fn into_kernel_rejects_bad_lengths() {
+        let mut out = vec![0.0f32; 3];
+        matmul_into(&[1.0, 2.0], &[1.0, 2.0], &mut out, 2, 1, 2);
     }
 }
