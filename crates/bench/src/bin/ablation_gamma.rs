@@ -1,57 +1,11 @@
-//! Ablation: the multiplicative decay factor γ of rule (18).
+//! Standalone entry point for the `ablation_gamma` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ablation_gamma [--full]
+//! cargo run --release -p adacomm-bench --bin ablation_gamma [--full|--smoke]
 //! ```
-//!
-//! γ < 1 is what lets AdaComm escape plateaus where rule (17) alone would
-//! keep τ frozen. γ = 1.0 disables the refinement (pure rule 17); the
-//! paper found γ = 1/2 a good choice.
-
-use adacomm::{AdaComm, AdaCommConfig};
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Ablation: AdaComm gamma (eq. 18), VGG-like CIFAR10-like (scale {scale})\n");
-    let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
-    let lr = adacomm_bench::panel::lr_schedule_for(&sc, LrMode::Fixed);
-
-    let mut table = Table::new(vec![
-        "gamma".into(),
-        "final loss".into(),
-        "min loss".into(),
-        "best acc %".into(),
-        "final tau".into(),
-        "rounds with tau=1".into(),
-    ]);
-    let mut traces = Vec::new();
-    for gamma in [0.25, 0.5, 0.75, 1.0] {
-        let mut sched = AdaComm::new(AdaCommConfig {
-            tau0: sc.tau0,
-            gamma,
-            ..AdaCommConfig::default()
-        });
-        let mut trace = sc.suite.run(&mut sched, &lr);
-        trace.name = format!("gamma={gamma}");
-        let taus = trace.tau_trace();
-        let at_one = taus.iter().filter(|&&(_, t)| t == 1).count();
-        let last = trace.points.last().expect("non-empty");
-        table.row(vec![
-            format!("{gamma}"),
-            format!("{:.4}", trace.final_loss()),
-            format!("{:.4}", trace.min_loss()),
-            format!("{:.2}", 100.0 * trace.best_test_accuracy()),
-            last.tau.to_string(),
-            format!("{at_one}/{}", taus.len()),
-        ]);
-        traces.push(trace);
-    }
-    table.print();
-    save_panel_csv("ablation_gamma", &traces)?;
-
-    println!("\nsmaller gamma anneals tau to 1 sooner (lower floor, slower late");
-    println!("iterations); gamma = 1.0 can leave tau stuck above 1 on plateaus.");
-    Ok(())
+    adacomm_bench::figures::run_standalone("ablation_gamma")
 }

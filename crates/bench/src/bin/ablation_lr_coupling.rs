@@ -1,80 +1,11 @@
-//! Ablation: learning-rate coupling — rule (19) `(η0/ηl)^{3/2}` vs rule
-//! (20) `sqrt(η0/ηl)` vs no coupling.
+//! Standalone entry point for the `ablation_lr_coupling` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ablation_lr_coupling [--full]
+//! cargo run --release -p adacomm-bench --bin ablation_lr_coupling [--full|--smoke]
 //! ```
-//!
-//! The paper observed rule (19) pushing τ to ~1000 after a 10× lr decay and
-//! the loss diverging, which motivated the softer rule (20). We cap τ at
-//! `max_tau` so the (19) run completes, and report the peak τ it requested.
-
-use adacomm::{AdaComm, AdaCommConfig, CommSchedule, LrCoupling, ScheduleContext};
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Ablation: lr coupling (eqs. 19 vs 20), VGG-like CIFAR10-like, variable lr (scale {scale})\n");
-    let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
-    let lr = adacomm_bench::panel::lr_schedule_for(&sc, LrMode::Variable);
-
-    let mut table = Table::new(vec![
-        "coupling".into(),
-        "final loss".into(),
-        "best acc %".into(),
-        "max tau seen".into(),
-    ]);
-    let mut traces = Vec::new();
-    for (name, coupling) in [
-        ("none (17/18)", LrCoupling::None),
-        ("sqrt (eq. 20)", LrCoupling::Sqrt),
-        ("3/2 (eq. 19)", LrCoupling::ThreeHalves),
-    ] {
-        let mut sched = AdaComm::new(AdaCommConfig {
-            tau0: sc.tau0,
-            lr_coupling: coupling,
-            max_tau: 1024,
-            ..AdaCommConfig::default()
-        });
-        let mut trace = sc.suite.run(&mut sched, &lr);
-        trace.name = name.to_string();
-        let max_tau = trace.tau_trace().iter().map(|&(_, t)| t).max().unwrap_or(0);
-        table.row(vec![
-            name.to_string(),
-            format!("{:.4}", trace.final_loss()),
-            format!("{:.2}", 100.0 * trace.best_test_accuracy()),
-            max_tau.to_string(),
-        ]);
-        traces.push(trace);
-    }
-    table.print();
-    save_panel_csv("ablation_lr_coupling", &traces)?;
-
-    // Demonstrate the raw (uncapped) eq. 19 blow-up the paper reports,
-    // directly on the scheduler.
-    let mut raw = AdaComm::new(AdaCommConfig {
-        tau0: 10,
-        lr_coupling: LrCoupling::ThreeHalves,
-        max_tau: 100_000,
-        ..AdaCommConfig::default()
-    });
-    let ctx0 = ScheduleContext {
-        interval_index: 0,
-        wall_clock: 0.0,
-        current_loss: 1.0,
-        initial_loss: 1.0,
-        current_lr: 0.2,
-        initial_lr: 0.2,
-    };
-    let _ = raw.next_tau(&ctx0);
-    let mut ctx = ctx0;
-    ctx.interval_index = 1;
-    ctx.current_lr = 0.002; // two 10x decays
-    let tau = raw.next_tau(&ctx);
-    println!(
-        "\nraw eq. 19 request after a 100x lr decay: tau = {tau} (paper saw ~1000 and divergence)"
-    );
-    assert!(tau > 500, "eq. 19 should request an extreme tau, got {tau}");
-    Ok(())
+    adacomm_bench::figures::run_standalone("ablation_lr_coupling")
 }

@@ -1,69 +1,11 @@
-//! Ablation: block momentum vs naive local momentum vs no momentum
-//! (Section 5.3.1's motivation).
+//! Standalone entry point for the `ablation_momentum_mode` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ablation_momentum_mode [--full]
+//! cargo run --release -p adacomm-bench --bin ablation_momentum_mode [--full|--smoke]
 //! ```
-//!
-//! The naive scheme keeps each worker's momentum buffer across averaging
-//! steps, so the first local step after a sync carries a stale direction —
-//! the paper argues this "can side-track the SGD descent direction". Block
-//! momentum restarts local buffers and adds a global buffer instead.
-
-use adacomm::FixedComm;
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
-use pasgd_sim::MomentumMode;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Ablation: momentum handling at averaging steps, tau = 20 (scale {scale})\n");
-    let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
-    let lr = adacomm_bench::panel::lr_schedule_for(&sc, LrMode::Fixed);
-    let tau = 20;
-
-    let modes: Vec<(&str, MomentumMode)> = vec![
-        ("none", MomentumMode::None),
-        (
-            "naive local (no reset)",
-            MomentumMode::Local {
-                beta: 0.9,
-                reset_at_sync: false,
-            },
-        ),
-        (
-            "local + reset at sync",
-            MomentumMode::Local {
-                beta: 0.9,
-                reset_at_sync: true,
-            },
-        ),
-        ("block (paper)", MomentumMode::paper_block()),
-    ];
-
-    let mut table = Table::new(vec![
-        "momentum mode".into(),
-        "final loss".into(),
-        "min loss".into(),
-        "best acc %".into(),
-    ]);
-    let mut traces = Vec::new();
-    for (name, mode) in modes {
-        let mut sched = FixedComm::new(tau);
-        let mut trace = sc.suite.run_with_momentum(&mut sched, &lr, mode);
-        trace.name = name.to_string();
-        table.row(vec![
-            name.to_string(),
-            format!("{:.4}", trace.final_loss()),
-            format!("{:.4}", trace.min_loss()),
-            format!("{:.2}", 100.0 * trace.best_test_accuracy()),
-        ]);
-        traces.push(trace);
-    }
-    table.print();
-    save_panel_csv("ablation_momentum_mode", &traces)?;
-
-    println!("\nthe paper's claim: block momentum >= local-with-reset > naive local for");
-    println!("large tau, because stale buffers side-track the first post-sync steps.");
-    Ok(())
+    adacomm_bench::figures::run_standalone("ablation_momentum_mode")
 }

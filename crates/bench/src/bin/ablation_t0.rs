@@ -1,71 +1,11 @@
-//! Ablation: the wall-clock interval length `T0` at which AdaComm
-//! re-evaluates τ (Section 4: "if the interval length T0 is small enough
-//! ... this adaptive scheme should achieve a win-win").
+//! Standalone entry point for the `ablation_t0` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ablation_t0 [--full]
+//! cargo run --release -p adacomm-bench --bin ablation_t0 [--full|--smoke]
 //! ```
 
-use adacomm::AdaComm;
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{save_panel_csv, LrMode, Scale, Table};
-use pasgd_sim::{ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode};
-
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Ablation: AdaComm interval length T0, VGG-like CIFAR10-like (scale {scale})\n");
-    let sc = scenario(ModelFamily::VggLike, 10, 4, scale);
-    let lr = adacomm_bench::panel::lr_schedule_for(&sc, LrMode::Fixed);
-    let base = sc.suite.experiment_config().clone();
-
-    let mut table = Table::new(vec![
-        "T0 (s)".into(),
-        "final loss".into(),
-        "best acc %".into(),
-        "tau updates".into(),
-    ]);
-    let mut traces = Vec::new();
-    for t0 in [15.0, 30.0, 60.0, 120.0, 300.0] {
-        // Rebuild the suite with a different interval length only.
-        let split = data::GaussianMixture::cifar10_like().generate(1234 + 10);
-        let profile = delay::vgg16_profile().time_scaled(if scale.is_full() { 1.0 } else { 4.0 });
-        let suite = ExperimentSuite::new(
-            nn::models::mlp_classifier(256, &[64], 10, 77),
-            split,
-            profile.runtime_model(4),
-            ClusterConfig {
-                workers: 4,
-                batch_size: 32,
-                lr: 0.2,
-                weight_decay: 5e-4,
-                momentum: MomentumMode::None,
-                averaging: pasgd_sim::AveragingStrategy::FullAverage,
-                codec: gradcomp::CodecSpec::Identity,
-                seed: 42,
-                eval_subset: 1024,
-            },
-            ExperimentConfig {
-                interval_secs: t0,
-                ..base.clone()
-            },
-        );
-        let mut trace = suite.run(&mut AdaComm::with_tau0(sc.tau0), &lr);
-        trace.name = format!("T0={t0}");
-        // Count distinct tau values along the trace as a proxy for updates.
-        let taus: Vec<usize> = trace.tau_trace().iter().map(|&(_, t)| t).collect();
-        let changes = taus.windows(2).filter(|w| w[0] != w[1]).count();
-        table.row(vec![
-            format!("{t0}"),
-            format!("{:.4}", trace.final_loss()),
-            format!("{:.2}", 100.0 * trace.best_test_accuracy()),
-            changes.to_string(),
-        ]);
-        traces.push(trace);
-    }
-    table.print();
-    save_panel_csv("ablation_t0", &traces)?;
-
-    println!("\nvery large T0 adapts too slowly (few tau updates); very small T0 anneals");
-    println!("tau to 1 early and gives up the communication savings.");
-    Ok(())
+    adacomm_bench::figures::run_standalone("ablation_t0")
 }

@@ -1,96 +1,11 @@
-//! Extension experiment: AdaComm's adaptive frequency under the other
-//! synchronization patterns the paper's concluding remarks point to —
-//! elastic averaging (Zhang et al., 2015), decentralized ring gossip
-//! (Lian et al., 2017) and federated-style partial participation
-//! (McMahan et al., 2016).
+//! Standalone entry point for the `ext_averaging_strategies` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ext_averaging_strategies [--full]
+//! cargo run --release -p adacomm-bench --bin ext_averaging_strategies [--full|--smoke]
 //! ```
 
-use adacomm::{AdaComm, LrSchedule};
-use adacomm_bench::{save_panel_csv, Scale, Table};
-use data::GaussianMixture;
-use delay::{CommModel, DelayDistribution, RuntimeModel};
-use pasgd_sim::{
-    AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode,
-};
-
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Extension: AdaComm under different averaging strategies (scale {scale})\n");
-
-    let workers = 4;
-    let runtime = RuntimeModel::new(
-        DelayDistribution::shifted_exponential(0.13, 0.05),
-        CommModel::constant(0.72),
-        workers,
-    );
-    let split = GaussianMixture::cifar10_like().generate(77);
-    let total_secs = if scale.is_full() { 1200.0 } else { 480.0 };
-
-    let strategies: Vec<(&str, AveragingStrategy)> = vec![
-        ("full average (PASGD)", AveragingStrategy::FullAverage),
-        ("ring gossip", AveragingStrategy::Ring),
-        (
-            "partial participation 50%",
-            AveragingStrategy::PartialParticipation { fraction: 0.5 },
-        ),
-        (
-            "elastic alpha=0.5",
-            AveragingStrategy::Elastic { alpha: 0.5 },
-        ),
-    ];
-
-    let mut table = Table::new(vec![
-        "strategy".into(),
-        "final loss".into(),
-        "min loss".into(),
-        "best acc %".into(),
-        "iterations".into(),
-    ]);
-    let mut traces = Vec::new();
-    for (name, strategy) in strategies {
-        let suite = ExperimentSuite::new(
-            nn::models::mlp_classifier(256, &[64], 10, 31),
-            split.clone(),
-            runtime,
-            ClusterConfig {
-                workers,
-                batch_size: 32,
-                lr: 0.2,
-                weight_decay: 5e-4,
-                momentum: MomentumMode::None,
-                averaging: strategy,
-                codec: gradcomp::CodecSpec::Identity,
-                seed: 9,
-                eval_subset: 1024,
-            },
-            ExperimentConfig {
-                interval_secs: 20.0,
-                total_secs,
-                record_every_secs: total_secs / 30.0,
-                gate_lr_on_tau: false,
-            },
-        );
-        let mut trace = suite.run(&mut AdaComm::with_tau0(16), &LrSchedule::constant(0.2));
-        trace.name = name.to_string();
-        let last = trace.points.last().expect("non-empty");
-        table.row(vec![
-            name.to_string(),
-            format!("{:.4}", trace.final_loss()),
-            format!("{:.4}", trace.min_loss()),
-            format!("{:.2}", 100.0 * trace.best_test_accuracy()),
-            last.iterations.to_string(),
-        ]);
-        traces.push(trace);
-    }
-    table.print();
-    save_panel_csv("ext_averaging_strategies", &traces)?;
-
-    println!("\nthe adaptive schedule composes with every strategy; full averaging");
-    println!("reaches the lowest floor while gossip/partial variants trade a little");
-    println!("final loss for cheaper or more failure-tolerant synchronization —");
-    println!("the extension direction the paper's concluding remarks sketch.");
-    Ok(())
+    adacomm_bench::figures::run_standalone("ext_averaging_strategies")
 }

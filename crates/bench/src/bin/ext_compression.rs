@@ -1,329 +1,11 @@
-//! Extension: gradient compression on the error-runtime frontier.
-//!
-//! The paper adapts the communication *frequency* τ; this experiment adds
-//! the *size* axis. Under a bytes-aware delay model (the hardware
-//! profile's mean communication delay split 10% latency / 90% bandwidth),
-//! it sweeps codecs × ratios at a fixed τ, runs the paper's fixed-τ
-//! full-precision baselines, and caps the comparison with the
-//! τ×compression co-adaptive schedule (`AdaCommCompress`).
+//! Standalone entry point for the `ext_compression` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin ext_compression [--full]
+//! cargo run --release -p adacomm-bench --bin ext_compression [--full|--smoke]
 //! ```
-//!
-//! Expected shape, per hardware profile:
-//!
-//! * compressed averaging rounds cost strictly less simulated wall-clock
-//!   than full-precision rounds (the `round comm s` column);
-//! * the co-adaptive schedule reaches a lower loss at the shared
-//!   wall-clock budget than the best fixed-τ full-precision baseline —
-//!   most dramatically on the communication-bound VGG-16 profile.
-//!
-//! CSVs: `ext_compression_frontier` (one summary row per method) and
-//! `ext_compression_traces` (full loss-vs-time traces).
-
-use adacomm::theory::compressed_comm_time;
-use adacomm::{select_tau0, AdaComm, AdaCommCompress, AdaCommConfig, FixedComm, LrSchedule};
-use adacomm_bench::scenarios::ModelFamily;
-use adacomm_bench::{write_csv, Scale, Table};
-use data::GaussianMixture;
-use gradcomp::{CodecSpec, Compressor as _};
-use nn::models;
-use pasgd_sim::{ClusterConfig, ExperimentConfig, ExperimentSuite, RunTrace};
-use std::fmt::Write as _;
-
-/// One finished run plus the codec it transmitted with.
-struct Row {
-    trace: RunTrace,
-    codec: CodecSpec,
-    /// Mean simulated cost of one averaging message under the bytes-aware
-    /// communication model (the per-round delay the codec pays).
-    round_comm_secs: f64,
-}
-
-fn family_runs(family: ModelFamily, scale: Scale, frontier: &mut String, traces: &mut String) {
-    let workers = 4usize;
-    let time_scale = if scale.is_full() { 1.0 } else { 4.0 };
-    let profile = family.profile().time_scaled(time_scale);
-
-    // The CIFAR100-like task decays gradually over the budget (the paper's
-    // regime); on easier tasks the loss collapses within one interval and
-    // every adaptive method degenerates to τ = 1 immediately.
-    let classes = 100usize;
-    let model = match (family, scale) {
-        (_, Scale::Quick) => models::mlp_classifier(256, &[64], classes, 77),
-        (ModelFamily::VggLike, Scale::Full) => models::vgg_like(1, 16, classes, 77),
-        (ModelFamily::ResnetLike, Scale::Full) => models::resnet_like(1, 16, classes, 77),
-    };
-    let full_bytes: usize = model.params_snapshot().iter().map(|t| t.len() * 4).sum();
-
-    // 90% of the profile's mean communication delay is bandwidth,
-    // calibrated so a full-precision message costs exactly the profile's
-    // original delay; compression can then reclaim up to 90% of it.
-    let runtime = profile.bytes_aware_runtime_model(workers, 0.9, full_bytes as f64);
-
-    let split = GaussianMixture::cifar100_like().generate(1244);
-    let total_secs = if scale.is_full() { 2100.0 } else { 600.0 };
-    let lr0 = 0.1f32;
-    let make_suite = |budget_secs: f64| {
-        ExperimentSuite::new(
-            model.clone(),
-            split.clone(),
-            runtime,
-            ClusterConfig {
-                workers,
-                batch_size: 32,
-                lr: lr0,
-                weight_decay: 5e-4,
-                seed: 42,
-                eval_subset: 1024,
-                ..ClusterConfig::default()
-            },
-            ExperimentConfig {
-                interval_secs: if scale.is_full() { 60.0 } else { 20.0 },
-                total_secs: budget_secs,
-                record_every_secs: budget_secs / 40.0,
-                gate_lr_on_tau: false,
-            },
-        )
-    };
-    let suite = make_suite(total_secs);
-    let lr = LrSchedule::constant(lr0);
-
-    // The theory-side helper and the simulator's bytes-aware CommModel
-    // price a round identically (the profiles use constant worker
-    // scaling): latency + β · full_bytes · payload_fraction.
-    let comm = *runtime.comm();
-    let round_cost = |codec: &CodecSpec| {
-        compressed_comm_time(
-            comm.mean_delay(workers),
-            comm.seconds_per_byte(),
-            full_bytes as f64,
-            codec.payload_fraction(),
-        )
-    };
-
-    println!(
-        "== {} profile ({} workers, {} model bytes, budget {total_secs:.0} s)\n",
-        family.name(),
-        workers,
-        full_bytes
-    );
-
-    // (a) What one averaging round costs per codec, before any training.
-    let mut cost_table = Table::new(vec![
-        "codec".into(),
-        "payload frac".into(),
-        "round comm s".into(),
-        "vs full".into(),
-    ]);
-    let sweep_codecs = [
-        CodecSpec::Identity,
-        CodecSpec::TopK { ratio: 0.01 },
-        CodecSpec::TopK { ratio: 0.05 },
-        CodecSpec::TopK { ratio: 0.25 },
-        CodecSpec::RandomK { ratio: 0.5 },
-        CodecSpec::Sign,
-        CodecSpec::Qsgd { bits: 4 },
-        CodecSpec::Qsgd { bits: 8 },
-    ];
-    let full_round = round_cost(&CodecSpec::Identity);
-    for codec in &sweep_codecs {
-        let cost = round_cost(codec);
-        cost_table.row(vec![
-            codec.name(),
-            format!("{:.4}", codec.payload_fraction()),
-            format!("{cost:.4}"),
-            format!("{:.2}x", full_round / cost),
-        ]);
-    }
-    cost_table.print();
-    println!();
-
-    let mut rows: Vec<Row> = Vec::new();
-
-    // Fixed-τ full-precision baselines (the paper's methods).
-    for &tau in &family.paper_taus() {
-        let mut sched = FixedComm::new(tau);
-        let trace = suite.run_with_codec(&mut sched, &lr, CodecSpec::Identity);
-        rows.push(Row {
-            trace,
-            codec: CodecSpec::Identity,
-            round_comm_secs: full_round,
-        });
-    }
-
-    // Codec × ratio sweep at the family's middle fixed τ.
-    let sweep_tau = family.paper_taus()[1];
-    for codec in &sweep_codecs[1..] {
-        let mut sched = FixedComm::new(sweep_tau);
-        let trace = suite.run_with_codec(&mut sched, &lr, *codec);
-        rows.push(Row {
-            trace,
-            codec: *codec,
-            round_comm_secs: round_cost(codec),
-        });
-    }
-
-    // Adaptive τ, full precision (the paper's AdaComm)...
-    let tau0 = family.tau0();
-    let mut ada = AdaComm::new(AdaCommConfig {
-        tau0,
-        max_tau: 256.max(tau0),
-        ..AdaCommConfig::default()
-    });
-    let trace = suite.run_with_codec(&mut ada, &lr, CodecSpec::Identity);
-    rows.push(Row {
-        trace,
-        codec: CodecSpec::Identity,
-        round_comm_secs: full_round,
-    });
-
-    // ...and the τ×compression co-adaptive schedule.
-    //
-    // γ = 1 keeps rule 17's monotone refinement but disables eq. 18's
-    // plateau halving: that halving exists to amortise an *expensive*
-    // averaging step, and with compressed messages the τ = 1 endpoint
-    // costs more wall-clock per iteration than its noise-floor gain
-    // returns at this budget. τ0 comes from the paper's own recipe — a
-    // grid search over short trial runs (Section 4.2, `select_tau0`) —
-    // because compression reshapes the comm/comp ratio the full-precision
-    // τ0 was tuned for.
-    let k0 = 0.05;
-    let co_spec = CodecSpec::TopK { ratio: k0 };
-    let co_config = |tau0: usize| AdaCommConfig {
-        tau0,
-        gamma: 1.0,
-        max_tau: 256.max(tau0),
-        ..AdaCommConfig::default()
-    };
-    let trial_suite = make_suite(if scale.is_full() { 300.0 } else { 120.0 });
-    let mut candidates: Vec<usize> = [tau0 / 2, tau0, tau0 * 2, tau0 * 4]
-        .into_iter()
-        .map(|t| t.max(1))
-        .collect();
-    candidates.dedup();
-    let co_tau0 = select_tau0(&candidates, |t| {
-        let mut trial = AdaCommCompress::new(co_config(t), co_spec);
-        f64::from(trial_suite.run(&mut trial, &lr).final_loss())
-    });
-    println!("\nco-adaptive tau0 = {co_tau0} (grid search over {candidates:?}, Section 4.2)");
-    let mut co = AdaCommCompress::new(co_config(co_tau0), co_spec);
-    let trace = suite.run(&mut co, &lr);
-    // Report the codec the run *ended* with, priced at its own round cost
-    // (the schedule's fidelity grows over the run, so this is the most
-    // expensive round it ever paid).
-    let final_codec = co.codec();
-    rows.push(Row {
-        trace,
-        codec: final_codec,
-        round_comm_secs: round_cost(&final_codec),
-    });
-
-    // Summary table + frontier CSV rows.
-    let mut summary = Table::new(vec![
-        "method".into(),
-        "codec".into(),
-        "round comm s".into(),
-        "final loss".into(),
-        "min loss".into(),
-        "best acc %".into(),
-        "iterations".into(),
-        "comm MB".into(),
-    ]);
-    for row in &rows {
-        let last = row.trace.points.last().expect("non-empty trace");
-        summary.row(vec![
-            row.trace.name.clone(),
-            row.codec.name(),
-            format!("{:.4}", row.round_comm_secs),
-            format!("{:.4}", row.trace.final_loss()),
-            format!("{:.4}", row.trace.min_loss()),
-            format!("{:.2}", 100.0 * row.trace.best_test_accuracy()),
-            last.iterations.to_string(),
-            format!("{:.2}", last.comm_bytes / 1e6),
-        ]);
-        let _ = writeln!(
-            frontier,
-            "{},{},{},{},{},{},{},{},{},{}",
-            family.name(),
-            row.trace.name,
-            row.codec.name(),
-            row.codec.payload_fraction(),
-            row.round_comm_secs,
-            last.clock,
-            last.iterations,
-            row.trace.final_loss(),
-            row.trace.min_loss(),
-            last.comm_bytes
-        );
-        for p in &row.trace.points {
-            let _ = writeln!(
-                traces,
-                "{},{},{},{},{},{},{},{}",
-                family.name(),
-                row.trace.name,
-                row.codec.name(),
-                p.clock,
-                p.train_loss,
-                p.test_accuracy,
-                p.tau,
-                p.comm_bytes
-            );
-        }
-    }
-    summary.print();
-
-    // Verdicts the acceptance criteria read off the CSV.
-    let compressed_cheaper = rows
-        .iter()
-        .filter(|r| r.codec.payload_fraction() < 1.0)
-        .all(|r| r.round_comm_secs < full_round);
-    println!(
-        "\ncompressed rounds cheaper than full precision: {} ({}x for topk(0.01))",
-        if compressed_cheaper { "yes" } else { "NO" },
-        format_args!(
-            "{:.2}",
-            full_round / round_cost(&CodecSpec::TopK { ratio: 0.01 })
-        ),
-    );
-    let best_fixed_full = rows
-        .iter()
-        .filter(|r| {
-            matches!(r.codec, CodecSpec::Identity)
-                && (r.trace.name.starts_with("tau=") || r.trace.name == "sync-sgd")
-        })
-        .map(|r| r.trace.final_loss())
-        .fold(f32::INFINITY, f32::min);
-    let co_final = rows.last().expect("co-adaptive row").trace.final_loss();
-    println!(
-        "co-adaptive (adacomm-x-topk) final loss {co_final:.4} vs best fixed-tau \
-         full-precision {best_fixed_full:.4}: {}",
-        if co_final < best_fixed_full {
-            "dominates"
-        } else {
-            "DOES NOT dominate"
-        }
-    );
-    println!();
-}
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Extension: compression x adaptive communication (scale: {scale})\n");
-
-    let mut frontier = String::from(
-        "profile,method,codec,payload_fraction,round_comm_secs,clock,iterations,\
-         final_loss,min_loss,comm_bytes\n",
-    );
-    let mut traces =
-        String::from("profile,method,codec,clock,train_loss,test_accuracy,tau,comm_bytes\n");
-
-    for family in [ModelFamily::VggLike, ModelFamily::ResnetLike] {
-        family_runs(family, scale, &mut frontier, &mut traces);
-    }
-
-    write_csv("ext_compression_frontier", &frontier)?;
-    write_csv("ext_compression_traces", &traces)?;
-    Ok(())
+    adacomm_bench::figures::run_standalone("ext_compression")
 }

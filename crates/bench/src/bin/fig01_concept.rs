@@ -1,131 +1,11 @@
-//! Figure 1 (conceptual): error convergence with respect to the number of
-//! iterations vs with respect to wall-clock time, for small/large/adaptive
-//! communication periods.
+//! Standalone entry point for the `fig01_concept` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig01_concept
+//! cargo run --release -p adacomm-bench --bin fig01_concept [--full|--smoke]
 //! ```
-//!
-//! Plotted per iteration, small τ always looks best; re-plotting the same
-//! runs against the simulated clock flips the ordering early on — the
-//! observation the whole paper builds on.
-
-use adacomm::{AdaComm, FixedComm, LrSchedule};
-use adacomm_bench::{ascii_series, save_panel_csv};
-use data::GaussianMixture;
-use delay::{CommModel, DelayDistribution, RuntimeModel};
-use pasgd_sim::{ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode, RunTrace};
 
 fn main() -> std::io::Result<()> {
-    let workers = 4;
-    // alpha = 4: communication-bound, where the x-axis change matters most.
-    let runtime = RuntimeModel::new(
-        DelayDistribution::constant(0.05),
-        CommModel::constant(0.2),
-        workers,
-    );
-    let split = GaussianMixture {
-        num_classes: 5,
-        dim: 64,
-        train_size: 2048,
-        test_size: 512,
-        separation: 2.5,
-        noise_std: 1.3,
-        warp: true,
-        label_noise: 0.05,
-    }
-    .generate(21);
-
-    let suite = ExperimentSuite::new(
-        nn::models::mlp_classifier(64, &[32], 5, 3),
-        split,
-        runtime,
-        ClusterConfig {
-            workers,
-            batch_size: 16,
-            lr: 0.1,
-            weight_decay: 0.0,
-            momentum: MomentumMode::None,
-            averaging: pasgd_sim::AveragingStrategy::FullAverage,
-            codec: gradcomp::CodecSpec::Identity,
-            seed: 17,
-            eval_subset: 512,
-        },
-        ExperimentConfig {
-            interval_secs: 20.0,
-            total_secs: 240.0,
-            record_every_secs: 8.0,
-            gate_lr_on_tau: false,
-        },
-    );
-    let lr = LrSchedule::constant(0.1);
-
-    println!("Figure 1: the same three runs on two x-axes\n");
-    let traces: Vec<RunTrace> = vec![
-        suite.run(&mut FixedComm::new(1), &lr),
-        suite.run(&mut FixedComm::new(16), &lr),
-        suite.run(&mut AdaComm::with_tau0(16), &lr),
-    ];
-
-    let by_iters: Vec<(String, Vec<(f64, f64)>)> = traces
-        .iter()
-        .map(|t| {
-            (
-                t.name.clone(),
-                t.points
-                    .iter()
-                    .map(|p| (p.iterations as f64, f64::from(p.train_loss)))
-                    .collect(),
-            )
-        })
-        .collect();
-    println!("loss vs NUMBER OF ITERATIONS (small tau should lead):");
-    println!("{}", ascii_series(&by_iters, 70, 14));
-
-    let by_time: Vec<(String, Vec<(f64, f64)>)> = traces
-        .iter()
-        .map(|t| {
-            (
-                t.name.clone(),
-                t.points
-                    .iter()
-                    .map(|p| (p.clock, f64::from(p.train_loss)))
-                    .collect(),
-            )
-        })
-        .collect();
-    println!("loss vs WALL-CLOCK TIME (large tau leads early; adaptive wins):");
-    println!("{}", ascii_series(&by_time, 70, 14));
-
-    save_panel_csv("fig01_concept", &traces)?;
-
-    // Shape assertion: per-iteration, sync is at least as good as tau=16 at
-    // a matched iteration count; per-time, tau=16 is ahead early.
-    let loss_at_iter = |t: &RunTrace, k: u64| {
-        t.points
-            .iter()
-            .filter(|p| p.iterations <= k)
-            .map(|p| p.train_loss)
-            .fold(f32::INFINITY, f32::min)
-    };
-    let k = traces[0].points.last().unwrap().iterations.min(400);
-    let sync_at_k = loss_at_iter(&traces[0], k);
-    let tau16_at_k = loss_at_iter(&traces[1], k);
-    println!("at {k} iterations: sync {sync_at_k:.4} vs tau=16 {tau16_at_k:.4}");
-    let early_t = 60.0;
-    let loss_at_time = |t: &RunTrace, tt: f64| {
-        t.points
-            .iter()
-            .filter(|p| p.clock <= tt)
-            .map(|p| p.train_loss)
-            .fold(f32::INFINITY, f32::min)
-    };
-    let sync_early = loss_at_time(&traces[0], early_t);
-    let tau16_early = loss_at_time(&traces[1], early_t);
-    println!("at t = {early_t} s: sync {sync_early:.4} vs tau=16 {tau16_early:.4}");
-    assert!(
-        tau16_early < sync_early,
-        "wall-clock view must favour large tau early"
-    );
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig01_concept")
 }

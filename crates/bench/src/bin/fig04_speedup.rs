@@ -1,45 +1,11 @@
-//! Figure 4: runtime speed-up of PASGD over fully synchronous SGD,
-//! `(1 + α)/(1 + α/τ)`, for α ∈ {0.1, 0.5, 0.9} and τ ∈ [1, 100].
+//! Standalone entry point for the `fig04_speedup` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig04_speedup
+//! cargo run --release -p adacomm-bench --bin fig04_speedup [--full|--smoke]
 //! ```
 
-use adacomm_bench::{write_csv, Table};
-use delay::speedup_constant;
-use std::fmt::Write as _;
-
 fn main() -> std::io::Result<()> {
-    let alphas = [0.1, 0.5, 0.9];
-    let taus: Vec<usize> = vec![1, 2, 5, 10, 20, 40, 60, 80, 100];
-
-    println!("Figure 4: speed-up over fully synchronous SGD (eq. 12)\n");
-    let mut table = Table::new(
-        std::iter::once("tau".to_string())
-            .chain(alphas.iter().map(|a| format!("alpha={a}")))
-            .collect(),
-    );
-    let mut csv = String::from("tau,alpha,speedup\n");
-    for &tau in &taus {
-        let mut row = vec![tau.to_string()];
-        for &alpha in &alphas {
-            let s = speedup_constant(alpha, tau);
-            row.push(format!("{s:.4}"));
-            let _ = writeln!(csv, "{tau},{alpha},{s}");
-        }
-        table.row(row);
-    }
-    table.print();
-    write_csv("fig04_speedup", &csv)?;
-
-    // The paper's headline observation for this figure.
-    println!(
-        "\nwith alpha = 0.9 and tau = 100 the speed-up is {:.3} (paper: ~2x, asymptote 1.9)",
-        speedup_constant(0.9, 100)
-    );
-    assert!(
-        (speedup_constant(0.9, 100) - 1.9 / 1.009).abs() < 1e-12,
-        "closed form drifted from eq. 12"
-    );
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig04_speedup")
 }

@@ -1,62 +1,11 @@
-//! Figure 5: probability distribution of the runtime per iteration for
-//! fully synchronous SGD vs PASGD (τ = 10) with `Y ~ Exp(1)`, `D = 1`,
-//! `m = 16` workers.
+//! Standalone entry point for the `fig05_runtime_dist` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig05_runtime_dist
+//! cargo run --release -p adacomm-bench --bin fig05_runtime_dist [--full|--smoke]
 //! ```
 
-use adacomm_bench::{write_csv, Scale};
-use delay::{CommModel, DelayDistribution, Histogram, RuntimeModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::fmt::Write as _;
-
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    let n = scale.mc_samples();
-    let mut rng = StdRng::seed_from_u64(55);
-
-    // The paper's parameters: D = 1, mean compute y = 1, m = 16.
-    let model = RuntimeModel::new(
-        DelayDistribution::exponential(1.0),
-        CommModel::constant(1.0),
-        16,
-    );
-
-    println!("Figure 5: runtime-per-iteration distribution ({n} samples, scale {scale})\n");
-    let mut sync = Histogram::new(0.0, 8.0, 40);
-    sync.extend_from(&model.per_iteration_samples(1, n, &mut rng));
-    let mut pasgd = Histogram::new(0.0, 8.0, 40);
-    pasgd.extend_from(&model.per_iteration_samples(10, n, &mut rng));
-
-    println!("  mean runtime/iteration:");
-    println!("    sync SGD      : {:.3} s", sync.mean());
-    println!("    PASGD (tau=10): {:.3} s", pasgd.mean());
-    println!(
-        "    ratio         : {:.2}x less (paper: ~2x)\n",
-        sync.mean() / pasgd.mean()
-    );
-
-    println!("  runtime | probability (s = sync, p = pasgd)");
-    let mut csv = String::from("bin_centre,sync_prob,pasgd_prob\n");
-    for ((centre, ps), (_, pp)) in sync.normalized().into_iter().zip(pasgd.normalized()) {
-        let bar_s = "s".repeat((ps * 200.0).round() as usize);
-        let bar_p = "p".repeat((pp * 200.0).round() as usize);
-        if ps > 0.001 || pp > 0.001 {
-            println!("  {centre:>7.2} | {bar_s}");
-            println!("          | {bar_p}");
-        }
-        let _ = writeln!(csv, "{centre},{ps},{pp}");
-    }
-    write_csv("fig05_runtime_dist", &csv)?;
-
-    // Shape assertions: the PASGD distribution must be tighter (lighter
-    // tail) and its mean roughly half the sync mean.
-    let ratio = sync.mean() / pasgd.mean();
-    assert!(
-        ratio > 1.6 && ratio < 2.6,
-        "mean ratio {ratio} outside the paper's ~2x regime"
-    );
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig05_runtime_dist")
 }

@@ -1,53 +1,11 @@
-//! Figure 6: Theorem 1's optimization-error upper bound vs wall-clock
-//! time, fully synchronous SGD (τ = 1) vs PASGD (τ = 10), with
-//! `F(x1) = 1, F_inf = 0, η = 0.08, L = 1, σ² = 1`, delays as in Figure 5.
+//! Standalone entry point for the `fig06_theory_bound` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig06_theory_bound
+//! cargo run --release -p adacomm-bench --bin fig06_theory_bound [--full|--smoke]
 //! ```
 
-use adacomm::theory::{error_runtime_bound, TheoryParams};
-use adacomm_bench::{ascii_series, write_csv};
-use std::fmt::Write as _;
-
 fn main() -> std::io::Result<()> {
-    let params = TheoryParams::figure6();
-    // Constant-delay reading of the Figure 5 parameters: y = 1, D = 1.
-    let (y, d) = (1.0, 1.0);
-
-    println!("Figure 6: theoretical error bound (eq. 13) vs runtime\n");
-    let times: Vec<f64> = (1..=40).map(|i| i as f64 * 100.0).collect();
-    let mut series = Vec::new();
-    let mut csv = String::from("time,tau,bound\n");
-    for &tau in &[1usize, 10] {
-        let pts: Vec<(f64, f64)> = times
-            .iter()
-            .map(|&t| (t, error_runtime_bound(&params, y, d, tau, t)))
-            .collect();
-        for (t, b) in &pts {
-            let _ = writeln!(csv, "{t},{tau},{b}");
-        }
-        series.push((format!("tau={tau}"), pts));
-    }
-    println!("{}", ascii_series(&series, 70, 16));
-    write_csv("fig06_theory_bound", &csv)?;
-
-    // The figure's two claims: PASGD leads early, sync wins at the horizon.
-    let early = 200.0;
-    let late = 4000.0;
-    let b = |tau, t| error_runtime_bound(&params, y, d, tau, t);
-    println!(
-        "bound at t = {early}:  tau=1: {:.4}  tau=10: {:.4}",
-        b(1, early),
-        b(10, early)
-    );
-    println!(
-        "bound at t = {late}: tau=1: {:.4}  tau=10: {:.4}",
-        b(1, late),
-        b(10, late)
-    );
-    assert!(b(10, early) < b(1, early), "PASGD must lead early");
-    assert!(b(1, late) < b(10, late), "sync must win at the horizon");
-    println!("\ncrossover confirmed: tau=10 leads early, tau=1 wins late (paper's trade-off).");
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig06_theory_bound")
 }

@@ -1,60 +1,11 @@
-//! Figure 7 (conceptual): choosing the best τ per wall-clock interval via
-//! Theorem 2, i.e. the τ*-sequence that motivates AdaComm.
+//! Standalone entry point for the `fig07_switching` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig07_switching
+//! cargo run --release -p adacomm-bench --bin fig07_switching [--full|--smoke]
 //! ```
-//!
-//! Panel (a) of the figure shows learning curves crossing (switch points);
-//! panel (b) shows the per-interval optimal τ*ₗ (eqs. 15–16). We print the
-//! τ* sequence under the Figure 6 constants together with the bound value
-//! each interval's choice achieves, and verify the sequence decreases.
-
-use adacomm::theory::{error_runtime_bound, tau_star_int, TheoryParams};
-use adacomm_bench::{write_csv, Table};
-use std::fmt::Write as _;
 
 fn main() -> std::io::Result<()> {
-    let mut params = TheoryParams::figure6();
-    let (y, d) = (1.0, 1.0);
-    let t0 = 200.0; // interval length, same spirit as the paper's T0
-
-    println!("Figure 7: per-interval optimal communication period (eqs. 15-16)\n");
-    let mut table = Table::new(vec![
-        "interval".into(),
-        "F(x_t)".into(),
-        "tau*_l".into(),
-        "bound after interval".into(),
-    ]);
-    let mut csv = String::from("interval,f_t,tau_star,bound\n");
-
-    // Simulate the *bound's* own decay: at each interval, apply Theorem 1
-    // with the chosen tau to estimate the loss entering the next interval.
-    let mut f_t = params.f_init;
-    let mut prev_tau = usize::MAX;
-    for l in 0..10 {
-        params.f_init = f_t;
-        let tau = tau_star_int(&params, d, t0);
-        let bound = error_runtime_bound(&params, y, d, tau, t0);
-        // Map the gradient-norm bound back to an objective decrease via the
-        // PL-style proxy F - F_inf ~ bound / (2 L); clamp to be monotone.
-        let next_f = (bound / (2.0 * params.lipschitz)).min(f_t);
-        table.row(vec![
-            l.to_string(),
-            format!("{f_t:.4}"),
-            tau.to_string(),
-            format!("{bound:.4}"),
-        ]);
-        let _ = writeln!(csv, "{l},{f_t},{tau},{bound}");
-        assert!(
-            tau <= prev_tau,
-            "tau* must not increase as training progresses: {tau} after {prev_tau}"
-        );
-        prev_tau = tau;
-        f_t = next_f.max(params.f_inf);
-    }
-    table.print();
-    write_csv("fig07_switching", &csv)?;
-    println!("\ntau* decreases interval over interval — the adaptive schedule of Figure 7(b).");
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig07_switching")
 }

@@ -1,89 +1,11 @@
-//! Figure 8: wall-clock computation vs communication time for 100
-//! iterations — ResNet-50 and VGG-16, τ = 1 vs τ = 10, 4 workers.
+//! Standalone entry point for the `fig08_comm_comp` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig08_comm_comp
+//! cargo run --release -p adacomm-bench --bin fig08_comm_comp [--full|--smoke]
 //! ```
 
-use adacomm_bench::{write_csv, Scale, Table};
-use delay::{resnet50_profile, vgg16_profile};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::fmt::Write as _;
-
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    let workers = 4;
-    let iterations = 100;
-    let trials = if scale.is_full() { 4000 } else { 400 };
-    let mut rng = StdRng::seed_from_u64(88);
-
-    println!("Figure 8: time to finish {iterations} iterations, {workers} workers\n");
-    let mut table = Table::new(vec![
-        "configuration".into(),
-        "computation s".into(),
-        "communication s".into(),
-        "total s".into(),
-        "comm share %".into(),
-    ]);
-    let mut csv = String::from("model,tau,compute,comm,total\n");
-
-    let mut bars = Vec::new();
-    for profile in [resnet50_profile(), vgg16_profile()] {
-        let model = profile.runtime_model(workers);
-        for &tau in &[1usize, 10] {
-            // Average over trials: 100 iterations = 100/tau rounds.
-            let rounds = iterations / tau;
-            let (mut comp, mut comm) = (0.0, 0.0);
-            for _ in 0..trials {
-                for _ in 0..rounds {
-                    let r = model.sample_round(tau, &mut rng);
-                    comp += r.compute;
-                    comm += r.comm;
-                }
-            }
-            comp /= trials as f64;
-            comm /= trials as f64;
-            let name = format!("{}, tau={tau}", profile.name());
-            table.row(vec![
-                name.clone(),
-                format!("{comp:.2}"),
-                format!("{comm:.2}"),
-                format!("{:.2}", comp + comm),
-                format!("{:.1}", 100.0 * comm / (comp + comm)),
-            ]);
-            let _ = writeln!(
-                csv,
-                "{},{tau},{comp},{comm},{}",
-                profile.name(),
-                comp + comm
-            );
-            bars.push((name, comp, comm));
-        }
-    }
-    table.print();
-    write_csv("fig08_comm_comp", &csv)?;
-
-    // ASCII stacked bars like the paper's figure ('#' compute, '=' comm).
-    println!("\n  ('#' = computation, '=' = communication; 1 char = 0.25 s)");
-    for (name, comp, comm) in &bars {
-        println!(
-            "  {name:>18} |{}{}",
-            "#".repeat((comp * 4.0).round() as usize),
-            "=".repeat((comm * 4.0).round() as usize)
-        );
-    }
-
-    // Shape assertions matching the paper's text: VGG comm ~ 4x comp at
-    // tau=1; ResNet comm below comp; tau=10 slashes the comm share.
-    let vgg = vgg16_profile().runtime_model(workers);
-    let resnet = resnet50_profile().runtime_model(workers);
-    assert!(vgg.alpha() > 3.0, "VGG must be communication-bound");
-    assert!(resnet.alpha() < 1.0, "ResNet must be computation-bound");
-    println!(
-        "\nalpha(VGG-16) = {:.2} (paper: ~4), alpha(ResNet-50) = {:.2} (paper: <1)",
-        vgg.alpha(),
-        resnet.alpha()
-    );
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig08_comm_comp")
 }

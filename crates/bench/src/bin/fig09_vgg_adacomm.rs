@@ -1,47 +1,11 @@
-//! Figure 9: AdaComm on the VGG-16-like (communication-bound) setting,
-//! 4 workers. Three panels: (a) variable lr on CIFAR10-like, (b) fixed lr
-//! on CIFAR10-like, (c) fixed lr on CIFAR100-like.
+//! Standalone entry point for the `fig09_vgg_adacomm` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig09_vgg_adacomm [--full]
+//! cargo run --release -p adacomm-bench --bin fig09_vgg_adacomm [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: τ = 100 drops fastest initially but floors
-//! high; AdaComm reaches sync-SGD's final loss ~2–3.3× faster; the
-//! communication-period trace decreases over time.
-
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Figure 9 (scale: {scale})\n");
-
-    for (tag, panel, classes, lr_mode) in [
-        (
-            "a",
-            "9a: variable lr, CIFAR10-like",
-            10usize,
-            LrMode::Variable,
-        ),
-        ("b", "9b: fixed lr, CIFAR10-like", 10, LrMode::Fixed),
-        ("c", "9c: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
-    ] {
-        let sc = scenario(ModelFamily::VggLike, classes, 4, scale);
-        let traces = run_standard_panel(&sc, lr_mode, false);
-        println!(
-            "{}",
-            report_panel(&format!("{panel} — {}", sc.name), &traces)
-        );
-        save_panel_csv(&format!("fig09{tag}"), &traces)?;
-
-        // AdaComm's tau trace, printed like the figure's lower strip.
-        let ada = traces.last().expect("adacomm trace");
-        println!("adacomm comm-period trace:");
-        for (t, tau) in ada.tau_trace().iter().step_by(4) {
-            println!("  t = {t:>7.1} s  tau = {tau}");
-        }
-        println!();
-    }
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig09_vgg_adacomm")
 }

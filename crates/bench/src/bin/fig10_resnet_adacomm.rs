@@ -1,46 +1,11 @@
-//! Figure 10: AdaComm on the ResNet-50-like (computation-bound) setting,
-//! 4 workers. Panels: (a) variable lr CIFAR10-like, (b) fixed lr
-//! CIFAR10-like, (c) fixed lr CIFAR100-like.
+//! Standalone entry point for the `fig10_resnet_adacomm` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig10_resnet_adacomm [--full]
+//! cargo run --release -p adacomm-bench --bin fig10_resnet_adacomm [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: with communication no longer the bottleneck
-//! (α < 1), fully synchronous SGD is nearly the best fixed-τ method, and
-//! AdaComm stays competitive (1.4× with the variable lr schedule).
-
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Figure 10 (scale: {scale})\n");
-
-    for (tag, panel, classes, lr_mode) in [
-        (
-            "a",
-            "10a: variable lr, CIFAR10-like",
-            10usize,
-            LrMode::Variable,
-        ),
-        ("b", "10b: fixed lr, CIFAR10-like", 10, LrMode::Fixed),
-        ("c", "10c: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
-    ] {
-        let sc = scenario(ModelFamily::ResnetLike, classes, 4, scale);
-        let traces = run_standard_panel(&sc, lr_mode, false);
-        println!(
-            "{}",
-            report_panel(&format!("{panel} — {}", sc.name), &traces)
-        );
-        save_panel_csv(&format!("fig10{tag}"), &traces)?;
-
-        let ada = traces.last().expect("adacomm trace");
-        println!("adacomm comm-period trace:");
-        for (t, tau) in ada.tau_trace().iter().step_by(4) {
-            println!("  t = {t:>7.1} s  tau = {tau}");
-        }
-        println!();
-    }
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig10_resnet_adacomm")
 }

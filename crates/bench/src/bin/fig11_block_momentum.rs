@@ -1,53 +1,11 @@
-//! Figure 11: AdaComm with block momentum (Section 5.3), 4 workers,
-//! variable learning rate. Panels: (a) ResNet-50-like CIFAR10-like,
-//! (b) VGG-16-like CIFAR10-like, (c) ResNet-50-like CIFAR100-like.
+//! Standalone entry point for the `fig11_block_momentum` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig11_block_momentum [--full]
+//! cargo run --release -p adacomm-bench --bin fig11_block_momentum [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: block-momentum AdaComm has the fastest
-//! wall-clock convergence throughout; for VGG-16 it is 3.5× faster than
-//! fully synchronous SGD (with plain momentum 0.9) to the target loss.
-
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Figure 11 (scale: {scale}) — block momentum runs\n");
-
-    for (tag, panel, family, classes) in [
-        (
-            "a",
-            "11a: ResNet-like, CIFAR10-like",
-            ModelFamily::ResnetLike,
-            10usize,
-        ),
-        ("b", "11b: VGG-like, CIFAR10-like", ModelFamily::VggLike, 10),
-        (
-            "c",
-            "11c: ResNet-like, CIFAR100-like",
-            ModelFamily::ResnetLike,
-            100,
-        ),
-    ] {
-        let sc = scenario(family, classes, 4, scale);
-        // `true`: tau=1 gets plain momentum 0.9, PASGD methods get block
-        // momentum (beta_glob 0.3, local 0.9 reset at sync).
-        let traces = run_standard_panel(&sc, LrMode::Variable, true);
-        println!(
-            "{}",
-            report_panel(&format!("{panel} — {}", sc.name), &traces)
-        );
-        save_panel_csv(&format!("fig11{tag}"), &traces)?;
-
-        let ada = traces.last().expect("adacomm trace");
-        println!("adacomm comm-period trace:");
-        for (t, tau) in ada.tau_trace().iter().step_by(4) {
-            println!("  t = {t:>7.1} s  tau = {tau}");
-        }
-        println!();
-    }
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig11_block_momentum")
 }

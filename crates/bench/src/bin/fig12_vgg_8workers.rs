@@ -1,36 +1,11 @@
-//! Figure 12 (appendix): VGG-16-like with 8 workers. Panels:
-//! (a) variable lr on CIFAR10-like, (b) fixed lr on CIFAR100-like.
+//! Standalone entry point for the `fig12_vgg_8workers` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig12_vgg_8workers [--full]
+//! cargo run --release -p adacomm-bench --bin fig12_vgg_8workers [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: 2.9× speedup over fully synchronous SGD in the
-//! variable-lr panel (6.0 vs 17.5 minutes to 1e-2 loss).
-
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{report_panel, run_standard_panel, save_panel_csv, LrMode, Scale};
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Figure 12 (scale: {scale}) — 8 workers\n");
-
-    for (tag, panel, classes, lr_mode) in [
-        (
-            "a",
-            "12a: variable lr, CIFAR10-like",
-            10usize,
-            LrMode::Variable,
-        ),
-        ("b", "12b: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
-    ] {
-        let sc = scenario(ModelFamily::VggLike, classes, 8, scale);
-        let traces = run_standard_panel(&sc, lr_mode, false);
-        println!(
-            "{}",
-            report_panel(&format!("{panel} — {}", sc.name), &traces)
-        );
-        save_panel_csv(&format!("fig12{tag}"), &traces)?;
-    }
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig12_vgg_8workers")
 }

@@ -1,58 +1,11 @@
-//! Figure 13 (appendix): ResNet-50-like with 8 workers. Panels:
-//! (a) variable lr on CIFAR10-like (fixed τ baselines 1/10/100),
-//! (b) fixed lr on CIFAR100-like.
+//! Standalone entry point for the `fig13_resnet_8workers` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin fig13_resnet_8workers [--full]
+//! cargo run --release -p adacomm-bench --bin fig13_resnet_8workers [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: 1.6× speedup over fully synchronous SGD in the
-//! variable-lr panel (11.15 vs 18.25 minutes to 1e-1 loss).
-
-use adacomm::{FixedComm, LrSchedule};
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{report_panel, save_panel_csv, LrMode, Scale};
-use pasgd_sim::RunTrace;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Figure 13 (scale: {scale}) — 8 workers\n");
-
-    for (tag, panel, classes, lr_mode) in [
-        (
-            "a",
-            "13a: variable lr, CIFAR10-like",
-            10usize,
-            LrMode::Variable,
-        ),
-        ("b", "13b: fixed lr, CIFAR100-like", 100, LrMode::Fixed),
-    ] {
-        let sc = scenario(ModelFamily::ResnetLike, classes, 8, scale);
-        // The 8-worker ResNet figure uses tau = 10 instead of 5.
-        let lr_schedule: LrSchedule = match lr_mode {
-            LrMode::Fixed => sc.fixed_lr.clone(),
-            LrMode::Variable => sc.variable_lr.clone(),
-        };
-        let mut traces: Vec<RunTrace> = Vec::new();
-        for tau in [1usize, 10, 100] {
-            traces.push(sc.suite.run(&mut FixedComm::new(tau), &lr_schedule));
-        }
-        let mut ada = adacomm::AdaComm::new(adacomm::AdaCommConfig {
-            tau0: sc.tau0,
-            lr_coupling: if lr_mode == LrMode::Variable {
-                adacomm::LrCoupling::Sqrt
-            } else {
-                adacomm::LrCoupling::None
-            },
-            ..adacomm::AdaCommConfig::default()
-        });
-        traces.push(sc.suite.run(&mut ada, &lr_schedule));
-
-        println!(
-            "{}",
-            report_panel(&format!("{panel} — {}", sc.name), &traces)
-        );
-        save_panel_csv(&format!("fig13{tag}"), &traces)?;
-    }
-    Ok(())
+    adacomm_bench::figures::run_standalone("fig13_resnet_8workers")
 }

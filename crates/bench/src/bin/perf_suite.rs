@@ -1,10 +1,15 @@
-//! Perf harness: times the canonical quick-scale scenarios and writes a
-//! `BENCH_<n>.json` report at the repository root, so the hot-path
+//! Perf harness: times the canonical quick-scale scenarios **and the
+//! whole in-process `reproduce_all` sweep end-to-end**, writing a
+//! `BENCH_<n>.json` report at the repository root so the hot-path
 //! performance trajectory is tracked across PRs.
 //!
-//! Scenarios (all quick scale, single-run AdaComm-style methods — the same
-//! configurations the figure binaries sweep):
+//! Scenarios:
 //!
+//! * `reproduce_all_quick` — every figure/table/ablation/extension of the
+//!   reproduction, executed in-process by the run-parallel sweep engine
+//!   at quick scale (smoke scale under `--smoke`). The committed pre-PR-4
+//!   baseline for this scenario is the old driver: one sequential
+//!   subprocess per figure binary.
 //! * `fig09_vgg_adacomm_quick` — AdaComm on the communication-bound
 //!   VGG-16-like profile (Figure 9, fixed lr panel);
 //! * `fig10_resnet_adacomm_quick` — AdaComm on the computation-bound
@@ -24,7 +29,9 @@
 //! README "Performance" section for the schema.
 
 use adacomm::{AdaComm, AdaCommConfig, FixedComm, LrCoupling, LrSchedule};
+use adacomm_bench::figures::reproduce;
 use adacomm_bench::scenarios::{scenario, ModelFamily};
+use adacomm_bench::sweep::SweepEngine;
 use adacomm_bench::Scale;
 use data::GaussianMixture;
 use gradcomp::CodecSpec;
@@ -35,7 +42,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 3;
+const BENCH_ID: u32 = 4;
 
 /// One timed scenario.
 struct Measurement {
@@ -100,6 +107,38 @@ fn measure(name: &'static str, workers: usize, run: impl FnOnce() -> RunTrace) -
         local_steps: last.iterations,
         peak_payload_bytes: trace.peak_payload_bytes,
         final_train_loss: last.train_loss,
+    }
+}
+
+/// Times the whole in-process reproduction (the sweep engine's parallel
+/// path) and reports it in the shared scenario schema: `rounds` counts
+/// reproduced figures, `local_steps` counts unique simulation runs.
+fn measure_reproduce_all(smoke: bool) -> Measurement {
+    let scale = if smoke { Scale::Smoke } else { Scale::Quick };
+    println!("  reproduce_all_quick: running all figures in-process ({scale} scale)...");
+    let engine = SweepEngine::new();
+    let outcome = reproduce(scale, &engine, None);
+    let failures = outcome.failures();
+    assert!(
+        failures.is_empty(),
+        "reproduction figures failed during the perf run: {failures:?}"
+    );
+    println!(
+        "  reproduce_all_quick: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs)",
+        outcome.total_secs,
+        outcome.sweep_secs,
+        outcome.figures.len(),
+        outcome.unique_runs
+    );
+    Measurement {
+        name: "reproduce_all_quick",
+        workers: 1,
+        wall_clock_s: outcome.total_secs,
+        sim_clock_s: 0.0,
+        rounds: outcome.figures.len() as u64,
+        local_steps: outcome.unique_runs as u64,
+        peak_payload_bytes: 0.0,
+        final_train_loss: 0.0,
     }
 }
 
@@ -184,14 +223,19 @@ fn main() -> std::io::Result<()> {
             .and_then(|i| args.get(i + 1))
             .map(PathBuf::from)
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| repo_root().join("BENCH_3.json"));
+    let out_path = flag_value("--out").unwrap_or_else(|| repo_root().join("BENCH_4.json"));
     let baseline_path = flag_value("--baseline");
+    if smoke {
+        // Keep the CI exercise away from the committed quick-scale CSVs.
+        adacomm_bench::report::set_results_subdir("smoke");
+    }
 
     println!(
-        "perf_suite ({} mode) — timing quick-scale scenarios",
+        "perf_suite ({} mode) — timing the in-process reproduction + quick-scale scenarios",
         if smoke { "smoke" } else { "full" }
     );
     let measurements = [
+        measure_reproduce_all(smoke),
         measure("fig09_vgg_adacomm_quick", 4, || {
             adacomm_run(ModelFamily::VggLike, smoke)
         }),

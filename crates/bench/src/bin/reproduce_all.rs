@@ -1,74 +1,106 @@
-//! Runs every figure/table binary's core computation in sequence and
-//! writes all CSVs into `results/` — the one-shot reproduction driver.
+//! Runs every figure/table target **in one process** and writes all CSVs
+//! into `results/` — the one-shot reproduction driver.
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin reproduce_all [--full]
+//! cargo run --release -p adacomm-bench --bin reproduce_all -- \
+//!     [--full|--smoke] [--only SUBSTR] [--sequential]
 //! ```
 //!
-//! (Each figure also has a standalone binary with richer output; this
-//! driver shells out to them so their assertions run too.)
+//! Unlike the old driver (which shelled out to the 21 standalone binaries
+//! one after another), this collects every figure's declared sweep specs
+//! into one table, executes the deduplicated union as a single
+//! run-parallel wave on the in-process sweep engine, then renders all
+//! figures concurrently — each figure's assertions still run, each
+//! figure's output prints un-interleaved in registry order, and identical
+//! runs shared between figures (all 16 of Table 1's, for instance)
+//! simulate exactly once.
+//!
+//! * `--only SUBSTR` reproduces just the figures whose name contains
+//!   `SUBSTR` (e.g. `--only fig09`, `--only ablation`), so partial
+//!   reproductions don't pay for the full sweep.
+//! * `--sequential` / `--parallel` force the engine mode (the default is
+//!   parallel exactly when the machine has more than one executor);
+//!   `results/*.csv` are bit-identical across modes (the determinism
+//!   test enforces the engine half of this guarantee).
+//! * `--smoke` shrinks every simulated budget and redirects CSVs to
+//!   `results/smoke/`, so CI exercises the whole in-process path in
+//!   seconds without touching the committed quick-scale results.
 
-use std::process::Command;
+use adacomm_bench::figures::reproduce;
+use adacomm_bench::{Scale, SweepEngine, Table};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let binaries = [
-        "fig01_concept",
-        "fig04_speedup",
-        "fig05_runtime_dist",
-        "fig06_theory_bound",
-        "fig07_switching",
-        "fig08_comm_comp",
-        "fig09_vgg_adacomm",
-        "fig10_resnet_adacomm",
-        "fig11_block_momentum",
-        "fig12_vgg_8workers",
-        "fig13_resnet_8workers",
-        "fig14_local_gap",
-        "table1_accuracy",
-        "thm3_schedule_check",
-        "ablation_gamma",
-        "ablation_lr_coupling",
-        "ablation_momentum_mode",
-        "ablation_t0",
-        "ablation_straggler",
-        "ext_averaging_strategies",
-        "ext_compression",
-    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env_and_args();
+    // Default: parallel iff the machine has more than one executor
+    // (results are bit-identical either way); force with the flags.
+    let parallel = if args.iter().any(|a| a == "--sequential") {
+        false
+    } else if args.iter().any(|a| a == "--parallel") {
+        true
+    } else {
+        adacomm_bench::sweep::hardware_parallelism()
+    };
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if scale.is_smoke() {
+        adacomm_bench::report::set_results_subdir("smoke");
+    }
 
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe directory")
-        .to_path_buf();
+    println!(
+        "reproduce_all (scale {scale}, {} engine{})",
+        if parallel { "parallel" } else { "sequential" },
+        only.as_deref()
+            .map(|o| format!(", only *{o}*"))
+            .unwrap_or_default()
+    );
 
-    let mut failures = Vec::new();
-    for bin in binaries {
+    let engine = SweepEngine::with_parallelism(parallel);
+    let outcome = reproduce(scale, &engine, only.as_deref());
+
+    if outcome.figures.is_empty() {
+        eprintln!("no figure matches --only {:?}", only.as_deref());
+        std::process::exit(2);
+    }
+
+    for figure in &outcome.figures {
         println!("\n================================================================");
-        println!("=== {bin}");
+        println!("=== {}", figure.name);
         println!("================================================================");
-        let mut cmd = Command::new(exe_dir.join(bin));
-        if full {
-            cmd.arg("--full");
-        }
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{bin} exited with {status}");
-                failures.push(bin);
-            }
-            Err(e) => {
-                eprintln!("failed to launch {bin}: {e} (build with `cargo build --release -p adacomm-bench --bins` first)");
-                failures.push(bin);
-            }
+        print!("{}", figure.output);
+        if let Some(failure) = &figure.failure {
+            eprintln!("{} FAILED: {failure}", figure.name);
         }
     }
 
     println!("\n================================================================");
+    let mut timing = Table::new(vec!["figure".into(), "wall s".into(), "status".into()]);
+    for figure in &outcome.figures {
+        timing.row(vec![
+            figure.name.to_string(),
+            format!("{:.2}", figure.wall_secs),
+            if figure.failure.is_some() {
+                "FAILED".into()
+            } else {
+                "ok".into()
+            },
+        ]);
+    }
+    timing.print();
+    println!(
+        "\nsweep wave: {:.2} s ({} unique runs); end-to-end: {:.2} s \
+         (per-figure times overlap under the parallel engine)",
+        outcome.sweep_secs, outcome.unique_runs, outcome.total_secs
+    );
+
+    let failures = outcome.failures();
     if failures.is_empty() {
         println!(
             "all {} reproduction targets completed; CSVs are in results/",
-            binaries.len()
+            outcome.figures.len()
         );
     } else {
         println!("FAILED targets: {failures:?}");

@@ -1,70 +1,11 @@
-//! Table 1: best test accuracy on the CIFAR10-like task within a fixed
-//! time budget — {VGG-16-like, ResNet-50-like} × {τ = 1, moderate τ,
-//! τ = 100, AdaComm} × {fixed lr, variable lr}, SGD without momentum.
+//! Standalone entry point for the `table1_accuracy` reproduction target; the figure
+//! body lives in `adacomm_bench::figures` so `reproduce_all` can execute
+//! it in-process (and in parallel with the other figures).
 //!
 //! ```sh
-//! cargo run --release -p adacomm-bench --bin table1_accuracy [--full]
+//! cargo run --release -p adacomm-bench --bin table1_accuracy [--full|--smoke]
 //! ```
-//!
-//! Paper's reported shape: AdaComm matches or beats fully synchronous SGD
-//! everywhere, and in the variable-lr column beats even the best
-//! hand-tuned fixed τ.
-
-use adacomm_bench::scenarios::{scenario, ModelFamily};
-use adacomm_bench::{run_standard_panel, LrMode, Scale, Table};
-use std::fmt::Write as _;
 
 fn main() -> std::io::Result<()> {
-    let scale = Scale::from_env_and_args();
-    println!("Table 1 (scale: {scale}) — best test accuracy, CIFAR10-like, no momentum\n");
-
-    let mut table = Table::new(vec![
-        "model".into(),
-        "method".into(),
-        "fixed lr %".into(),
-        "variable lr %".into(),
-    ]);
-    let mut csv = String::from("model,method,fixed_lr_acc,variable_lr_acc\n");
-
-    for family in [ModelFamily::VggLike, ModelFamily::ResnetLike] {
-        let sc = scenario(family, 10, 4, scale);
-        let fixed = run_standard_panel(&sc, LrMode::Fixed, false);
-        let variable = run_standard_panel(&sc, LrMode::Variable, false);
-        let mut adacomm_fixed = 0.0f64;
-        let mut best_fixed_tau_acc = 0.0f64;
-        let mut adacomm_var = 0.0f64;
-        for (f, v) in fixed.iter().zip(variable.iter()) {
-            let is_adacomm = f.name.starts_with("adacomm");
-            assert!(
-                f.name == v.name || (is_adacomm && v.name.starts_with("adacomm")),
-                "panel ordering mismatch: {} vs {}",
-                f.name,
-                v.name
-            );
-            let fa = 100.0 * f.best_test_accuracy();
-            let va = 100.0 * v.best_test_accuracy();
-            let method = if is_adacomm { "adacomm" } else { &f.name };
-            table.row(vec![
-                family.name().to_string(),
-                method.to_string(),
-                format!("{fa:.2}"),
-                format!("{va:.2}"),
-            ]);
-            let _ = writeln!(csv, "{},{method},{fa:.3},{va:.3}", family.name());
-            if is_adacomm {
-                adacomm_fixed = fa;
-                adacomm_var = va;
-            } else {
-                best_fixed_tau_acc = best_fixed_tau_acc.max(fa);
-            }
-        }
-        println!(
-            "  [{}] adacomm fixed-lr acc {adacomm_fixed:.2}% (best fixed-tau {best_fixed_tau_acc:.2}%), variable-lr {adacomm_var:.2}%",
-            family.name()
-        );
-    }
-    println!();
-    table.print();
-    adacomm_bench::write_csv("table1_accuracy", &csv)?;
-    Ok(())
+    adacomm_bench::figures::run_standalone("table1_accuracy")
 }

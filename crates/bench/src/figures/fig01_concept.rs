@@ -1,0 +1,100 @@
+//! Figure 1 (conceptual): error convergence with respect to the number of
+//! iterations vs with respect to wall-clock time, for small/large/adaptive
+//! communication periods.
+//!
+//! Plotted per iteration, small τ always looks best; re-plotting the same
+//! runs against the simulated clock flips the ordering early on — the
+//! observation the whole paper builds on.
+
+use crate::sweep::{LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec};
+use crate::{ascii_series, save_panel_csv, sayln, Scale};
+use pasgd_sim::RunTrace;
+use std::io;
+
+pub(crate) fn specs(_scale: Scale) -> Vec<SweepSpec> {
+    [
+        SchedulerSpec::Fixed { tau: 1 },
+        SchedulerSpec::Fixed { tau: 16 },
+        SchedulerSpec::adacomm(16),
+    ]
+    .into_iter()
+    .map(|sched| SweepSpec::new(ScenarioSpec::Concept, sched, LrSpec::Fixed))
+    .collect()
+}
+
+pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    sayln!(out, "Figure 1: the same three runs on two x-axes\n");
+    let traces = engine.run(&specs(scale));
+
+    let by_iters: Vec<(String, Vec<(f64, f64)>)> = traces
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.points
+                    .iter()
+                    .map(|p| (p.iterations as f64, f64::from(p.train_loss)))
+                    .collect(),
+            )
+        })
+        .collect();
+    sayln!(out, "loss vs NUMBER OF ITERATIONS (small tau should lead):");
+    sayln!(out, "{}", ascii_series(&by_iters, 70, 14));
+
+    let by_time: Vec<(String, Vec<(f64, f64)>)> = traces
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.points
+                    .iter()
+                    .map(|p| (p.clock, f64::from(p.train_loss)))
+                    .collect(),
+            )
+        })
+        .collect();
+    sayln!(
+        out,
+        "loss vs WALL-CLOCK TIME (large tau leads early; adaptive wins):"
+    );
+    sayln!(out, "{}", ascii_series(&by_time, 70, 14));
+
+    let path = save_panel_csv("fig01_concept", &traces)?;
+    sayln!(out, "[saved {}]", path.display());
+
+    // Shape assertion: per-iteration, sync is at least as good as tau=16 at
+    // a matched iteration count; per-time, tau=16 is ahead early.
+    let loss_at_iter = |t: &RunTrace, k: u64| {
+        t.points
+            .iter()
+            .filter(|p| p.iterations <= k)
+            .map(|p| p.train_loss)
+            .fold(f32::INFINITY, f32::min)
+    };
+    let k = traces[0].points.last().unwrap().iterations.min(400);
+    let sync_at_k = loss_at_iter(&traces[0], k);
+    let tau16_at_k = loss_at_iter(&traces[1], k);
+    sayln!(
+        out,
+        "at {k} iterations: sync {sync_at_k:.4} vs tau=16 {tau16_at_k:.4}"
+    );
+    let early_t = 60.0;
+    let loss_at_time = |t: &RunTrace, tt: f64| {
+        t.points
+            .iter()
+            .filter(|p| p.clock <= tt)
+            .map(|p| p.train_loss)
+            .fold(f32::INFINITY, f32::min)
+    };
+    let sync_early = loss_at_time(&traces[0], early_t);
+    let tau16_early = loss_at_time(&traces[1], early_t);
+    sayln!(
+        out,
+        "at t = {early_t} s: sync {sync_early:.4} vs tau=16 {tau16_early:.4}"
+    );
+    assert!(
+        tau16_early < sync_early,
+        "wall-clock view must favour large tau early"
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Figure 5: probability distribution of the runtime per iteration for
+//! fully synchronous SGD vs PASGD (τ = 10) with `Y ~ Exp(1)`, `D = 1`,
+//! `m = 16` workers.
+
+use crate::sweep::SweepEngine;
+use crate::{sayln, write_csv, Scale};
+use delay::{CommModel, DelayDistribution, Histogram, RuntimeModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::io;
+
+pub(crate) fn run(scale: Scale, _engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    let n = scale.mc_samples();
+    let mut rng = StdRng::seed_from_u64(55);
+
+    // The paper's parameters: D = 1, mean compute y = 1, m = 16.
+    let model = RuntimeModel::new(
+        DelayDistribution::exponential(1.0),
+        CommModel::constant(1.0),
+        16,
+    );
+
+    sayln!(
+        out,
+        "Figure 5: runtime-per-iteration distribution ({n} samples, scale {scale})\n"
+    );
+    let mut sync = Histogram::new(0.0, 8.0, 40);
+    sync.extend_from(&model.per_iteration_samples(1, n, &mut rng));
+    let mut pasgd = Histogram::new(0.0, 8.0, 40);
+    pasgd.extend_from(&model.per_iteration_samples(10, n, &mut rng));
+
+    sayln!(out, "  mean runtime/iteration:");
+    sayln!(out, "    sync SGD      : {:.3} s", sync.mean());
+    sayln!(out, "    PASGD (tau=10): {:.3} s", pasgd.mean());
+    sayln!(
+        out,
+        "    ratio         : {:.2}x less (paper: ~2x)\n",
+        sync.mean() / pasgd.mean()
+    );
+
+    sayln!(out, "  runtime | probability (s = sync, p = pasgd)");
+    let mut csv = String::from("bin_centre,sync_prob,pasgd_prob\n");
+    for ((centre, ps), (_, pp)) in sync.normalized().into_iter().zip(pasgd.normalized()) {
+        let bar_s = "s".repeat((ps * 200.0).round() as usize);
+        let bar_p = "p".repeat((pp * 200.0).round() as usize);
+        if ps > 0.001 || pp > 0.001 {
+            sayln!(out, "  {centre:>7.2} | {bar_s}");
+            sayln!(out, "          | {bar_p}");
+        }
+        let _ = writeln!(csv, "{centre},{ps},{pp}");
+    }
+    let path = write_csv("fig05_runtime_dist", &csv)?;
+    sayln!(out, "[saved {}]", path.display());
+
+    // Shape assertions: the PASGD distribution must be tighter (lighter
+    // tail) and its mean roughly half the sync mean.
+    let ratio = sync.mean() / pasgd.mean();
+    assert!(
+        ratio > 1.6 && ratio < 2.6,
+        "mean ratio {ratio} outside the paper's ~2x regime"
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Figure 8: wall-clock computation vs communication time for 100
+//! iterations — ResNet-50 and VGG-16, τ = 1 vs τ = 10, 4 workers.
+
+use crate::sweep::SweepEngine;
+use crate::{sayln, write_csv, Scale, Table};
+use delay::{resnet50_profile, vgg16_profile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::io;
+
+pub(crate) fn run(scale: Scale, _engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    let workers = 4;
+    let iterations = 100;
+    let trials = match scale {
+        Scale::Full => 4000,
+        Scale::Quick => 400,
+        Scale::Smoke => 100,
+    };
+    let mut rng = StdRng::seed_from_u64(88);
+
+    sayln!(
+        out,
+        "Figure 8: time to finish {iterations} iterations, {workers} workers\n"
+    );
+    let mut table = Table::new(vec![
+        "configuration".into(),
+        "computation s".into(),
+        "communication s".into(),
+        "total s".into(),
+        "comm share %".into(),
+    ]);
+    let mut csv = String::from("model,tau,compute,comm,total\n");
+
+    let mut bars = Vec::new();
+    for profile in [resnet50_profile(), vgg16_profile()] {
+        let model = profile.runtime_model(workers);
+        for &tau in &[1usize, 10] {
+            // Average over trials: 100 iterations = 100/tau rounds.
+            let rounds = iterations / tau;
+            let (mut comp, mut comm) = (0.0, 0.0);
+            for _ in 0..trials {
+                for _ in 0..rounds {
+                    let r = model.sample_round(tau, &mut rng);
+                    comp += r.compute;
+                    comm += r.comm;
+                }
+            }
+            comp /= trials as f64;
+            comm /= trials as f64;
+            let name = format!("{}, tau={tau}", profile.name());
+            table.row(vec![
+                name.clone(),
+                format!("{comp:.2}"),
+                format!("{comm:.2}"),
+                format!("{:.2}", comp + comm),
+                format!("{:.1}", 100.0 * comm / (comp + comm)),
+            ]);
+            let _ = writeln!(
+                csv,
+                "{},{tau},{comp},{comm},{}",
+                profile.name(),
+                comp + comm
+            );
+            bars.push((name, comp, comm));
+        }
+    }
+    out.push_str(&table.render());
+    let path = write_csv("fig08_comm_comp", &csv)?;
+    sayln!(out, "[saved {}]", path.display());
+
+    // ASCII stacked bars like the paper's figure ('#' compute, '=' comm).
+    sayln!(
+        out,
+        "\n  ('#' = computation, '=' = communication; 1 char = 0.25 s)"
+    );
+    for (name, comp, comm) in &bars {
+        sayln!(
+            out,
+            "  {name:>18} |{}{}",
+            "#".repeat((comp * 4.0).round() as usize),
+            "=".repeat((comm * 4.0).round() as usize)
+        );
+    }
+
+    // Shape assertions matching the paper's text: VGG comm ~ 4x comp at
+    // tau=1; ResNet comm below comp; tau=10 slashes the comm share.
+    let vgg = vgg16_profile().runtime_model(workers);
+    let resnet = resnet50_profile().runtime_model(workers);
+    assert!(vgg.alpha() > 3.0, "VGG must be communication-bound");
+    assert!(resnet.alpha() < 1.0, "ResNet must be computation-bound");
+    sayln!(
+        out,
+        "\nalpha(VGG-16) = {:.2} (paper: ~4), alpha(ResNet-50) = {:.2} (paper: <1)",
+        vgg.alpha(),
+        resnet.alpha()
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Figure 9: AdaComm on the VGG-16-like (communication-bound) setting,
+//! 4 workers. Three panels: (a) variable lr on CIFAR10-like, (b) fixed lr
+//! on CIFAR10-like, (c) fixed lr on CIFAR100-like.
+//!
+//! Paper's reported shape: τ = 100 drops fastest initially but floors
+//! high; AdaComm reaches sync-SGD's final loss ~2–3.3× faster; the
+//! communication-period trace decreases over time.
+
+use super::{append_tau_trace, scenario_title};
+use crate::scenarios::ModelFamily;
+use crate::sweep::{standard_panel_specs, SweepEngine, SweepSpec};
+use crate::{report_panel, save_panel_csv, sayln, Scale};
+use std::io;
+
+const PANELS: [(&str, &str, usize, bool); 3] = [
+    ("a", "9a: variable lr, CIFAR10-like", 10, true),
+    ("b", "9b: fixed lr, CIFAR10-like", 10, false),
+    ("c", "9c: fixed lr, CIFAR100-like", 100, false),
+];
+
+pub(crate) fn specs(scale: Scale) -> Vec<SweepSpec> {
+    PANELS
+        .iter()
+        .flat_map(|&(_, _, classes, variable)| {
+            standard_panel_specs(ModelFamily::VggLike, classes, 4, scale, variable, false)
+        })
+        .collect()
+}
+
+pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    sayln!(out, "Figure 9 (scale: {scale})\n");
+    for (tag, panel, classes, variable) in PANELS {
+        let specs = standard_panel_specs(ModelFamily::VggLike, classes, 4, scale, variable, false);
+        let traces = engine.run(&specs);
+        let title = scenario_title(ModelFamily::VggLike, classes, 4, scale);
+        sayln!(
+            out,
+            "{}",
+            report_panel(&format!("{panel} — {title}"), &traces)
+        );
+        let path = save_panel_csv(&format!("fig09{tag}"), &traces)?;
+        sayln!(out, "[saved {}]", path.display());
+
+        // AdaComm's tau trace, printed like the figure's lower strip.
+        append_tau_trace(out, traces.last().expect("adacomm trace"));
+    }
+    Ok(())
+}

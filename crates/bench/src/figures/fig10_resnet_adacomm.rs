@@ -1,0 +1,48 @@
+//! Figure 10: AdaComm on the ResNet-50-like (computation-bound) setting,
+//! 4 workers. Panels: (a) variable lr CIFAR10-like, (b) fixed lr
+//! CIFAR10-like, (c) fixed lr CIFAR100-like.
+//!
+//! Paper's reported shape: with communication no longer the bottleneck
+//! (α < 1), fully synchronous SGD is nearly the best fixed-τ method, and
+//! AdaComm stays competitive (1.4× with the variable lr schedule).
+
+use super::{append_tau_trace, scenario_title};
+use crate::scenarios::ModelFamily;
+use crate::sweep::{standard_panel_specs, SweepEngine, SweepSpec};
+use crate::{report_panel, save_panel_csv, sayln, Scale};
+use std::io;
+
+const PANELS: [(&str, &str, usize, bool); 3] = [
+    ("a", "10a: variable lr, CIFAR10-like", 10, true),
+    ("b", "10b: fixed lr, CIFAR10-like", 10, false),
+    ("c", "10c: fixed lr, CIFAR100-like", 100, false),
+];
+
+pub(crate) fn specs(scale: Scale) -> Vec<SweepSpec> {
+    PANELS
+        .iter()
+        .flat_map(|&(_, _, classes, variable)| {
+            standard_panel_specs(ModelFamily::ResnetLike, classes, 4, scale, variable, false)
+        })
+        .collect()
+}
+
+pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    sayln!(out, "Figure 10 (scale: {scale})\n");
+    for (tag, panel, classes, variable) in PANELS {
+        let specs =
+            standard_panel_specs(ModelFamily::ResnetLike, classes, 4, scale, variable, false);
+        let traces = engine.run(&specs);
+        let title = scenario_title(ModelFamily::ResnetLike, classes, 4, scale);
+        sayln!(
+            out,
+            "{}",
+            report_panel(&format!("{panel} — {title}"), &traces)
+        );
+        let path = save_panel_csv(&format!("fig10{tag}"), &traces)?;
+        sayln!(out, "[saved {}]", path.display());
+
+        append_tau_trace(out, traces.last().expect("adacomm trace"));
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Figure 12 (appendix): VGG-16-like with 8 workers. Panels:
+//! (a) variable lr on CIFAR10-like, (b) fixed lr on CIFAR100-like.
+//!
+//! Paper's reported shape: 2.9× speedup over fully synchronous SGD in the
+//! variable-lr panel (6.0 vs 17.5 minutes to 1e-2 loss).
+
+use super::scenario_title;
+use crate::scenarios::ModelFamily;
+use crate::sweep::{standard_panel_specs, SweepEngine, SweepSpec};
+use crate::{report_panel, save_panel_csv, sayln, Scale};
+use std::io;
+
+const PANELS: [(&str, &str, usize, bool); 2] = [
+    ("a", "12a: variable lr, CIFAR10-like", 10, true),
+    ("b", "12b: fixed lr, CIFAR100-like", 100, false),
+];
+
+pub(crate) fn specs(scale: Scale) -> Vec<SweepSpec> {
+    PANELS
+        .iter()
+        .flat_map(|&(_, _, classes, variable)| {
+            standard_panel_specs(ModelFamily::VggLike, classes, 8, scale, variable, false)
+        })
+        .collect()
+}
+
+pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    sayln!(out, "Figure 12 (scale: {scale}) — 8 workers\n");
+    for (tag, panel, classes, variable) in PANELS {
+        let specs = standard_panel_specs(ModelFamily::VggLike, classes, 8, scale, variable, false);
+        let traces = engine.run(&specs);
+        let title = scenario_title(ModelFamily::VggLike, classes, 8, scale);
+        sayln!(
+            out,
+            "{}",
+            report_panel(&format!("{panel} — {title}"), &traces)
+        );
+        let path = save_panel_csv(&format!("fig12{tag}"), &traces)?;
+        sayln!(out, "[saved {}]", path.display());
+    }
+    Ok(())
+}

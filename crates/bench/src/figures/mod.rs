@@ -1,0 +1,338 @@
+//! The figure registry: every paper figure/table/ablation/extension as a
+//! library entry.
+//!
+//! Each figure is a pair of hooks:
+//!
+//! * [`Figure::specs`] — the [`SweepSpec`]s the figure contributes to the
+//!   central sweep table (empty for analytic figures and free-form
+//!   experiments). `reproduce_all` collects the union across figures,
+//!   deduplicates it, and warms the engine cache in one parallel wave.
+//! * [`Figure::run`] — renders the figure: requests its traces from the
+//!   engine (cache hits after the warm-up wave), prints paper-style
+//!   reports into its own buffer, and writes its CSVs.
+//!
+//! Figures write *all* of their stdout into the `out` buffer so that
+//! concurrently-executing figures never interleave; `reproduce_all`
+//! prints the buffers in registry order.
+
+use crate::sweep::{SweepEngine, SweepSpec};
+use crate::Scale;
+use std::io;
+
+mod ablation_gamma;
+mod ablation_lr_coupling;
+mod ablation_momentum_mode;
+mod ablation_straggler;
+mod ablation_t0;
+mod ext_averaging_strategies;
+mod ext_compression;
+mod fig01_concept;
+mod fig04_speedup;
+mod fig05_runtime_dist;
+mod fig06_theory_bound;
+mod fig07_switching;
+mod fig08_comm_comp;
+mod fig09_vgg_adacomm;
+mod fig10_resnet_adacomm;
+mod fig11_block_momentum;
+mod fig12_vgg_8workers;
+mod fig13_resnet_8workers;
+mod fig14_local_gap;
+mod table1_accuracy;
+mod thm3_schedule_check;
+
+/// The canonical scenario label, matching
+/// [`crate::scenarios::Scenario::name`] without building the suite.
+pub(crate) fn scenario_title(
+    family: crate::scenarios::ModelFamily,
+    classes: usize,
+    workers: usize,
+    scale: Scale,
+) -> String {
+    format!(
+        "{} / CIFAR{classes}-like / {workers} workers ({scale})",
+        family.name()
+    )
+}
+
+/// Appends the AdaComm communication-period trace printed under the
+/// Figure 9–11 panels.
+pub(crate) fn append_tau_trace(out: &mut String, trace: &pasgd_sim::RunTrace) {
+    crate::sayln!(out, "adacomm comm-period trace:");
+    for (t, tau) in trace.tau_trace().iter().step_by(4) {
+        crate::sayln!(out, "  t = {t:>7.1} s  tau = {tau}");
+    }
+    crate::sayln!(out);
+}
+
+/// One reproduction target.
+pub struct Figure {
+    /// Stable name, matching the standalone binary (`--only` filters on
+    /// substrings of this).
+    pub name: &'static str,
+    /// The sweep specs this figure contributes to the central table.
+    pub specs: fn(Scale) -> Vec<SweepSpec>,
+    /// Renders the figure into `out` (requesting runs from `engine`).
+    pub run: fn(Scale, &SweepEngine, &mut String) -> io::Result<()>,
+}
+
+fn no_specs(_scale: Scale) -> Vec<SweepSpec> {
+    Vec::new()
+}
+
+/// Every reproduction target, in the canonical order `reproduce_all`
+/// executes and reports them.
+pub fn registry() -> Vec<Figure> {
+    vec![
+        Figure {
+            name: "fig01_concept",
+            specs: fig01_concept::specs,
+            run: fig01_concept::run,
+        },
+        Figure {
+            name: "fig04_speedup",
+            specs: no_specs,
+            run: fig04_speedup::run,
+        },
+        Figure {
+            name: "fig05_runtime_dist",
+            specs: no_specs,
+            run: fig05_runtime_dist::run,
+        },
+        Figure {
+            name: "fig06_theory_bound",
+            specs: no_specs,
+            run: fig06_theory_bound::run,
+        },
+        Figure {
+            name: "fig07_switching",
+            specs: no_specs,
+            run: fig07_switching::run,
+        },
+        Figure {
+            name: "fig08_comm_comp",
+            specs: no_specs,
+            run: fig08_comm_comp::run,
+        },
+        Figure {
+            name: "fig09_vgg_adacomm",
+            specs: fig09_vgg_adacomm::specs,
+            run: fig09_vgg_adacomm::run,
+        },
+        Figure {
+            name: "fig10_resnet_adacomm",
+            specs: fig10_resnet_adacomm::specs,
+            run: fig10_resnet_adacomm::run,
+        },
+        Figure {
+            name: "fig11_block_momentum",
+            specs: fig11_block_momentum::specs,
+            run: fig11_block_momentum::run,
+        },
+        Figure {
+            name: "fig12_vgg_8workers",
+            specs: fig12_vgg_8workers::specs,
+            run: fig12_vgg_8workers::run,
+        },
+        Figure {
+            name: "fig13_resnet_8workers",
+            specs: fig13_resnet_8workers::specs,
+            run: fig13_resnet_8workers::run,
+        },
+        Figure {
+            name: "fig14_local_gap",
+            specs: no_specs,
+            run: fig14_local_gap::run,
+        },
+        Figure {
+            name: "table1_accuracy",
+            specs: table1_accuracy::specs,
+            run: table1_accuracy::run,
+        },
+        Figure {
+            name: "thm3_schedule_check",
+            specs: no_specs,
+            run: thm3_schedule_check::run,
+        },
+        Figure {
+            name: "ablation_gamma",
+            specs: ablation_gamma::specs,
+            run: ablation_gamma::run,
+        },
+        Figure {
+            name: "ablation_lr_coupling",
+            specs: ablation_lr_coupling::specs,
+            run: ablation_lr_coupling::run,
+        },
+        Figure {
+            name: "ablation_momentum_mode",
+            specs: ablation_momentum_mode::specs,
+            run: ablation_momentum_mode::run,
+        },
+        Figure {
+            name: "ablation_t0",
+            specs: ablation_t0::specs,
+            run: ablation_t0::run,
+        },
+        Figure {
+            name: "ablation_straggler",
+            specs: no_specs,
+            run: ablation_straggler::run,
+        },
+        Figure {
+            name: "ext_averaging_strategies",
+            specs: ext_averaging_strategies::specs,
+            run: ext_averaging_strategies::run,
+        },
+        Figure {
+            name: "ext_compression",
+            specs: ext_compression::specs,
+            run: ext_compression::run,
+        },
+    ]
+}
+
+/// The outcome of one figure inside [`reproduce`].
+pub struct FigureOutcome {
+    /// Registry name.
+    pub name: &'static str,
+    /// The figure's rendered report (its would-be stdout).
+    pub output: String,
+    /// Wall-clock seconds this figure's `run` hook took. Figures execute
+    /// concurrently, so these overlap and their sum exceeds the driver's
+    /// wall time; a figure whose runs were pre-warmed by the sweep wave
+    /// reports only its rendering + residual simulation time.
+    pub wall_secs: f64,
+    /// `Err(panic message)` if the figure panicked (its assertions are
+    /// part of the reproduction contract).
+    pub failure: Option<String>,
+}
+
+/// The outcome of an in-process reproduction sweep.
+pub struct ReproOutcome {
+    /// Per-figure outcomes, in registry order.
+    pub figures: Vec<FigureOutcome>,
+    /// Wall-clock seconds of the sweep wave (phase 1: the deduplicated
+    /// union of every figure's declared specs, run-parallel).
+    pub sweep_secs: f64,
+    /// End-to-end wall-clock seconds (sweep wave + figure phase).
+    pub total_secs: f64,
+    /// Distinct simulation runs the engine executed.
+    pub unique_runs: usize,
+}
+
+impl ReproOutcome {
+    /// Names of figures that failed.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.figures
+            .iter()
+            .filter(|f| f.failure.is_some())
+            .map(|f| f.name)
+            .collect()
+    }
+}
+
+/// Runs the whole reproduction in-process: collects every selected
+/// figure's declared [`SweepSpec`]s into one table, executes the
+/// deduplicated union as a single run-parallel wave on `engine`, then
+/// runs the figure bodies (their engine requests are cache hits; free-form
+/// extras like the τ0 grid search still simulate) — concurrently when the
+/// engine is parallel, strictly in order otherwise.
+///
+/// `only` filters figures by substring of their registry name.
+pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> ReproOutcome {
+    use rayon::prelude::*;
+    use std::time::Instant;
+
+    let figures: Vec<Figure> = registry()
+        .into_iter()
+        .filter(|f| only.is_none_or(|needle| f.name.contains(needle)))
+        .collect();
+
+    let start = Instant::now();
+    // Phase 1: the central sweep table. Order follows the registry, so a
+    // sequential engine executes runs exactly as the figures would.
+    let all_specs: Vec<SweepSpec> = figures.iter().flat_map(|f| (f.specs)(scale)).collect();
+    let _ = engine.run(&all_specs);
+    let sweep_secs = start.elapsed().as_secs_f64();
+
+    // Phase 2: figure bodies (rendering + the non-declarable runs).
+    struct Job {
+        name: &'static str,
+        run: fn(Scale, &SweepEngine, &mut String) -> std::io::Result<()>,
+        outcome: Option<FigureOutcome>,
+    }
+    let mut jobs: Vec<Job> = figures
+        .iter()
+        .map(|f| Job {
+            name: f.name,
+            run: f.run,
+            outcome: None,
+        })
+        .collect();
+    let exec = |job: &mut Job| {
+        let t0 = Instant::now();
+        let mut output = String::new();
+        let failure = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (job.run)(scale, engine, &mut output)
+        })) {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(format!("I/O error: {e}")),
+            Err(panic) => Some(
+                panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panicked".to_string()),
+            ),
+        };
+        job.outcome = Some(FigureOutcome {
+            name: job.name,
+            output,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            failure,
+        });
+    };
+    if engine.is_parallel() {
+        jobs.par_iter_mut().with_max_len(1).for_each(exec);
+    } else {
+        jobs.iter_mut().for_each(exec);
+    }
+
+    ReproOutcome {
+        figures: jobs
+            .into_iter()
+            .map(|j| j.outcome.expect("figure job executed"))
+            .collect(),
+        sweep_secs,
+        total_secs: start.elapsed().as_secs_f64(),
+        unique_runs: engine.unique_runs(),
+    }
+}
+
+/// Entry point for the standalone figure binaries: resolves the scale from
+/// env/args, runs the named figure on a fresh parallel engine, and prints
+/// its report.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry.
+///
+/// # Errors
+///
+/// Propagates the figure's I/O errors (CSV writing).
+pub fn run_standalone(name: &str) -> io::Result<()> {
+    let figure = registry()
+        .into_iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown figure {name}"));
+    let scale = Scale::from_env_and_args();
+    if scale.is_smoke() {
+        crate::report::set_results_subdir("smoke");
+    }
+    let engine = SweepEngine::new();
+    let mut out = String::new();
+    (figure.run)(scale, &engine, &mut out)?;
+    print!("{out}");
+    Ok(())
+}

@@ -1,90 +1,18 @@
-//! Running one figure *panel*: a family of methods (fixed-τ baselines +
-//! AdaComm) on a shared scenario, with paper-style reporting.
+//! Paper-style reporting for one figure *panel*: a family of methods
+//! (fixed-τ baselines + AdaComm) run on a shared scenario.
+//!
+//! The runs themselves are declared as [`crate::sweep::SweepSpec`]s (see
+//! [`crate::sweep::standard_panel_specs`]) and executed by the
+//! [`crate::sweep::SweepEngine`]; this module renders the results.
 
 use crate::report::{ascii_series, write_csv, Table};
-use crate::scenarios::Scenario;
-use adacomm::{AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, LrSchedule};
-use pasgd_sim::{MomentumMode, RunTrace};
+use pasgd_sim::RunTrace;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
-/// Which learning-rate schedule a panel uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LrMode {
-    /// The scenario's constant learning rate.
-    Fixed,
-    /// The scenario's step schedule (with τ-gated decay for AdaComm runs).
-    Variable,
-}
-
-/// Runs the paper's standard method family on a scenario panel:
-/// `τ = 1` (sync), the scenario's fixed τ baselines, and AdaComm.
-///
-/// `momentum` optionally overrides the momentum mode per method: the paper
-/// gives `τ = 1` plain momentum and PASGD methods block momentum
-/// (Section 5.3.1); pass `None` for the no-momentum panels.
-pub fn run_standard_panel(
-    scenario: &Scenario,
-    lr_mode: LrMode,
-    with_momentum: bool,
-) -> Vec<RunTrace> {
-    let lr_schedule = match lr_mode {
-        LrMode::Fixed => scenario.fixed_lr.clone(),
-        LrMode::Variable => scenario.variable_lr.clone(),
-    };
-    // Momentum multiplies the effective step size by 1/(1-beta); the
-    // substitute models have no batch norm to absorb that, so momentum
-    // panels run at a tenth of the plain rate (see EXPERIMENTS.md).
-    let lr_schedule = if with_momentum {
-        lr_schedule.scaled(0.1)
-    } else {
-        lr_schedule
-    };
-    let mut traces = Vec::new();
-    for &tau in &scenario.fixed_taus {
-        let mut sched = FixedComm::new(tau);
-        // Fixed-tau baselines decay the lr at the scheduled epochs
-        // unconditionally; the tau-gating policy belongs to AdaComm.
-        let momentum = if !with_momentum {
-            None
-        } else if tau == 1 {
-            // Paper: "In the fully synchronous case ... we simply follow
-            // the common practice setting the momentum factor as 0.9."
-            Some(MomentumMode::Local {
-                beta: 0.9,
-                reset_at_sync: false,
-            })
-        } else {
-            Some(MomentumMode::paper_block())
-        };
-        let trace =
-            scenario
-                .suite
-                .run_with_options(&mut sched, &lr_schedule, momentum, Some(false));
-        traces.push(trace);
-    }
-    // AdaComm, with lr coupling (eq. 20) when the schedule is variable.
-    let config = AdaCommConfig {
-        tau0: scenario.tau0,
-        lr_coupling: if lr_mode == LrMode::Variable {
-            LrCoupling::Sqrt
-        } else {
-            LrCoupling::None
-        },
-        max_tau: 256.max(scenario.tau0),
-        ..AdaCommConfig::default()
-    };
-    let mut ada = AdaComm::new(config);
-    let momentum = with_momentum.then(MomentumMode::paper_block);
-    let trace = scenario
-        .suite
-        .run_with_options(&mut ada, &lr_schedule, momentum, Some(true));
-    traces.push(trace);
-    traces
-}
-
-/// Prints the paper-style summary for a panel: an ASCII loss-vs-time plot,
-/// a summary table, and the speed-up in time-to-target-loss relative to
-/// fully synchronous SGD. Returns the rendered report.
+/// Renders the paper-style summary for a panel: an ASCII loss-vs-time
+/// plot, a summary table, and the speed-up in time-to-target-loss relative
+/// to fully synchronous SGD. Returns the rendered report.
 pub fn report_panel(title: &str, traces: &[RunTrace]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "=== {title} ===\n");
@@ -156,12 +84,12 @@ pub fn report_panel(title: &str, traces: &[RunTrace]) -> String {
 
 /// Saves a panel's traces as one CSV: columns
 /// `method, clock, iterations, epoch, train_loss, test_accuracy, tau, lr,
-/// comm_bytes`.
+/// comm_bytes`. Returns the written path.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error if the CSV cannot be written.
-pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<()> {
+pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<PathBuf> {
     let mut csv =
         String::from("method,clock,iterations,epoch,train_loss,test_accuracy,tau,lr,comm_bytes\n");
     for t in traces {
@@ -182,23 +110,4 @@ pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<()> {
         }
     }
     write_csv(name, &csv)
-}
-
-/// Builds the scheduler box family used by ablation binaries.
-pub fn adacomm_with(tau0: usize, gamma: f64, coupling: LrCoupling) -> Box<dyn CommSchedule> {
-    Box::new(AdaComm::new(AdaCommConfig {
-        tau0,
-        gamma,
-        lr_coupling: coupling,
-        max_tau: 256.max(tau0),
-        ..AdaCommConfig::default()
-    }))
-}
-
-/// Convenience: the method name table reused across reports.
-pub fn lr_schedule_for(scenario: &Scenario, mode: LrMode) -> LrSchedule {
-    match mode {
-        LrMode::Fixed => scenario.fixed_lr.clone(),
-        LrMode::Variable => scenario.variable_lr.clone(),
-    }
 }

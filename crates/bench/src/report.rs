@@ -4,7 +4,8 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// A simple fixed-column text table, printed like the paper's tables.
 ///
@@ -93,7 +94,7 @@ impl Table {
     ///
     /// Returns the underlying I/O error if the results directory or the
     /// file cannot be created.
-    pub fn save_csv(&self, name: &str) -> io::Result<()> {
+    pub fn save_csv(&self, name: &str) -> io::Result<PathBuf> {
         let mut csv = self.headers.join(",");
         csv.push('\n');
         for row in &self.rows {
@@ -104,29 +105,47 @@ impl Table {
     }
 }
 
+/// Redirects CSV output into `results/<subdir>/` for the rest of the
+/// process — the smoke reproduction writes to `results/smoke/` so a CI
+/// exercise never dirties the committed quick-scale CSVs. First call wins;
+/// call before any figure runs.
+pub fn set_results_subdir(subdir: &str) {
+    let _ = results_subdir().set(subdir.to_string());
+}
+
+fn results_subdir() -> &'static OnceLock<String> {
+    static SUBDIR: OnceLock<String> = OnceLock::new();
+    &SUBDIR
+}
+
 /// Writes `content` to `results/<name>.csv`, creating the directory if
-/// needed. The path is relative to the workspace root when run via cargo,
-/// or to the current directory otherwise.
+/// needed, and returns the written path. The path is relative to the
+/// workspace root when run via cargo, or to the current directory
+/// otherwise. Figures run concurrently in-process write distinct names,
+/// so there is no cross-figure contention on these files.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error if the directory or file cannot be
 /// created.
-pub fn write_csv(name: &str, content: &str) -> io::Result<()> {
+pub fn write_csv(name: &str, content: &str) -> io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     fs::write(&path, content)?;
-    println!("[saved {}]", path.display());
-    Ok(())
+    Ok(path)
 }
 
-fn results_dir() -> std::path::PathBuf {
+fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR points at crates/bench; the workspace root is two
     // levels up. Fall back to ./results when not run through cargo.
-    match std::env::var("CARGO_MANIFEST_DIR") {
+    let base = match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => Path::new(&dir).join("../../results"),
         Err(_) => Path::new("results").to_path_buf(),
+    };
+    match results_subdir().get() {
+        Some(sub) => base.join(sub),
+        None => base,
     }
 }
 

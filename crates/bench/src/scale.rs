@@ -1,14 +1,20 @@
-//! The quick/full experiment-scale switch.
+//! The smoke/quick/full experiment-scale switch.
 
 /// How big the reproduction runs should be.
 ///
 /// `Quick` (the default) is sized so that the entire figure suite finishes
 /// in minutes on a laptop; `Full` uses longer simulated budgets and larger
 /// models (including the convolutional VGG-like/ResNet-like architectures)
-/// for closer-to-paper curves. Select with the `ADACOMM_SCALE` environment
-/// variable (`quick` or `full`) or a `--full` CLI flag.
+/// for closer-to-paper curves; `Smoke` shrinks every heavy simulated
+/// budget so CI can exercise the full in-process sweep path — every
+/// figure, every scheduler, the run-parallel engine — in seconds. Select
+/// with the `ADACOMM_SCALE` environment variable (`smoke`, `quick` or
+/// `full`) or a `--smoke`/`--full` CLI flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// CI-sized budgets (curves are too short to read scientifically;
+    /// the point is exercising every code path).
+    Smoke,
     /// Laptop-sized runs (default).
     Quick,
     /// Longer, closer-to-paper runs.
@@ -16,14 +22,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from `--full` in `args` or the `ADACOMM_SCALE`
-    /// environment variable; defaults to [`Scale::Quick`].
+    /// Reads the scale from `--smoke`/`--full` in `args` or the
+    /// `ADACOMM_SCALE` environment variable; defaults to [`Scale::Quick`].
     pub fn from_env_and_args() -> Self {
         if std::env::args().any(|a| a == "--full") {
             return Scale::Full;
         }
+        if std::env::args().any(|a| a == "--smoke") {
+            return Scale::Smoke;
+        }
         match std::env::var("ADACOMM_SCALE").as_deref() {
             Ok("full") | Ok("FULL") => Scale::Full,
+            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
             _ => Scale::Quick,
         }
     }
@@ -33,9 +43,15 @@ impl Scale {
         matches!(self, Scale::Full)
     }
 
+    /// Whether this is the CI smoke configuration.
+    pub fn is_smoke(&self) -> bool {
+        matches!(self, Scale::Smoke)
+    }
+
     /// Monte-Carlo sample count for the analytic figures.
     pub fn mc_samples(&self) -> usize {
         match self {
+            Scale::Smoke => 4_000,
             Scale::Quick => 40_000,
             Scale::Full => 400_000,
         }
@@ -45,6 +61,7 @@ impl Scale {
 impl std::fmt::Display for Scale {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Scale::Smoke => write!(f, "smoke"),
             Scale::Quick => write!(f, "quick"),
             Scale::Full => write!(f, "full"),
         }
@@ -61,11 +78,14 @@ mod tests {
         // accessors.
         assert!(!Scale::Quick.is_full());
         assert!(Scale::Full.is_full());
+        assert!(Scale::Smoke.is_smoke() && !Scale::Smoke.is_full());
         assert!(Scale::Full.mc_samples() > Scale::Quick.mc_samples());
+        assert!(Scale::Quick.mc_samples() > Scale::Smoke.mc_samples());
     }
 
     #[test]
     fn display_names() {
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
         assert_eq!(Scale::Quick.to_string(), "quick");
         assert_eq!(Scale::Full.to_string(), "full");
     }

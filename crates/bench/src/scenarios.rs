@@ -57,11 +57,12 @@ impl ModelFamily {
 
     fn build_model(&self, scale: Scale, classes: usize, seed: u64) -> Network {
         match (self, scale) {
-            // Quick scale: MLPs (the delay profile carries the systems
-            // behaviour; see DESIGN.md). Full scale: the real conv families.
-            (_, Scale::Quick) => models::mlp_classifier(256, &[64], classes, seed),
+            // Quick/smoke scale: MLPs (the delay profile carries the
+            // systems behaviour; see DESIGN.md). Full scale: the real conv
+            // families.
             (ModelFamily::VggLike, Scale::Full) => models::vgg_like(1, 16, classes, seed),
             (ModelFamily::ResnetLike, Scale::Full) => models::resnet_like(1, 16, classes, seed),
+            (_, _) => models::mlp_classifier(256, &[64], classes, seed),
         }
     }
 }
@@ -108,17 +109,20 @@ pub fn scenario(family: ModelFamily, classes: usize, workers: usize, scale: Scal
 
     // ResNet-50 iterations are slower but its runs cover more epochs in the
     // paper; give the computation-bound family a proportionally longer
-    // budget so the post-annealing phase can reach the sync floor.
+    // budget so the post-annealing phase can reach the sync floor. Smoke
+    // budgets are just long enough for a few scheduler intervals.
     let total_secs = match (scale, family) {
         (Scale::Full, _) => 2100.0,
         (Scale::Quick, ModelFamily::VggLike) => 600.0,
         (Scale::Quick, ModelFamily::ResnetLike) => 900.0,
+        (Scale::Smoke, ModelFamily::VggLike) => 90.0,
+        (Scale::Smoke, ModelFamily::ResnetLike) => 120.0,
     };
     // Per-worker batch: paper uses 128 with 4 workers, 64 with 8.
     let batch_size = match (scale, workers) {
-        (Scale::Quick, _) => 32,
         (Scale::Full, w) if w >= 8 => 64,
         (Scale::Full, _) => 128,
+        (_, _) => 32,
     };
 
     // The paper uses 0.2 (VGG-16) and 0.4 (ResNet-50 with batch norm).

@@ -22,17 +22,18 @@ pub fn top_k_indices(x: &[f32], k: usize) -> Vec<u32> {
     assert!(k <= x.len(), "k = {k} exceeds length {}", x.len());
     let mut order: Vec<u32> = (0..x.len() as u32).collect();
     // Full selection is O(n); the subsequent sort of the selected prefix is
-    // O(k log k). `select_nth_unstable_by` needs a total order, so compare
-    // (magnitude desc, index asc).
-    let cmp = |&a: &u32, &b: &u32| {
-        let ma = x[a as usize].abs();
-        let mb = x[b as usize].abs();
-        mb.partial_cmp(&ma)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.cmp(&b))
+    // O(k log k). `select_nth_unstable_by_key` needs a total order:
+    // magnitude descending, index ascending, packed into one u64 key. For
+    // finite (and ±0) values, clearing the sign bit leaves IEEE-754's
+    // monotone integer encoding of the magnitude, so the integer compare
+    // selects exactly the same entries as a float `abs()` compare — at a
+    // fraction of the comparator cost, which dominates the selection.
+    let key = |&i: &u32| {
+        let magnitude = x[i as usize].to_bits() & 0x7FFF_FFFF;
+        ((!magnitude as u64) << 32) | u64::from(i)
     };
     if k < x.len() {
-        order.select_nth_unstable_by(k - 1, cmp);
+        order.select_nth_unstable_by_key(k - 1, key);
         order.truncate(k);
     }
     order.sort_unstable();

@@ -46,6 +46,16 @@ pub trait CommSchedule: Send {
 
     /// Resets internal state so the scheduler can be reused for a new run.
     fn reset(&mut self);
+
+    /// Whether this scheduler reads [`ScheduleContext::current_loss`].
+    /// Adaptive schedulers do (rule 17 compares the current loss against
+    /// the initial one); fixed baselines do not, and the experiment driver
+    /// skips the evaluation forward pass at interval boundaries for them —
+    /// an observable-output-preserving optimisation, since the boundary
+    /// loss feeds only the scheduler.
+    fn needs_loss(&self) -> bool {
+        true
+    }
 }
 
 /// The fixed-`τ` baseline. `FixedComm::new(1)` is fully synchronous SGD.
@@ -99,6 +109,10 @@ impl CommSchedule for FixedComm {
     }
 
     fn reset(&mut self) {}
+
+    fn needs_loss(&self) -> bool {
+        false
+    }
 }
 
 /// How AdaComm couples the communication period to the learning rate.

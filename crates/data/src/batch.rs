@@ -74,19 +74,46 @@ impl BatchIter {
     /// wraps into the freshly reshuffled next epoch so that every batch has
     /// exactly `batch_size` rows (matching constant-batch SGD analyses).
     pub fn next_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Tensor, Vec<usize>) {
-        let mut indices = Vec::with_capacity(self.batch_size);
-        while indices.len() < self.batch_size {
+        let mut x = Tensor::zeros(&[self.batch_size, self.data.feature_dim()]);
+        let mut y = Vec::new();
+        self.next_batch_into(rng, &mut x, &mut y);
+        (x, y)
+    }
+
+    /// [`BatchIter::next_batch`] into caller-owned buffers — the
+    /// allocation-free form the simulator's per-step hot loop uses. `x`
+    /// must be `[batch_size, feature_dim]`; `y` is cleared and refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong shape.
+    pub fn next_batch_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        x: &mut Tensor,
+        y: &mut Vec<usize>,
+    ) {
+        let d = self.data.feature_dim();
+        assert_eq!(
+            x.dims(),
+            &[self.batch_size, d],
+            "batch buffer shape mismatch"
+        );
+        y.clear();
+        let rows = x.as_mut_slice();
+        for r in 0..self.batch_size {
             if self.cursor == 0 {
                 self.order.shuffle(rng);
             }
-            indices.push(self.order[self.cursor]);
+            let i = self.order[self.cursor];
             self.cursor += 1;
             if self.cursor == self.order.len() {
                 self.cursor = 0;
                 self.epochs_completed += 1;
             }
+            rows[r * d..(r + 1) * d].copy_from_slice(self.data.features().row(i));
+            y.push(self.data.labels()[i]);
         }
-        self.data.gather(&indices)
     }
 
     /// Iterations per epoch at this batch size (rounded up).

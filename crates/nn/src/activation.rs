@@ -28,11 +28,15 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        // Reuse the mask allocation across batches (clear keeps capacity).
-        let mask = self.mask.get_or_insert_with(Vec::new);
-        mask.clear();
-        mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            // Reuse the mask allocation across batches (clear keeps
+            // capacity). Only backward reads it, so evaluation-mode
+            // forwards skip the fill.
+            let mask = self.mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.extend(x.as_slice().iter().map(|&v| v > 0.0));
+        }
         x.map(|v| v.max(0.0))
     }
 

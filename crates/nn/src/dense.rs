@@ -104,7 +104,7 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(
             x.dims().last().copied(),
             Some(self.input_dim()),
@@ -113,10 +113,14 @@ impl Layer for Dense {
             x.shape()
         );
         // Reuse the cached-input buffer across batches of the same shape
-        // instead of allocating a fresh clone per step.
-        match &mut self.cached_input {
-            Some(c) if c.dims() == x.dims() => c.copy_from(x),
-            c => *c = Some(x.clone()),
+        // instead of allocating a fresh clone per step. Only backward reads
+        // the cache, so evaluation-mode forwards skip the copy entirely —
+        // the trace-point evaluation path is forward-only.
+        if train {
+            match &mut self.cached_input {
+                Some(c) if c.dims() == x.dims() => c.copy_from(x),
+                c => *c = Some(x.clone()),
+            }
         }
         let (batch, din) = (x.dims()[0], self.input_dim());
         let dout = self.output_dim();

@@ -12,7 +12,7 @@ use tensor::Tensor;
 ///
 /// This trait is object-safe; models are built as `Vec<Box<dyn Layer>>`
 /// (see [`Sequential`](crate::Sequential)).
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a `[batch, …]` input.
     ///
     /// `train` distinguishes training-mode from evaluation-mode behaviour

@@ -28,13 +28,79 @@ impl Loss {
         }
     }
 
-    /// Computes only the mean loss (no gradient).
+    /// Computes only the mean loss (no gradient). Reduces
+    /// [`Loss::row_losses`] with [`Loss::reduce_rows`], skipping the
+    /// gradient work and its allocation entirely — the evaluation path.
     ///
     /// # Panics
     ///
     /// Panics if shapes disagree or a label is out of range.
     pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
-        self.loss_and_grad(logits, labels).0
+        let (_, classes) = check(logits, labels);
+        self.reduce_rows(&self.row_losses(logits, labels), classes)
+    }
+
+    /// The per-row loss summands, in row order.
+    ///
+    /// The batch loss is defined as `reduce_rows(row_losses)`; splitting a
+    /// batch into row chunks, computing `row_losses` per chunk and reducing
+    /// the concatenation gives **bit-identical** results to the one-shot
+    /// batch loss (the float sequence per row and the row-order reduction
+    /// are unchanged), which is what lets trace-point evaluation run as
+    /// parallel chunk jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn row_losses(&self, logits: &Tensor, labels: &[usize]) -> Vec<f64> {
+        let (_, classes) = check(logits, labels);
+        match self {
+            Loss::CrossEntropy => labels
+                .iter()
+                .enumerate()
+                .map(|(r, &label)| {
+                    let row = logits.row(r);
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    // Same exp/sum sequence as the gradient path: the label
+                    // term re-derives exps[label] from the same inputs.
+                    let sum = row.iter().fold(0.0f32, |acc, &v| acc + (v - max).exp());
+                    let _ = classes;
+                    -f64::from(((row[label] - max).exp() / sum).max(f32::MIN_POSITIVE).ln())
+                })
+                .collect(),
+            Loss::MeanSquaredError => labels
+                .iter()
+                .enumerate()
+                .map(|(r, &label)| {
+                    let row = logits.row(r);
+                    let mut row_total = 0.0f64;
+                    for (c, &v) in row.iter().enumerate() {
+                        let target = if c == label { 1.0 } else { 0.0 };
+                        let diff = v - target;
+                        row_total += f64::from(diff * diff);
+                    }
+                    row_total
+                })
+                .collect(),
+        }
+    }
+
+    /// Reduces per-row loss summands (from [`Loss::row_losses`], possibly
+    /// concatenated across row chunks) to the mean batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or `classes == 0`.
+    pub fn reduce_rows(&self, rows: &[f64], classes: usize) -> f32 {
+        assert!(
+            !rows.is_empty() && classes > 0,
+            "cannot reduce an empty batch"
+        );
+        let total: f64 = rows.iter().fold(0.0f64, |acc, &v| acc + v);
+        match self {
+            Loss::CrossEntropy => (total / rows.len() as f64) as f32,
+            Loss::MeanSquaredError => (total / (rows.len() * classes) as f64) as f32,
+        }
     }
 }
 
@@ -49,13 +115,17 @@ fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        // loss = -log softmax[label]
-        total += -f64::from((exps[label] / sum).max(f32::MIN_POSITIVE).ln());
+        // Stage the exponentials in the gradient row (no per-row buffer),
+        // then transform them to `(softmax − onehot)/batch` in place.
         let grow = grad.row_mut(r);
+        for (g, &v) in grow.iter_mut().zip(row) {
+            *g = (v - max).exp();
+        }
+        let sum: f32 = grow.iter().sum();
+        // loss = -log softmax[label]
+        total += -f64::from((grow[label] / sum).max(f32::MIN_POSITIVE).ln());
         for (c, g) in grow.iter_mut().enumerate() {
-            let softmax = exps[c] / sum;
+            let softmax = *g / sum;
             let onehot = if c == label { 1.0 } else { 0.0 };
             *g = (softmax - onehot) / batch as f32;
         }

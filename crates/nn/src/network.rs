@@ -82,6 +82,19 @@ impl Network {
         self.loss.loss(&logits, labels)
     }
 
+    /// Per-row loss summands on a batch (evaluation mode), in row order —
+    /// the chunkable half of [`Network::eval_loss`]. Because the forward
+    /// pass and the per-row loss are row-independent, evaluating a batch
+    /// as row chunks and reducing the concatenated summands with
+    /// [`Loss::reduce_rows`](crate::Loss::reduce_rows) is bit-identical
+    /// to one whole-batch [`Network::eval_loss`] call; the PASGD cluster
+    /// relies on this to run trace-point evaluation as parallel chunk
+    /// jobs.
+    pub fn eval_row_losses(&mut self, x: &Tensor, labels: &[usize]) -> Vec<f64> {
+        let logits = self.stack.forward(x, false);
+        self.loss.row_losses(&logits, labels)
+    }
+
     /// Predicted class per row (argmax of logits), evaluation mode.
     pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
         self.stack.forward(x, false).argmax_rows()
@@ -91,6 +104,16 @@ impl Network {
     pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
         let preds = self.predict(x);
         crate::metrics::accuracy(&preds, labels)
+    }
+
+    /// Number of rows whose argmax prediction matches the label — the
+    /// chunkable (integer, order-free) half of [`Network::accuracy`].
+    pub fn correct_count(&mut self, x: &Tensor, labels: &[usize]) -> usize {
+        self.predict(x)
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -163,6 +186,36 @@ impl Network {
             out.len(),
             "flat plane holds {} values but the network has {offset}",
             out.len()
+        );
+    }
+
+    /// Adds every parameter into the flat plane `acc` (`acc[i] += p[i]` in
+    /// the [`Network::copy_params_into`] layout) — the accumulate half of
+    /// distributed averaging, reading parameters in place instead of
+    /// materialising a flat copy first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len()` differs from [`Network::param_count`].
+    pub fn add_params_to(&self, acc: &mut [f32]) {
+        let mut offset = 0;
+        self.stack.visit_params(&mut |p| {
+            let next = offset + p.len();
+            assert!(
+                next <= acc.len(),
+                "flat plane holds {} values but the network has more",
+                acc.len()
+            );
+            for (a, &v) in acc[offset..next].iter_mut().zip(p.as_slice()) {
+                *a += v;
+            }
+            offset = next;
+        });
+        assert_eq!(
+            offset,
+            acc.len(),
+            "flat plane holds {} values but the network has {offset}",
+            acc.len()
         );
     }
 
@@ -342,6 +395,45 @@ mod tests {
     fn load_from_rejects_short_plane() {
         let mut net = models::mlp_classifier(4, &[6], 3, 0);
         net.load_params_from(&[0.0; 3]);
+    }
+
+    #[test]
+    fn chunked_eval_is_bit_identical_to_whole_batch() {
+        // The contract trace-point parallel evaluation rests on: forward
+        // passes and per-row losses are row-independent, so evaluating a
+        // batch as row chunks and reducing the concatenated summands
+        // matches the whole-batch loss bit for bit.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = tensor::Tensor::randn(&[70, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..70).map(|i| i % 3).collect();
+        for loss in [crate::Loss::CrossEntropy, crate::Loss::MeanSquaredError] {
+            let mut net = models::mlp_classifier(4, &[6], 3, 5);
+            let mut net = Network::new(net.stack_mut().clone(), loss);
+            let whole = net.eval_loss(&x, &labels);
+            let mut rows = Vec::new();
+            let mut correct = 0usize;
+            for start in (0..70).step_by(16) {
+                let end = (start + 16).min(70);
+                let idx: Vec<usize> = ((start * 4)..(end * 4)).collect();
+                let cx = tensor::Tensor::from_vec(
+                    idx.iter().map(|&i| x.as_slice()[i]).collect(),
+                    &[end - start, 4],
+                )
+                .unwrap();
+                // A fresh replica per chunk, like the cluster's eval pool.
+                let mut replica = net.clone();
+                rows.extend(replica.eval_row_losses(&cx, &labels[start..end]));
+                correct += replica.correct_count(&cx, &labels[start..end]);
+            }
+            let chunked = loss.reduce_rows(&rows, 3);
+            assert_eq!(
+                whole.to_bits(),
+                chunked.to_bits(),
+                "{loss:?} chunked eval diverged"
+            );
+            let whole_acc = net.accuracy(&x, &labels);
+            assert_eq!(whole_acc, correct as f64 / 70.0);
+        }
     }
 
     #[test]

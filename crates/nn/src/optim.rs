@@ -110,12 +110,19 @@ impl Sgd {
         let momentum = self.momentum;
         let wd = self.weight_decay;
         if momentum == 0.0 {
+            let decay = 1.0 - lr * wd;
             net.visit_param_grad_pairs(&mut |p, g| {
                 if wd > 0.0 {
-                    // p ← p − η(g + wd·p) without an extra allocation.
-                    p.scale(1.0 - lr * wd);
+                    // p ← p − η(g + wd·p), fused into one pass: per
+                    // element this is exactly `scale(1 − η·wd)` followed
+                    // by `axpy(−η, g)`, so results are bit-identical to
+                    // the two-pass form at half the parameter traffic.
+                    for (a, &b) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                        *a = *a * decay + -lr * b;
+                    }
+                } else {
+                    p.axpy(-lr, g);
                 }
-                p.axpy(-lr, g);
             });
             return;
         }

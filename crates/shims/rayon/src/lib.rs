@@ -1,36 +1,67 @@
 //! Offline stand-in for the subset of the [`rayon`](https://docs.rs/rayon)
 //! crate API used by this workspace: `par_iter_mut()` over slices followed
-//! by `map(..).collect()`, `map(..).sum()` or `for_each(..)`.
+//! by `map(..).collect()`, `map(..).sum()` or `for_each(..)`, plus rayon's
+//! `with_max_len` chunk-size cap.
 //!
 //! Like real rayon — and unlike the scoped-thread shim it replaces — work
 //! runs on a **lazily-initialized persistent worker pool**: the first
-//! parallel call spawns one worker per available core and every subsequent
-//! call just enqueues chunk jobs, so a simulation driving thousands of
-//! training rounds pays the thread-spawn cost once instead of per round.
-//! The slice is split into one contiguous chunk per worker and per-chunk
-//! outputs are concatenated in slice order, so `map(..).collect()`
-//! preserves element order exactly like rayon does.
+//! parallel call spawns one worker per available core (override with the
+//! `RAYON_NUM_THREADS` environment variable, read once at pool creation)
+//! and every subsequent call just enqueues chunk jobs. The slice is split
+//! into contiguous chunks (one per worker by default, or capped by
+//! [`with_max_len`](ParIterMut::with_max_len)) and per-chunk outputs are
+//! concatenated in slice order, so `map(..).collect()` preserves element
+//! order exactly like rayon does.
+//!
+//! # Re-entrancy
+//!
+//! The pool is **re-entrant**: a job running on a pool thread may itself
+//! call `par_iter_mut` without deadlocking the (finite) pool. Like rayon's
+//! work-stealing join, a thread that is blocked waiting for its chunk jobs
+//! to finish **helps execute queued jobs** instead of sleeping — including
+//! jobs submitted by other parallel calls. An outer sweep over runs can
+//! therefore nest an inner `par_iter_mut` over workers (which may itself
+//! nest chunked evaluation jobs) and every level makes progress: each
+//! parallel call's submitter can always execute its own queued chunks, so
+//! the dependency graph of joins (a DAG — calls only wait on their own
+//! chunks) drains bottom-up even when every pool thread is inside some
+//! join. Panics in a chunk job are caught, the worker survives, and the
+//! panic is re-raised on the thread that submitted that chunk's parallel
+//! call — an inner panic therefore unwinds the outer job that caused it,
+//! reaching that outer call's submitter in turn, never aborting the
+//! process.
 //!
 //! # Safety
 //!
 //! Dispatching borrowed chunks onto long-lived threads requires erasing the
 //! job's lifetime (the same obligation real rayon discharges in its scoped
 //! machinery). Soundness rests on one invariant, enforced in the private
-//! `run_jobs` dispatcher: the submitting call **blocks on a completion
-//! latch until every chunk job has finished running** (panicking jobs are
-//! caught and still counted), so no borrow escapes the caller's stack
-//! frame. This is the only unsafe code in the workspace.
+//! `run_jobs` dispatcher: the submitting call **does not return until every
+//! chunk job has finished running** (it helps execute jobs, then blocks on
+//! a completion latch; panicking jobs are caught and still counted), so no
+//! borrow escapes the caller's stack frame. This is the only unsafe code in
+//! the workspace.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// The traits and adaptors, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::ParallelSliceMut;
+}
+
+/// Number of worker threads in the global pool (rayon's
+/// `current_num_threads`). Initializes the pool on first call; this is
+/// the one authoritative answer to "how many executors does this machine
+/// get" (cores, or the `RAYON_NUM_THREADS` override) — callers deciding
+/// whether coarse-grained parallelism pays should ask this instead of
+/// re-deriving the pool's sizing rules.
+pub fn current_num_threads() -> usize {
+    Pool::global().workers
 }
 
 /// Extension trait adding [`par_iter_mut`](ParallelSliceMut::par_iter_mut)
@@ -42,16 +73,35 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
-        ParIterMut { slice: self }
+        ParIterMut {
+            slice: self,
+            max_len: usize::MAX,
+        }
     }
 }
 
 /// A parallel iterator over `&mut T` items of a slice.
 pub struct ParIterMut<'a, T> {
     slice: &'a mut [T],
+    max_len: usize,
 }
 
 impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Caps the number of elements a single chunk job processes (rayon's
+    /// `IndexedParallelIterator::with_max_len`). `with_max_len(1)` turns
+    /// every element into its own pool job — the right shape for few,
+    /// heterogeneous, long-running items (e.g. whole simulation runs),
+    /// where contiguous per-worker chunks would straggle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len == 0`.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        assert!(max_len > 0, "chunk cap must be at least 1");
+        self.max_len = max_len;
+        self
+    }
+
     /// Maps every element through `op`, in parallel.
     pub fn map<R, F>(self, op: F) -> ParMap<'a, T, F>
     where
@@ -61,6 +111,7 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         ParMap {
             slice: self.slice,
             op,
+            max_len: self.max_len,
         }
     }
 
@@ -69,7 +120,7 @@ impl<'a, T: Send> ParIterMut<'a, T> {
     where
         F: Fn(&mut T) + Sync,
     {
-        let _: Vec<()> = run_chunks(self.slice, &|item| op(item), |chunk, op| {
+        let _: Vec<()> = run_chunks(self.slice, self.max_len, &|item| op(item), |chunk, op| {
             chunk.iter_mut().for_each(op);
         });
     }
@@ -80,6 +131,7 @@ impl<'a, T: Send> ParIterMut<'a, T> {
 pub struct ParMap<'a, T, F> {
     slice: &'a mut [T],
     op: F,
+    max_len: usize,
 }
 
 impl<T, R, F> ParMap<'_, T, F>
@@ -90,7 +142,7 @@ where
 {
     /// Collects the mapped values in slice order.
     pub fn collect<C: From<Vec<R>>>(self) -> C {
-        let per_chunk = run_chunks(self.slice, &self.op, |chunk, op| {
+        let per_chunk = run_chunks(self.slice, self.max_len, &self.op, |chunk, op| {
             chunk.iter_mut().map(op).collect::<Vec<R>>()
         });
         let mut out = Vec::new();
@@ -109,7 +161,7 @@ where
     where
         S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
     {
-        run_chunks(self.slice, &self.op, |chunk, op| {
+        run_chunks(self.slice, self.max_len, &self.op, |chunk, op| {
             chunk.iter_mut().map(op).sum::<S>()
         })
         .into_iter()
@@ -122,7 +174,7 @@ where
 // ---------------------------------------------------------------------
 
 /// A type-erased chunk job. `'static` is a lie told once, in
-/// [`run_jobs`], which blocks until the job has run.
+/// [`run_jobs`], which does not return until the job has run.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Pool {
@@ -135,9 +187,15 @@ impl Pool {
     fn global() -> &'static Pool {
         static POOL: OnceLock<Pool> = OnceLock::new();
         POOL.get_or_init(|| {
-            let workers = std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1);
+            let workers = std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                });
             let pool = Pool {
                 queue: Mutex::new(VecDeque::new()),
                 job_ready: Condvar::new(),
@@ -162,14 +220,7 @@ impl Pool {
     }
 }
 
-thread_local! {
-    /// Set on pool workers so a nested parallel call degrades to
-    /// sequential instead of deadlocking the (finite) pool on itself.
-    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
 fn worker_loop() {
-    IS_POOL_WORKER.with(|f| f.set(true));
     let pool = Pool::global();
     loop {
         let job = {
@@ -186,43 +237,76 @@ fn worker_loop() {
 }
 
 /// Counts outstanding chunk jobs of one parallel call; the submitting
-/// thread blocks on it. A panicking job is caught inside the job (keeping
-/// the worker thread alive), flagged here, and re-raised on the caller.
+/// thread helps run queued jobs until it reaches zero. A panicking job is
+/// caught inside the job (keeping its thread alive), flagged here, and
+/// re-raised on the submitter.
 struct Latch {
-    remaining: Mutex<usize>,
-    done: Condvar,
+    remaining: AtomicUsize,
     panicked: AtomicBool,
 }
 
 impl Latch {
     fn new(count: usize) -> Self {
         Latch {
-            remaining: Mutex::new(count),
-            done: Condvar::new(),
+            remaining: AtomicUsize::new(count),
             panicked: AtomicBool::new(false),
         }
     }
 
-    fn complete_one(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.done.notify_all();
-        }
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
     }
 
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch poisoned");
-        while *remaining > 0 {
-            remaining = self.done.wait(remaining).expect("latch poisoned");
+    /// Marks one job complete. On the last completion, wakes every thread
+    /// sleeping on the pool's condvar so blocked helpers re-check their
+    /// latch. The empty lock/unlock of the queue mutex before `notify_all`
+    /// closes the missed-wakeup race: a helper observes `is_done() ==
+    /// false` only while holding the queue lock, so this completion's
+    /// notification cannot fire until that helper has entered `wait` (which
+    /// releases the lock atomically).
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let pool = Pool::global();
+            drop(pool.queue.lock().expect("pool queue poisoned"));
+            pool.job_ready.notify_all();
         }
     }
 }
 
-/// Splits `slice` into one chunk per pool worker, processes every chunk on
-/// the pool via `process` (which receives the chunk and `op`), and returns
-/// the per-chunk outputs in slice order.
-fn run_chunks<T, R, F, P, V>(slice: &mut [T], op: &F, process: P) -> Vec<V>
+/// Runs queued jobs until `latch` reports completion — the work-stealing
+/// half of a join. Any queued job may be executed here (not just this
+/// call's chunks); a popped job runs to completion on this stack, possibly
+/// nesting further parallel calls, so join depth is bounded by the
+/// nesting depth of parallelism, and every blocked join keeps the queue
+/// draining instead of idling a thread.
+fn help_until(latch: &Latch) {
+    let pool = Pool::global();
+    loop {
+        if latch.is_done() {
+            return;
+        }
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                if latch.is_done() {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool.job_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// Splits `slice` into contiguous chunks (one per pool worker, capped at
+/// `max_len` elements), processes every chunk on the pool via `process`
+/// (which receives the chunk and `op`), and returns the per-chunk outputs
+/// in slice order. Single-chunk calls run inline without touching the
+/// pool.
+fn run_chunks<T, R, F, P, V>(slice: &mut [T], max_len: usize, op: &F, process: P) -> Vec<V>
 where
     T: Send,
     R: Send,
@@ -231,21 +315,14 @@ where
     V: Send,
 {
     let len = slice.len();
-    let sequential = |slice: &mut [T]| -> Vec<V> {
-        if slice.is_empty() {
-            return Vec::new();
-        }
-        vec![process(slice, op)]
-    };
-    if IS_POOL_WORKER.with(|f| f.get()) {
-        // Nested parallelism: run inline rather than deadlock the pool.
-        return sequential(slice);
+    if len == 0 {
+        return Vec::new();
     }
     let threads = Pool::global().workers.min(len);
-    if threads <= 1 {
-        return sequential(slice);
+    let chunk_len = len.div_ceil(threads).min(max_len).max(1);
+    if chunk_len >= len {
+        return vec![process(slice, op)];
     }
-    let chunk_len = len.div_ceil(threads);
     let mut slots: Vec<Option<V>> = Vec::new();
     slots.resize_with(slice.chunks_mut(chunk_len).len(), || None);
     run_jobs(slice, chunk_len, op, &process, &mut slots);
@@ -255,9 +332,9 @@ where
         .collect()
 }
 
-/// Dispatches one job per chunk onto the pool and blocks until all have
-/// completed, panicking afterwards if any job panicked (matching the
-/// scoped-thread behaviour this pool replaced).
+/// Dispatches one job per chunk onto the pool, helps execute queued jobs
+/// until all chunks have completed, and panics afterwards if any chunk
+/// panicked (matching the scoped-thread behaviour the pool replaced).
 #[allow(unsafe_code)]
 fn run_jobs<T, R, F, P, V>(
     slice: &mut [T],
@@ -274,20 +351,21 @@ fn run_jobs<T, R, F, P, V>(
 {
     let latch = Latch::new(slots.len());
     // Once the first job is submitted, unwinding out of this frame before
-    // `latch.wait()` returns would free stack data that lifetime-erased
-    // jobs still reference. None of the code between submit and wait is
-    // expected to panic (jobs catch their own panics, so the pool mutexes
-    // cannot be poisoned by them), but if it ever does, abort instead of
-    // handing workers dangling pointers — the same escalation std's scoped
-    // threads use for un-joinable panics.
+    // the latch reaches zero would free stack data that lifetime-erased
+    // jobs still reference. Jobs catch their own panics (so helping cannot
+    // unwind here and the pool mutexes cannot be poisoned by them), but if
+    // anything between submit and completion ever does panic, abort instead
+    // of handing workers dangling pointers — the same escalation std's
+    // scoped threads use for un-joinable panics.
     let abort_guard = AbortOnUnwind;
     {
         let pool = Pool::global();
         for (chunk, slot) in slice.chunks_mut(chunk_len).zip(slots.iter_mut()) {
             let latch_ref = &latch;
             let job = move || {
-                // Catch panics inside the job so the long-lived worker
-                // thread survives and the caller is always released.
+                // Catch panics inside the job so the executing thread
+                // (worker or helper) survives and the submitter is always
+                // released.
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(chunk, op)));
                 match result {
@@ -297,15 +375,15 @@ fn run_jobs<T, R, F, P, V>(
                 latch_ref.complete_one();
             };
             let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(job);
-            // SAFETY: `wait()` below does not return until every job has
-            // signalled the latch, so the borrows captured by `job`
+            // SAFETY: `help_until` below does not return until every job
+            // has signalled the latch, so the borrows captured by `job`
             // (chunk, slot, op, process, latch) outlive its execution; the
             // 'static lifetime is never observable. `abort_guard` upholds
             // this even if this frame unwinds early.
             let boxed: Job = unsafe { std::mem::transmute(boxed) };
             pool.submit(boxed);
         }
-        latch.wait();
+        help_until(&latch);
     }
     std::mem::forget(abort_guard);
     if latch.panicked.load(Ordering::SeqCst) {
@@ -327,8 +405,18 @@ impl Drop for AbortOnUnwind {
 mod tests {
     use super::prelude::*;
 
+    /// Pins the pool to four workers regardless of the host's core count
+    /// so the nested-parallelism tests exercise real cross-thread joins
+    /// even on single-core machines. Every test calls this before first
+    /// pool use; the value is identical everywhere, so test ordering does
+    /// not matter.
+    fn four_worker_pool() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
+
     #[test]
     fn map_collect_preserves_order() {
+        four_worker_pool();
         let mut v: Vec<u64> = (0..1_000).collect();
         let out: Vec<u64> = v.par_iter_mut().map(|x| *x * 2).collect();
         assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
@@ -336,6 +424,7 @@ mod tests {
 
     #[test]
     fn map_can_mutate_elements() {
+        four_worker_pool();
         let mut v: Vec<u64> = vec![1; 64];
         let _: Vec<()> = v.par_iter_mut().map(|x| *x += 1).collect();
         assert!(v.iter().all(|&x| x == 2));
@@ -343,6 +432,7 @@ mod tests {
 
     #[test]
     fn for_each_mutates_everything() {
+        four_worker_pool();
         let mut v: Vec<u64> = (0..257).collect();
         v.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(v, (10..267).collect::<Vec<_>>());
@@ -350,6 +440,7 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_slices() {
+        four_worker_pool();
         let mut empty: Vec<u32> = vec![];
         let out: Vec<u32> = empty.par_iter_mut().map(|x| *x).collect();
         assert!(out.is_empty());
@@ -360,6 +451,7 @@ mod tests {
 
     #[test]
     fn sum_folds_without_collecting() {
+        four_worker_pool();
         let mut v: Vec<u64> = (0..1_000).collect();
         let total: u64 = v.par_iter_mut().map(|x| *x).sum();
         assert_eq!(total, 499_500);
@@ -370,6 +462,7 @@ mod tests {
 
     #[test]
     fn pool_survives_many_rounds() {
+        four_worker_pool();
         // Thousands of calls reuse the same workers; this is the shape of
         // the simulator's per-round fan-out.
         let mut v: Vec<u64> = (0..16).collect();
@@ -380,7 +473,72 @@ mod tests {
     }
 
     #[test]
+    fn with_max_len_one_job_per_item_preserves_order() {
+        four_worker_pool();
+        let mut v: Vec<u64> = (0..37).collect();
+        let out: Vec<u64> = v.par_iter_mut().with_max_len(1).map(|x| *x * 3).collect();
+        assert_eq!(out, (0..37).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_completes_and_preserves_order() {
+        four_worker_pool();
+        // Outer parallelism over "runs", inner par_iter_mut over each
+        // run's "workers" — the sweep-engine shape. With four pool threads
+        // and eight outer jobs, inner joins *must* help execute queued
+        // jobs or the pool deadlocks on itself.
+        let mut runs: Vec<Vec<u64>> = (0..8)
+            .map(|r| (0..64).map(|w| r * 100 + w).collect())
+            .collect();
+        let sums: Vec<u64> = runs
+            .par_iter_mut()
+            .with_max_len(1)
+            .map(|run| {
+                let doubled: Vec<u64> = run.par_iter_mut().map(|w| *w * 2).collect();
+                // Inner order must be preserved inside an outer job.
+                assert!(doubled.windows(2).all(|p| p[0] < p[1]));
+                doubled.iter().sum::<u64>()
+            })
+            .collect();
+        let expected: Vec<u64> = (0..8u64)
+            .map(|r| (0..64).map(|w| (r * 100 + w) * 2).sum())
+            .collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn deeply_nested_parallelism_completes() {
+        four_worker_pool();
+        // Three levels: sweep -> runs -> workers, all smaller than the
+        // pool, all joining on pool threads.
+        let mut outer: Vec<u64> = (0..4).collect();
+        let totals: Vec<u64> = outer
+            .par_iter_mut()
+            .with_max_len(1)
+            .map(|o| {
+                let mut mid: Vec<u64> = (0..4).map(|m| *o * 10 + m).collect();
+                let mids: Vec<u64> = mid
+                    .par_iter_mut()
+                    .with_max_len(1)
+                    .map(|m| {
+                        let mut inner: Vec<u64> = (0..8).map(|i| *m + i).collect();
+                        inner.par_iter_mut().map(|x| *x).sum::<u64>()
+                    })
+                    .collect();
+                mids.iter().sum::<u64>()
+            })
+            .collect();
+        for (o, &total) in totals.iter().enumerate() {
+            let expect: u64 = (0..4u64)
+                .map(|m| (0..8u64).map(|i| o as u64 * 10 + m + i).sum::<u64>())
+                .sum();
+            assert_eq!(total, expect);
+        }
+    }
+
+    #[test]
     fn panics_propagate_to_caller() {
+        four_worker_pool();
         let caught = std::panic::catch_unwind(|| {
             let mut v: Vec<u64> = (0..64).collect();
             v.par_iter_mut().for_each(|x| {
@@ -394,5 +552,37 @@ mod tests {
         let mut v: Vec<u64> = (0..64).collect();
         let out: Vec<u64> = v.par_iter_mut().map(|x| *x).collect();
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn nested_panic_propagates_without_aborting() {
+        four_worker_pool();
+        // A panic in an *inner* parallel call unwinds the outer job, which
+        // flags the outer latch, which re-raises on the outer submitter —
+        // two latch hops, no process abort, pool intact.
+        let caught = std::panic::catch_unwind(|| {
+            let mut runs: Vec<u64> = (0..8).collect();
+            let _: Vec<()> = runs
+                .par_iter_mut()
+                .with_max_len(1)
+                .map(|r| {
+                    let mut inner: Vec<u64> = (0..16).map(|i| *r * 16 + i).collect();
+                    inner.par_iter_mut().for_each(|x| {
+                        if *x == 50 {
+                            panic!("inner boom");
+                        }
+                    });
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "inner panic must reach the outer caller");
+        // Pool still fully functional, including nested calls.
+        let mut runs: Vec<Vec<u64>> = (0..4).map(|r| vec![r; 8]).collect();
+        let sums: Vec<u64> = runs
+            .par_iter_mut()
+            .with_max_len(1)
+            .map(|run| run.par_iter_mut().map(|x| *x).sum::<u64>())
+            .collect();
+        assert_eq!(sums, vec![0, 8, 16, 24]);
     }
 }

@@ -10,6 +10,39 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use tensor::Tensor;
 
+/// Rows per evaluation chunk job. Evaluation sets larger than one chunk
+/// run their forward passes as parallel pool jobs (see
+/// [`PasgdCluster::eval_train_loss`]); the fixed chunk size keeps the
+/// row partition — and therefore every float — independent of the
+/// machine's core count.
+const EVAL_CHUNK_ROWS: usize = 256;
+
+/// An evaluation set pre-split into row chunks for pool jobs.
+struct EvalSet {
+    chunks: Vec<(Tensor, Vec<usize>)>,
+    rows: usize,
+}
+
+impl EvalSet {
+    fn gather(ds: &data::Dataset, rows: usize) -> Self {
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + EVAL_CHUNK_ROWS).min(rows);
+            chunks.push(ds.gather(&(start..end).collect::<Vec<_>>()));
+            start = end;
+        }
+        EvalSet { chunks, rows }
+    }
+}
+
+/// One chunked-evaluation pool job: a model replica and its row chunk.
+struct EvalJob<'a> {
+    model: &'a mut Network,
+    x: &'a Tensor,
+    labels: &'a [usize],
+}
+
 /// Static configuration of a [`PasgdCluster`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -104,8 +137,23 @@ pub struct PasgdCluster {
     full_payload_bytes: usize,
     current_lr: f32,
     batch_size: usize,
-    train_eval: (Tensor, Vec<usize>),
-    test_eval: (Tensor, Vec<usize>),
+    train_eval: EvalSet,
+    test_eval: EvalSet,
+    /// Model replicas for chunked evaluation (one per chunk job, empty
+    /// when every evaluation set fits a single chunk).
+    eval_replicas: Vec<Network>,
+    /// `(worker, iterations, rounds)` the replicas were last synced from;
+    /// consecutive loss + accuracy evaluations at one trace point skip the
+    /// second parameter copy.
+    eval_synced_for: Option<(usize, u64, u64)>,
+    /// Memoized evaluation results keyed by the same training state: the
+    /// experiment driver evaluates at interval boundaries *and* at trace
+    /// points, and when both fall between the same two rounds the second
+    /// forward pass would recompute identical numbers.
+    eval_loss_cache: Option<((usize, u64, u64), f32)>,
+    eval_acc_cache: Option<((usize, u64, u64), f64)>,
+    /// Output width of the model's logits (the MSE row-loss divisor).
+    eval_classes: usize,
     train_size: usize,
     /// Per-tensor segment lengths of the flat parameter plane.
     param_sizes: Vec<usize>,
@@ -197,8 +245,20 @@ impl PasgdCluster {
         } else {
             config.eval_subset.min(train_size)
         };
-        let train_eval = train.gather(&(0..eval_n).collect::<Vec<_>>());
-        let test_eval = test.gather(&(0..test.len()).collect::<Vec<_>>());
+        let train_eval = EvalSet::gather(&train, eval_n);
+        let test_eval = EvalSet::gather(&test, test.len());
+        let max_chunks = train_eval.chunks.len().max(test_eval.chunks.len());
+        let eval_replicas = if max_chunks > 1 {
+            vec![model.clone(); max_chunks]
+        } else {
+            Vec::new()
+        };
+        // Probe the logits width once (MSE's row-loss divisor).
+        let eval_classes = {
+            let mut probe = model.clone();
+            let (one_x, _) = train.gather(&[0]);
+            probe.forward(&one_x).dims()[1]
+        };
 
         let plane_len = model.param_count();
         let full_payload_bytes = plane_len * std::mem::size_of::<f32>();
@@ -223,6 +283,11 @@ impl PasgdCluster {
             batch_size: config.batch_size,
             train_eval,
             test_eval,
+            eval_replicas,
+            eval_synced_for: None,
+            eval_loss_cache: None,
+            eval_acc_cache: None,
+            eval_classes,
             train_size,
             param_sizes,
             msg_planes: vec![vec![0.0f32; plane_len]; config.workers],
@@ -466,6 +531,24 @@ impl PasgdCluster {
         let full_average = matches!(self.averaging, AveragingStrategy::FullAverage);
         let mut payload_bytes = self.full_payload_bytes as f64;
 
+        // Fast path: full-precision full averaging accumulates straight
+        // from the worker models into the reused accumulator — same
+        // per-element float sequence as staging each worker's plane first
+        // (worker order, then one 1/m scale), minus two plane passes per
+        // worker per round.
+        if identity && full_average {
+            self.workers[0].copy_params_into(&mut self.accum);
+            for w in &self.workers[1..] {
+                w.add_params_to(&mut self.accum);
+            }
+            let inv = 1.0 / self.workers.len() as f32;
+            for a in self.accum.iter_mut() {
+                *a *= inv;
+            }
+            self.broadcast_accum(tau);
+            return payload_bytes;
+        }
+
         // Fill one message plane per worker. Under the identity codec the
         // parameters are the messages; under a codec each worker encodes
         // its delta (error feedback included) into its plane.
@@ -565,15 +648,62 @@ impl PasgdCluster {
     ///
     /// Callers should invoke this right after a round (models agree then);
     /// mid-round it reports worker 0's local model.
+    ///
+    /// Evaluation sets beyond one 256-row chunk run as parallel
+    /// pool chunk jobs (one model replica per chunk) whose per-row losses
+    /// are reduced in row order — bit-identical to a single whole-batch
+    /// forward pass (see [`nn::Network::eval_row_losses`]), on any number
+    /// of pool threads.
     pub fn eval_train_loss(&mut self) -> f32 {
-        let (x, y) = (&self.train_eval.0, &self.train_eval.1);
-        self.workers[0].model_mut().eval_loss(x, y)
+        let state = (0usize, self.iterations, self.rounds);
+        if let Some((cached_state, loss)) = self.eval_loss_cache {
+            if cached_state == state {
+                return loss;
+            }
+        }
+        let loss = self.eval_train_loss_uncached();
+        self.eval_loss_cache = Some((state, loss));
+        loss
+    }
+
+    fn eval_train_loss_uncached(&mut self) -> f32 {
+        if self.train_eval.chunks.len() <= 1 {
+            let (x, y) = &self.train_eval.chunks[0];
+            return self.workers[0].model_mut().eval_loss(x, y);
+        }
+        self.sync_eval_replicas(0);
+        let per_chunk: Vec<Vec<f64>> = {
+            let mut jobs: Vec<EvalJob> = self
+                .eval_replicas
+                .iter_mut()
+                .zip(&self.train_eval.chunks)
+                .map(|(model, (x, labels))| EvalJob { model, x, labels })
+                .collect();
+            jobs.par_iter_mut()
+                .with_max_len(1)
+                .map(|j| j.model.eval_row_losses(j.x, j.labels))
+                .collect()
+        };
+        let rows: Vec<f64> = per_chunk.concat();
+        let kind = self.workers[0].model().loss_kind();
+        kind.reduce_rows(&rows, self.eval_classes)
     }
 
     /// Test accuracy of the synchronized model (worker 0's replica).
+    ///
+    /// Chunked and pooled like [`PasgdCluster::eval_train_loss`]; the
+    /// reduction is an integer match count, so chunking is trivially
+    /// exact.
     pub fn eval_test_accuracy(&mut self) -> f64 {
-        let (x, y) = (&self.test_eval.0, &self.test_eval.1);
-        self.workers[0].model_mut().accuracy(x, y)
+        let state = (0usize, self.iterations, self.rounds);
+        if let Some((cached_state, acc)) = self.eval_acc_cache {
+            if cached_state == state {
+                return acc;
+            }
+        }
+        let acc = self.test_accuracy_of(0);
+        self.eval_acc_cache = Some((state, acc));
+        acc
     }
 
     /// Test accuracy of one worker's *local* model (differs from the
@@ -584,8 +714,47 @@ impl PasgdCluster {
     /// Panics if `worker` is out of range.
     pub fn eval_local_test_accuracy(&mut self, worker: usize) -> f64 {
         assert!(worker < self.workers.len(), "worker {worker} out of range");
-        let (x, y) = (&self.test_eval.0, &self.test_eval.1);
-        self.workers[worker].model_mut().accuracy(x, y)
+        self.test_accuracy_of(worker)
+    }
+
+    /// Shared test-accuracy path: evaluates `worker`'s model over the test
+    /// chunks (in parallel when there is more than one chunk).
+    fn test_accuracy_of(&mut self, worker: usize) -> f64 {
+        if self.test_eval.chunks.len() <= 1 {
+            let (x, y) = &self.test_eval.chunks[0];
+            return self.workers[worker].model_mut().accuracy(x, y);
+        }
+        self.sync_eval_replicas(worker);
+        let correct: usize = {
+            let mut jobs: Vec<EvalJob> = self
+                .eval_replicas
+                .iter_mut()
+                .zip(&self.test_eval.chunks)
+                .map(|(model, (x, labels))| EvalJob { model, x, labels })
+                .collect();
+            jobs.par_iter_mut()
+                .with_max_len(1)
+                .map(|j| j.model.correct_count(j.x, j.labels))
+                .sum()
+        };
+        correct as f64 / self.test_eval.rows as f64
+    }
+
+    /// Loads `worker`'s current parameters into every evaluation replica
+    /// (via the reused scratch plane; no allocation in steady state).
+    /// Skipped entirely when the replicas already hold this worker's
+    /// parameters at the current training state — the common
+    /// loss-then-accuracy pair at a trace point pays one copy, not two.
+    fn sync_eval_replicas(&mut self, worker: usize) {
+        let state = (worker, self.iterations, self.rounds);
+        if self.eval_synced_for == Some(state) {
+            return;
+        }
+        self.workers[worker].copy_params_into(&mut self.scratch);
+        for replica in &mut self.eval_replicas {
+            replica.load_params_from(&self.scratch);
+        }
+        self.eval_synced_for = Some(state);
     }
 
     /// Mean pairwise parameter distance between local models (a direct

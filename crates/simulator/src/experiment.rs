@@ -213,7 +213,13 @@ pub fn run_experiment(
         let boundary = (interval + 1) as f64 * config.interval_secs;
         if cluster.clock() >= boundary {
             interval = (cluster.clock() / config.interval_secs) as usize;
-            last_loss = f64::from(cluster.eval_train_loss());
+            // The boundary loss feeds only the scheduler; skip the
+            // evaluation forward pass for schedulers that never read it
+            // (fixed-τ baselines). `last_loss` then carries the most
+            // recent recorded loss, which such schedulers ignore.
+            if scheduler.needs_loss() {
+                last_loss = f64::from(cluster.eval_train_loss());
+            }
             let ctx = ScheduleContext {
                 interval_index: interval,
                 wall_clock: cluster.clock(),
@@ -361,13 +367,40 @@ impl ExperimentSuite {
         momentum: Option<MomentumMode>,
         gate_lr_on_tau: Option<bool>,
     ) -> RunTrace {
+        self.run_configured(scheduler, lr_schedule, momentum, gate_lr_on_tau, None, None)
+    }
+
+    /// The fully-general run entry point: every per-run override in one
+    /// place. `None` keeps the suite's configured value. This is what the
+    /// bench crate's sweep engine calls to execute a declarative
+    /// `SweepSpec`; the narrower `run_*` helpers all delegate here.
+    pub fn run_configured(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        momentum: Option<MomentumMode>,
+        gate_lr_on_tau: Option<bool>,
+        codec: Option<CodecSpec>,
+        budget: Option<(f64, f64)>,
+    ) -> RunTrace {
         let mut cluster_config = self.cluster_config.clone();
         if let Some(m) = momentum {
             cluster_config.momentum = m;
         }
+        if let Some(c) = codec {
+            cluster_config.codec = c;
+        }
         let mut experiment_config = self.experiment_config.clone();
         if let Some(g) = gate_lr_on_tau {
             experiment_config.gate_lr_on_tau = g;
+        }
+        if let Some((total_secs, record_every_secs)) = budget {
+            assert!(
+                total_secs > 0.0 && record_every_secs > 0.0,
+                "budget durations must be positive"
+            );
+            experiment_config.total_secs = total_secs;
+            experiment_config.record_every_secs = record_every_secs;
         }
         run_experiment(
             self.model.clone(),
@@ -385,6 +418,17 @@ impl ExperimentSuite {
         &self.experiment_config
     }
 
+    /// The runtime (delay) model runs execute under (for reporting).
+    pub fn runtime(&self) -> &RuntimeModel {
+        &self.runtime
+    }
+
+    /// Trainable parameter count of the shared model — the size one
+    /// full-precision averaging message is priced on.
+    pub fn model_param_count(&self) -> usize {
+        self.model.param_count()
+    }
+
     /// Returns the suite with a replaced simulated-time budget and
     /// recording cadence — the hook the perf harness uses to run smoke
     /// slices of the canonical scenarios without rebuilding them.
@@ -399,6 +443,18 @@ impl ExperimentSuite {
         );
         self.experiment_config.total_secs = total_secs;
         self.experiment_config.record_every_secs = record_every_secs;
+        self
+    }
+
+    /// Returns the suite with a replaced scheduler-consultation interval
+    /// `T0` — the knob the interval-length ablation sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_secs` is not positive.
+    pub fn with_interval(mut self, interval_secs: f64) -> Self {
+        assert!(interval_secs > 0.0, "interval must be positive");
+        self.experiment_config.interval_secs = interval_secs;
         self
     }
 }

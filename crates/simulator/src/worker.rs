@@ -39,6 +39,9 @@ pub struct Worker {
     sync_reference: Vec<f32>,
     /// Reused buffer holding the model delta during encoding.
     delta_scratch: Vec<f32>,
+    /// Reused mini-batch buffers for the per-step hot loop.
+    batch_x: Tensor,
+    batch_y: Vec<usize>,
     track_reference: bool,
     steps_taken: u64,
 }
@@ -57,11 +60,14 @@ impl Worker {
         batch_size: usize,
         seed: u64,
     ) -> Self {
+        let batch_x = Tensor::zeros(&[batch_size, shard.feature_dim()]);
         Worker {
             id,
             model,
             optimizer,
             batches: BatchIter::new(shard, batch_size),
+            batch_x,
+            batch_y: Vec::with_capacity(batch_size),
             // Worker RNGs are decorrelated by id; the golden ratio constant
             // avoids accidental seed collisions between adjacent ids.
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -111,8 +117,10 @@ impl Worker {
         assert!(count > 0, "must take at least one local step");
         let mut total = 0.0f64;
         for _ in 0..count {
-            let (x, y) = self.batches.next_batch(&mut self.rng);
-            let loss = self.model.train_step(&x, &y);
+            // Reused batch buffers: the per-step loop allocates nothing.
+            self.batches
+                .next_batch_into(&mut self.rng, &mut self.batch_x, &mut self.batch_y);
+            let loss = self.model.train_step(&self.batch_x, &self.batch_y);
             self.optimizer.step(&mut self.model);
             total += f64::from(loss);
             self.steps_taken += 1;
@@ -153,6 +161,17 @@ impl Worker {
     /// Panics if `out.len()` differs from the model's parameter count.
     pub fn copy_params_into(&self, out: &mut [f32]) {
         self.model.copy_params_into(out);
+    }
+
+    /// Adds the local model parameters into the flat plane `acc` — the
+    /// accumulate half of full averaging (see
+    /// [`nn::Network::add_params_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len()` differs from the model's parameter count.
+    pub fn add_params_to(&self, acc: &mut [f32]) {
+        self.model.add_params_to(acc);
     }
 
     /// Overwrites the local model with `params` (the post-averaging

@@ -2,11 +2,13 @@
 //!
 //! A fixed-seed, full-precision quick run is recorded bit-exactly — every
 //! per-round evaluation loss (`f32` bits) and simulated clock (`f64` bits)
-//! — and compared against a committed fixture. The fixture was generated
-//! from the snapshot-based averaging path *before* the flat-parameter-plane
-//! refactor, so this test proves the refactor (flat planes, tiled matmul
-//! kernels, per-layer workspaces, pooled parallelism) left full-precision
-//! results bit-identical.
+//! — and compared against a committed fixture. The fixture pins the
+//! FMA-folded kernel semantics introduced in PR 4 (`f32::mul_add`
+//! accumulation — an intentional, accuracy-improving math change that
+//! required regenerating the PR 3 fixture); everything since — four-row
+//! register blocking, direct full averaging, chunked parallel trace-point
+//! evaluation, reused batch buffers, evaluation-result memoization —
+//! provably left full-precision results bit-identical, on any pool size.
 //!
 //! Only parameter-derived quantities are recorded (evaluation loss, test
 //! accuracy, simulated clock). The *mean local loss* returned by

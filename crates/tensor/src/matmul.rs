@@ -8,19 +8,26 @@
 //! * input gradient:     `dx = dy · Wᵀ`        — [`Tensor::matmul_nt`]
 //!
 //! The kernels are k-blocked and register-tiled safe Rust: the `·` and `ᵀ·`
-//! variants stream four `k`-slices per pass over the output row (so the
-//! output row is loaded/stored once per four rank-1 updates and the inner
-//! loop autovectorises over `n`), while the `·ᵀ` variant computes four
-//! output columns per pass with four independent dot-product accumulators
-//! (instruction-level parallelism across the chains).
+//! variants process **four output rows × sixty-four output columns** per
+//! block (four independent accumulator chains per column vector, so the
+//! inner loop autovectorises over `n` with instruction-level parallelism
+//! across rows) and stream four `k`-slices of `b` per pass.
+//! Row-blocking is what makes the kernels cache-friendly: `b` is re-read
+//! once per four output rows instead of once per row, which matters on
+//! machines where these GEMMs are L2-bandwidth-bound. The `·ᵀ` variant
+//! computes four output columns per pass with four independent dot-product
+//! accumulators (instruction-level parallelism across the chains).
 //!
 //! **Bit-exactness contract:** every output element is reduced with a
-//! single accumulator in ascending-`k` order, exactly like the textbook
-//! three-loop kernel — tiling changes memory traffic, not the sequence of
-//! float operations per element. Training trajectories on finite values
-//! are therefore bit-identical to the naive kernels (the golden-trace
-//! regression test in the simulator crate relies on this); inputs that
-//! have already diverged to inf/NaN carry no bit contract.
+//! single accumulator in ascending-`k` order via fused multiply-add
+//! (`f32::mul_add`, one rounding per term instead of two — strictly more
+//! accurate than separate multiply/add) — tiling changes memory traffic,
+//! not the sequence of float operations per element. Training
+//! trajectories on finite values are therefore bit-identical to the
+//! FMA-folded textbook three-loop kernel at any vector width and on any
+//! machine with hardware FMA (the golden-trace regression test in the
+//! simulator crate relies on this); inputs that have already diverged to
+//! inf/NaN carry no bit contract.
 //!
 //! The `*_into` free functions are the allocation-free entry points used by
 //! the `nn` layer workspaces; the `Tensor` methods wrap them with a fresh
@@ -38,8 +45,18 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     check_len("a", a.len(), m, k);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
-    out.fill(0.0);
-    for i in 0..m {
+    let mut i = 0;
+    while i + MR <= m {
+        let out_rows = &mut out[i * n..(i + MR) * n];
+        // Row `r` of the block reads `a[(i + r) * k + kk]`: row step `k`,
+        // element stride 1.
+        accumulate_rows::<MR>(a, b, out_rows, k, n, i * k, k, 1);
+        i += MR;
+    }
+    // The blocked core overwrites its rows; only the remainder rows (which
+    // `accumulate_row` accumulates into) need pre-zeroing.
+    out[i * n..].fill(0.0);
+    for i in i..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         accumulate_row(a_row, b, out_row, k, n, 1, 0);
@@ -56,8 +73,16 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize,
     check_len("a", a.len(), k, m);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
-    out.fill(0.0);
-    for i in 0..m {
+    let mut i = 0;
+    while i + MR <= m {
+        let out_rows = &mut out[i * n..(i + MR) * n];
+        // Row `r` of the block reads column `i + r` of `a`: row step 1,
+        // element stride `m` (adjacent columns share cache lines).
+        accumulate_rows::<MR>(a, b, out_rows, k, n, i, 1, m);
+        i += MR;
+    }
+    out[i * n..].fill(0.0);
+    for i in i..m {
         let out_row = &mut out[i * n..(i + 1) * n];
         // Column `i` of `a`, strided by `m`.
         accumulate_row(a, b, out_row, k, n, m, i);
@@ -82,11 +107,12 @@ thread_local! {
 /// For enough output rows (`m ≥ 8`), `b` is first transposed into a
 /// reused thread-local scratch so the inner loops become the same
 /// autovectorized rank-1 updates as [`matmul_into`]; either path reduces
-/// each output element with a single accumulator in ascending-`k` order,
-/// so results are bit-identical **for finite inputs**. (The transposed
-/// path skips all-zero `a` blocks, which is exact for finite `b` but
-/// would turn a `0·inf = NaN` into a skipped term; a run whose values
-/// have diverged to inf/NaN has no meaningful bit contract either way.)
+/// each output element with a single fused-multiply-add accumulator in
+/// ascending-`k` order, so results are bit-identical **for finite
+/// inputs**. (The transposed path skips all-zero `a` blocks, which is
+/// exact for finite `b` but would turn a `0·inf = NaN` into a skipped
+/// term; a run whose values have diverged to inf/NaN has no meaningful
+/// bit contract either way.)
 ///
 /// # Panics
 ///
@@ -105,8 +131,14 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
                     bt[kk * n + j] = v;
                 }
             }
-            out.fill(0.0);
-            for i in 0..m {
+            let mut i = 0;
+            while i + MR <= m {
+                let out_rows = &mut out[i * n..(i + MR) * n];
+                accumulate_rows::<MR>(a, &bt, out_rows, k, n, i * k, k, 1);
+                i += MR;
+            }
+            out[i * n..].fill(0.0);
+            for i in i..m {
                 let a_row = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[i * n..(i + 1) * n];
                 accumulate_row(a_row, &bt, out_row, k, n, 1, 0);
@@ -127,10 +159,10 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
             let b3 = &b[(j + 3) * k..(j + 4) * k];
             let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
             for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 += av * v0;
-                s1 += av * v1;
-                s2 += av * v2;
-                s3 += av * v3;
+                s0 = av.mul_add(v0, s0);
+                s1 = av.mul_add(v1, s1);
+                s2 = av.mul_add(v2, s2);
+                s3 = av.mul_add(v3, s3);
             }
             out_row[j] = s0;
             out_row[j + 1] = s1;
@@ -142,9 +174,130 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
             let b_row = &b[jr * k..(jr + 1) * k];
             let mut acc = 0.0f32;
             for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+                acc = av.mul_add(bv, acc);
             }
             *o = acc;
+        }
+    }
+}
+
+/// Output rows per register block of [`accumulate_rows`] for wide outputs.
+const MR: usize = 4;
+/// Output columns per block of [`accumulate_rows`]. Wider than the
+/// register file on purpose: the accumulator tile lives in L1 while the
+/// four `a` broadcasts and the streaming `b` rows are amortised over 64
+/// columns per pass, which measured fastest on both AVX2 and AVX-512
+/// hosts (128 tips into a spill storm, 16/32 pay more broadcast traffic
+/// per FMA).
+const NB: usize = 64;
+
+/// Four-output-row register-blocked core shared by [`matmul_into`],
+/// [`matmul_tn_into`] and the transposed [`matmul_nt_into`] path.
+///
+/// Row `r` of the block reads its `k`-th element at
+/// `a[a_offset + r·a_row_step + kk·a_stride]`; `out4` holds the block's
+/// four output rows contiguously (`4·n` values, already zeroed).
+///
+/// Per output element this performs the **same float sequence** as
+/// [`accumulate_row`]: a single accumulator updated in ascending-`k`
+/// order, four `k`-slices per pass. Unlike the one-row path it does *not*
+/// test `a` blocks for zero: for finite `b` the skipped update would be
+/// the exact identity either way (`acc` can never be `-0.0`, see the
+/// argument in [`accumulate_row`]), and in the four-row block the scalar
+/// load/compare/branch per row costs more than the occasional skipped
+/// multiply saves. Blocking changes which elements are computed together —
+/// never the per-element operation order — so results remain bit-identical
+/// to the naive kernel.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_rows<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    out4: &mut [f32],
+    k: usize,
+    n: usize,
+    a_offset: usize,
+    a_row_step: usize,
+    a_stride: usize,
+) {
+    debug_assert_eq!(out4.len(), R * n);
+    let mut j0 = 0;
+    while j0 + NB <= n {
+        let mut acc = [[0.0f32; NB]; R];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let b0 = &b[kk * n + j0..kk * n + j0 + NB];
+            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + NB];
+            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + NB];
+            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + NB];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let base = a_offset + r * a_row_step + kk * a_stride;
+                let a0 = a[base];
+                let a1 = a[base + a_stride];
+                let a2 = a[base + 2 * a_stride];
+                let a3 = a[base + 3 * a_stride];
+                for j in 0..NB {
+                    let mut t = accr[j];
+                    t = a0.mul_add(b0[j], t);
+                    t = a1.mul_add(b1[j], t);
+                    t = a2.mul_add(b2[j], t);
+                    t = a3.mul_add(b3[j], t);
+                    accr[j] = t;
+                }
+            }
+            kk += 4;
+        }
+        for kr in kk..k {
+            let b_row = &b[kr * n + j0..kr * n + j0 + NB];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[a_offset + r * a_row_step + kr * a_stride];
+                for (o, &bv) in accr.iter_mut().zip(b_row) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out4[r * n + j0..r * n + j0 + NB].copy_from_slice(accr);
+        }
+        j0 += NB;
+    }
+    if j0 < n {
+        // Column tail: same ordering with runtime-length slices.
+        let nb = n - j0;
+        let mut acc = [[0.0f32; NB]; R];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let b0 = &b[kk * n + j0..kk * n + j0 + nb];
+            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + nb];
+            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + nb];
+            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + nb];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let base = a_offset + r * a_row_step + kk * a_stride;
+                let a0 = a[base];
+                let a1 = a[base + a_stride];
+                let a2 = a[base + 2 * a_stride];
+                let a3 = a[base + 3 * a_stride];
+                for (j, t) in accr[..nb].iter_mut().enumerate() {
+                    let mut acc_v = *t;
+                    acc_v = a0.mul_add(b0[j], acc_v);
+                    acc_v = a1.mul_add(b1[j], acc_v);
+                    acc_v = a2.mul_add(b2[j], acc_v);
+                    acc_v = a3.mul_add(b3[j], acc_v);
+                    *t = acc_v;
+                }
+            }
+            kk += 4;
+        }
+        for kr in kk..k {
+            let b_row = &b[kr * n + j0..kr * n + j0 + nb];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[a_offset + r * a_row_step + kr * a_stride];
+                for (o, &bv) in accr[..nb].iter_mut().zip(b_row) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out4[r * n + j0..r * n + j0 + nb].copy_from_slice(&accr[..nb]);
         }
     }
 }
@@ -155,8 +308,9 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
 /// `a_offset` (stride 1 reads a contiguous row, stride `m` reads a column
 /// of a `[k, m]` matrix).
 ///
-/// Per output element the reduction is a single accumulator in ascending-k
-/// order, so results are bit-identical to the naive kernel.
+/// Per output element the reduction is a single fused-multiply-add
+/// accumulator in ascending-k order, so results are bit-identical to the
+/// FMA-folded naive kernel.
 #[inline]
 fn accumulate_row(
     a: &[f32],
@@ -187,10 +341,10 @@ fn accumulate_row(
         let b3 = &b[(kk + 3) * n..(kk + 4) * n];
         for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
             let mut acc = *o;
-            acc += a0 * v0;
-            acc += a1 * v1;
-            acc += a2 * v2;
-            acc += a3 * v3;
+            acc = a0.mul_add(v0, acc);
+            acc = a1.mul_add(v1, acc);
+            acc = a2.mul_add(v2, acc);
+            acc = a3.mul_add(v3, acc);
             *o = acc;
         }
         kk += 4;
@@ -202,7 +356,7 @@ fn accumulate_row(
         }
         let b_row = &b[kr * n..(kr + 1) * n];
         for (o, &bv) in out_row.iter_mut().zip(b_row) {
-            *o += av * bv;
+            *o = av.mul_add(bv, *o);
         }
     }
 }
@@ -308,7 +462,11 @@ impl Tensor {
         let mut out = vec![0.0f32; m];
         for i in 0..m {
             let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x.iter()).map(|(&av, &xv)| av * xv).sum();
+            // Same FMA-folded ascending-k reduction as the GEMM kernels.
+            out[i] = row
+                .iter()
+                .zip(x.iter())
+                .fold(0.0f32, |acc, (&av, &xv)| av.mul_add(xv, acc));
         }
         Tensor::from_slice(&out)
     }
@@ -332,7 +490,8 @@ mod tests {
         Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
     }
 
-    /// The textbook i-k-j kernel the tiled ones must match bit-for-bit.
+    /// The FMA-folded textbook i-k-j kernel the tiled ones must match
+    /// bit-for-bit (one `mul_add` per term, ascending `k`).
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
         let n = b.dims()[1];
@@ -341,7 +500,8 @@ mod tests {
             for kk in 0..k {
                 let av = a.as_slice()[i * k + kk];
                 for j in 0..n {
-                    out[i * n + j] += av * b.as_slice()[kk * n + j];
+                    let o = &mut out[i * n + j];
+                    *o = av.mul_add(b.as_slice()[kk * n + j], *o);
                 }
             }
         }
@@ -423,7 +583,20 @@ mod tests {
             seed ^= seed << 17;
             (seed >> 40) as f32 / 1e5 - 0.08
         };
-        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 4), (7, 13, 9), (32, 37, 10)] {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 4),
+            (7, 13, 9),
+            (32, 37, 10),
+            // Sizes exercising the 4-row register blocks: full 16-column
+            // blocks, column tails, row tails and k remainders.
+            (4, 6, 16),
+            (5, 6, 17),
+            (8, 9, 33),
+            (13, 16, 21),
+            (33, 31, 64),
+        ] {
             let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]).unwrap();
             let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]).unwrap();
             let tiled = a.matmul(&b);
