@@ -7,9 +7,9 @@
 //!
 //! * `reproduce_all_quick` — every figure/table/ablation/extension of the
 //!   reproduction, executed in-process by the run-parallel sweep engine
-//!   at quick scale (smoke scale under `--smoke`). The committed pre-PR-4
-//!   baseline for this scenario is the old driver: one sequential
-//!   subprocess per figure binary.
+//!   at quick scale (smoke scale under `--smoke`), with step counts,
+//!   simulated clock and peak payload bytes aggregated over the engine's
+//!   unique runs.
 //! * `fig09_vgg_adacomm_quick` — AdaComm on the communication-bound
 //!   VGG-16-like profile (Figure 9, fixed lr panel);
 //! * `fig10_resnet_adacomm_quick` — AdaComm on the computation-bound
@@ -25,8 +25,9 @@
 //!
 //! `--smoke` shrinks every simulated budget so CI can validate the JSON in
 //! seconds; `--baseline` embeds a previously recorded report (same schema)
-//! and computes per-scenario wall-clock speedups against it. See the
-//! README "Performance" section for the schema.
+//! and computes per-scenario wall-clock speedups against it — it defaults
+//! to the committed `crates/bench/baselines/pre_pr5.json` when that file
+//! exists. See the README "Performance" section for the schema.
 
 use adacomm::{AdaComm, AdaCommConfig, FixedComm, LrCoupling, LrSchedule};
 use adacomm_bench::figures::reproduce;
@@ -42,7 +43,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 4;
+const BENCH_ID: u32 = 5;
 
 /// One timed scenario.
 struct Measurement {
@@ -111,8 +112,11 @@ fn measure(name: &'static str, workers: usize, run: impl FnOnce() -> RunTrace) -
 }
 
 /// Times the whole in-process reproduction (the sweep engine's parallel
-/// path) and reports it in the shared scenario schema: `rounds` counts
-/// reproduced figures, `local_steps` counts unique simulation runs.
+/// path) and reports it in the shared scenario schema with *real*
+/// aggregates over the engine's memoized runs: `rounds` counts reproduced
+/// figures, while `local_steps` (per-worker steps summed across unique
+/// runs), `sim_clock_s` (summed simulated seconds) and
+/// `peak_payload_bytes` come from [`SweepEngine::run_stats`].
 fn measure_reproduce_all(smoke: bool) -> Measurement {
     let scale = if smoke { Scale::Smoke } else { Scale::Quick };
     println!("  reproduce_all_quick: running all figures in-process ({scale} scale)...");
@@ -123,21 +127,24 @@ fn measure_reproduce_all(smoke: bool) -> Measurement {
         failures.is_empty(),
         "reproduction figures failed during the perf run: {failures:?}"
     );
+    let stats = engine.run_stats();
     println!(
-        "  reproduce_all_quick: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs)",
+        "  reproduce_all_quick: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs, \
+         {} local steps simulated)",
         outcome.total_secs,
         outcome.sweep_secs,
         outcome.figures.len(),
-        outcome.unique_runs
+        stats.unique_runs,
+        stats.local_steps,
     );
     Measurement {
         name: "reproduce_all_quick",
         workers: 1,
         wall_clock_s: outcome.total_secs,
-        sim_clock_s: 0.0,
+        sim_clock_s: stats.sim_clock_secs,
         rounds: outcome.figures.len() as u64,
-        local_steps: outcome.unique_runs as u64,
-        peak_payload_bytes: 0.0,
+        local_steps: stats.local_steps,
+        peak_payload_bytes: stats.peak_payload_bytes,
         final_train_loss: 0.0,
     }
 }
@@ -223,8 +230,16 @@ fn main() -> std::io::Result<()> {
             .and_then(|i| args.get(i + 1))
             .map(PathBuf::from)
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| repo_root().join("BENCH_4.json"));
-    let baseline_path = flag_value("--baseline");
+    let out_path =
+        flag_value("--out").unwrap_or_else(|| repo_root().join(format!("BENCH_{BENCH_ID}.json")));
+    // Default to the committed pre-PR baseline so a plain `perf_suite` run
+    // reports speedups without extra flags. Smoke mode gets no default:
+    // its shrunken budgets make speedups against the full-scale baseline
+    // meaningless.
+    let baseline_path = flag_value("--baseline").or_else(|| {
+        let committed = repo_root().join("crates/bench/baselines/pre_pr5.json");
+        (!smoke && committed.exists()).then_some(committed)
+    });
     if smoke {
         // Keep the CI exercise away from the committed quick-scale CSVs.
         adacomm_bench::report::set_results_subdir("smoke");

@@ -3,7 +3,8 @@
 use crate::{Dataset, TrainTestSplit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tensor::Tensor;
+use rand_distr::{Distribution, Normal};
+use tensor::{matmul_nt_into, Tensor};
 
 /// Specification of a synthetic `k`-class Gaussian-mixture classification
 /// task.
@@ -142,25 +143,53 @@ impl GaussianMixture {
             None
         };
 
+        // Per-sample the old path drew noise, added the class mean, warped
+        // through a `dim x dim` matvec, and only then drew the label RNG
+        // values. The matvec made generation GEMM-shaped work executed as
+        // latency-bound row-at-a-time dot products — the dominant cost of
+        // building a scenario. The batched path below draws the *same RNG
+        // stream in the same order* (noise rows and label draws stay
+        // interleaved per sample; the warp uses no randomness) and then
+        // applies the warp to all rows at once through the packed
+        // `a · bᵀ` kernel, whose per-element reduction is the same
+        // ascending-index `mul_add` fold as `Tensor::matvec` — datasets
+        // are bit-identical to the per-sample path (regression test
+        // below).
+        let noise_dist = Normal::new(0.0, f64::from(self.noise_std)).expect("validated noise std");
         let make = |n: usize, noisy_labels: bool, rng: &mut StdRng| -> Dataset {
-            let mut feats = Vec::with_capacity(n * self.dim);
+            let mut feats = vec![0.0f32; n * self.dim];
             let mut labels = Vec::with_capacity(n);
-            for i in 0..n {
+            for (i, row) in feats.chunks_exact_mut(self.dim).enumerate() {
                 let class = i % self.num_classes;
-                let noise = Tensor::randn(&[self.dim], self.noise_std, rng);
-                let mut x = means[class].add(&noise);
-                if let Some(proj) = &warp_proj {
-                    let projected = proj.matvec(&x);
-                    let warped = projected.map(f32::sin);
-                    x.axpy(1.0, &warped);
+                let mean = means[class].as_slice();
+                for (x, &mu) in row.iter_mut().zip(mean) {
+                    // Same element order and float ops as
+                    // `means[class].add(&randn(..))`.
+                    *x = mu + noise_dist.sample(rng) as f32;
                 }
-                feats.extend_from_slice(x.as_slice());
                 let label = if noisy_labels && rng.gen::<f32>() < self.label_noise {
                     rng.gen_range(0..self.num_classes)
                 } else {
                     class
                 };
                 labels.push(label);
+            }
+            if let Some(proj) = &warp_proj {
+                // projected[s][i] = sum_j feats[s][j] * proj[i][j] — one
+                // GEMM for the whole set, bit-identical to per-row
+                // `proj.matvec(x)`.
+                let mut projected = vec![0.0f32; n * self.dim];
+                matmul_nt_into(
+                    &feats,
+                    proj.as_slice(),
+                    &mut projected,
+                    n,
+                    self.dim,
+                    self.dim,
+                );
+                for (x, &p) in feats.iter_mut().zip(&projected) {
+                    *x += p.sin();
+                }
             }
             Dataset::new(
                 Tensor::from_vec(feats, &[n, self.dim]).expect("volume matches"),
@@ -250,6 +279,80 @@ mod tests {
         }
         let acc = correct as f64 / split.test.len() as f64;
         assert!(acc > 0.9, "nearest-mean accuracy only {acc}");
+    }
+
+    /// The PR 4 per-sample generation loop, kept verbatim as the reference
+    /// the batched-warp path must reproduce bit for bit.
+    fn reference_generate(spec: &GaussianMixture, seed: u64) -> TrainTestSplit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut means = Vec::with_capacity(spec.num_classes);
+        for _ in 0..spec.num_classes {
+            let mut v = Tensor::randn(&[spec.dim], 1.0, &mut rng);
+            let norm = v.norm();
+            if norm > 0.0 {
+                v.scale(spec.separation / norm);
+            }
+            means.push(v);
+        }
+        let warp_proj = if spec.warp {
+            Some(Tensor::randn(
+                &[spec.dim, spec.dim],
+                1.0 / (spec.dim as f32).sqrt(),
+                &mut rng,
+            ))
+        } else {
+            None
+        };
+        let make = |n: usize, noisy_labels: bool, rng: &mut StdRng| -> Dataset {
+            let mut feats = Vec::with_capacity(n * spec.dim);
+            let mut labels = Vec::with_capacity(n);
+            for i in 0..n {
+                let class = i % spec.num_classes;
+                let noise = Tensor::randn(&[spec.dim], spec.noise_std, rng);
+                let mut x = means[class].add(&noise);
+                if let Some(proj) = &warp_proj {
+                    let projected = proj.matvec(&x);
+                    let warped = projected.map(f32::sin);
+                    x.axpy(1.0, &warped);
+                }
+                feats.extend_from_slice(x.as_slice());
+                let label = if noisy_labels && rng.gen::<f32>() < spec.label_noise {
+                    rng.gen_range(0..spec.num_classes)
+                } else {
+                    class
+                };
+                labels.push(label);
+            }
+            Dataset::new(
+                Tensor::from_vec(feats, &[n, spec.dim]).expect("volume matches"),
+                labels,
+                spec.num_classes,
+            )
+        };
+        let mut train = make(spec.train_size, true, &mut rng);
+        let test = make(spec.test_size, false, &mut rng);
+        train.shuffle(&mut rng);
+        TrainTestSplit { train, test }
+    }
+
+    #[test]
+    fn batched_warp_is_bit_identical_to_per_sample_reference() {
+        // Warped (the batched-GEMM path) and unwarped, with label noise,
+        // at a non-trivial size: the batched generator must reproduce the
+        // PR 4 per-sample loop exactly — same RNG stream, same floats.
+        for (mut spec, seed) in [
+            (GaussianMixture::small_test(), 11u64),
+            (GaussianMixture::small_test(), 12),
+        ] {
+            spec.warp = true;
+            spec.label_noise = 0.25;
+            spec.train_size = 64;
+            spec.test_size = 16;
+            let fast = spec.generate(seed);
+            let slow = reference_generate(&spec, seed);
+            assert_eq!(fast.train, slow.train, "train split diverged (seed {seed})");
+            assert_eq!(fast.test, slow.test, "test split diverged (seed {seed})");
+        }
     }
 
     #[test]

@@ -2,15 +2,142 @@
 //!
 //! Images travel through the network flattened row-major as `[c, h, w]`;
 //! each spatial layer carries its own input geometry, so no tensor-level
-//! NCHW machinery is needed. Convolution is implemented with im2col, the
-//! standard reformulation as a matrix product.
+//! NCHW machinery is needed. Convolution runs as **implicit GEMM**: the
+//! packed-panel GEMM driver in `tensor` asks a [`tensor::PackRhs`]
+//! implementation for one `NR`-wide panel of the im2col matrix at a time,
+//! and the packers here gather image patches straight into that reused
+//! packing scratch — no im2col matrix is ever materialised. The forward
+//! path therefore allocates nothing per call beyond its output tensor, and
+//! the backward cache is the compact input image (`c·h·w` per element)
+//! instead of the `c·k²·oh·ow` column matrix.
 
 use crate::Layer;
 use rand::Rng;
-use tensor::{matmul_into, matmul_nt_into, matmul_tn_into, Init, Tensor};
+use tensor::{gemm_rhs, matmul_tn_into, Init, PackRhs, Tensor};
 
 /// The `(channels, height, width)` geometry of a flattened image tensor.
 pub type ImageDims = (usize, usize, usize);
+
+/// The shared geometry of the implicit-GEMM packers: one flattened image
+/// plus the convolution shape.
+struct PatchGeometry<'a> {
+    dims: ImageDims,
+    out_hw: (usize, usize),
+    kernel: usize,
+    pad: usize,
+    img: &'a [f32],
+}
+
+impl PatchGeometry<'_> {
+    fn fan_in(&self) -> usize {
+        self.dims.0 * self.kernel * self.kernel
+    }
+
+    fn row_len(&self) -> usize {
+        self.out_hw.0 * self.out_hw.1
+    }
+
+    /// Splits a fan-in index into its `(channel, ky, kx)` coordinates.
+    fn kernel_coords(&self, f: usize) -> (usize, usize, usize) {
+        let per_ch = self.kernel * self.kernel;
+        (f / per_ch, (f % per_ch) / self.kernel, f % self.kernel)
+    }
+}
+
+/// The forward-path packer: logical row `kk = (ch, ky, kx)` and column
+/// `j =` output pixel of the im2col matrix (`[fan_in, oh·ow]`), gathered
+/// on demand. Row-major panel writes copy contiguous input-row runs, so
+/// packing one panel costs the same memory traffic as the corresponding
+/// im2col slice did — without the materialised matrix.
+struct PatchPack<'a>(PatchGeometry<'a>);
+
+impl PackRhs for PatchPack<'_> {
+    fn k(&self) -> usize {
+        self.0.fan_in()
+    }
+
+    fn n(&self) -> usize {
+        self.0.row_len()
+    }
+
+    fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]) {
+        let g = &self.0;
+        let (_, h, w) = g.dims;
+        let (_, ow) = g.out_hw;
+        let pad = g.pad as isize;
+        // Zero-fill once: padding positions and the column tail stay 0.
+        dst.fill(0.0);
+        for (kr, row) in dst.chunks_exact_mut(nr).enumerate() {
+            let (ch, ky, kx) = g.kernel_coords(kr);
+            // Walk the panel's pixels as runs sharing one output row `oy`;
+            // each run's in-bounds stretch is a single contiguous copy.
+            let mut jj = 0;
+            while jj < width {
+                let pixel = j0 + jj;
+                let (oy, ox0) = (pixel / ow, pixel % ow);
+                let run = (width - jj).min(ow - ox0);
+                let iy = oy as isize + ky as isize - pad;
+                if iy >= 0 && iy < h as isize {
+                    // ox in [ox_lo, ox_hi) keeps ix = ox + kx - pad inside
+                    // the image row.
+                    let ox_lo = (ox0 as isize).max(pad - kx as isize);
+                    let ox_hi = ((ox0 + run) as isize).min(w as isize + pad - kx as isize);
+                    if ox_hi > ox_lo {
+                        let ix0 = (ox_lo + kx as isize - pad) as usize;
+                        let len = (ox_hi - ox_lo) as usize;
+                        let src = ch * h * w + iy as usize * w + ix0;
+                        let at = jj + (ox_lo - ox0 as isize) as usize;
+                        row[at..at + len].copy_from_slice(&g.img[src..src + len]);
+                    }
+                }
+                jj += run;
+            }
+        }
+    }
+}
+
+/// The weight-gradient packer: the *transposed* im2col matrix
+/// (`[oh·ow, fan_in]` — row `kk =` output pixel, column `j = (ch, ky,
+/// kx)`), so `dW = dy · colᵀ` runs through the same implicit-GEMM entry.
+/// The reduction over pixels is in ascending pixel order, matching what
+/// `matmul_nt_into(dy, col, ..)` computed over the materialised matrix.
+struct PatchPackT<'a>(PatchGeometry<'a>);
+
+impl PackRhs for PatchPackT<'_> {
+    fn k(&self) -> usize {
+        self.0.row_len()
+    }
+
+    fn n(&self) -> usize {
+        self.0.fan_in()
+    }
+
+    fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]) {
+        let g = &self.0;
+        let (_, h, w) = g.dims;
+        let (oh, ow) = g.out_hw;
+        let pad = g.pad as isize;
+        dst.fill(0.0);
+        for jj in 0..width {
+            let (ch, ky, kx) = g.kernel_coords(j0 + jj);
+            // Column jj holds patch value (ch, ky, kx) for every output
+            // pixel; writes stride by `nr`, reads stay contiguous per row.
+            for oy in 0..oh {
+                let iy = oy as isize + ky as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let ox_lo = (pad - kx as isize).max(0);
+                let ox_hi = (w as isize + pad - kx as isize).min(ow as isize);
+                for ox in ox_lo..ox_hi {
+                    let ix = (ox + kx as isize - pad) as usize;
+                    dst[(oy * ow + ox as usize) * nr + jj] =
+                        g.img[ch * h * w + iy as usize * w + ix];
+                }
+            }
+        }
+    }
+}
 
 /// 3×3-style 2-D convolution with stride 1 and symmetric zero padding.
 ///
@@ -40,11 +167,13 @@ pub struct Conv2d {
     bias: Tensor,   // [c_out]
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_cols: Vec<Tensor>, // one im2col matrix per batch element, reused
+    // Compact backward cache: the training-mode input (reused across
+    // batches of the same shape), read back by the implicit-GEMM weight
+    // gradient. A factor c_in·k² smaller than the old per-element im2col
+    // cache.
+    cached_input: Option<Tensor>,
     // Per-layer workspaces reused across batches (steady-state the forward
     // and backward passes allocate only their returned tensors).
-    scratch_y: Vec<f32>,    // [c_out, oh*ow] GEMM output
-    scratch_dy: Vec<f32>,   // [c_out, oh*ow] one batch element's grad
     scratch_dw: Vec<f32>,   // [c_out, c_in*k*k] per-element dW
     scratch_dcol: Vec<f32>, // [c_in*k*k, oh*ow] dcol
 }
@@ -80,9 +209,7 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_channels]),
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
-            cached_cols: Vec::new(),
-            scratch_y: Vec::new(),
-            scratch_dy: Vec::new(),
+            cached_input: None,
             scratch_dw: Vec::new(),
             scratch_dcol: Vec::new(),
         }
@@ -98,23 +225,36 @@ impl Conv2d {
         )
     }
 
+    /// The patch geometry over one cached or incoming image.
+    fn geometry<'a>(&self, img: &'a [f32]) -> PatchGeometry<'a> {
+        let (_, oh, ow) = self.output_dims();
+        PatchGeometry {
+            dims: self.input_dims,
+            out_hw: (oh, ow),
+            kernel: self.kernel,
+            pad: self.pad,
+            img,
+        }
+    }
+
     /// The parameter-gradient half shared by `backward` and
-    /// `backward_param_only`: per batch element, `dW += dy·colᵀ` and
-    /// `db += row sums of dy` into the preallocated gradient buffers.
-    /// Returns the batch size.
+    /// `backward_param_only`: per batch element, `dW += dy·colᵀ` (via the
+    /// transposed patch packer) and `db += row sums of dy` into the
+    /// preallocated gradient buffers. Returns the batch size.
     ///
     /// # Panics
     ///
-    /// Panics if called before `forward` or the batch size changed.
+    /// Panics if called before a training-mode `forward` or the batch size
+    /// changed.
     fn accumulate_param_grads(&mut self, grad_out: &Tensor) -> usize {
-        assert!(
-            !self.cached_cols.is_empty(),
-            "backward called before forward"
-        );
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
         let batch = grad_out.dims()[0];
         assert_eq!(
             batch,
-            self.cached_cols.len(),
+            x.dims()[0],
             "batch size changed between forward and backward"
         );
         let (co, oh, ow) = self.output_dims();
@@ -123,18 +263,17 @@ impl Conv2d {
         let fan_in = c * self.kernel * self.kernel;
         self.grad_weight.fill_zero();
         self.grad_bias.fill_zero();
-        self.scratch_dy.resize(co * row_len, 0.0);
         self.scratch_dw.resize(co * fan_in, 0.0);
         for b in 0..batch {
-            self.scratch_dy.copy_from_slice(grad_out.row(b));
-            matmul_nt_into(
-                &self.scratch_dy,
-                self.cached_cols[b].as_slice(),
-                &mut self.scratch_dw,
-                co,
-                row_len,
-                fan_in,
-            );
+            let dy = grad_out.row(b);
+            let packer = PatchPackT(PatchGeometry {
+                dims: self.input_dims,
+                out_hw: (oh, ow),
+                kernel: self.kernel,
+                pad: self.pad,
+                img: x.row(b),
+            });
+            gemm_rhs(dy, &packer, &mut self.scratch_dw, co);
             for (gw, &dwv) in self
                 .grad_weight
                 .as_mut_slice()
@@ -144,49 +283,11 @@ impl Conv2d {
                 *gw += dwv;
             }
             for ch in 0..co {
-                let s: f32 = self.scratch_dy[ch * row_len..(ch + 1) * row_len]
-                    .iter()
-                    .sum();
+                let s: f32 = dy[ch * row_len..(ch + 1) * row_len].iter().sum();
                 self.grad_bias.as_mut_slice()[ch] += s;
             }
         }
         batch
-    }
-}
-
-/// im2col for one flattened image, written into the reused `col` buffer
-/// (`[c_in·k·k, out_h·out_w]`); padding positions are zero-filled first.
-fn im2col_into(
-    (c, h, w): ImageDims,
-    (oh, ow): (usize, usize),
-    k: usize,
-    pad: usize,
-    img: &[f32],
-    col: &mut [f32],
-) {
-    let pad = pad as isize;
-    let row_len = oh * ow;
-    col.fill(0.0);
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let col_row = (ch * k * k + ky * k + kx) * row_len;
-                for oy in 0..oh {
-                    let iy = oy as isize + ky as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = ox as isize + kx as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        col[col_row + oy * ow + ox] =
-                            img[ch * h * w + iy as usize * w + ix as usize];
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -226,7 +327,7 @@ fn col2im_into(
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (c, h, w) = self.input_dims;
         let flat = c * h * w;
         assert_eq!(
@@ -238,40 +339,27 @@ impl Layer for Conv2d {
         let batch = x.dims()[0];
         let (co, oh, ow) = self.output_dims();
         let row_len = oh * ow;
-        let fan_in = c * self.kernel * self.kernel;
-        // The im2col matrices double as the backward cache; reuse their
-        // buffers whenever the batch size is unchanged.
-        if self.cached_cols.len() != batch {
-            self.cached_cols = (0..batch)
-                .map(|_| Tensor::zeros(&[fan_in, row_len]))
-                .collect();
+        // Only backward reads the cache, so evaluation-mode forwards skip
+        // the copy entirely (the trace-point evaluation path is
+        // forward-only); same policy as `Dense`.
+        if train {
+            match &mut self.cached_input {
+                Some(cache) if cache.dims() == x.dims() => cache.copy_from(x),
+                cache => *cache = Some(x.clone()),
+            }
         }
-        self.scratch_y.resize(co * row_len, 0.0);
         let mut out = vec![0.0f32; batch * co * row_len];
         for b in 0..batch {
-            im2col_into(
-                self.input_dims,
-                (oh, ow),
-                self.kernel,
-                self.pad,
-                x.row(b),
-                self.cached_cols[b].as_mut_slice(),
-            );
-            // [c_out, k*k*c] · [k*k*c, oh*ow] = [c_out, oh*ow]
-            matmul_into(
-                self.weight.as_slice(),
-                self.cached_cols[b].as_slice(),
-                &mut self.scratch_y,
-                co,
-                fan_in,
-                row_len,
-            );
+            // [c_out, k*k*c] · [k*k*c, oh*ow] as implicit GEMM straight
+            // into the output rows: the packer reads the image patches
+            // directly, and the bias is added in place afterwards.
             let dst = &mut out[b * co * row_len..(b + 1) * co * row_len];
+            let packer = PatchPack(self.geometry(x.row(b)));
+            gemm_rhs(self.weight.as_slice(), &packer, dst, co);
             for ch in 0..co {
                 let bias = self.bias.at(ch);
-                let y_row = &self.scratch_y[ch * row_len..(ch + 1) * row_len];
-                for (o, &y) in dst[ch * row_len..(ch + 1) * row_len].iter_mut().zip(y_row) {
-                    *o = y + bias;
+                for o in dst[ch * row_len..(ch + 1) * row_len].iter_mut() {
+                    *o += bias;
                 }
             }
         }
@@ -288,10 +376,9 @@ impl Layer for Conv2d {
         let mut dx = vec![0.0f32; batch * c * h * w];
         for b in 0..batch {
             // dcol = W^T · dy, scattered back with col2im.
-            self.scratch_dy.copy_from_slice(grad_out.row(b));
             matmul_tn_into(
                 self.weight.as_slice(),
-                &self.scratch_dy,
+                grad_out.row(b),
                 &mut self.scratch_dcol,
                 co,
                 fan_in,
@@ -482,6 +569,89 @@ mod tests {
         assert_eq!(unpadded.output_dims(), (16, 6, 6));
     }
 
+    /// The packers must reproduce the materialised im2col matrix exactly:
+    /// `PatchPack` panel-by-panel and `PatchPackT` as its transpose.
+    #[test]
+    fn patch_packers_match_materialized_im2col() {
+        let dims: ImageDims = (2, 5, 4);
+        let (kernel, pad) = (3usize, 1usize);
+        let (oh, ow) = (5usize, 4usize);
+        let (c, h, w) = dims;
+        let img: Vec<f32> = (0..c * h * w).map(|i| i as f32 * 0.5 - 3.0).collect();
+        // Reference im2col, the PR 4 loop verbatim.
+        let fan_in = c * kernel * kernel;
+        let row_len = oh * ow;
+        let mut col = vec![0.0f32; fan_in * row_len];
+        let padi = pad as isize;
+        for ch in 0..c {
+            for ky in 0..kernel {
+                for kx in 0..kernel {
+                    let col_row = (ch * kernel * kernel + ky * kernel + kx) * row_len;
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - padi;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = ox as isize + kx as isize - padi;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            col[col_row + oy * ow + ox] =
+                                img[ch * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        let geometry = || PatchGeometry {
+            dims,
+            out_hw: (oh, ow),
+            kernel,
+            pad,
+            img: &img,
+        };
+        // Forward packer panels vs im2col columns, at an awkward width.
+        let nr = 7usize;
+        let packer = PatchPack(geometry());
+        let mut j0 = 0;
+        while j0 < row_len {
+            let width = nr.min(row_len - j0);
+            let mut panel = vec![f32::NAN; fan_in * nr];
+            packer.pack_panel(j0, width, nr, &mut panel);
+            for kk in 0..fan_in {
+                for jj in 0..nr {
+                    let want = if jj < width {
+                        col[kk * row_len + j0 + jj]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(panel[kk * nr + jj], want, "panel ({kk}, {j0}+{jj})");
+                }
+            }
+            j0 += width;
+        }
+        // Transposed packer panels vs im2col rows.
+        let packer_t = PatchPackT(geometry());
+        let mut f0 = 0;
+        while f0 < fan_in {
+            let width = nr.min(fan_in - f0);
+            let mut panel = vec![f32::NAN; row_len * nr];
+            packer_t.pack_panel(f0, width, nr, &mut panel);
+            for kk in 0..row_len {
+                for jj in 0..nr {
+                    let want = if jj < width {
+                        col[(f0 + jj) * row_len + kk]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(panel[kk * nr + jj], want, "t-panel ({kk}, {f0}+{jj})");
+                }
+            }
+            f0 += width;
+        }
+    }
+
     #[test]
     fn conv_gradients_match_finite_difference() {
         let mut rng = StdRng::seed_from_u64(2);
@@ -533,6 +703,14 @@ mod tests {
         for ch in 0..3 {
             assert!((gb.at(ch) - expected).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn conv_backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new((1, 4, 4), 1, 3, 1, &mut rng);
+        let _ = conv.backward(&Tensor::zeros(&[1, 16]));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Allocation-counting proof that the implicit-GEMM convolution forward
+//! path materialises no im2col matrices.
+//!
+//! A counting global allocator is armed around a steady-state training
+//! forward pass: the only heap traffic allowed is the returned output
+//! tensor (data + shape), which is several times smaller than one batch
+//! element's im2col matrix would be. This test lives alone in its own
+//! integration-test binary so no concurrently-running test can perturb
+//! the counters.
+
+use nn::{Conv2d, Layer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tensor::Tensor;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn conv_forward_allocates_only_its_output() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // fan_in = 4*3*3 = 36, output pixels = 64: one batch element's im2col
+    // matrix would be 36*64*4 = 9216 bytes; the whole batch's output is
+    // 8 rows * 8*64 floats * 4 = 16 KiB.
+    let batch = 8usize;
+    let (c, h, w, co) = (4usize, 8usize, 8usize, 8usize);
+    let mut conv = Conv2d::new((c, h, w), co, 3, 1, &mut rng);
+    let x = Tensor::randn(&[batch, c * h * w], 1.0, &mut rng);
+
+    // Warm every reused buffer: the backward cache clone, the GEMM output
+    // scratch, and the thread-local packing scratch.
+    let _ = conv.forward(&x, true);
+    let _ = conv.forward(&x, true);
+
+    ARMED.store(true, Ordering::SeqCst);
+    let y = conv.forward(&x, true);
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    let bytes = BYTES.load(Ordering::SeqCst);
+    assert_eq!(y.dims(), &[batch, co * 64]);
+
+    let out_bytes = (batch * co * 64 * 4) as u64;
+    let im2col_bytes = (c * 9 * 64 * 4) as u64; // per batch element
+                                                // The output tensor (data + shape vector) is the only allowed
+                                                // allocation; any materialised im2col matrix would at least double
+                                                // the byte count (batch * 9216 = 72 KiB vs 16 KiB output).
+    assert!(
+        allocs <= 4,
+        "steady-state conv forward made {allocs} allocations"
+    );
+    assert!(
+        bytes <= out_bytes + 1024,
+        "steady-state conv forward allocated {bytes} bytes \
+         (output is {out_bytes}, one im2col matrix would be {im2col_bytes})"
+    );
+}

@@ -37,7 +37,7 @@ mod tensor;
 pub use error::TensorError;
 pub use init::Init;
 pub use linalg::{average, weighted_average};
-pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+pub use matmul::{gemm_rhs, matmul_into, matmul_nt_into, matmul_tn_into, PackRhs};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,39 +1,411 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication kernels: a packed-panel GEMM with pack-on-demand
+//! operands.
 //!
-//! All four transpose combinations needed for dense-layer backpropagation are
-//! provided so callers never have to materialise an explicit transpose:
+//! All three transpose combinations needed for dense-layer backpropagation
+//! are provided so callers never have to materialise an explicit transpose:
 //!
 //! * forward:            `y = x · W`           — [`Tensor::matmul`]
 //! * weight gradient:    `dW = xᵀ · dy`        — [`Tensor::matmul_tn`]
 //! * input gradient:     `dx = dy · Wᵀ`        — [`Tensor::matmul_nt`]
 //!
-//! The kernels are k-blocked and register-tiled safe Rust: the `·` and `ᵀ·`
-//! variants process **four output rows × sixty-four output columns** per
-//! block (four independent accumulator chains per column vector, so the
-//! inner loop autovectorises over `n` with instruction-level parallelism
-//! across rows) and stream four `k`-slices of `b` per pass.
-//! Row-blocking is what makes the kernels cache-friendly: `b` is re-read
-//! once per four output rows instead of once per row, which matters on
-//! machines where these GEMMs are L2-bandwidth-bound. The `·ᵀ` variant
-//! computes four output columns per pass with four independent dot-product
-//! accumulators (instruction-level parallelism across the chains).
+//! # Packed-panel design
 //!
-//! **Bit-exactness contract:** every output element is reduced with a
-//! single accumulator in ascending-`k` order via fused multiply-add
-//! (`f32::mul_add`, one rounding per term instead of two — strictly more
-//! accurate than separate multiply/add) — tiling changes memory traffic,
-//! not the sequence of float operations per element. Training
-//! trajectories on finite values are therefore bit-identical to the
-//! FMA-folded textbook three-loop kernel at any vector width and on any
-//! machine with hardware FMA (the golden-trace regression test in the
-//! simulator crate relies on this); inputs that have already diverged to
-//! inf/NaN carry no bit contract.
+//! One register-blocked core ([`accumulate_panel`]) computes an
+//! `R × NB` output tile from four ascending-`k` slices per pass, with the
+//! row count `R ∈ {4, 2, 1}` and panel width `NB ∈ {64, 32, 16}` selected
+//! by dispatch so every output shape runs through constant-width loops
+//! (the PR 4 kernels fell back to a slow runtime-width tail for
+//! `n % 64 != 0`, which is every classifier head in the workspace).
+//! Operands are *packed on demand* into reused thread-local scratch:
 //!
-//! The `*_into` free functions are the allocation-free entry points used by
-//! the `nn` layer workspaces; the `Tensor` methods wrap them with a fresh
-//! output buffer.
+//! * **A micro-panels** — the `ᵀ·` entry packs the left operand into
+//!   `MR`-tall column-major micro-panels (`apack[bi·MR·k + kk·MR + r]`)
+//!   so the kernel's per-`k` reads are contiguous; the strided access
+//!   happens once, in the packer. Row-major left operands are read
+//!   directly — packing them would only relocate already-contiguous rows.
+//! * **B micro-panels** — the `·ᵀ` entry and any [`PackRhs`] implementor
+//!   pack the right operand into `NB`-wide row-major micro-panels
+//!   (`bpack[kk·NB + jj]`), zero-padded to width 16 on the final
+//!   sub-16 column tail. The [`PackRhs`] trait is what lets `nn`'s
+//!   convolution pack image patches *directly* (implicit GEMM) instead of
+//!   materialising an im2col matrix first; the PR 4 whole-matrix
+//!   transpose scratch for `·ᵀ` is subsumed by the transposed packer.
+//!   Row-major right operands are again read directly (full-width panels
+//!   are contiguous in place), so the plain `a · b` hot path packs
+//!   nothing but a possible column tail.
+//!
+//! # Bit-exactness contract
+//!
+//! Every output element is reduced with a **single accumulator in
+//! ascending-`k` order via fused multiply-add** (`f32::mul_add`, one
+//! rounding per term instead of two). Packing, panel dispatch and tiling
+//! change memory traffic — which elements are computed together, never
+//! the sequence of float operations per element — so results are
+//! bit-identical to the FMA-folded textbook three-loop kernel at any
+//! vector width, on any machine with hardware FMA, and (because each GEMM
+//! call is single-threaded with thread-local scratch) on any thread count
+//! or pool size. This is the same contract as the PR 4 register-blocked
+//! kernels: the packed rewrite preserves it exactly, so the golden-trace
+//! fixture in the simulator crate and every figure CSV are unchanged
+//! (verified by regenerating the fixture once — a byte-identical no-op).
+//! Inputs that have already diverged to inf/NaN carry no bit contract
+//! (zero-padded tail lanes can turn `0·inf` into `NaN` in *discarded*
+//! lanes only; valid elements never mix with padding).
+//!
+//! The `*_into` free functions are the allocation-free entry points used
+//! by the `nn` layer workspaces; the `Tensor` methods wrap them with a
+//! fresh output buffer. [`gemm_rhs`] exposes the driver over any
+//! [`PackRhs`] implementation for implicit-GEMM callers.
 
 use crate::{Result, Tensor, TensorError};
+use std::cell::RefCell;
+
+/// Output rows per A micro-panel (the tallest register-block height; row
+/// tails dispatch to 2- and 1-row instantiations of the same core).
+const MR: usize = 4;
+
+thread_local! {
+    /// Reused packing scratch `(apack, bpack)`; grows to the largest
+    /// operands seen on this thread, so steady-state GEMMs allocate
+    /// nothing.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// A right-hand GEMM operand that can pack itself into `NB`-wide column
+/// panels.
+///
+/// Implementations describe a *logical* row-major `[k, n]` matrix; the
+/// driver asks for one panel at a time. `nn`'s convolution implements
+/// this trait over raw image buffers so conv runs as implicit GEMM — the
+/// im2col gather happens inside `pack_panel`, straight into the reused
+/// packing scratch, and no column matrix is ever materialised.
+pub trait PackRhs {
+    /// Reduction length (logical row count).
+    fn k(&self) -> usize;
+    /// Output columns (logical column count).
+    fn n(&self) -> usize;
+    /// Packs columns `j0..j0 + width` into `dst` in panel layout: logical
+    /// element `(kk, j0 + jj)` lands at `dst[kk * nr + jj]`.
+    ///
+    /// `dst` has `k() * nr` slots; implementations must write **every**
+    /// slot (zero-filling the `width..nr` column pad) because the scratch
+    /// buffer is reused across calls.
+    fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]);
+}
+
+/// A plain row-major `[k, n]` slice as a [`PackRhs`] (used for column
+/// tails of direct operands).
+struct RowMajorRhs<'a> {
+    data: &'a [f32],
+    k: usize,
+    n: usize,
+}
+
+impl PackRhs for RowMajorRhs<'_> {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]) {
+        if width < nr {
+            dst.fill(0.0);
+        }
+        for kk in 0..self.k {
+            dst[kk * nr..kk * nr + width]
+                .copy_from_slice(&self.data[kk * self.n + j0..kk * self.n + j0 + width]);
+        }
+    }
+}
+
+/// A row-major `[n, k]` slice packed as its transpose (the `· bᵀ` case).
+struct TransposedRhs<'a> {
+    data: &'a [f32],
+    k: usize,
+    n: usize,
+}
+
+impl PackRhs for TransposedRhs<'_> {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]) {
+        if width < nr {
+            dst.fill(0.0);
+        }
+        // Read `b` rows contiguously, scatter into the panel at stride
+        // `nr`; this panel-sized transpose replaces the PR 4 whole-matrix
+        // scratch.
+        for (jj, row) in self.data[j0 * self.k..(j0 + width) * self.k]
+            .chunks_exact(self.k)
+            .enumerate()
+        {
+            for (kk, &v) in row.iter().enumerate() {
+                dst[kk * nr + jj] = v;
+            }
+        }
+    }
+}
+
+/// The register-blocked core: accumulates an `R × NB` output tile over
+/// the full reduction, four ascending-`k` slices per pass.
+///
+/// Addressing is fully parameterised so one body serves every operand
+/// mode: logical A element `(r, kk)` lives at
+/// `a[a_off + r·a_row_step + kk·a_stride]` (direct rows: step `k`,
+/// stride 1; packed micro-panels: step 1, stride `MR`) and logical B row
+/// `kk` starts at `b[b_off + kk·b_stride]` (direct: stride `n`; packed
+/// panel: stride `NB`). The first `w ≤ NB` tile columns are written to
+/// `out` rows at `out_off`/`out_stride`.
+///
+/// Per output element this performs a single-accumulator ascending-`k`
+/// FMA reduction — the entire bit-exactness contract lives in this loop.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn accumulate_panel<const R: usize, const NB: usize>(
+    a: &[f32],
+    a_off: usize,
+    a_row_step: usize,
+    a_stride: usize,
+    b: &[f32],
+    b_off: usize,
+    b_stride: usize,
+    k: usize,
+    out: &mut [f32],
+    out_off: usize,
+    out_stride: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f32; NB]; R];
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let b0 = &b[b_off + kk * b_stride..b_off + kk * b_stride + NB];
+        let b1 = &b[b_off + (kk + 1) * b_stride..b_off + (kk + 1) * b_stride + NB];
+        let b2 = &b[b_off + (kk + 2) * b_stride..b_off + (kk + 2) * b_stride + NB];
+        let b3 = &b[b_off + (kk + 3) * b_stride..b_off + (kk + 3) * b_stride + NB];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let base = a_off + r * a_row_step + kk * a_stride;
+            let a0 = a[base];
+            let a1 = a[base + a_stride];
+            let a2 = a[base + 2 * a_stride];
+            let a3 = a[base + 3 * a_stride];
+            for j in 0..NB {
+                let mut t = accr[j];
+                t = a0.mul_add(b0[j], t);
+                t = a1.mul_add(b1[j], t);
+                t = a2.mul_add(b2[j], t);
+                t = a3.mul_add(b3[j], t);
+                accr[j] = t;
+            }
+        }
+        kk += 4;
+    }
+    for kr in kk..k {
+        let b_row = &b[b_off + kr * b_stride..b_off + kr * b_stride + NB];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[a_off + r * a_row_step + kr * a_stride];
+            for (o, &bv) in accr.iter_mut().zip(b_row) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[out_off + r * out_stride..out_off + r * out_stride + w].copy_from_slice(&accr[..w]);
+    }
+}
+
+/// How the driver reads the left operand.
+#[derive(Clone, Copy)]
+enum AMode {
+    /// Row-major `[m, k]` rows read in place.
+    Direct,
+    /// `[k, m]` columns packed into `MR`-tall micro-panels first (`ᵀ·`).
+    Packed,
+}
+
+/// Runs the `R`-dispatch row loop over one column panel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_panel<const NB: usize>(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    a_mode: AMode,
+    b: &[f32],
+    b_off: usize,
+    b_stride: usize,
+    out: &mut [f32],
+    out_col: usize,
+    n: usize,
+    w: usize,
+) {
+    // Per-mode addressing of A row `i`: `a[off(i) + kk * stride]`.
+    let (row_step, stride) = match a_mode {
+        AMode::Direct => (k, 1),
+        AMode::Packed => (1, MR),
+    };
+    let block_off = |i: usize| match a_mode {
+        AMode::Direct => i * k,
+        // Packed panels are MR-tall even when fewer rows are valid; row
+        // `i` lives in panel `i / MR` at lane `i % MR`.
+        AMode::Packed => (i / MR) * MR * k + (i % MR),
+    };
+    let mut i = 0;
+    while i + 4 <= m {
+        accumulate_panel::<4, NB>(
+            a,
+            block_off(i),
+            row_step,
+            stride,
+            b,
+            b_off,
+            b_stride,
+            k,
+            out,
+            i * n + out_col,
+            n,
+            w,
+        );
+        i += 4;
+    }
+    if m - i >= 2 {
+        accumulate_panel::<2, NB>(
+            a,
+            block_off(i),
+            row_step,
+            stride,
+            b,
+            b_off,
+            b_stride,
+            k,
+            out,
+            i * n + out_col,
+            n,
+            w,
+        );
+        i += 2;
+    }
+    if m - i == 1 {
+        accumulate_panel::<1, NB>(
+            a,
+            block_off(i),
+            row_step,
+            stride,
+            b,
+            b_off,
+            b_stride,
+            k,
+            out,
+            i * n + out_col,
+            n,
+            w,
+        );
+    }
+}
+
+/// Width class for the next column panel of `rem` remaining columns.
+#[inline]
+fn panel_nb(rem: usize) -> usize {
+    if rem >= 64 {
+        64
+    } else if rem >= 32 {
+        32
+    } else {
+        16
+    }
+}
+
+/// The packed-panel driver shared by every entry point.
+///
+/// `direct_b` supplies the raw row-major slice when the right operand can
+/// be read in place (only its sub-16 column tail is packed); otherwise
+/// every panel is packed through `rhs`. The left operand is packed first
+/// when `a_mode` is [`AMode::Packed`].
+fn gemm_driver<P: PackRhs + ?Sized>(
+    a: &[f32],
+    m: usize,
+    a_mode: AMode,
+    rhs: &P,
+    direct_b: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let k = rhs.k();
+    let n = rhs.n();
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let n_full = n - n % 16;
+    let tail = n % 16;
+    PACK_SCRATCH.with(|scratch| {
+        let (apack, bpack) = &mut *scratch.borrow_mut();
+        let a = match a_mode {
+            AMode::Direct => a,
+            AMode::Packed => {
+                // `a` is `[k, m]`; panel `bi` holds its columns
+                // `bi·MR..bi·MR + h` (`h ≤ MR`) at `[kk·MR + r]`. Lanes
+                // beyond `h` are never read (the row dispatch stops at
+                // `m`), so they may hold stale scratch.
+                apack.resize(m.div_ceil(MR) * MR * k, 0.0);
+                for (bi, panel) in apack.chunks_exact_mut(MR * k).enumerate() {
+                    let i0 = bi * MR;
+                    let h = MR.min(m - i0);
+                    for kk in 0..k {
+                        panel[kk * MR..kk * MR + h]
+                            .copy_from_slice(&a[kk * m + i0..kk * m + i0 + h]);
+                    }
+                }
+                apack.as_slice()
+            }
+        };
+        // One reused panel buffer for everything the compute loop cannot
+        // read in place (logical-only rhs panels and the padded column
+        // tail): each panel is packed right before it is consumed, so the
+        // scratch footprint stays one k x NB panel — no full column
+        // matrix is ever materialised, for any rhs.
+        if direct_b.is_none() || tail > 0 {
+            bpack.resize(k * 64, 0.0);
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            // Full-width panels over n_full, then one zero-padded sub-16
+            // tail panel covering the last `tail` columns.
+            let (nb, w) = if j0 < n_full {
+                let nb = panel_nb(n_full - j0);
+                (nb, nb)
+            } else {
+                (16, tail)
+            };
+            let (b, b_off, b_stride) = match direct_b {
+                Some(raw) if w == nb => (raw, j0, n),
+                _ => {
+                    let panel = &mut bpack[..k * nb];
+                    rhs.pack_panel(j0, w, nb, panel);
+                    (&*panel, 0, nb)
+                }
+            };
+            match nb {
+                64 => run_panel::<64>(a, m, k, a_mode, b, b_off, b_stride, out, j0, n, w),
+                32 => run_panel::<32>(a, m, k, a_mode, b, b_off, b_stride, out, j0, n, w),
+                _ => run_panel::<16>(a, m, k, a_mode, b, b_off, b_stride, out, j0, n, w),
+            }
+            j0 += w;
+        }
+    });
+}
 
 /// Writes `a · b` into `out` for row-major `a: [m, k]`, `b: [k, n]`,
 /// `out: [m, n]`, overwriting `out` entirely.
@@ -45,22 +417,14 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     check_len("a", a.len(), m, k);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
-    let mut i = 0;
-    while i + MR <= m {
-        let out_rows = &mut out[i * n..(i + MR) * n];
-        // Row `r` of the block reads `a[(i + r) * k + kk]`: row step `k`,
-        // element stride 1.
-        accumulate_rows::<MR>(a, b, out_rows, k, n, i * k, k, 1);
-        i += MR;
-    }
-    // The blocked core overwrites its rows; only the remainder rows (which
-    // `accumulate_row` accumulates into) need pre-zeroing.
-    out[i * n..].fill(0.0);
-    for i in i..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        accumulate_row(a_row, b, out_row, k, n, 1, 0);
-    }
+    gemm_driver(
+        a,
+        m,
+        AMode::Direct,
+        &RowMajorRhs { data: b, k, n },
+        Some(b),
+        out,
+    );
 }
 
 /// Writes `aᵀ · b` into `out` for row-major `a: [k, m]`, `b: [k, n]`,
@@ -73,46 +437,18 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize,
     check_len("a", a.len(), k, m);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
-    let mut i = 0;
-    while i + MR <= m {
-        let out_rows = &mut out[i * n..(i + MR) * n];
-        // Row `r` of the block reads column `i + r` of `a`: row step 1,
-        // element stride `m` (adjacent columns share cache lines).
-        accumulate_rows::<MR>(a, b, out_rows, k, n, i, 1, m);
-        i += MR;
-    }
-    out[i * n..].fill(0.0);
-    for i in i..m {
-        let out_row = &mut out[i * n..(i + 1) * n];
-        // Column `i` of `a`, strided by `m`.
-        accumulate_row(a, b, out_row, k, n, m, i);
-    }
-}
-
-/// Below this many output rows the `·ᵀ` kernel uses direct dot products;
-/// at or above it, transposing `b` once (into a reused thread-local
-/// scratch) is amortised and the vectorizable rank-1 kernel takes over.
-const NT_TRANSPOSE_MIN_ROWS: usize = 8;
-
-thread_local! {
-    /// Reused transpose scratch for [`matmul_nt_into`]; grows to the
-    /// largest `k·n` seen on this thread, so steady-state GEMMs allocate
-    /// nothing.
-    static NT_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    gemm_driver(
+        a,
+        m,
+        AMode::Packed,
+        &RowMajorRhs { data: b, k, n },
+        Some(b),
+        out,
+    );
 }
 
 /// Writes `a · bᵀ` into `out` for row-major `a: [m, k]`, `b: [n, k]`,
 /// `out: [m, n]`, overwriting `out` entirely.
-///
-/// For enough output rows (`m ≥ 8`), `b` is first transposed into a
-/// reused thread-local scratch so the inner loops become the same
-/// autovectorized rank-1 updates as [`matmul_into`]; either path reduces
-/// each output element with a single fused-multiply-add accumulator in
-/// ascending-`k` order, so results are bit-identical **for finite
-/// inputs**. (The transposed path skips all-zero `a` blocks, which is
-/// exact for finite `b` but would turn a `0·inf = NaN` into a skipped
-/// term; a run whose values have diverged to inf/NaN has no meaningful
-/// bit contract either way.)
 ///
 /// # Panics
 ///
@@ -121,244 +457,30 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
     check_len("a", a.len(), m, k);
     check_len("b", b.len(), n, k);
     check_len("out", out.len(), m, n);
-    if m >= NT_TRANSPOSE_MIN_ROWS && k > 0 && n > 0 {
-        NT_SCRATCH.with(|scratch| {
-            let mut bt = scratch.borrow_mut();
-            bt.resize(k * n, 0.0);
-            for j in 0..n {
-                let b_row = &b[j * k..(j + 1) * k];
-                for (kk, &v) in b_row.iter().enumerate() {
-                    bt[kk * n + j] = v;
-                }
-            }
-            let mut i = 0;
-            while i + MR <= m {
-                let out_rows = &mut out[i * n..(i + MR) * n];
-                accumulate_rows::<MR>(a, &bt, out_rows, k, n, i * k, k, 1);
-                i += MR;
-            }
-            out[i * n..].fill(0.0);
-            for i in i..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                accumulate_row(a_row, &bt, out_row, k, n, 1, 0);
-            }
-        });
-        return;
-    }
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0;
-        // Four output columns per pass: four independent single-accumulator
-        // dot products over ascending k.
-        while j + 4 <= n {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 = av.mul_add(v0, s0);
-                s1 = av.mul_add(v1, s1);
-                s2 = av.mul_add(v2, s2);
-                s3 = av.mul_add(v3, s3);
-            }
-            out_row[j] = s0;
-            out_row[j + 1] = s1;
-            out_row[j + 2] = s2;
-            out_row[j + 3] = s3;
-            j += 4;
-        }
-        for (jr, o) in out_row.iter_mut().enumerate().skip(j) {
-            let b_row = &b[jr * k..(jr + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc = av.mul_add(bv, acc);
-            }
-            *o = acc;
-        }
-    }
+    gemm_driver(
+        a,
+        m,
+        AMode::Direct,
+        &TransposedRhs { data: b, k, n },
+        None,
+        out,
+    );
 }
 
-/// Output rows per register block of [`accumulate_rows`] for wide outputs.
-const MR: usize = 4;
-/// Output columns per block of [`accumulate_rows`]. Wider than the
-/// register file on purpose: the accumulator tile lives in L1 while the
-/// four `a` broadcasts and the streaming `b` rows are amortised over 64
-/// columns per pass, which measured fastest on both AVX2 and AVX-512
-/// hosts (128 tips into a spill storm, 16/32 pay more broadcast traffic
-/// per FMA).
-const NB: usize = 64;
-
-/// Four-output-row register-blocked core shared by [`matmul_into`],
-/// [`matmul_tn_into`] and the transposed [`matmul_nt_into`] path.
+/// Writes `a · rhs` into `out` for row-major `a: [m, rhs.k()]` and any
+/// packable right-hand operand — the implicit-GEMM entry point (`nn`'s
+/// convolution packs image patches through this).
 ///
-/// Row `r` of the block reads its `k`-th element at
-/// `a[a_offset + r·a_row_step + kk·a_stride]`; `out4` holds the block's
-/// four output rows contiguously (`4·n` values, already zeroed).
+/// Same bit-exactness contract as [`matmul_into`]: the reduction over
+/// `rhs.k()` is a single FMA accumulator in ascending order.
 ///
-/// Per output element this performs the **same float sequence** as
-/// [`accumulate_row`]: a single accumulator updated in ascending-`k`
-/// order, four `k`-slices per pass. Unlike the one-row path it does *not*
-/// test `a` blocks for zero: for finite `b` the skipped update would be
-/// the exact identity either way (`acc` can never be `-0.0`, see the
-/// argument in [`accumulate_row`]), and in the four-row block the scalar
-/// load/compare/branch per row costs more than the occasional skipped
-/// multiply saves. Blocking changes which elements are computed together —
-/// never the per-element operation order — so results remain bit-identical
-/// to the naive kernel.
-#[allow(clippy::too_many_arguments)]
-fn accumulate_rows<const R: usize>(
-    a: &[f32],
-    b: &[f32],
-    out4: &mut [f32],
-    k: usize,
-    n: usize,
-    a_offset: usize,
-    a_row_step: usize,
-    a_stride: usize,
-) {
-    debug_assert_eq!(out4.len(), R * n);
-    let mut j0 = 0;
-    while j0 + NB <= n {
-        let mut acc = [[0.0f32; NB]; R];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let b0 = &b[kk * n + j0..kk * n + j0 + NB];
-            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + NB];
-            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + NB];
-            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + NB];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let base = a_offset + r * a_row_step + kk * a_stride;
-                let a0 = a[base];
-                let a1 = a[base + a_stride];
-                let a2 = a[base + 2 * a_stride];
-                let a3 = a[base + 3 * a_stride];
-                for j in 0..NB {
-                    let mut t = accr[j];
-                    t = a0.mul_add(b0[j], t);
-                    t = a1.mul_add(b1[j], t);
-                    t = a2.mul_add(b2[j], t);
-                    t = a3.mul_add(b3[j], t);
-                    accr[j] = t;
-                }
-            }
-            kk += 4;
-        }
-        for kr in kk..k {
-            let b_row = &b[kr * n + j0..kr * n + j0 + NB];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let av = a[a_offset + r * a_row_step + kr * a_stride];
-                for (o, &bv) in accr.iter_mut().zip(b_row) {
-                    *o = av.mul_add(bv, *o);
-                }
-            }
-        }
-        for (r, accr) in acc.iter().enumerate() {
-            out4[r * n + j0..r * n + j0 + NB].copy_from_slice(accr);
-        }
-        j0 += NB;
-    }
-    if j0 < n {
-        // Column tail: same ordering with runtime-length slices.
-        let nb = n - j0;
-        let mut acc = [[0.0f32; NB]; R];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let b0 = &b[kk * n + j0..kk * n + j0 + nb];
-            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + nb];
-            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + nb];
-            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + nb];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let base = a_offset + r * a_row_step + kk * a_stride;
-                let a0 = a[base];
-                let a1 = a[base + a_stride];
-                let a2 = a[base + 2 * a_stride];
-                let a3 = a[base + 3 * a_stride];
-                for (j, t) in accr[..nb].iter_mut().enumerate() {
-                    let mut acc_v = *t;
-                    acc_v = a0.mul_add(b0[j], acc_v);
-                    acc_v = a1.mul_add(b1[j], acc_v);
-                    acc_v = a2.mul_add(b2[j], acc_v);
-                    acc_v = a3.mul_add(b3[j], acc_v);
-                    *t = acc_v;
-                }
-            }
-            kk += 4;
-        }
-        for kr in kk..k {
-            let b_row = &b[kr * n + j0..kr * n + j0 + nb];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let av = a[a_offset + r * a_row_step + kr * a_stride];
-                for (o, &bv) in accr[..nb].iter_mut().zip(b_row) {
-                    *o = av.mul_add(bv, *o);
-                }
-            }
-        }
-        for (r, accr) in acc.iter().enumerate() {
-            out4[r * n + j0..r * n + j0 + nb].copy_from_slice(&accr[..nb]);
-        }
-    }
-}
-
-/// Rank-1-update core shared by [`matmul_into`] and [`matmul_tn_into`]:
-/// accumulates `Σ_k a[k]·b[k, ·]` into `out_row`, streaming four `k`-slices
-/// of `b` per pass. `a` values are read at stride `a_stride` from offset
-/// `a_offset` (stride 1 reads a contiguous row, stride `m` reads a column
-/// of a `[k, m]` matrix).
+/// # Panics
 ///
-/// Per output element the reduction is a single fused-multiply-add
-/// accumulator in ascending-k order, so results are bit-identical to the
-/// FMA-folded naive kernel.
-#[inline]
-fn accumulate_row(
-    a: &[f32],
-    b: &[f32],
-    out_row: &mut [f32],
-    k: usize,
-    n: usize,
-    a_stride: usize,
-    a_offset: usize,
-) {
-    let mut kk = 0;
-    while kk + 4 <= k {
-        let a0 = a[a_offset + kk * a_stride];
-        let a1 = a[a_offset + (kk + 1) * a_stride];
-        let a2 = a[a_offset + (kk + 2) * a_stride];
-        let a3 = a[a_offset + (kk + 3) * a_stride];
-        // Skipping an all-zero block is exact: the accumulator can never be
-        // -0.0 (round-to-nearest never produces -0 from +0 + ±0), so adding
-        // the four ±0 products would be the identity. This keeps the
-        // ReLU-sparse forward passes cheap.
-        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
-            kk += 4;
-            continue;
-        }
-        let b0 = &b[kk * n..(kk + 1) * n];
-        let b1 = &b[(kk + 1) * n..(kk + 2) * n];
-        let b2 = &b[(kk + 2) * n..(kk + 3) * n];
-        let b3 = &b[(kk + 3) * n..(kk + 4) * n];
-        for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-            let mut acc = *o;
-            acc = a0.mul_add(v0, acc);
-            acc = a1.mul_add(v1, acc);
-            acc = a2.mul_add(v2, acc);
-            acc = a3.mul_add(v3, acc);
-            *o = acc;
-        }
-        kk += 4;
-    }
-    for kr in kk..k {
-        let av = a[a_offset + kr * a_stride];
-        if av == 0.0 {
-            continue;
-        }
-        let b_row = &b[kr * n..(kr + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-            *o = av.mul_add(bv, *o);
-        }
-    }
+/// Panics if `a` or `out` disagrees with `(m, rhs.k(), rhs.n())`.
+pub fn gemm_rhs<R: PackRhs + ?Sized>(a: &[f32], rhs: &R, out: &mut [f32], m: usize) {
+    check_len("a", a.len(), m, rhs.k());
+    check_len("out", out.len(), m, rhs.n());
+    gemm_driver(a, m, AMode::Direct, rhs, None, out);
 }
 
 fn check_len(name: &str, len: usize, rows: usize, cols: usize) {
@@ -490,7 +612,7 @@ mod tests {
         Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
     }
 
-    /// The FMA-folded textbook i-k-j kernel the tiled ones must match
+    /// The FMA-folded textbook i-k-j kernel the packed ones must match
     /// bit-for-bit (one `mul_add` per term, ascending `k`).
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -574,8 +696,21 @@ mod tests {
     }
 
     #[test]
-    fn tiled_kernels_are_bit_identical_to_naive() {
-        // Awkward sizes exercise every remainder path (k % 4, n % 4).
+    fn matmul_with_zero_k_is_all_zeros() {
+        // k = 0: the driver never runs the panel core and must still
+        // overwrite stale output with zeros.
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 5]);
+        let mut out = vec![7.0f32; 15];
+        matmul_into(a.as_slice(), b.as_slice(), &mut out, 3, 0, 5);
+        assert_eq!(out, vec![0.0; 15]);
+    }
+
+    #[test]
+    fn packed_kernels_are_bit_identical_to_naive() {
+        // Awkward sizes exercise every dispatch path: row tails (m % 4),
+        // each panel width class (64/32/16) and the padded sub-16 column
+        // tail, single-row (matvec-shaped) outputs, and k remainders.
         let mut seed = 0x2545_F491_4F6C_DD1Du64;
         let mut next = move || {
             seed ^= seed << 13;
@@ -585,23 +720,26 @@ mod tests {
         };
         for (m, k, n) in [
             (1, 1, 1),
+            (1, 37, 100),
             (3, 5, 7),
             (4, 8, 4),
             (7, 13, 9),
             (32, 37, 10),
-            // Sizes exercising the 4-row register blocks: full 16-column
-            // blocks, column tails, row tails and k remainders.
-            (4, 6, 16),
-            (5, 6, 17),
-            (8, 9, 33),
+            (8, 6, 32),
+            (9, 6, 33),
+            (8, 9, 64),
             (13, 16, 21),
             (33, 31, 64),
+            (6, 10, 96),
+            (5, 9, 112),
+            (16, 256, 40),
+            (2, 3, 130),
         ] {
             let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]).unwrap();
             let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]).unwrap();
-            let tiled = a.matmul(&b);
+            let packed = a.matmul(&b);
             let naive = naive_matmul(&a, &b);
-            assert_eq!(tiled.as_slice(), naive.as_slice(), "shape {m}x{k}x{n}");
+            assert_eq!(packed.as_slice(), naive.as_slice(), "shape {m}x{k}x{n}");
             // tn/nt agree with their transpose definitions bitwise too:
             // per-element single-accumulator ascending-k order all around.
             let at = a.transpose();
@@ -620,8 +758,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_blocks_are_skipped_exactly() {
-        // A ReLU-sparse left operand: whole k-blocks of zeros.
+    fn sparse_left_operand_matches_naive() {
+        // A ReLU-sparse left operand: whole k-blocks of zeros must reduce
+        // exactly like the dense path (zeros flow through the FMA chain).
         let mut a = Tensor::zeros(&[2, 8]);
         a.as_mut_slice()[5] = 2.0;
         a.as_mut_slice()[8] = -1.5;
@@ -648,6 +787,47 @@ mod tests {
         let mut out_tn = vec![3.5f32; 4];
         matmul_tn_into(b.as_slice(), a.as_slice(), &mut out_tn, 2, 2, 2);
         assert_eq!(out_tn, a.as_slice());
+    }
+
+    #[test]
+    fn gemm_rhs_matches_matmul_into() {
+        // The public implicit-GEMM entry over a custom packer is the same
+        // computation as matmul_into over the materialised matrix.
+        struct Plain {
+            data: Vec<f32>,
+            k: usize,
+            n: usize,
+        }
+        impl PackRhs for Plain {
+            fn k(&self) -> usize {
+                self.k
+            }
+            fn n(&self) -> usize {
+                self.n
+            }
+            fn pack_panel(&self, j0: usize, width: usize, nr: usize, dst: &mut [f32]) {
+                dst.fill(0.0);
+                for kk in 0..self.k {
+                    for jj in 0..width {
+                        dst[kk * nr + jj] = self.data[kk * self.n + j0 + jj];
+                    }
+                }
+            }
+        }
+        for (m, k, n) in [(5, 7, 37), (4, 9, 80), (1, 3, 16)] {
+            let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+            let rhs = Plain {
+                data: b.clone(),
+                k,
+                n,
+            };
+            let mut via_rhs = vec![0.0f32; m * n];
+            gemm_rhs(&a, &rhs, &mut via_rhs, m);
+            let mut direct = vec![1.0f32; m * n];
+            matmul_into(&a, &b, &mut direct, m, k, n);
+            assert_eq!(via_rhs, direct, "shape {m}x{k}x{n}");
+        }
     }
 
     #[test]
