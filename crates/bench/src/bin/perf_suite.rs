@@ -9,7 +9,13 @@
 //!   reproduction, executed in-process by the run-parallel sweep engine
 //!   at quick scale (smoke scale under `--smoke`), with step counts,
 //!   simulated clock and peak payload bytes aggregated over the engine's
-//!   unique runs.
+//!   unique runs. Runs against a freshly wiped run-store directory, so
+//!   it measures the cold path while populating the cache for:
+//! * `reproduce_all_warm` — the same reproduction again, served from the
+//!   persistent run store the cold scenario just wrote. The harness
+//!   asserts every engine run comes from disk (zero misses, zero
+//!   rejects); the wall-clock ratio against `reproduce_all_quick` is the
+//!   headline number for the store.
 //! * `fig09_vgg_adacomm_quick` — AdaComm on the communication-bound
 //!   VGG-16-like profile (Figure 9, fixed lr panel);
 //! * `fig10_resnet_adacomm_quick` — AdaComm on the computation-bound
@@ -26,14 +32,14 @@
 //! `--smoke` shrinks every simulated budget so CI can validate the JSON in
 //! seconds; `--baseline` embeds a previously recorded report (same schema)
 //! and computes per-scenario wall-clock speedups against it — it defaults
-//! to the committed `crates/bench/baselines/pre_pr5.json` when that file
+//! to the committed `crates/bench/baselines/pre_pr6.json` when that file
 //! exists. See the README "Performance" section for the schema.
 
 use adacomm::{AdaComm, AdaCommConfig, FixedComm, LrCoupling, LrSchedule};
 use adacomm_bench::figures::reproduce;
 use adacomm_bench::scenarios::{scenario, ModelFamily};
 use adacomm_bench::sweep::SweepEngine;
-use adacomm_bench::Scale;
+use adacomm_bench::{RunStore, Scale};
 use data::GaussianMixture;
 use gradcomp::CodecSpec;
 use nn::models;
@@ -43,7 +49,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 5;
+const BENCH_ID: u32 = 6;
 
 /// One timed scenario.
 struct Measurement {
@@ -117,10 +123,26 @@ fn measure(name: &'static str, workers: usize, run: impl FnOnce() -> RunTrace) -
 /// figures, while `local_steps` (per-worker steps summed across unique
 /// runs), `sim_clock_s` (summed simulated seconds) and
 /// `peak_payload_bytes` come from [`SweepEngine::run_stats`].
-fn measure_reproduce_all(smoke: bool) -> Measurement {
+///
+/// Cold mode (`warm == false`) wipes `cache_dir` first, so the timing is
+/// a true cold path that leaves a fully populated run store behind; warm
+/// mode re-runs against that store and asserts every engine run was
+/// served from disk.
+fn measure_reproduce_all(smoke: bool, cache_dir: &Path, warm: bool) -> Measurement {
     let scale = if smoke { Scale::Smoke } else { Scale::Quick };
-    println!("  reproduce_all_quick: running all figures in-process ({scale} scale)...");
-    let engine = SweepEngine::new();
+    let name = if warm {
+        "reproduce_all_warm"
+    } else {
+        "reproduce_all_quick"
+    };
+    if !warm {
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+    println!(
+        "  {name}: running all figures in-process ({scale} scale, {} run store)...",
+        if warm { "warm" } else { "cold" }
+    );
+    let engine = SweepEngine::new().with_store(RunStore::new(cache_dir));
     let outcome = reproduce(scale, &engine, None);
     let failures = outcome.failures();
     assert!(
@@ -128,17 +150,31 @@ fn measure_reproduce_all(smoke: bool) -> Measurement {
         "reproduction figures failed during the perf run: {failures:?}"
     );
     let stats = engine.run_stats();
+    let cache = engine.cache_stats();
+    if warm {
+        assert!(
+            cache.disk_hits > 0,
+            "warm reproduction took no disk hits: {cache:?}"
+        );
+        assert_eq!(
+            (cache.misses, cache.rejects),
+            (0, 0),
+            "warm reproduction re-simulated runs: {cache:?}"
+        );
+    }
     println!(
-        "  reproduce_all_quick: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs, \
-         {} local steps simulated)",
+        "  {name}: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs, \
+         {} local steps simulated; {} disk hits, {} misses)",
         outcome.total_secs,
         outcome.sweep_secs,
         outcome.figures.len(),
         stats.unique_runs,
         stats.local_steps,
+        cache.disk_hits,
+        cache.misses,
     );
     Measurement {
-        name: "reproduce_all_quick",
+        name,
         workers: 1,
         wall_clock_s: outcome.total_secs,
         sim_clock_s: stats.sim_clock_secs,
@@ -237,20 +273,25 @@ fn main() -> std::io::Result<()> {
     // its shrunken budgets make speedups against the full-scale baseline
     // meaningless.
     let baseline_path = flag_value("--baseline").or_else(|| {
-        let committed = repo_root().join("crates/bench/baselines/pre_pr5.json");
+        let committed = repo_root().join("crates/bench/baselines/pre_pr6.json");
         (!smoke && committed.exists()).then_some(committed)
     });
     if smoke {
         // Keep the CI exercise away from the committed quick-scale CSVs.
         adacomm_bench::report::set_results_subdir("smoke");
     }
+    // A dedicated store directory (wiped by the cold scenario) so the
+    // cold/warm pair never mixes with a reproduce_all cache the user may
+    // already have. Resolved after the --smoke redirect, like the CSVs.
+    let perf_cache = adacomm_bench::report::results_dir().join("perf_cache");
 
     println!(
         "perf_suite ({} mode) — timing the in-process reproduction + quick-scale scenarios",
         if smoke { "smoke" } else { "full" }
     );
     let measurements = [
-        measure_reproduce_all(smoke),
+        measure_reproduce_all(smoke, &perf_cache, false),
+        measure_reproduce_all(smoke, &perf_cache, true),
         measure("fig09_vgg_adacomm_quick", 4, || {
             adacomm_run(ModelFamily::VggLike, smoke)
         }),

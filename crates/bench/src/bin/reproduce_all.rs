@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p adacomm-bench --bin reproduce_all -- \
-//!     [--full|--smoke] [--only SUBSTR] [--sequential]
+//!     [--full|--smoke] [--only SUBSTR] [--sequential] [--no-cache]
 //! ```
 //!
 //! Unlike the old driver (which shelled out to the 21 standalone binaries
@@ -25,9 +25,15 @@
 //! * `--smoke` shrinks every simulated budget and redirects CSVs to
 //!   `results/smoke/`, so CI exercises the whole in-process path in
 //!   seconds without touching the committed quick-scale results.
+//! * The engine's memoization is **persistent**: traces land in the
+//!   content-addressed run store (`results/cache/`, or
+//!   `results/smoke/cache/` under `--smoke`) and a warm re-run serves
+//!   every cached run from disk — byte-identical CSVs in seconds instead
+//!   of minutes. `--no-cache` runs fully cold without reading or writing
+//!   the store; deleting the cache directory is always safe.
 
 use adacomm_bench::figures::reproduce;
-use adacomm_bench::{Scale, SweepEngine, Table};
+use adacomm_bench::{RunStore, Scale, SweepEngine, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,7 +64,13 @@ fn main() {
             .unwrap_or_default()
     );
 
-    let engine = SweepEngine::with_parallelism(parallel);
+    // Persistent memoization unless --no-cache: the store must be set up
+    // after the --smoke results redirect so a smoke cache never mixes
+    // with the quick-scale one.
+    let mut engine = SweepEngine::with_parallelism(parallel);
+    if !args.iter().any(|a| a == "--no-cache") {
+        engine = engine.with_store(RunStore::new(RunStore::default_dir()));
+    }
     let outcome = reproduce(scale, &engine, only.as_deref());
 
     if outcome.figures.is_empty() {
@@ -95,6 +107,21 @@ fn main() {
          (per-figure times overlap under the parallel engine)",
         outcome.sweep_secs, outcome.unique_runs, outcome.total_secs
     );
+    let cache = engine.cache_stats();
+    match engine.store() {
+        Some(store) => println!(
+            "run store ({}): {} disk hits, {} memory hits, {} misses, {} rejected entries",
+            store.dir().display(),
+            cache.disk_hits,
+            cache.mem_hits,
+            cache.misses,
+            cache.rejects
+        ),
+        None => println!(
+            "run store: disabled (--no-cache); {} memory hits, {} misses",
+            cache.mem_hits, cache.misses
+        ),
+    }
 
     let failures = outcome.failures();
     if failures.is_empty() {

@@ -5,7 +5,9 @@
 //! `results/`. This library holds the common pieces: the smoke/quick/full
 //! scale switch, canonical experiment scenarios, the declarative sweep
 //! engine that executes runs concurrently in-process ([`sweep`]), the
-//! figure registry ([`figures`]), and plain-text reporting.
+//! persistent content-addressed run store that memoizes traces across
+//! processes ([`store`]), the figure registry ([`figures`]), and
+//! plain-text reporting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,11 +17,13 @@ pub mod panel;
 pub mod report;
 pub mod scale;
 pub mod scenarios;
+pub mod store;
 pub mod sweep;
 
-pub use panel::{report_panel, save_panel_csv};
+pub use panel::{panel_csv, report_panel, save_panel_csv};
 pub use report::{ascii_series, write_csv, Table};
 pub use scale::Scale;
+pub use store::{CacheStats, LoadOutcome, RunStore};
 pub use sweep::{
     standard_panel_specs, LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec,
 };

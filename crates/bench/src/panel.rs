@@ -82,14 +82,12 @@ pub fn report_panel(title: &str, traces: &[RunTrace]) -> String {
     out
 }
 
-/// Saves a panel's traces as one CSV: columns
+/// Renders a panel's traces as one CSV string: columns
 /// `method, clock, iterations, epoch, train_loss, test_accuracy, tau, lr,
-/// comm_bytes`. Returns the written path.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error if the CSV cannot be written.
-pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<PathBuf> {
+/// comm_bytes`. A pure function of the traces — the cross-run
+/// bit-identity test byte-compares this rendering between a cold and a
+/// store-served reproduction.
+pub fn panel_csv(traces: &[RunTrace]) -> String {
     let mut csv =
         String::from("method,clock,iterations,epoch,train_loss,test_accuracy,tau,lr,comm_bytes\n");
     for t in traces {
@@ -109,5 +107,15 @@ pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<PathBu
             );
         }
     }
-    write_csv(name, &csv)
+    csv
+}
+
+/// Saves a panel's traces as one CSV (see [`panel_csv`] for the columns).
+/// Returns the written path.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the CSV cannot be written.
+pub fn save_panel_csv(name: &str, traces: &[RunTrace]) -> std::io::Result<PathBuf> {
+    write_csv(name, &panel_csv(traces))
 }

@@ -136,7 +136,10 @@ pub fn write_csv(name: &str, content: &str) -> io::Result<PathBuf> {
     Ok(path)
 }
 
-fn results_dir() -> PathBuf {
+/// The directory CSVs (and the run store) land in: `results/` at the
+/// workspace root, or `results/<subdir>/` after [`set_results_subdir`] —
+/// so a `--smoke` run's cache is isolated exactly like its CSVs.
+pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR points at crates/bench; the workspace root is two
     // levels up. Fall back to ./results when not run through cargo.
     let base = match std::env::var("CARGO_MANIFEST_DIR") {

@@ -1,0 +1,355 @@
+//! Persistent content-addressed run store: memoized [`RunTrace`]s on disk.
+//!
+//! The sweep engine already memoizes runs in memory for one process; this
+//! module extends that memoization across processes. Every entry is a
+//! single file under a cache directory (`results/cache/` by default),
+//! addressed by the FNV-1a hash of the spec's semantic key, holding the
+//! run's trace in the same explicit little-endian wire format the
+//! checkpoint layer uses ([`pasgd_sim::checkpoint::write_run_trace`]).
+//! Traces are bit-exact through the format, so a warm `reproduce_all`
+//! writes byte-identical CSVs without re-simulating anything.
+//!
+//! The store is paranoid by construction: a load re-validates the magic,
+//! the store format version, the code-semantics version, the full key
+//! echo (so a hash collision or a stale entry for a different spec can
+//! never be served), the payload length, and a CRC-32 of the payload
+//! before it decodes a single trace point — and the decode itself is the
+//! fully fallible checkpoint reader. Every failure mode degrades to
+//! [`LoadOutcome::Rejected`] with a reason; the engine then evicts the
+//! bad entry and recomputes. Nothing in this module panics on foreign
+//! bytes.
+//!
+//! Writes go through a temporary file in the same directory followed by
+//! an atomic rename, so a concurrently-read entry is always either the
+//! old complete frame or the new complete frame, never a torn prefix.
+
+use binio::{crc32, fnv1a64, ByteReader, ByteWriter};
+use pasgd_sim::checkpoint::{read_run_trace, write_run_trace};
+use pasgd_sim::RunTrace;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Layout version of the entry frame itself. Bump when the framing
+/// (header fields, checksum, payload encoding) changes shape.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Version of the *simulation semantics* behind the cached traces. Any
+/// change that can alter a trace for an unchanged spec key — optimizer
+/// math, RNG streams, delay sampling, codec behaviour, recording cadence
+/// — must bump this, which invalidates every existing entry at load
+/// time (they reject cleanly and recompute).
+pub const CODE_SEMANTICS_VERSION: u32 = 1;
+
+/// Entry frame magic: **A**da**C**omm **R**un **S**tore.
+const MAGIC: [u8; 4] = *b"ACRS";
+
+/// Outcome of [`RunStore::load`].
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// The entry existed, validated end-to-end, and decoded.
+    Hit(RunTrace),
+    /// No entry on disk for this key — the ordinary cold-cache case.
+    Absent,
+    /// An entry existed but failed validation (truncated, bit-flipped,
+    /// stale version, wrong key, unreadable). The reason says which
+    /// check failed; the caller recomputes.
+    Rejected(String),
+}
+
+/// Counters the engine keeps over its cache traffic, one count per
+/// distinct spec key for the hit/miss split (repeat requests for an
+/// already-resolved key count as memory hits regardless of where the
+/// first resolution came from).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the in-process memoization map.
+    pub mem_hits: usize,
+    /// Distinct keys whose first resolution was a validated disk entry.
+    pub disk_hits: usize,
+    /// Distinct keys that had to be simulated.
+    pub misses: usize,
+    /// Disk entries that failed validation and were evicted (each such
+    /// key is *also* counted as a miss once recomputed).
+    pub rejects: usize,
+}
+
+/// A content-addressed directory of serialized run traces.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// A store rooted at `dir`. The directory is created lazily on the
+    /// first successful save, so constructing a store never touches the
+    /// filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RunStore { dir: dir.into() }
+    }
+
+    /// The default store location: `cache/` under the active results
+    /// directory — `results/cache/` normally, `results/smoke/cache/`
+    /// after `--smoke` redirects results, so smoke runs never read or
+    /// pollute the real cache.
+    pub fn default_dir() -> PathBuf {
+        crate::report::results_dir().join("cache")
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry for `key` lives at: the FNV-1a 64-bit hash of
+    /// the key, in hex, with a `.run` extension. The full key is echoed
+    /// inside the frame, so hash collisions are detected at load time
+    /// rather than silently served.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.run", fnv1a64(key.as_bytes())))
+    }
+
+    /// Loads and validates the entry for `key`. Never panics: anything
+    /// short of a fully valid frame for exactly this key comes back as
+    /// [`LoadOutcome::Rejected`] (or [`LoadOutcome::Absent`] when no
+    /// file exists).
+    pub fn load(&self, key: &str) -> LoadOutcome {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            Err(e) => return LoadOutcome::Rejected(format!("unreadable entry: {e}")),
+        };
+        match decode_entry(&bytes, key) {
+            Ok(trace) => LoadOutcome::Hit(trace),
+            Err(reason) => LoadOutcome::Rejected(reason),
+        }
+    }
+
+    /// Serializes `trace` and installs it for `key` via a temp file and
+    /// an atomic rename, so concurrent readers always see a complete
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory, the temp file
+    /// or the rename fails. Callers treat a failed save as a non-event:
+    /// the run already happened, the cache just stays cold.
+    pub fn save(&self, key: &str, trace: &RunTrace) -> io::Result<PathBuf> {
+        let path = self.entry_path(key);
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            "{:016x}.tmp.{}",
+            fnv1a64(key.as_bytes()),
+            std::process::id()
+        ));
+        fs::write(&tmp, encode_entry(key, trace))?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes the entry for `key`, if any — how the engine clears a
+    /// rejected (corrupt or stale) entry so the recomputed trace can be
+    /// re-saved cleanly. Best-effort: removal errors are ignored.
+    pub fn evict(&self, key: &str) {
+        let _ = fs::remove_file(self.entry_path(key));
+    }
+}
+
+/// Builds the full entry frame:
+///
+/// ```text
+/// magic "ACRS" | store version u32 | code-semantics version u32
+/// | key (len-prefixed UTF-8) | payload len u64 | crc32(payload) u32
+/// | payload (write_run_trace)
+/// ```
+fn encode_entry(key: &str, trace: &RunTrace) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    write_run_trace(&mut payload, trace);
+    let payload = payload.into_vec();
+
+    let mut w = ByteWriter::with_capacity(payload.len() + key.len() + 32);
+    w.put_bytes(&MAGIC);
+    w.put_u32(STORE_FORMAT_VERSION);
+    w.put_u32(CODE_SEMANTICS_VERSION);
+    w.put_str(key);
+    w.put_u64(payload.len() as u64);
+    w.put_u32(crc32(&payload));
+    w.put_bytes(&payload);
+    w.into_vec()
+}
+
+/// Validates and decodes one entry frame against the requested `key`.
+/// Every check returns a reason instead of panicking.
+fn decode_entry(bytes: &[u8], key: &str) -> Result<RunTrace, String> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(4).map_err(|e| format!("truncated magic: {e:?}"))?;
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:02x?}"));
+    }
+    let format = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    if format != STORE_FORMAT_VERSION {
+        return Err(format!(
+            "store format v{format}, this build reads v{STORE_FORMAT_VERSION}"
+        ));
+    }
+    let semantics = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    if semantics != CODE_SEMANTICS_VERSION {
+        return Err(format!(
+            "code semantics v{semantics}, this build is v{CODE_SEMANTICS_VERSION}"
+        ));
+    }
+    let stored_key = r.str().map_err(|e| format!("unreadable key: {e:?}"))?;
+    if stored_key != key {
+        // A hash collision or an entry rewritten under a different spec.
+        return Err("key mismatch (hash collision or stale rewrite)".into());
+    }
+    let payload_len = r.u64().map_err(|e| format!("truncated header: {e:?}"))? as usize;
+    if payload_len != r.remaining().saturating_sub(4) {
+        return Err(format!(
+            "payload length {payload_len} disagrees with file size"
+        ));
+    }
+    let stored_crc = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    let payload = r
+        .bytes(payload_len)
+        .map_err(|e| format!("truncated payload: {e:?}"))?;
+    if crc32(payload) != stored_crc {
+        return Err("payload checksum mismatch".into());
+    }
+    let mut pr = ByteReader::new(payload);
+    let trace = read_run_trace(&mut pr).map_err(|e| format!("undecodable payload: {e:?}"))?;
+    if !pr.is_empty() {
+        return Err(format!("{} trailing payload bytes", pr.remaining()));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasgd_sim::TracePoint;
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            name: "store-test".into(),
+            points: vec![
+                TracePoint {
+                    clock: 1.5,
+                    iterations: 10,
+                    epoch: 0.25,
+                    train_loss: f32::NAN,
+                    test_accuracy: 0.5,
+                    tau: 4,
+                    lr: -0.0,
+                    comm_bytes: 1024.0,
+                },
+                TracePoint {
+                    clock: 3.0,
+                    iterations: 20,
+                    epoch: 0.5,
+                    train_loss: 0.9,
+                    test_accuracy: f64::INFINITY,
+                    tau: 2,
+                    lr: 0.05,
+                    comm_bytes: 2048.0,
+                },
+            ],
+            peak_payload_bytes: 512.0,
+            rounds: 5,
+        }
+    }
+
+    fn bits(t: &RunTrace) -> Vec<u64> {
+        let mut v = vec![t.peak_payload_bytes.to_bits(), t.rounds];
+        for p in &t.points {
+            v.extend([
+                p.clock.to_bits(),
+                p.iterations,
+                p.epoch.to_bits(),
+                u64::from(p.train_loss.to_bits()),
+                p.test_accuracy.to_bits(),
+                p.tau as u64,
+                u64::from(p.lr.to_bits()),
+                p.comm_bytes.to_bits(),
+            ]);
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_exact() {
+        let trace = sample_trace();
+        let bytes = encode_entry("some|key", &trace);
+        let back = decode_entry(&bytes, "some|key").unwrap();
+        assert_eq!(back.name, trace.name);
+        assert_eq!(bits(&back), bits(&trace));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let bytes = encode_entry("key-a", &sample_trace());
+        let err = decode_entry(&bytes, "key-b").unwrap_err();
+        assert!(err.contains("key mismatch"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_entry("k", &sample_trace());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_entry(&bytes[..cut], "k").is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_or_detected() {
+        // Flipping any bit anywhere in the frame must never produce a
+        // *silent* wrong trace: either a validation error fires, or the
+        // flip didn't survive (impossible — every byte is covered by
+        // magic, versions, key echo, length, or CRC).
+        let trace = sample_trace();
+        let bytes = encode_entry("k", &trace);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_entry(&bad, "k").is_err(),
+                    "flip at byte {byte} bit {bit} decoded silently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_is_rejected() {
+        assert!(decode_entry(&[], "k").is_err());
+    }
+
+    #[test]
+    fn save_load_evict_cycle() {
+        let dir = std::env::temp_dir().join(format!("adacomm_store_unit_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+        let trace = sample_trace();
+
+        assert!(matches!(store.load("k"), LoadOutcome::Absent));
+        store.save("k", &trace).unwrap();
+        match store.load("k") {
+            LoadOutcome::Hit(t) => assert_eq!(bits(&t), bits(&trace)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        store.evict("k");
+        assert!(matches!(store.load("k"), LoadOutcome::Absent));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

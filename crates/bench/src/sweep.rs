@@ -23,6 +23,7 @@
 //! references it.
 
 use crate::scenarios::{scenario, ModelFamily};
+use crate::store::{CacheStats, LoadOutcome, RunStore};
 use crate::Scale;
 use adacomm::{
     AdaComm, AdaCommCompress, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, LrSchedule,
@@ -35,7 +36,7 @@ use pasgd_sim::{
     AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode, RunTrace,
 };
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// A shared experiment suite a sweep run executes in. Each variant is one
@@ -493,8 +494,11 @@ impl SweepSpec {
 
     /// The memoization key: every semantic field, excluding the display
     /// rename. `Debug` formatting is stable and loss-free here (floats are
-    /// stored as integer millis/bits where they appear).
-    fn key(&self) -> String {
+    /// stored as integer millis/bits where they appear). Public because
+    /// the persistent run store addresses its on-disk entries by this
+    /// same key (hashed for the filename, echoed in full inside the
+    /// frame), and tests corrupt specific entries by key.
+    pub fn key(&self) -> String {
         format!(
             "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
             self.scenario,
@@ -545,10 +549,26 @@ pub struct RunStats {
 
 /// Executes [`SweepSpec`] batches with run-level parallelism, global
 /// memoization and deterministic output ordering (see the module docs).
+/// With [`SweepEngine::with_store`], the memoization extends to disk:
+/// uncached keys are first looked up in a persistent [`RunStore`], and
+/// computed traces are saved back for the next process.
 pub struct SweepEngine {
     parallel: bool,
     scenarios: Mutex<HashMap<String, Arc<BuiltScenario>>>,
     runs: Mutex<HashMap<String, RunTrace>>,
+    store: Option<RunStore>,
+    traffic: Mutex<CacheTraffic>,
+}
+
+/// Origin bookkeeping behind [`SweepEngine::cache_stats`]: `counted`
+/// holds the keys whose *first* resolution has already been attributed
+/// (to a disk hit or a miss), so repeat requests — including the racing
+/// duplicates the check-compute-insert cache tolerates — count as memory
+/// hits instead of inflating the per-key counters.
+#[derive(Default)]
+struct CacheTraffic {
+    counted: HashSet<String>,
+    stats: CacheStats,
 }
 
 /// Whether run-level parallelism pays on this machine: it needs more than
@@ -578,6 +598,49 @@ impl SweepEngine {
             parallel,
             scenarios: Mutex::new(HashMap::new()),
             runs: Mutex::new(HashMap::new()),
+            store: None,
+            traffic: Mutex::new(CacheTraffic::default()),
+        }
+    }
+
+    /// Attaches a persistent run store: uncached keys consult the store
+    /// before simulating, and computed traces are saved back
+    /// (best-effort — a failed save leaves the cache cold, never fails
+    /// the run).
+    pub fn with_store(mut self, store: RunStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&RunStore> {
+        self.store.as_ref()
+    }
+
+    /// Cache-traffic counters so far: memory hits, disk hits, misses and
+    /// rejected (evicted) disk entries. Disk hits and misses are counted
+    /// once per distinct key; every further request for a resolved key is
+    /// a memory hit.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.traffic
+            .lock()
+            .expect("traffic counters poisoned")
+            .stats
+    }
+
+    /// Attributes the first resolution of `key` to a disk hit or a miss;
+    /// a key already attributed (a racing duplicate compute) counts as a
+    /// memory hit like any other repeat request.
+    fn note_resolved(&self, key: &str, from_disk: bool) {
+        let mut t = self.traffic.lock().expect("traffic counters poisoned");
+        if t.counted.insert(key.to_string()) {
+            if from_disk {
+                t.stats.disk_hits += 1;
+            } else {
+                t.stats.misses += 1;
+            }
+        } else {
+            t.stats.mem_hits += 1;
         }
     }
 
@@ -629,12 +692,46 @@ impl SweepEngine {
     fn trace_for(&self, spec: &SweepSpec) -> RunTrace {
         let key = spec.key();
         if let Some(trace) = self.runs.lock().expect("run cache poisoned").get(&key) {
+            let mut t = self.traffic.lock().expect("traffic counters poisoned");
+            t.stats.mem_hits += 1;
             return trace.clone();
+        }
+        // Cold in memory: consult the persistent store before simulating.
+        // A validated entry is bit-exact (the determinism tests prove the
+        // wire format and the runs themselves), so serving it is
+        // indistinguishable from recomputing — just thousands of times
+        // cheaper. Anything less than fully valid is evicted and
+        // recomputed; the store never gets to produce a wrong figure.
+        if let Some(store) = &self.store {
+            match store.load(&key) {
+                LoadOutcome::Hit(trace) => {
+                    let trace = {
+                        let mut runs = self.runs.lock().expect("run cache poisoned");
+                        runs.entry(key.clone()).or_insert(trace).clone()
+                    };
+                    self.note_resolved(&key, true);
+                    return trace;
+                }
+                LoadOutcome::Rejected(reason) => {
+                    eprintln!("run store: rejected entry for a sweep key ({reason}); recomputing");
+                    store.evict(&key);
+                    let mut t = self.traffic.lock().expect("traffic counters poisoned");
+                    t.stats.rejects += 1;
+                }
+                LoadOutcome::Absent => {}
+            }
         }
         let built = self.scenario(&spec.scenario);
         let trace = spec.execute(&built);
-        let mut runs = self.runs.lock().expect("run cache poisoned");
-        runs.entry(key).or_insert(trace).clone()
+        if let Some(store) = &self.store {
+            let _ = store.save(&key, &trace);
+        }
+        let trace = {
+            let mut runs = self.runs.lock().expect("run cache poisoned");
+            runs.entry(key.clone()).or_insert(trace).clone()
+        };
+        self.note_resolved(&key, false);
+        trace
     }
 
     /// Builds (or reuses) a scenario suite by spec. Public so free-form

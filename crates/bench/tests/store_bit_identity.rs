@@ -1,0 +1,86 @@
+//! Cross-run bit-identity: a reproduction served from the persistent run
+//! store must render **byte-identical** CSVs to the cold run that
+//! populated it. The store round-trips through real files, so a second
+//! engine instance here exercises exactly the path a second process
+//! takes (CI additionally runs `reproduce_all --smoke` twice in separate
+//! processes and byte-compares the results).
+
+use adacomm_bench::panel_csv;
+use adacomm_bench::sweep::{LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec};
+use adacomm_bench::RunStore;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("store_identity_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small panel mixing schedulers, codecs and momentum so the stored
+/// traces cover tau changes, compressed payload accounting and renames.
+fn panel_specs() -> Vec<SweepSpec> {
+    let fixed = |tau| {
+        SweepSpec::new(
+            ScenarioSpec::Concept,
+            SchedulerSpec::Fixed { tau },
+            LrSpec::Fixed,
+        )
+        .with_budget(20.0, 5.0)
+    };
+    vec![
+        fixed(1),
+        fixed(4).named("renamed-for-report"),
+        SweepSpec::new(
+            ScenarioSpec::Concept,
+            SchedulerSpec::adacomm(4),
+            LrSpec::Fixed,
+        )
+        .with_budget(20.0, 5.0),
+    ]
+}
+
+#[test]
+fn warm_reproduction_renders_byte_identical_csv() {
+    let dir = store_dir("csv");
+    let specs = panel_specs();
+
+    let cold = SweepEngine::with_parallelism(false).with_store(RunStore::new(&dir));
+    let cold_csv = panel_csv(&cold.run(&specs));
+    assert_eq!(cold.cache_stats().disk_hits, 0);
+    assert!(cold.cache_stats().misses > 0);
+
+    let warm = SweepEngine::with_parallelism(false).with_store(RunStore::new(&dir));
+    let warm_csv = panel_csv(&warm.run(&specs));
+    let stats = warm.cache_stats();
+    assert!(
+        stats.disk_hits > 0,
+        "warm run must hit the store: {stats:?}"
+    );
+    assert_eq!(stats.misses, 0, "warm run must not simulate: {stats:?}");
+
+    assert_eq!(
+        cold_csv, warm_csv,
+        "store-served CSV must be byte-identical to the cold rendering"
+    );
+}
+
+#[test]
+fn store_and_no_store_engines_agree_bitwise() {
+    // The store must be invisible in the results: an engine with no
+    // store at all renders the same bytes.
+    let dir = store_dir("invisible");
+    let specs = panel_specs();
+
+    let stored = SweepEngine::with_parallelism(false).with_store(RunStore::new(&dir));
+    let with_store_csv = panel_csv(&stored.run(&specs));
+    // Second pass over the same dir: disk-served.
+    let served = SweepEngine::with_parallelism(false).with_store(RunStore::new(&dir));
+    let disk_csv = panel_csv(&served.run(&specs));
+
+    let bare = SweepEngine::with_parallelism(false);
+    let bare_csv = panel_csv(&bare.run(&specs));
+
+    assert_eq!(bare_csv, with_store_csv);
+    assert_eq!(bare_csv, disk_csv);
+}

@@ -12,6 +12,7 @@
 //! ([`ErrorFeedback::compress`]) wraps it.
 
 use crate::codec::Compressor;
+use binio::{ByteReader, ByteWriter, ReadError, ReadResult};
 use rand::rngs::StdRng;
 use tensor::Tensor;
 
@@ -178,6 +179,35 @@ impl ErrorFeedback {
     /// Whether any residual is stored yet.
     pub fn is_empty(&self) -> bool {
         self.residual.is_empty()
+    }
+
+    /// The per-tensor segment layout the residual was recorded under
+    /// (empty until the first compressed round) — lets a checkpoint
+    /// restore confirm the memory still matches the model's layout.
+    pub fn segments(&self) -> &[usize] {
+        &self.segments
+    }
+
+    /// Appends the residual memory as a binary state frame (segment map
+    /// followed by the raw-bit residual plane) — used by run checkpoints.
+    pub fn write_state(&self, w: &mut ByteWriter) {
+        w.put_len_slice(&self.segments);
+        w.put_f32_slice(&self.residual);
+    }
+
+    /// Reads a state frame written by [`ErrorFeedback::write_state`],
+    /// validating that the segment lengths sum to the residual length.
+    pub fn read_state(r: &mut ByteReader<'_>) -> ReadResult<ErrorFeedback> {
+        let segments = r.len_vec()?;
+        let residual = r.f32_vec()?;
+        let mut total = 0usize;
+        for &s in &segments {
+            total = total.checked_add(s).ok_or(ReadError::BadLength(s as u64))?;
+        }
+        if total != residual.len() {
+            return Err(ReadError::BadLength(residual.len() as u64));
+        }
+        Ok(ErrorFeedback { residual, segments })
     }
 }
 

@@ -46,6 +46,7 @@
 mod codec;
 mod feedback;
 pub mod kernels;
+pub mod wire;
 
 pub use codec::{
     CodecSpec, Compressed, Compressor, Identity, Qsgd, RandomK, SignOneBit, TopK,

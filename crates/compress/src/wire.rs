@@ -1,0 +1,118 @@
+//! Binary wire format for codec specifications.
+//!
+//! Used by the simulator's run checkpoints (the active codec is part of a
+//! run's resumable state) and by the scheduler-state snapshots in the
+//! `adacomm` crate. Decoding is fully checked: an unknown tag or an
+//! out-of-range parameter yields an error, never a panic and never a codec
+//! the constructors would reject.
+
+use crate::codec::CodecSpec;
+use binio::{ByteReader, ByteWriter, ReadError, ReadResult};
+
+const TAG_IDENTITY: u8 = 0;
+const TAG_TOPK: u8 = 1;
+const TAG_RANDOMK: u8 = 2;
+const TAG_SIGN: u8 = 3;
+const TAG_QSGD: u8 = 4;
+
+/// Appends a codec spec as `tag: u8` plus its parameters (`f64` raw bits
+/// for ratios, `u8` for quantization bits).
+pub fn write_codec(w: &mut ByteWriter, spec: &CodecSpec) {
+    match *spec {
+        CodecSpec::Identity => w.put_u8(TAG_IDENTITY),
+        CodecSpec::TopK { ratio } => {
+            w.put_u8(TAG_TOPK);
+            w.put_f64(ratio);
+        }
+        CodecSpec::RandomK { ratio } => {
+            w.put_u8(TAG_RANDOMK);
+            w.put_f64(ratio);
+        }
+        CodecSpec::Sign => w.put_u8(TAG_SIGN),
+        CodecSpec::Qsgd { bits } => {
+            w.put_u8(TAG_QSGD);
+            w.put_u8(bits);
+        }
+    }
+}
+
+/// Reads a codec spec written by [`write_codec`], validating parameters
+/// against the same bounds the codec constructors enforce.
+pub fn read_codec(r: &mut ByteReader<'_>) -> ReadResult<CodecSpec> {
+    let tag = r.u8()?;
+    let spec = match tag {
+        TAG_IDENTITY => CodecSpec::Identity,
+        TAG_TOPK => CodecSpec::TopK { ratio: r.f64()? },
+        TAG_RANDOMK => CodecSpec::RandomK { ratio: r.f64()? },
+        TAG_SIGN => CodecSpec::Sign,
+        TAG_QSGD => CodecSpec::Qsgd { bits: r.u8()? },
+        other => return Err(ReadError::BadLength(other as u64)),
+    };
+    let ok = match spec {
+        CodecSpec::TopK { ratio } | CodecSpec::RandomK { ratio } => {
+            ratio.is_finite() && ratio > 0.0 && ratio <= 1.0
+        }
+        CodecSpec::Qsgd { bits } => (1..=16).contains(&bits),
+        CodecSpec::Identity | CodecSpec::Sign => true,
+    };
+    if !ok {
+        return Err(ReadError::BadLength(tag as u64));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let specs = [
+            CodecSpec::Identity,
+            CodecSpec::TopK { ratio: 0.01 },
+            CodecSpec::RandomK { ratio: 1.0 },
+            CodecSpec::Sign,
+            CodecSpec::Qsgd { bits: 8 },
+        ];
+        for spec in specs {
+            let mut w = ByteWriter::new();
+            write_codec(&mut w, &spec);
+            let bytes = w.into_vec();
+            let back = read_codec(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bytes = [99u8];
+        assert!(read_codec(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_parameters_rejected() {
+        for bad in [
+            CodecSpec::TopK { ratio: 0.0 },
+            CodecSpec::TopK { ratio: 1.5 },
+            CodecSpec::TopK { ratio: f64::NAN },
+            CodecSpec::Qsgd { bits: 0 },
+            CodecSpec::Qsgd { bits: 17 },
+        ] {
+            let mut w = ByteWriter::new();
+            write_codec(&mut w, &bad);
+            let bytes = w.into_vec();
+            assert!(
+                read_codec(&mut ByteReader::new(&bytes)).is_err(),
+                "{bad:?} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_parameter_rejected() {
+        let mut w = ByteWriter::new();
+        write_codec(&mut w, &CodecSpec::TopK { ratio: 0.25 });
+        let bytes = w.into_vec();
+        assert!(read_codec(&mut ByteReader::new(&bytes[..4])).is_err());
+    }
+}

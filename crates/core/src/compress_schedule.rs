@@ -14,7 +14,7 @@
 //!   messages as it approaches the error floor — the compression analogue
 //!   of decaying τ to 1.
 
-use crate::schedule::{AdaComm, AdaCommConfig, CommSchedule, ScheduleContext};
+use crate::schedule::{AdaComm, AdaCommConfig, CommSchedule, ScheduleContext, SchedulerState};
 use gradcomp::CodecSpec;
 
 /// A scheduler co-adapting the communication period and the compression
@@ -134,6 +134,18 @@ impl CommSchedule for AdaCommCompress {
         self.inner.reset();
         self.current = self.codec0;
     }
+
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            codec: Some(self.current),
+            ..self.inner.export_state()
+        }
+    }
+
+    fn import_state(&mut self, state: &SchedulerState) {
+        self.inner.import_state(state);
+        self.current = state.codec.unwrap_or(self.codec0);
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +246,23 @@ mod tests {
             AdaCommCompress::top_k(8, 0.01).name(),
             "adacomm-x-topk(0.01)"
         );
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_sharpened_codec() {
+        let mut s = AdaCommCompress::top_k(16, 0.01);
+        let _ = s.next_tau(&ctx(0, 1.0, 1.0));
+        let _ = s.codec_override(&ctx(1, 0.25, 1.0));
+        let state = s.export_state();
+        assert_eq!(state.codec, Some(s.codec()));
+        let mut resumed = AdaCommCompress::top_k(16, 0.01);
+        resumed.reset();
+        resumed.import_state(&state);
+        assert_eq!(resumed.codec(), s.codec());
+        // The monotone-fidelity floor survives the roundtrip: a noisy loss
+        // increase still cannot coarsen the restored codec.
+        let _ = resumed.codec_override(&ctx(2, 0.9, 1.0));
+        assert_eq!(resumed.codec(), s.codec());
     }
 
     #[test]

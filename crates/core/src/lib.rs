@@ -61,4 +61,6 @@ pub mod theory;
 pub use compress_schedule::AdaCommCompress;
 pub use grid::select_tau0;
 pub use lr::LrSchedule;
-pub use schedule::{AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, ScheduleContext};
+pub use schedule::{
+    AdaComm, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, ScheduleContext, SchedulerState,
+};

@@ -1,5 +1,6 @@
 //! Communication-period schedulers: fixed-τ baselines and AdaComm.
 
+use binio::{ByteReader, ByteWriter, ReadError, ReadResult};
 use gradcomp::CodecSpec;
 
 /// Everything a scheduler may consult at a `T0` interval boundary.
@@ -21,6 +22,76 @@ pub struct ScheduleContext {
     pub current_lr: f32,
     /// Initial learning rate `η_0`.
     pub initial_lr: f32,
+}
+
+/// The resumable state of a [`CommSchedule`], captured at a run checkpoint
+/// and restored on resume.
+///
+/// One struct covers every scheduler in the workspace: stateless schedulers
+/// ([`FixedComm`]) leave all fields `None`, [`AdaComm`] uses the τ/lr
+/// memory, and [`crate::AdaCommCompress`] additionally records the codec
+/// currently in effect. The learning rate is stored as raw IEEE-754 bits so
+/// restored schedulers compare it bit-identically to an uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedulerState {
+    /// `τ_{l−1}` from the previous interval boundary, if any.
+    pub prev_tau: Option<usize>,
+    /// Raw bits of the learning rate seen at the previous boundary.
+    pub prev_lr_bits: Option<u32>,
+    /// The codec currently in effect (co-adaptive schedulers only).
+    pub codec: Option<CodecSpec>,
+}
+
+impl SchedulerState {
+    /// Appends the state as a binary frame (presence flags + values).
+    pub fn write_into(&self, w: &mut ByteWriter) {
+        match self.prev_tau {
+            Some(tau) => {
+                w.put_u8(1);
+                w.put_len(tau);
+            }
+            None => w.put_u8(0),
+        }
+        match self.prev_lr_bits {
+            Some(bits) => {
+                w.put_u8(1);
+                w.put_u32(bits);
+            }
+            None => w.put_u8(0),
+        }
+        match &self.codec {
+            Some(codec) => {
+                w.put_u8(1);
+                gradcomp::wire::write_codec(w, codec);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Reads a frame written by [`SchedulerState::write_into`]. Presence
+    /// flags other than 0/1 are treated as corruption.
+    pub fn read_from(r: &mut ByteReader<'_>) -> ReadResult<SchedulerState> {
+        let prev_tau = match r.u8()? {
+            0 => None,
+            1 => Some(r.len()?),
+            other => return Err(ReadError::BadLength(other as u64)),
+        };
+        let prev_lr_bits = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            other => return Err(ReadError::BadLength(other as u64)),
+        };
+        let codec = match r.u8()? {
+            0 => None,
+            1 => Some(gradcomp::wire::read_codec(r)?),
+            other => return Err(ReadError::BadLength(other as u64)),
+        };
+        Ok(SchedulerState {
+            prev_tau,
+            prev_lr_bits,
+            codec,
+        })
+    }
 }
 
 /// A communication-period scheduler consulted once per wall-clock interval.
@@ -55,6 +126,19 @@ pub trait CommSchedule: Send {
     /// loss feeds only the scheduler.
     fn needs_loss(&self) -> bool {
         true
+    }
+
+    /// Captures the scheduler's resumable state for a run checkpoint.
+    /// Stateless schedulers return the default (all-`None`) state.
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState::default()
+    }
+
+    /// Restores state captured by [`CommSchedule::export_state`]. The
+    /// driver calls [`CommSchedule::reset`] first, so implementations only
+    /// need to overwrite the fields they exported.
+    fn import_state(&mut self, state: &SchedulerState) {
+        let _ = state;
     }
 }
 
@@ -287,6 +371,19 @@ impl CommSchedule for AdaComm {
         self.prev_tau = None;
         self.prev_lr = None;
     }
+
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            prev_tau: self.prev_tau,
+            prev_lr_bits: self.prev_lr.map(f32::to_bits),
+            codec: None,
+        }
+    }
+
+    fn import_state(&mut self, state: &SchedulerState) {
+        self.prev_tau = state.prev_tau;
+        self.prev_lr = state.prev_lr_bits.map(f32::from_bits);
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +526,57 @@ mod tests {
             gamma: 0.0,
             ..AdaCommConfig::default()
         });
+    }
+
+    #[test]
+    fn exported_state_resumes_the_tau_sequence_exactly() {
+        // Drive one scheduler straight through; drive a second to the same
+        // boundary, snapshot, restore into a third — both must continue
+        // identically.
+        let mut straight = AdaComm::with_tau0(16);
+        let mut interrupted = AdaComm::with_tau0(16);
+        let losses = [1.0, 0.7, 0.7, 0.3, 0.3, 0.1];
+        for (l, &loss) in losses.iter().enumerate().take(3) {
+            let c = ctx(l, loss, 1.0);
+            assert_eq!(straight.next_tau(&c), interrupted.next_tau(&c));
+        }
+        let state = interrupted.export_state();
+        let mut resumed = AdaComm::with_tau0(16);
+        resumed.reset();
+        resumed.import_state(&state);
+        for (l, &loss) in losses.iter().enumerate().skip(3) {
+            let c = ctx(l, loss, 1.0);
+            assert_eq!(straight.next_tau(&c), resumed.next_tau(&c));
+        }
+    }
+
+    #[test]
+    fn scheduler_state_binary_roundtrip() {
+        use binio::{ByteReader, ByteWriter};
+        let states = [
+            SchedulerState::default(),
+            SchedulerState {
+                prev_tau: Some(12),
+                prev_lr_bits: Some(0.05f32.to_bits()),
+                codec: Some(CodecSpec::TopK { ratio: 0.02 }),
+            },
+        ];
+        for state in states {
+            let mut w = ByteWriter::new();
+            state.write_into(&mut w);
+            let bytes = w.into_vec();
+            let back = SchedulerState::read_from(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(back, state);
+        }
+        // A presence flag other than 0/1 is corruption, not a panic.
+        let bytes = [7u8];
+        assert!(SchedulerState::read_from(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn fixed_comm_state_is_empty() {
+        let s = FixedComm::new(4);
+        assert_eq!(s.export_state(), SchedulerState::default());
     }
 
     #[test]

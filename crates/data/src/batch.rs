@@ -120,6 +120,49 @@ impl BatchIter {
     pub fn batches_per_epoch(&self) -> usize {
         self.data.len().div_ceil(self.batch_size)
     }
+
+    /// Captures the shuffle state (`order`, `cursor`, `epochs_completed`)
+    /// for a run checkpoint. The dataset itself is not part of the state:
+    /// shards are regenerated deterministically from the scenario seed on
+    /// resume.
+    pub fn shuffle_state(&self) -> (&[usize], usize, usize) {
+        (&self.order, self.cursor, self.epochs_completed)
+    }
+
+    /// Restores shuffle state captured by [`BatchIter::shuffle_state`], so
+    /// a resumed iterator continues the exact same example sequence.
+    ///
+    /// Returns an error (leaving the iterator untouched) unless `order` is
+    /// a permutation of `0..len` for this shard and `cursor` is in range —
+    /// corrupted checkpoints must surface as recoverable failures.
+    pub fn restore_shuffle_state(
+        &mut self,
+        order: Vec<usize>,
+        cursor: usize,
+        epochs_completed: usize,
+    ) -> Result<(), String> {
+        let n = self.data.len();
+        if order.len() != n {
+            return Err(format!(
+                "shuffle order has {} entries for a shard of {n}",
+                order.len()
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &i in &order {
+            if i >= n || seen[i] {
+                return Err(format!("shuffle order is not a permutation of 0..{n}"));
+            }
+            seen[i] = true;
+        }
+        if cursor >= n {
+            return Err(format!("cursor {cursor} out of range for shard of {n}"));
+        }
+        self.order = order;
+        self.cursor = cursor;
+        self.epochs_completed = epochs_completed;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +236,50 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = BatchIter::new(toy(4), 0);
+    }
+
+    #[test]
+    fn restored_shuffle_state_continues_the_same_sequence() {
+        let mut straight = BatchIter::new(toy(10), 3);
+        let mut interrupted = BatchIter::new(toy(10), 3);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..4 {
+            let _ = straight.next_batch(&mut rng_a);
+            let _ = interrupted.next_batch(&mut rng_b);
+        }
+        let (order, cursor, epochs) = interrupted.shuffle_state();
+        let order = order.to_vec();
+        let mut resumed = BatchIter::new(toy(10), 3);
+        resumed
+            .restore_shuffle_state(order, cursor, epochs)
+            .unwrap();
+        assert_eq!(resumed.epochs_completed(), interrupted.epochs_completed());
+        // Clone the RNG mid-stream (same state both sides) and compare the
+        // continuation batch-for-batch.
+        let mut rng_c = rng_b.clone();
+        for _ in 0..7 {
+            let (xa, ya) = interrupted.next_batch(&mut rng_b);
+            let (xb, yb) = resumed.next_batch(&mut rng_c);
+            assert_eq!(xa.as_slice(), xb.as_slice());
+            assert_eq!(ya, yb);
+        }
+    }
+
+    #[test]
+    fn corrupt_shuffle_state_is_rejected_not_applied() {
+        let mut it = BatchIter::new(toy(5), 2);
+        // Wrong length.
+        assert!(it.restore_shuffle_state(vec![0, 1, 2], 0, 0).is_err());
+        // Duplicate entry (not a permutation).
+        assert!(it.restore_shuffle_state(vec![0, 1, 2, 3, 3], 0, 0).is_err());
+        // Out-of-range index.
+        assert!(it.restore_shuffle_state(vec![0, 1, 2, 3, 9], 0, 0).is_err());
+        // Out-of-range cursor.
+        assert!(it.restore_shuffle_state(vec![0, 1, 2, 3, 4], 5, 0).is_err());
+        // The iterator still works after every rejection.
+        let mut rng = StdRng::seed_from_u64(0);
+        let (x, _) = it.next_batch(&mut rng);
+        assert_eq!(x.dims(), &[2, 1]);
     }
 }

@@ -99,6 +99,21 @@ impl Sgd {
         }
     }
 
+    /// The momentum buffers, one per parameter tensor — empty until the
+    /// first momentum step (they are created lazily). Exposed so run
+    /// checkpoints can capture optimizer state.
+    pub fn momentum_buffers(&self) -> &[Tensor] {
+        &self.buffers
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::momentum_buffers`].
+    /// An empty vector returns the optimizer to its pre-first-step state;
+    /// shape agreement with the network is enforced by the next
+    /// [`Sgd::step`], which panics on parameter-structure changes.
+    pub fn restore_momentum_buffers(&mut self, buffers: Vec<Tensor>) {
+        self.buffers = buffers;
+    }
+
     /// Applies one update using the gradients currently stored in `net`.
     ///
     /// # Panics
@@ -238,6 +253,43 @@ mod tests {
         let after = net.params_snapshot();
         for (a, b) in before.iter().zip(after.iter()) {
             assert!(a.distance(b) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn restored_momentum_buffers_reproduce_the_trajectory() {
+        let (x, y) = toy_batch(6);
+        // Straight-through run.
+        let mut net_a = models::mlp_classifier(4, &[8], 2, 11);
+        let mut opt_a = Sgd::new(0.05).with_momentum(0.9);
+        // Interrupted run: identical up to step 5, then checkpointed.
+        let mut net_b = models::mlp_classifier(4, &[8], 2, 11);
+        let mut opt_b = Sgd::new(0.05).with_momentum(0.9);
+        for _ in 0..5 {
+            net_a.train_step(&x, &y);
+            opt_a.step(&mut net_a);
+            net_b.train_step(&x, &y);
+            opt_b.step(&mut net_b);
+        }
+        let buffers = opt_b.momentum_buffers().to_vec();
+        let params = net_b.params_snapshot();
+        // "Resume" into fresh objects.
+        let mut net_c = models::mlp_classifier(4, &[8], 2, 11);
+        net_c.load_params(&params);
+        let mut opt_c = Sgd::new(0.05).with_momentum(0.9);
+        opt_c.restore_momentum_buffers(buffers);
+        for _ in 0..5 {
+            net_a.train_step(&x, &y);
+            opt_a.step(&mut net_a);
+            net_c.train_step(&x, &y);
+            opt_c.step(&mut net_c);
+        }
+        for (a, c) in net_a
+            .params_snapshot()
+            .iter()
+            .zip(net_c.params_snapshot().iter())
+        {
+            assert_eq!(a.as_slice(), c.as_slice(), "resume diverged");
         }
     }
 

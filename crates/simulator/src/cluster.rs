@@ -1,6 +1,7 @@
 //! The PASGD cluster: local-update rounds, periodic averaging, and the
 //! simulated wall clock.
 
+use crate::checkpoint::ClusterCheckpoint;
 use crate::{AveragingStrategy, BlockMomentum, MomentumMode, Worker};
 use delay::RuntimeModel;
 use gradcomp::CodecSpec;
@@ -755,6 +756,97 @@ impl PasgdCluster {
             replica.load_params_from(&self.scratch);
         }
         self.eval_synced_for = Some(state);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// Captures the cluster's complete mutable state — counters, clock,
+    /// codec, delay stream, block-momentum planes, and every worker — for
+    /// a run checkpoint taken at a round boundary.
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            clock: self.clock,
+            iterations: self.iterations,
+            rounds: self.rounds,
+            comm_time: self.comm_time,
+            compute_time: self.compute_time,
+            comm_bytes: self.comm_bytes,
+            peak_payload_bytes: self.peak_payload_bytes,
+            current_lr: self.current_lr,
+            codec: self.codec,
+            delay_rng: self.delay_rng.state(),
+            block: self.block.as_ref().map(|b| {
+                let (buffer, prev_sync) = b.state();
+                (buffer.to_vec(), prev_sync.to_vec())
+            }),
+            workers: self.workers.iter().map(Worker::export_checkpoint).collect(),
+        }
+    }
+
+    /// Restores state captured by [`PasgdCluster::checkpoint`] onto a
+    /// freshly built cluster of the *same* configuration, after which
+    /// training continues bit-identically to the uninterrupted run.
+    ///
+    /// Structural mismatches (worker count, plane lengths, block-momentum
+    /// presence, invalid learning rate or codec parameters) return `Err` —
+    /// callers must treat the cluster as unusable on failure and recompute
+    /// from scratch. Evaluation memoization is dropped so no stale cached
+    /// figure can survive a restore.
+    pub fn restore(&mut self, ck: &ClusterCheckpoint) -> Result<(), String> {
+        if ck.workers.len() != self.workers.len() {
+            return Err(format!(
+                "checkpoint has {} workers but the cluster has {}",
+                ck.workers.len(),
+                self.workers.len()
+            ));
+        }
+        if !(ck.current_lr > 0.0 && ck.current_lr.is_finite()) {
+            return Err(format!(
+                "invalid checkpointed learning rate {}",
+                ck.current_lr
+            ));
+        }
+        let codec_ok = match ck.codec {
+            CodecSpec::TopK { ratio } | CodecSpec::RandomK { ratio } => {
+                ratio.is_finite() && ratio > 0.0 && ratio <= 1.0
+            }
+            CodecSpec::Qsgd { bits } => (1..=16).contains(&bits),
+            CodecSpec::Identity | CodecSpec::Sign => true,
+        };
+        if !codec_ok {
+            return Err(format!("invalid checkpointed codec {:?}", ck.codec));
+        }
+        match (&self.block, &ck.block) {
+            (Some(_), Some(_)) | (None, None) => {}
+            (Some(_), None) => {
+                return Err("block momentum configured but absent from checkpoint".to_string())
+            }
+            (None, Some(_)) => {
+                return Err("checkpoint has block momentum but the cluster does not".to_string())
+            }
+        }
+        for (w, wck) in self.workers.iter_mut().zip(&ck.workers) {
+            w.restore_checkpoint(wck)?;
+        }
+        if let (Some(block), Some((buffer, prev_sync))) = (&mut self.block, &ck.block) {
+            block.restore_state(buffer.clone(), prev_sync.clone())?;
+        }
+        self.clock = ck.clock;
+        self.iterations = ck.iterations;
+        self.rounds = ck.rounds;
+        self.comm_time = ck.comm_time;
+        self.compute_time = ck.compute_time;
+        self.comm_bytes = ck.comm_bytes;
+        self.peak_payload_bytes = ck.peak_payload_bytes;
+        self.codec = ck.codec;
+        self.delay_rng = StdRng::from_state(ck.delay_rng);
+        self.set_lr(ck.current_lr);
+        self.eval_synced_for = None;
+        self.eval_loss_cache = None;
+        self.eval_acc_cache = None;
+        Ok(())
     }
 
     /// Mean pairwise parameter distance between local models (a direct

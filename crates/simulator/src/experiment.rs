@@ -2,6 +2,7 @@
 //! `T0`, scheduler consultation at each boundary, learning-rate schedules,
 //! and trace recording.
 
+use crate::checkpoint::RunCheckpoint;
 use crate::{ClusterConfig, MomentumMode, PasgdCluster};
 use adacomm::{CommSchedule, LrSchedule, ScheduleContext};
 use data::TrainTestSplit;
@@ -171,42 +172,127 @@ pub fn run_experiment(
     lr_schedule: &LrSchedule,
     config: &ExperimentConfig,
 ) -> RunTrace {
+    match run_experiment_resumable(
+        model,
+        split,
+        runtime,
+        cluster_config,
+        scheduler,
+        lr_schedule,
+        config,
+        None,
+        None,
+    )
+    .expect("a fresh run has no checkpoint to reject")
+    {
+        RunOutcome::Completed(trace) => trace,
+        RunOutcome::Checkpointed(_) => unreachable!("no round limit was requested"),
+    }
+}
+
+/// How a resumable experiment run ended.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The simulated time budget was exhausted; the full trace follows.
+    Completed(RunTrace),
+    /// The requested round limit was reached mid-run; the snapshot resumes
+    /// the run bit-identically via the `resume` argument of
+    /// [`run_experiment_resumable`].
+    Checkpointed(Box<RunCheckpoint>),
+}
+
+/// [`run_experiment`] with mid-run checkpoint/resume.
+///
+/// * `resume` — continue from a [`RunCheckpoint`] instead of starting at
+///   `t = 0`. The scheduler is `reset()` and fed the checkpoint's exported
+///   state, the cluster is rebuilt from the same model/data/seed and then
+///   restored, so the continuation is **bit-identical** to the run that
+///   produced the checkpoint. The caller must pass the same model, split,
+///   runtime and configuration as the original run; structural mismatches
+///   are rejected with `Err` (and the run should be recomputed fresh).
+/// * `stop_after_rounds` — return [`RunOutcome::Checkpointed`] once the
+///   cluster has completed this many averaging rounds **in total** (resumed
+///   rounds included), unless the time budget is exhausted first.
+///
+/// Fresh runs (`resume = None`) never return `Err`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment_resumable(
+    model: Network,
+    split: TrainTestSplit,
+    runtime: RuntimeModel,
+    cluster_config: ClusterConfig,
+    scheduler: &mut dyn CommSchedule,
+    lr_schedule: &LrSchedule,
+    config: &ExperimentConfig,
+    resume: Option<&RunCheckpoint>,
+    stop_after_rounds: Option<u64>,
+) -> Result<RunOutcome, String> {
     assert!(
         config.interval_secs > 0.0 && config.total_secs > 0.0,
         "experiment durations must be positive"
     );
     let mut cluster = PasgdCluster::new(model, split, runtime, cluster_config);
-    let initial_lr = lr_schedule.initial();
-    cluster.set_lr(initial_lr);
 
-    let initial_loss = f64::from(cluster.eval_train_loss());
-    let mut points = vec![TracePoint {
-        clock: 0.0,
-        iterations: 0,
-        epoch: 0.0,
-        train_loss: initial_loss as f32,
-        test_accuracy: cluster.eval_test_accuracy(),
-        tau: 0,
-        lr: initial_lr,
-        comm_bytes: 0.0,
-    }];
+    let mut points;
+    let mut interval;
+    let mut last_loss;
+    let mut tau;
+    let mut next_record;
+    let initial_loss;
+    let initial_lr;
+    if let Some(ck) = resume {
+        cluster.restore(&ck.cluster)?;
+        if ck.points.is_empty() {
+            return Err("checkpoint records no trace points".to_string());
+        }
+        if ck.tau == 0 {
+            return Err("checkpoint has a zero communication period".to_string());
+        }
+        if !(ck.next_record.is_finite() && ck.next_record > 0.0) {
+            return Err(format!("invalid recording deadline {}", ck.next_record));
+        }
+        scheduler.reset();
+        scheduler.import_state(&ck.scheduler);
+        points = ck.points.clone();
+        interval = ck.interval;
+        last_loss = ck.last_loss;
+        tau = ck.tau;
+        next_record = ck.next_record;
+        initial_loss = ck.initial_loss;
+        initial_lr = ck.initial_lr;
+    } else {
+        initial_lr = lr_schedule.initial();
+        cluster.set_lr(initial_lr);
 
-    let mut interval = 0usize;
-    let mut last_loss = initial_loss;
-    let initial_ctx = ScheduleContext {
-        interval_index: 0,
-        wall_clock: 0.0,
-        current_loss: initial_loss,
-        initial_loss,
-        current_lr: initial_lr,
-        initial_lr,
-    };
-    let mut tau = scheduler.next_tau(&initial_ctx);
-    if let Some(codec) = scheduler.codec_override(&initial_ctx) {
-        cluster.set_codec(codec);
+        initial_loss = f64::from(cluster.eval_train_loss());
+        points = vec![TracePoint {
+            clock: 0.0,
+            iterations: 0,
+            epoch: 0.0,
+            train_loss: initial_loss as f32,
+            test_accuracy: cluster.eval_test_accuracy(),
+            tau: 0,
+            lr: initial_lr,
+            comm_bytes: 0.0,
+        }];
+
+        interval = 0usize;
+        last_loss = initial_loss;
+        let initial_ctx = ScheduleContext {
+            interval_index: 0,
+            wall_clock: 0.0,
+            current_loss: initial_loss,
+            initial_loss,
+            current_lr: initial_lr,
+            initial_lr,
+        };
+        tau = scheduler.next_tau(&initial_ctx);
+        if let Some(codec) = scheduler.codec_override(&initial_ctx) {
+            cluster.set_codec(codec);
+        }
+        points[0].tau = tau;
+        next_record = config.record_every_secs;
     }
-    points[0].tau = tau;
-    let mut next_record = config.record_every_secs;
 
     while cluster.clock() < config.total_secs {
         // Interval boundary: consult the scheduler with the latest loss.
@@ -263,6 +349,24 @@ pub fn run_experiment(
             }
             last_loss = f64::from(points.last().expect("just pushed").train_loss);
         }
+
+        // Round-boundary checkpoint: only while the budget has time left —
+        // a run whose last round exhausted the budget completes normally.
+        if let Some(limit) = stop_after_rounds {
+            if cluster.rounds() >= limit && cluster.clock() < config.total_secs {
+                return Ok(RunOutcome::Checkpointed(Box::new(RunCheckpoint {
+                    points,
+                    interval,
+                    last_loss,
+                    tau,
+                    next_record,
+                    initial_loss,
+                    initial_lr,
+                    scheduler: scheduler.export_state(),
+                    cluster: cluster.checkpoint(),
+                })));
+            }
+        }
     }
     // Always record the terminal state.
     points.push(TracePoint {
@@ -277,12 +381,12 @@ pub fn run_experiment(
     });
     let _ = last_loss;
 
-    RunTrace {
+    Ok(RunOutcome::Completed(RunTrace {
         name: scheduler.name(),
         points,
         peak_payload_bytes: cluster.peak_payload_bytes(),
         rounds: cluster.rounds(),
-    }
+    }))
 }
 
 /// Everything needed to build identical clusters for a family of methods —
@@ -383,6 +487,40 @@ impl ExperimentSuite {
         codec: Option<CodecSpec>,
         budget: Option<(f64, f64)>,
     ) -> RunTrace {
+        match self
+            .run_configured_resumable(
+                scheduler,
+                lr_schedule,
+                momentum,
+                gate_lr_on_tau,
+                codec,
+                budget,
+                None,
+                None,
+            )
+            .expect("a fresh run has no checkpoint to reject")
+        {
+            RunOutcome::Completed(trace) => trace,
+            RunOutcome::Checkpointed(_) => unreachable!("no round limit was requested"),
+        }
+    }
+
+    /// [`ExperimentSuite::run_configured`] with mid-run checkpoint/resume —
+    /// see [`run_experiment_resumable`] for the `resume` /
+    /// `stop_after_rounds` semantics. A resumed run must pass the same
+    /// overrides as the run that produced the checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_configured_resumable(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        momentum: Option<MomentumMode>,
+        gate_lr_on_tau: Option<bool>,
+        codec: Option<CodecSpec>,
+        budget: Option<(f64, f64)>,
+        resume: Option<&RunCheckpoint>,
+        stop_after_rounds: Option<u64>,
+    ) -> Result<RunOutcome, String> {
         let mut cluster_config = self.cluster_config.clone();
         if let Some(m) = momentum {
             cluster_config.momentum = m;
@@ -402,7 +540,7 @@ impl ExperimentSuite {
             experiment_config.total_secs = total_secs;
             experiment_config.record_every_secs = record_every_secs;
         }
-        run_experiment(
+        run_experiment_resumable(
             self.model.clone(),
             self.split.clone(),
             self.runtime,
@@ -410,6 +548,8 @@ impl ExperimentSuite {
             scheduler,
             lr_schedule,
             &experiment_config,
+            resume,
+            stop_after_rounds,
         )
     }
 

@@ -57,14 +57,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod cluster;
 mod experiment;
 mod momentum;
 mod topology;
 mod worker;
 
+pub use checkpoint::{ClusterCheckpoint, RunCheckpoint, WorkerCheckpoint};
 pub use cluster::{ClusterConfig, PasgdCluster};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentSuite, RunTrace, TracePoint};
+pub use experiment::{
+    run_experiment, run_experiment_resumable, ExperimentConfig, ExperimentSuite, RunOutcome,
+    RunTrace, TracePoint,
+};
 pub use momentum::{BlockMomentum, MomentumMode};
 pub use topology::AveragingStrategy;
 pub use worker::Worker;

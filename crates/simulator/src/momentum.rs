@@ -192,6 +192,30 @@ impl BlockMomentum {
         self.apply_into(averaged, lr, &mut out);
         out
     }
+
+    /// Borrows the `(buffer, prev_sync)` planes for a run checkpoint.
+    pub fn state(&self) -> (&[f32], &[f32]) {
+        (&self.buffer, &self.prev_sync)
+    }
+
+    /// Restores planes captured by [`BlockMomentum::state`].
+    ///
+    /// Returns an error (leaving the state untouched) if either plane's
+    /// length disagrees with the anchored parameter plane — corrupted
+    /// checkpoints must surface as recoverable failures, not panics.
+    pub fn restore_state(&mut self, buffer: Vec<f32>, prev_sync: Vec<f32>) -> Result<(), String> {
+        let n = self.prev_sync.len();
+        if buffer.len() != n || prev_sync.len() != n {
+            return Err(format!(
+                "block-momentum planes of {}/{} entries for a model of {n} parameters",
+                buffer.len(),
+                prev_sync.len()
+            ));
+        }
+        self.buffer = buffer;
+        self.prev_sync = prev_sync;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! A single PASGD worker: local model replica, optimizer, data shard, and
 //! per-worker gradient-compression state (error feedback + sync reference).
 
+use crate::checkpoint::WorkerCheckpoint;
 use data::{BatchIter, Dataset};
 use gradcomp::{Compressor, ErrorFeedback};
 use nn::{Network, Sgd};
@@ -334,6 +335,98 @@ impl Worker {
     /// changes mid-run).
     pub fn reset_feedback(&mut self) {
         self.feedback.reset();
+    }
+
+    /// Captures the worker's complete training state for a run checkpoint:
+    /// parameters, momentum buffers, both RNG streams, the batch-shuffle
+    /// state, error-feedback residuals and the sync reference.
+    pub fn export_checkpoint(&self) -> WorkerCheckpoint {
+        let (order, cursor, epochs) = self.batches.shuffle_state();
+        WorkerCheckpoint {
+            params: self.model.params_flat(),
+            momentum_buffers: self.optimizer.momentum_buffers().to_vec(),
+            rng: self.rng.state(),
+            comm_rng: self.comm_rng.state(),
+            steps_taken: self.steps_taken,
+            shuffle_order: order.to_vec(),
+            shuffle_cursor: cursor,
+            epochs_completed: epochs,
+            feedback: self.feedback.clone(),
+            sync_reference: self.sync_reference.clone(),
+            track_reference: self.track_reference,
+        }
+    }
+
+    /// Restores state captured by [`Worker::export_checkpoint`], making the
+    /// worker continue bit-identically to the uninterrupted run.
+    ///
+    /// Every structural property is validated against *this* worker's model
+    /// and shard before anything is applied: parameter-plane and
+    /// sync-reference lengths, momentum-buffer shapes, the error-feedback
+    /// segment layout, and the shuffle permutation. A checkpoint that fails
+    /// any check returns `Err` with the worker untouched — corrupted or
+    /// mismatched checkpoints degrade to recompute, never a panic.
+    pub fn restore_checkpoint(&mut self, ck: &WorkerCheckpoint) -> Result<(), String> {
+        let n = self.model.param_count();
+        if ck.params.len() != n {
+            return Err(format!(
+                "parameter plane of {} entries for a model of {n}",
+                ck.params.len()
+            ));
+        }
+        if !ck.momentum_buffers.is_empty() {
+            let shapes = self.model.params_snapshot();
+            if ck.momentum_buffers.len() != shapes.len() {
+                return Err(format!(
+                    "{} momentum buffers for {} parameter tensors",
+                    ck.momentum_buffers.len(),
+                    shapes.len()
+                ));
+            }
+            for (buf, p) in ck.momentum_buffers.iter().zip(&shapes) {
+                if buf.dims() != p.dims() {
+                    return Err(format!(
+                        "momentum buffer shape {:?} does not match parameter {:?}",
+                        buf.dims(),
+                        p.dims()
+                    ));
+                }
+            }
+        }
+        if ck.track_reference {
+            if ck.sync_reference.len() != n {
+                return Err(format!(
+                    "sync reference of {} entries for a model of {n}",
+                    ck.sync_reference.len()
+                ));
+            }
+        } else if !ck.sync_reference.is_empty() {
+            return Err("sync reference recorded without tracking".to_string());
+        }
+        if !ck.feedback.is_empty() && ck.feedback.segments() != self.model.param_sizes() {
+            return Err("error-feedback segment layout does not match the model".to_string());
+        }
+        // Fallible mutation first: the batch iterator validates and leaves
+        // itself untouched on rejection, so a failure here still leaves the
+        // whole worker unmodified.
+        self.batches.restore_shuffle_state(
+            ck.shuffle_order.clone(),
+            ck.shuffle_cursor,
+            ck.epochs_completed,
+        )?;
+        self.model.load_params_from(&ck.params);
+        self.optimizer
+            .restore_momentum_buffers(ck.momentum_buffers.clone());
+        self.rng = StdRng::from_state(ck.rng);
+        self.comm_rng = StdRng::from_state(ck.comm_rng);
+        self.steps_taken = ck.steps_taken;
+        self.feedback = ck.feedback.clone();
+        // Assign the reference directly rather than via
+        // set_reference_tracking: the checkpointed reference is the last
+        // *broadcast*, which mid-restore need not equal the current params.
+        self.sync_reference = ck.sync_reference.clone();
+        self.track_reference = ck.track_reference;
+        Ok(())
     }
 }
 

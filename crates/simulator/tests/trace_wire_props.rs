@@ -1,0 +1,138 @@
+//! Property tests for the trace wire format behind the checkpoint layer
+//! and the persistent run store: arbitrary traces — any float bits
+//! including NaN / ±inf / −0.0, empty point lists, unicode names — must
+//! round-trip bit-exactly, and arbitrary truncation or garbage must fail
+//! cleanly, never panic.
+
+use binio::{ByteReader, ByteWriter};
+use pasgd_sim::checkpoint::{read_run_trace, write_run_trace};
+use pasgd_sim::{RunTrace, TracePoint};
+use proptest::prelude::*;
+
+/// f64 by raw bits — random patterns (covering NaN payloads, subnormals,
+/// huge exponents) plus the named special values explicitly.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(f64::from_bits).boxed(),
+        proptest::Just(f64::NAN).boxed(),
+        proptest::Just(f64::INFINITY).boxed(),
+        proptest::Just(f64::NEG_INFINITY).boxed(),
+        proptest::Just(-0.0f64).boxed(),
+    ]
+}
+
+fn any_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (0u32..u32::MAX).prop_map(f32::from_bits).boxed(),
+        proptest::Just(f32::NAN).boxed(),
+        proptest::Just(f32::NEG_INFINITY).boxed(),
+        proptest::Just(-0.0f32).boxed(),
+    ]
+}
+
+fn any_point() -> impl Strategy<Value = TracePoint> {
+    (
+        (any_f64(), 0u64..u64::MAX, any_f64(), any_f32()),
+        (any_f64(), 0usize..1 << 20, any_f32(), any_f64()),
+    )
+        .prop_map(
+            |((clock, iterations, epoch, train_loss), (test_accuracy, tau, lr, comm_bytes))| {
+                TracePoint {
+                    clock,
+                    iterations,
+                    epoch,
+                    train_loss,
+                    test_accuracy,
+                    tau,
+                    lr,
+                    comm_bytes,
+                }
+            },
+        )
+}
+
+fn any_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(0u8..26, 0..12)
+            .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+            .boxed(),
+        proptest::Just(String::new()).boxed(),
+        proptest::Just("τ=∞ — smoke".to_string()).boxed(),
+    ]
+}
+
+fn any_trace() -> impl Strategy<Value = RunTrace> {
+    (
+        any_name(),
+        proptest::collection::vec(any_point(), 0..16),
+        any_f64(),
+        0u64..u64::MAX,
+    )
+        .prop_map(|(name, points, peak_payload_bytes, rounds)| RunTrace {
+            name,
+            points,
+            peak_payload_bytes,
+            rounds,
+        })
+}
+
+fn point_bits(p: &TracePoint) -> [u64; 8] {
+    [
+        p.clock.to_bits(),
+        p.iterations,
+        p.epoch.to_bits(),
+        u64::from(p.train_loss.to_bits()),
+        p.test_accuracy.to_bits(),
+        p.tau as u64,
+        u64::from(p.lr.to_bits()),
+        p.comm_bytes.to_bits(),
+    ]
+}
+
+proptest! {
+    // Any trace — any float bit patterns, empty or not — round-trips
+    // bit-exactly through the wire format.
+    #[test]
+    fn trace_roundtrip_is_bit_exact(trace in any_trace()) {
+        let mut w = ByteWriter::new();
+        write_run_trace(&mut w, &trace);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_run_trace(&mut r).unwrap();
+        prop_assert!(r.is_empty(), "reader must consume the whole frame");
+        prop_assert_eq!(&back.name, &trace.name);
+        prop_assert_eq!(back.rounds, trace.rounds);
+        prop_assert_eq!(
+            back.peak_payload_bytes.to_bits(),
+            trace.peak_payload_bytes.to_bits()
+        );
+        prop_assert_eq!(back.points.len(), trace.points.len());
+        for (a, b) in back.points.iter().zip(&trace.points) {
+            prop_assert_eq!(point_bits(a), point_bits(b));
+        }
+    }
+
+    // Every strict prefix of a frame must error cleanly: the point count
+    // and name length are written up front, so a cut anywhere leaves the
+    // reader short.
+    #[test]
+    fn any_truncation_errors_cleanly(trace in any_trace(), frac in 0.0f64..1.0) {
+        let mut w = ByteWriter::new();
+        write_run_trace(&mut w, &trace);
+        let bytes = w.into_vec();
+        // A frame is never empty (lengths are written unconditionally),
+        // so a strict prefix always exists.
+        let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+        let mut r = ByteReader::new(&bytes[..cut]);
+        prop_assert!(read_run_trace(&mut r).is_err());
+    }
+
+    // Arbitrary bytes fed to the reader must never panic — they either
+    // decode (vacuously fine) or error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u16..256, 0..256)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let mut r = ByteReader::new(&raw);
+        let _ = read_run_trace(&mut r);
+    }
+}

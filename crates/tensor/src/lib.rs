@@ -31,6 +31,7 @@ mod error;
 mod init;
 mod linalg;
 mod matmul;
+pub mod serde;
 mod shape;
 mod tensor;
 

@@ -1,0 +1,174 @@
+//! Binary serialization for tensors and flat parameter planes.
+//!
+//! The on-wire frame follows the shape-then-data convention of rten's
+//! `impl_serialize` and kornia-rs's tensor serde, hand-rolled onto the
+//! little-endian [`binio`] primitives because the offline workspace has no
+//! serde. A tensor frame is
+//!
+//! ```text
+//! ndim: u32 | dims[ndim]: u64 … | count: u64 | data[count]: f32 raw bits
+//! ```
+//!
+//! and a bare plane frame is the same without the leading shape. Floats are
+//! stored as raw IEEE-754 bits, so NaN payloads, signed zeros and infinities
+//! round-trip bit-exactly — a requirement for the run store's bit-identity
+//! guarantee. Decoding validates every length against the bytes actually
+//! present and returns an error instead of panicking on malformed input.
+
+use crate::tensor::Tensor;
+use binio::{ByteReader, ByteWriter, ReadError, ReadResult};
+
+/// Upper bound on the rank of a serialized tensor. Nothing in the
+/// workspace exceeds rank 2; a frame claiming more is corrupt.
+const MAX_NDIM: u32 = 16;
+
+/// Appends a shape+data tensor frame for (`dims`, `data`).
+///
+/// # Panics
+///
+/// Panics if `dims` does not multiply out to `data.len()` — this is a
+/// programmer error on the write side, not a recoverable condition.
+pub fn write_plane(w: &mut ByteWriter, dims: &[usize], data: &[f32]) {
+    let expect: usize = dims.iter().product();
+    assert_eq!(
+        expect,
+        data.len(),
+        "shape {dims:?} does not describe a plane of {} elements",
+        data.len()
+    );
+    w.put_u32(dims.len() as u32);
+    for &d in dims {
+        w.put_len(d);
+    }
+    w.put_f32_slice(data);
+}
+
+/// Reads a shape+data tensor frame, returning the dims and the raw plane.
+///
+/// Rejects frames whose rank exceeds `MAX_NDIM` (16), whose dimension product
+/// overflows, or whose element count disagrees with the shape or with the
+/// bytes remaining.
+pub fn read_plane(r: &mut ByteReader<'_>) -> ReadResult<(Vec<usize>, Vec<f32>)> {
+    let ndim = r.u32()?;
+    if ndim > MAX_NDIM {
+        return Err(ReadError::BadLength(ndim as u64));
+    }
+    let mut dims = Vec::with_capacity(ndim as usize);
+    let mut product: usize = 1;
+    for _ in 0..ndim {
+        let d = r.len()?;
+        product = product
+            .checked_mul(d)
+            .ok_or(ReadError::BadLength(d as u64))?;
+        dims.push(d);
+    }
+    let data = r.f32_vec()?;
+    if data.len() != product {
+        return Err(ReadError::BadLength(data.len() as u64));
+    }
+    Ok((dims, data))
+}
+
+/// Appends a tensor frame for `t` (shape followed by raw `f32` bits).
+pub fn write_tensor(w: &mut ByteWriter, t: &Tensor) {
+    write_plane(w, t.dims(), t.as_slice());
+}
+
+/// Reads a tensor frame written by [`write_tensor`].
+pub fn read_tensor(r: &mut ByteReader<'_>) -> ReadResult<Tensor> {
+    let (dims, data) = read_plane(r)?;
+    Tensor::from_vec(data, &dims).map_err(|_| ReadError::BadLength(dims.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dims: &[usize], data: &[f32]) {
+        let mut w = ByteWriter::new();
+        write_plane(&mut w, dims, data);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let (d2, v2) = read_plane(&mut r).expect("roundtrip decode");
+        assert_eq!(d2, dims);
+        assert_eq!(v2.len(), data.len());
+        for (a, b) in data.iter().zip(&v2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact roundtrip");
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_special_values_bit_exactly() {
+        roundtrip(
+            &[2, 3],
+            &[f32::NAN, -0.0, f32::INFINITY, f32::NEG_INFINITY, 0.0, 1.5],
+        );
+    }
+
+    #[test]
+    fn roundtrips_empty_tensor() {
+        roundtrip(&[0], &[]);
+        roundtrip(&[3, 0], &[]);
+    }
+
+    #[test]
+    fn tensor_frame_roundtrips() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let mut w = ByteWriter::new();
+        write_tensor(&mut w, &t);
+        let bytes = w.into_vec();
+        let t2 = read_tensor(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(t2.dims(), t.dims());
+        assert_eq!(t2.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn shape_data_mismatch_rejected() {
+        // Hand-build a frame whose shape says 4 elements but carries 3.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_len(2);
+        w.put_len(2);
+        w.put_f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_vec();
+        assert!(read_plane(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn absurd_rank_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(10_000);
+        let bytes = w.into_vec();
+        assert!(read_plane(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn dim_product_overflow_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_len(usize::MAX);
+        w.put_len(16);
+        w.put_u64(0);
+        let bytes = w.into_vec();
+        assert!(read_plane(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let mut w = ByteWriter::new();
+        write_plane(&mut w, &[4], &[1.0, 2.0, 3.0, 4.0]);
+        let bytes = w.into_vec();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(read_plane(&mut r).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not describe a plane")]
+    fn write_side_shape_mismatch_panics() {
+        let mut w = ByteWriter::new();
+        write_plane(&mut w, &[2, 2], &[1.0]);
+    }
+}
