@@ -32,8 +32,12 @@
 //! `--smoke` shrinks every simulated budget so CI can validate the JSON in
 //! seconds; `--baseline` embeds a previously recorded report (same schema)
 //! and computes per-scenario wall-clock speedups against it — it defaults
-//! to the committed `crates/bench/baselines/pre_pr6.json` when that file
+//! to the committed `crates/bench/baselines/pre_pr7.json` when that file
 //! exists. See the README "Performance" section for the schema.
+//!
+//! When the `trace` feature is on (the default build), every scenario also
+//! reports a `"phases"` object: wall-clock self-seconds per `phase.*` span
+//! recorded by the telemetry registry while that scenario ran.
 
 use adacomm::{AdaComm, AdaCommConfig, FixedComm, LrCoupling, LrSchedule};
 use adacomm_bench::figures::reproduce;
@@ -49,7 +53,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 6;
+const BENCH_ID: u32 = 7;
 
 /// One timed scenario.
 struct Measurement {
@@ -61,6 +65,23 @@ struct Measurement {
     local_steps: u64,
     peak_payload_bytes: f64,
     final_train_loss: f32,
+    /// `(span name, self seconds)` per `phase.*` span recorded while this
+    /// scenario ran — empty when the telemetry feature is compiled out.
+    phases: Vec<(String, f64)>,
+}
+
+/// `phase.*` self-seconds accumulated while `run` executed.
+fn timed_phases<T>(run: impl FnOnce() -> T) -> (T, Vec<(String, f64)>) {
+    let before = telemetry::snapshot();
+    let value = run();
+    let delta = telemetry::snapshot().delta_since(&before);
+    let phases = delta
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("phase."))
+        .map(|s| (s.name.clone(), s.self_nanos as f64 / 1e9))
+        .collect();
+    (value, phases)
 }
 
 impl Measurement {
@@ -80,7 +101,8 @@ impl Measurement {
              \"wall_clock_s\": {:.6},\n      \"sim_clock_s\": {:.3},\n      \
              \"rounds\": {},\n      \"local_steps\": {},\n      \
              \"steps_per_sec\": {:.1},\n      \"rounds_per_sec\": {:.2},\n      \
-             \"peak_payload_bytes\": {:.0},\n      \"final_train_loss\": {:.6}\n    }}",
+             \"peak_payload_bytes\": {:.0},\n      \"final_train_loss\": {:.6},\n      \
+             \"phases\": {{{}}}\n    }}",
             self.name,
             self.workers,
             self.wall_clock_s,
@@ -91,6 +113,11 @@ impl Measurement {
             self.rounds_per_sec(),
             self.peak_payload_bytes,
             self.final_train_loss,
+            self.phases
+                .iter()
+                .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
+                .collect::<Vec<_>>()
+                .join(", "),
         );
         s
     }
@@ -98,7 +125,7 @@ impl Measurement {
 
 fn measure(name: &'static str, workers: usize, run: impl FnOnce() -> RunTrace) -> Measurement {
     let start = Instant::now();
-    let trace = run();
+    let (trace, phases) = timed_phases(run);
     let wall = start.elapsed().as_secs_f64();
     let last = trace.points.last().expect("non-empty trace");
     println!(
@@ -114,6 +141,7 @@ fn measure(name: &'static str, workers: usize, run: impl FnOnce() -> RunTrace) -
         local_steps: last.iterations,
         peak_payload_bytes: trace.peak_payload_bytes,
         final_train_loss: last.train_loss,
+        phases,
     }
 }
 
@@ -143,7 +171,7 @@ fn measure_reproduce_all(smoke: bool, cache_dir: &Path, warm: bool) -> Measureme
         if warm { "warm" } else { "cold" }
     );
     let engine = SweepEngine::new().with_store(RunStore::new(cache_dir));
-    let outcome = reproduce(scale, &engine, None);
+    let (outcome, phases) = timed_phases(|| reproduce(scale, &engine, None));
     let failures = outcome.failures();
     assert!(
         failures.is_empty(),
@@ -164,14 +192,20 @@ fn measure_reproduce_all(smoke: bool, cache_dir: &Path, warm: bool) -> Measureme
     }
     println!(
         "  {name}: {:.2}s wall ({:.2}s sweep wave, {} figures, {} unique runs, \
-         {} local steps simulated; {} disk hits, {} misses)",
+         {} local steps simulated)",
         outcome.total_secs,
         outcome.sweep_secs,
         outcome.figures.len(),
         stats.unique_runs,
         stats.local_steps,
+    );
+    println!(
+        "  run store ({}): {} disk hits, {} memory hits, {} misses, {} rejected entries",
+        cache_dir.display(),
         cache.disk_hits,
+        cache.mem_hits,
         cache.misses,
+        cache.rejects
     );
     Measurement {
         name,
@@ -182,6 +216,7 @@ fn measure_reproduce_all(smoke: bool, cache_dir: &Path, warm: bool) -> Measureme
         local_steps: stats.local_steps,
         peak_payload_bytes: stats.peak_payload_bytes,
         final_train_loss: 0.0,
+        phases,
     }
 }
 
@@ -273,7 +308,7 @@ fn main() -> std::io::Result<()> {
     // its shrunken budgets make speedups against the full-scale baseline
     // meaningless.
     let baseline_path = flag_value("--baseline").or_else(|| {
-        let committed = repo_root().join("crates/bench/baselines/pre_pr6.json");
+        let committed = repo_root().join("crates/bench/baselines/pre_pr7.json");
         (!smoke && committed.exists()).then_some(committed)
     });
     if smoke {

@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release -p adacomm-bench --bin reproduce_all -- \
-//!     [--full|--smoke] [--only SUBSTR] [--sequential] [--no-cache]
+//!     [--full|--smoke] [--only SUBSTR] [--sequential] [--no-cache] \
+//!     [--trace DIR] [--json]
 //! ```
 //!
 //! Unlike the old driver (which shelled out to the 21 standalone binaries
@@ -25,22 +26,56 @@
 //! * `--smoke` shrinks every simulated budget and redirects CSVs to
 //!   `results/smoke/`, so CI exercises the whole in-process path in
 //!   seconds without touching the committed quick-scale results.
+//! * `--trace DIR` writes one JSONL telemetry profile per execution
+//!   window (the sweep wave plus each figure) into `DIR` and appends a
+//!   per-phase timing summary to the report. Requires the `trace`
+//!   feature (on by default); tracing forces the sequential engine so
+//!   each profile is attributable to exactly one figure. Inspect the
+//!   profiles with the `obs_report` binary.
+//! * `--json` replaces the human report with one machine-readable JSON
+//!   document on stdout (per-figure wall times + cache statistics), for
+//!   CI trend tracking.
 //! * The engine's memoization is **persistent**: traces land in the
 //!   content-addressed run store (`results/cache/`, or
 //!   `results/smoke/cache/` under `--smoke`) and a warm re-run serves
 //!   every cached run from disk — byte-identical CSVs in seconds instead
 //!   of minutes. `--no-cache` runs fully cold without reading or writing
 //!   the store; deleting the cache directory is always safe.
+//!
+//! All human-readable output is assembled into a single buffer and
+//! written to stdout in one call, so nothing a figure, the engine, or the
+//! telemetry layer prints can interleave mid-line with the report.
 
-use adacomm_bench::figures::reproduce;
-use adacomm_bench::{RunStore, Scale, SweepEngine, Table};
+use adacomm_bench::figures::reproduce_with_trace;
+use adacomm_bench::{sayln, RunStore, Scale, SweepEngine, Table};
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env_and_args();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => std::path::PathBuf::from(dir),
+            _ => {
+                eprintln!("--trace requires a directory argument");
+                std::process::exit(2);
+            }
+        });
+    if trace_dir.is_some() && !telemetry::is_enabled() {
+        eprintln!(
+            "--trace requires the `trace` feature (this binary was built with \
+             --no-default-features); rebuild with default features"
+        );
+        std::process::exit(2);
+    }
+    let json_mode = args.iter().any(|a| a == "--json");
     // Default: parallel iff the machine has more than one executor
     // (results are bit-identical either way); force with the flags.
-    let parallel = if args.iter().any(|a| a == "--sequential") {
+    // Tracing overrides everything: per-figure snapshot deltas need the
+    // strictly-ordered figure loop.
+    let parallel = if trace_dir.is_some() || args.iter().any(|a| a == "--sequential") {
         false
     } else if args.iter().any(|a| a == "--parallel") {
         true
@@ -56,11 +91,17 @@ fn main() {
         adacomm_bench::report::set_results_subdir("smoke");
     }
 
-    println!(
-        "reproduce_all (scale {scale}, {} engine{})",
+    let mut out = String::new();
+    sayln!(
+        out,
+        "reproduce_all (scale {scale}, {} engine{}{})",
         if parallel { "parallel" } else { "sequential" },
         only.as_deref()
             .map(|o| format!(", only *{o}*"))
+            .unwrap_or_default(),
+        trace_dir
+            .as_deref()
+            .map(|d| format!(", tracing to {}", d.display()))
             .unwrap_or_default()
     );
 
@@ -71,66 +112,177 @@ fn main() {
     if !args.iter().any(|a| a == "--no-cache") {
         engine = engine.with_store(RunStore::new(RunStore::default_dir()));
     }
-    let outcome = reproduce(scale, &engine, only.as_deref());
+    let before = telemetry::snapshot();
+    let outcome = match reproduce_with_trace(scale, &engine, only.as_deref(), trace_dir.as_deref())
+    {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("failed to write telemetry trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let phase_delta = telemetry::snapshot().delta_since(&before);
+    let warnings = engine.take_warnings();
 
     if outcome.figures.is_empty() {
         eprintln!("no figure matches --only {:?}", only.as_deref());
         std::process::exit(2);
     }
 
+    let cache = engine.cache_stats();
+    if json_mode {
+        let mut doc = telemetry::json::ObjectBuilder::new();
+        doc.str_field("scale", &format!("{scale}"));
+        doc.str_field("engine", if parallel { "parallel" } else { "sequential" });
+        let figures: Vec<String> = outcome
+            .figures
+            .iter()
+            .map(|f| {
+                let mut obj = telemetry::json::ObjectBuilder::new();
+                obj.str_field("name", f.name);
+                obj.num_field("wall_secs", f.wall_secs);
+                obj.str_field("status", if f.failure.is_some() { "failed" } else { "ok" });
+                obj.finish()
+            })
+            .collect();
+        doc.raw_field("figures", &format!("[{}]", figures.join(",")));
+        doc.num_field("sweep_secs", outcome.sweep_secs);
+        doc.num_field("total_secs", outcome.total_secs);
+        doc.num_field("unique_runs", outcome.unique_runs as f64);
+        doc.num_field("cache_disk_hits", cache.disk_hits as f64);
+        doc.num_field("cache_mem_hits", cache.mem_hits as f64);
+        doc.num_field("cache_misses", cache.misses as f64);
+        doc.num_field("cache_rejects", cache.rejects as f64);
+        match engine.store() {
+            Some(store) => doc.str_field("store_dir", &store.dir().display().to_string()),
+            None => doc.raw_field("store_dir", "null"),
+        }
+        println!("{}", doc.finish());
+    } else {
+        for figure in &outcome.figures {
+            sayln!(
+                out,
+                "\n================================================================"
+            );
+            sayln!(out, "=== {}", figure.name);
+            sayln!(
+                out,
+                "================================================================"
+            );
+            out.push_str(&figure.output);
+            if let Some(failure) = &figure.failure {
+                sayln!(out, "{} FAILED: {failure}", figure.name);
+            }
+        }
+
+        sayln!(
+            out,
+            "\n================================================================"
+        );
+        let mut timing = Table::new(vec!["figure".into(), "wall s".into(), "status".into()]);
+        for figure in &outcome.figures {
+            timing.row(vec![
+                figure.name.to_string(),
+                format!("{:.2}", figure.wall_secs),
+                if figure.failure.is_some() {
+                    "FAILED".into()
+                } else {
+                    "ok".into()
+                },
+            ]);
+        }
+        out.push_str(&timing.render());
+        sayln!(
+            out,
+            "\nsweep wave: {:.2} s ({} unique runs); end-to-end: {:.2} s \
+             (per-figure times overlap under the parallel engine)",
+            outcome.sweep_secs,
+            outcome.unique_runs,
+            outcome.total_secs
+        );
+        match engine.store() {
+            Some(store) => sayln!(
+                out,
+                "run store ({}): {} disk hits, {} memory hits, {} misses, {} rejected entries",
+                store.dir().display(),
+                cache.disk_hits,
+                cache.mem_hits,
+                cache.misses,
+                cache.rejects
+            ),
+            None => sayln!(
+                out,
+                "run store: disabled (--no-cache); {} memory hits, {} misses",
+                cache.mem_hits,
+                cache.misses
+            ),
+        }
+
+        if trace_dir.is_some() {
+            append_phase_summary(&mut out, &phase_delta, outcome.total_secs);
+        }
+
+        let failures = outcome.failures();
+        if failures.is_empty() {
+            sayln!(
+                out,
+                "all {} reproduction targets completed; CSVs are in results/",
+                outcome.figures.len()
+            );
+        } else {
+            sayln!(out, "FAILED targets: {failures:?}");
+        }
+
+        // One write, then flush, so stderr messages below can never land
+        // mid-line inside the report.
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(out.as_bytes());
+        let _ = lock.flush();
+    }
+
+    for warning in &warnings {
+        eprintln!("{warning}");
+    }
     for figure in &outcome.figures {
-        println!("\n================================================================");
-        println!("=== {}", figure.name);
-        println!("================================================================");
-        print!("{}", figure.output);
         if let Some(failure) = &figure.failure {
             eprintln!("{} FAILED: {failure}", figure.name);
         }
     }
-
-    println!("\n================================================================");
-    let mut timing = Table::new(vec!["figure".into(), "wall s".into(), "status".into()]);
-    for figure in &outcome.figures {
-        timing.row(vec![
-            figure.name.to_string(),
-            format!("{:.2}", figure.wall_secs),
-            if figure.failure.is_some() {
-                "FAILED".into()
-            } else {
-                "ok".into()
-            },
-        ]);
-    }
-    timing.print();
-    println!(
-        "\nsweep wave: {:.2} s ({} unique runs); end-to-end: {:.2} s \
-         (per-figure times overlap under the parallel engine)",
-        outcome.sweep_secs, outcome.unique_runs, outcome.total_secs
-    );
-    let cache = engine.cache_stats();
-    match engine.store() {
-        Some(store) => println!(
-            "run store ({}): {} disk hits, {} memory hits, {} misses, {} rejected entries",
-            store.dir().display(),
-            cache.disk_hits,
-            cache.mem_hits,
-            cache.misses,
-            cache.rejects
-        ),
-        None => println!(
-            "run store: disabled (--no-cache); {} memory hits, {} misses",
-            cache.mem_hits, cache.misses
-        ),
-    }
-
-    let failures = outcome.failures();
-    if failures.is_empty() {
-        println!(
-            "all {} reproduction targets completed; CSVs are in results/",
-            outcome.figures.len()
-        );
-    } else {
-        println!("FAILED targets: {failures:?}");
+    if !outcome.failures().is_empty() {
         std::process::exit(1);
     }
+}
+
+/// Appends the per-phase wall-time attribution table rendered under
+/// `--trace`: self-time per `phase.*` span (and `kernel.*` timer under
+/// the `profile` feature), sorted by the registry's deterministic order.
+fn append_phase_summary(out: &mut String, delta: &telemetry::Snapshot, wall_secs: f64) {
+    let phases: Vec<&telemetry::SpanSnapshot> = delta
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("phase.") || s.name.starts_with("kernel."))
+        .collect();
+    if phases.is_empty() {
+        return;
+    }
+    sayln!(out, "\nper-phase wall-time attribution:");
+    let mut table = Table::new(vec![
+        "phase".into(),
+        "calls".into(),
+        "total s".into(),
+        "self s".into(),
+        "% of wall".into(),
+    ]);
+    for span in &phases {
+        let self_secs = span.self_nanos as f64 / 1e9;
+        table.row(vec![
+            span.name.clone(),
+            span.count.to_string(),
+            format!("{:.3}", span.total_nanos as f64 / 1e9),
+            format!("{self_secs:.3}"),
+            format!("{:.1}", 100.0 * self_secs / wall_secs.max(1e-9)),
+        ]);
+    }
+    out.push_str(&table.render());
 }

@@ -241,6 +241,29 @@ impl ReproOutcome {
 ///
 /// `only` filters figures by substring of their registry name.
 pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> ReproOutcome {
+    reproduce_with_trace(scale, engine, only, None).expect("no trace dir requested, so no I/O")
+}
+
+/// [`reproduce`] with an optional telemetry trace: when `trace_dir` is
+/// `Some`, every execution window (the sweep wave, then each figure body)
+/// gets its own JSONL profile in that directory — a `meta` header, the
+/// window's metric/span snapshot delta, and the per-round `point` events
+/// the simulator emitted while the window ran.
+///
+/// Tracing forces the figure phase sequential regardless of the engine's
+/// parallelism, so each window's snapshot delta is attributable to exactly
+/// one figure. Pass `trace_dir = None` for the untraced (and
+/// fully-parallel) behaviour; in that mode this never returns `Err`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if a profile file cannot be written.
+pub fn reproduce_with_trace(
+    scale: Scale,
+    engine: &SweepEngine,
+    only: Option<&str>,
+    trace_dir: Option<&std::path::Path>,
+) -> io::Result<ReproOutcome> {
     use rayon::prelude::*;
     use std::time::Instant;
 
@@ -249,12 +272,57 @@ pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> Repr
         .filter(|f| only.is_none_or(|needle| f.name.contains(needle)))
         .collect();
 
+    let scale_label = format!("{scale}");
+    let sink = trace_dir.map(|dir| {
+        std::fs::create_dir_all(dir).ok();
+        telemetry::EventSink::new()
+    });
+    let previous_sink = sink
+        .as_ref()
+        .map(|s| telemetry::install_sink(Some(s.clone())));
+    // Restores the previously-installed sink (usually `None`) even on the
+    // early-return I/O error paths below.
+    struct SinkRestore {
+        armed: bool,
+        previous: Option<std::sync::Arc<telemetry::EventSink>>,
+    }
+    impl Drop for SinkRestore {
+        fn drop(&mut self) {
+            if self.armed {
+                telemetry::install_sink(self.previous.take());
+            }
+        }
+    }
+    let _restore = SinkRestore {
+        armed: previous_sink.is_some(),
+        previous: previous_sink.flatten(),
+    };
+
+    let mut window_start = telemetry::snapshot();
+    let mut write_window =
+        |dir: Option<&std::path::Path>, task: &str, wall_secs: f64| -> io::Result<()> {
+            let Some(dir) = dir else { return Ok(()) };
+            let now = telemetry::snapshot();
+            let delta = now.delta_since(&window_start);
+            window_start = now;
+            let mut lines = vec![telemetry::schema::meta_line(task, &scale_label, wall_secs)];
+            lines.extend(delta.to_jsonl_lines());
+            if let Some(sink) = &sink {
+                lines.extend(sink.drain());
+            }
+            telemetry::write_jsonl_atomic(&dir.join(format!("{task}.jsonl")), &lines)
+        };
+
     let start = Instant::now();
     // Phase 1: the central sweep table. Order follows the registry, so a
     // sequential engine executes runs exactly as the figures would.
     let all_specs: Vec<SweepSpec> = figures.iter().flat_map(|f| (f.specs)(scale)).collect();
-    let _ = engine.run(&all_specs);
+    {
+        let _phase = telemetry::span("phase.sweep_wave");
+        let _ = engine.run(&all_specs);
+    }
     let sweep_secs = start.elapsed().as_secs_f64();
+    write_window(trace_dir, "sweep_wave", sweep_secs)?;
 
     // Phase 2: figure bodies (rendering + the non-declarable runs).
     struct Job {
@@ -274,6 +342,7 @@ pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> Repr
         let t0 = Instant::now();
         let mut output = String::new();
         let failure = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _phase = telemetry::span("phase.figure_render");
             (job.run)(scale, engine, &mut output)
         })) {
             Ok(Ok(())) => None,
@@ -293,13 +362,23 @@ pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> Repr
             failure,
         });
     };
-    if engine.is_parallel() {
+    if trace_dir.is_some() {
+        for job in jobs.iter_mut() {
+            exec(job);
+            let wall = job
+                .outcome
+                .as_ref()
+                .map(|o| o.wall_secs)
+                .unwrap_or_default();
+            write_window(trace_dir, job.name, wall)?;
+        }
+    } else if engine.is_parallel() {
         jobs.par_iter_mut().with_max_len(1).for_each(exec);
     } else {
         jobs.iter_mut().for_each(exec);
     }
 
-    ReproOutcome {
+    Ok(ReproOutcome {
         figures: jobs
             .into_iter()
             .map(|j| j.outcome.expect("figure job executed"))
@@ -307,7 +386,7 @@ pub fn reproduce(scale: Scale, engine: &SweepEngine, only: Option<&str>) -> Repr
         sweep_secs,
         total_secs: start.elapsed().as_secs_f64(),
         unique_runs: engine.unique_runs(),
-    }
+    })
 }
 
 /// Entry point for the standalone figure binaries: resolves the scale from

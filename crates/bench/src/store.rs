@@ -115,12 +115,15 @@ impl RunStore {
     /// [`LoadOutcome::Rejected`] (or [`LoadOutcome::Absent`] when no
     /// file exists).
     pub fn load(&self, key: &str) -> LoadOutcome {
+        let _phase = telemetry::span("phase.store_load");
         let path = self.entry_path(key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Absent,
             Err(e) => return LoadOutcome::Rejected(format!("unreadable entry: {e}")),
         };
+        telemetry::counter("store.loads").inc();
+        telemetry::counter("store.load_bytes").add(bytes.len() as u64);
         match decode_entry(&bytes, key) {
             Ok(trace) => LoadOutcome::Hit(trace),
             Err(reason) => LoadOutcome::Rejected(reason),
@@ -137,6 +140,7 @@ impl RunStore {
     /// or the rename fails. Callers treat a failed save as a non-event:
     /// the run already happened, the cache just stays cold.
     pub fn save(&self, key: &str, trace: &RunTrace) -> io::Result<PathBuf> {
+        let _phase = telemetry::span("phase.store_save");
         let path = self.entry_path(key);
         fs::create_dir_all(&self.dir)?;
         let tmp = self.dir.join(format!(
@@ -144,7 +148,10 @@ impl RunStore {
             fnv1a64(key.as_bytes()),
             std::process::id()
         ));
-        fs::write(&tmp, encode_entry(key, trace))?;
+        let frame = encode_entry(key, trace);
+        telemetry::counter("store.saves").inc();
+        telemetry::counter("store.save_bytes").add(frame.len() as u64);
+        fs::write(&tmp, frame)?;
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {

@@ -558,6 +558,7 @@ pub struct SweepEngine {
     runs: Mutex<HashMap<String, RunTrace>>,
     store: Option<RunStore>,
     traffic: Mutex<CacheTraffic>,
+    warnings: Mutex<Vec<String>>,
 }
 
 /// Origin bookkeeping behind [`SweepEngine::cache_stats`]: `counted`
@@ -600,6 +601,7 @@ impl SweepEngine {
             runs: Mutex::new(HashMap::new()),
             store: None,
             traffic: Mutex::new(CacheTraffic::default()),
+            warnings: Mutex::new(Vec::new()),
         }
     }
 
@@ -630,18 +632,40 @@ impl SweepEngine {
 
     /// Attributes the first resolution of `key` to a disk hit or a miss;
     /// a key already attributed (a racing duplicate compute) counts as a
-    /// memory hit like any other repeat request.
+    /// memory hit like any other repeat request. The same outcomes feed
+    /// the telemetry registry (`sweep.cache.*`), so trace files and
+    /// `--json` reports carry the cache traffic as real metrics.
     fn note_resolved(&self, key: &str, from_disk: bool) {
         let mut t = self.traffic.lock().expect("traffic counters poisoned");
         if t.counted.insert(key.to_string()) {
             if from_disk {
                 t.stats.disk_hits += 1;
+                telemetry::counter("sweep.cache.disk_hits").inc();
             } else {
                 t.stats.misses += 1;
+                telemetry::counter("sweep.cache.misses").inc();
             }
         } else {
             t.stats.mem_hits += 1;
+            telemetry::counter("sweep.cache.mem_hits").inc();
         }
+    }
+
+    /// Records an out-of-band diagnostic (e.g. a rejected store entry).
+    /// Buffered rather than printed: pool threads must never write to the
+    /// process's streams mid-figure, or lines garble under `--parallel`
+    /// with the figures' own buffered output. Drivers drain the buffer
+    /// with [`SweepEngine::take_warnings`] at a safe point.
+    fn warn(&self, message: String) {
+        self.warnings
+            .lock()
+            .expect("warning buffer poisoned")
+            .push(message);
+    }
+
+    /// Drains the buffered diagnostics accumulated so far (oldest first).
+    pub fn take_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *self.warnings.lock().expect("warning buffer poisoned"))
     }
 
     /// Executes `specs`, returning their traces in spec order.
@@ -650,6 +674,8 @@ impl SweepEngine {
     /// this engine) execute once; every caller gets a clone of the cached
     /// trace, renamed per its own spec.
     pub fn run(&self, specs: &[SweepSpec]) -> Vec<RunTrace> {
+        telemetry::counter("sweep.batches").inc();
+        telemetry::gauge("sweep.pool_threads").set(rayon::current_num_threads() as i64);
         if self.parallel {
             // Warm the cache over the batch's *unique* uncached specs (in
             // first-occurrence order, one pool job each, so heterogeneous
@@ -660,11 +686,14 @@ impl SweepEngine {
                 .iter()
                 .filter(|spec| seen.insert(spec.key()))
                 .collect();
+            let queue_depth = telemetry::gauge("sweep.queue_depth");
+            queue_depth.add(unique.len() as i64);
             let _: Vec<()> = unique
                 .par_iter_mut()
                 .with_max_len(1)
                 .map(|spec| {
                     let _ = self.trace_for(spec);
+                    queue_depth.add(-1);
                 })
                 .collect();
         }
@@ -694,6 +723,7 @@ impl SweepEngine {
         if let Some(trace) = self.runs.lock().expect("run cache poisoned").get(&key) {
             let mut t = self.traffic.lock().expect("traffic counters poisoned");
             t.stats.mem_hits += 1;
+            telemetry::counter("sweep.cache.mem_hits").inc();
             return trace.clone();
         }
         // Cold in memory: consult the persistent store before simulating.
@@ -713,16 +743,24 @@ impl SweepEngine {
                     return trace;
                 }
                 LoadOutcome::Rejected(reason) => {
-                    eprintln!("run store: rejected entry for a sweep key ({reason}); recomputing");
+                    self.warn(format!(
+                        "run store: rejected entry for a sweep key ({reason}); recomputing"
+                    ));
                     store.evict(&key);
                     let mut t = self.traffic.lock().expect("traffic counters poisoned");
                     t.stats.rejects += 1;
+                    telemetry::counter("sweep.cache.rejects").inc();
                 }
                 LoadOutcome::Absent => {}
             }
         }
         let built = self.scenario(&spec.scenario);
+        let inflight = telemetry::gauge("sweep.inflight_runs");
+        inflight.add(1);
+        let run_started = std::time::Instant::now();
         let trace = spec.execute(&built);
+        telemetry::histogram("sweep.run_secs").observe(run_started.elapsed().as_secs_f64());
+        inflight.add(-1);
         if let Some(store) = &self.store {
             let _ = store.save(&key, &trace);
         }
@@ -751,7 +789,10 @@ impl SweepEngine {
         {
             return built.clone();
         }
-        let built = Arc::new(spec.build());
+        let built = {
+            let _phase = telemetry::span("phase.scenario_build");
+            Arc::new(spec.build())
+        };
         let mut scenarios = self.scenarios.lock().expect("scenario cache poisoned");
         scenarios.entry(key).or_insert(built).clone()
     }

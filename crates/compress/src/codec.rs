@@ -452,6 +452,9 @@ impl CodecSpec {
 
 impl Compressor for CodecSpec {
     fn compress_slice(&self, input: &[f32], output: &mut [f32], rng: &mut StdRng) -> usize {
+        // Flat kernel timer, live only under telemetry's `profile`
+        // feature — this dispatch is the per-worker-per-round codec entry.
+        let _t = telemetry::kernel_timer("kernel.codec_compress");
         match *self {
             CodecSpec::Identity => Identity.compress_slice(input, output, rng),
             CodecSpec::TopK { ratio } => TopK::new(ratio).compress_slice(input, output, rng),

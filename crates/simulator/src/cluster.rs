@@ -451,6 +451,9 @@ impl PasgdCluster {
         assert!(tau >= 1, "communication period must be at least 1");
         let mean_loss = self.local_fanout(tau);
         let bytes = self.average_models(tau);
+        telemetry::counter("sim.rounds").inc();
+        telemetry::histogram("sim.round_tau").observe(tau as f64);
+        telemetry::histogram("sim.round_payload_bytes").observe(bytes);
         let round = self
             .runtime
             .sample_round_bytes(tau, bytes, &mut self.delay_rng);
@@ -487,6 +490,8 @@ impl PasgdCluster {
     /// losses are folded inside the parallel map (no per-round `Vec`).
     /// Returns the mean local training loss.
     fn local_fanout(&mut self, steps: usize) -> f32 {
+        let _phase = telemetry::span("phase.compute");
+        telemetry::counter("sim.local_steps").add((steps * self.workers.len()) as u64);
         let total: f32 = self
             .workers
             .par_iter_mut()
@@ -528,6 +533,7 @@ impl PasgdCluster {
     /// exactly, so full-precision results are bit-identical (golden-trace
     /// test).
     fn average_models(&mut self, tau: usize) -> f64 {
+        let _phase = telemetry::span("phase.average");
         let identity = matches!(self.codec, CodecSpec::Identity);
         let full_average = matches!(self.averaging, AveragingStrategy::FullAverage);
         let mut payload_bytes = self.full_payload_bytes as f64;
@@ -558,6 +564,9 @@ impl PasgdCluster {
                 w.copy_params_into(plane);
             }
         } else {
+            // Codec encode/decode is its own phase nested inside averaging:
+            // `phase.average` self time excludes it.
+            let _codec_phase = telemetry::span("phase.codec");
             let codec = self.codec;
             let mut max_bytes = 0usize;
             for (w, plane) in self.workers.iter_mut().zip(self.msg_planes.iter_mut()) {
@@ -668,6 +677,7 @@ impl PasgdCluster {
     }
 
     fn eval_train_loss_uncached(&mut self) -> f32 {
+        let _phase = telemetry::span("phase.eval");
         if self.train_eval.chunks.len() <= 1 {
             let (x, y) = &self.train_eval.chunks[0];
             return self.workers[0].model_mut().eval_loss(x, y);
@@ -721,6 +731,7 @@ impl PasgdCluster {
     /// Shared test-accuracy path: evaluates `worker`'s model over the test
     /// chunks (in parallel when there is more than one chunk).
     fn test_accuracy_of(&mut self, worker: usize) -> f64 {
+        let _phase = telemetry::span("phase.eval");
         if self.test_eval.chunks.len() <= 1 {
             let (x, y) = &self.test_eval.chunks[0];
             return self.workers[worker].model_mut().accuracy(x, y);
@@ -766,6 +777,7 @@ impl PasgdCluster {
     /// codec, delay stream, block-momentum planes, and every worker — for
     /// a run checkpoint taken at a round boundary.
     pub fn checkpoint(&self) -> ClusterCheckpoint {
+        let _phase = telemetry::span("phase.checkpoint");
         ClusterCheckpoint {
             clock: self.clock,
             iterations: self.iterations,

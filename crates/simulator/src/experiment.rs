@@ -190,6 +190,30 @@ pub fn run_experiment(
     }
 }
 
+/// Emits one enriched `"point"` JSONL event to the telemetry sink (if one
+/// is installed): the recorded [`TracePoint`] plus the cluster's simulated
+/// compute/communication time split, which the `TracePoint` wire format
+/// deliberately does not carry. The closure is lazy, so with no sink this
+/// costs one relaxed atomic load and zero allocation.
+fn emit_point_event(scheduler: &dyn CommSchedule, point: &TracePoint, cluster: &PasgdCluster) {
+    telemetry::emit(|| {
+        let mut obj = telemetry::json::ObjectBuilder::new();
+        obj.str_field("type", "point");
+        obj.str_field("run", &scheduler.name());
+        obj.num_field("clock", point.clock);
+        obj.num_field("iterations", point.iterations as f64);
+        obj.num_field("epoch", point.epoch);
+        obj.num_field("train_loss", f64::from(point.train_loss));
+        obj.num_field("test_accuracy", point.test_accuracy);
+        obj.num_field("tau", point.tau as f64);
+        obj.num_field("lr", f64::from(point.lr));
+        obj.num_field("comm_bytes", point.comm_bytes);
+        obj.num_field("compute_secs", cluster.compute_time());
+        obj.num_field("comm_secs", cluster.comm_time());
+        obj.finish()
+    });
+}
+
 /// How a resumable experiment run ended.
 #[derive(Debug, Clone)]
 pub enum RunOutcome {
@@ -231,6 +255,11 @@ pub fn run_experiment_resumable(
         config.interval_secs > 0.0 && config.total_secs > 0.0,
         "experiment durations must be positive"
     );
+    // Root span of a run: its *self* time is the driver-loop and
+    // scheduler overhead left over after the compute/codec/average/eval
+    // phases inside claim theirs.
+    let _run_span = telemetry::span("phase.simulate");
+    telemetry::counter("sim.runs").inc();
     let mut cluster = PasgdCluster::new(model, split, runtime, cluster_config);
 
     let mut points;
@@ -344,6 +373,7 @@ pub fn run_experiment_resumable(
                 lr: cluster.lr(),
                 comm_bytes: cluster.comm_bytes(),
             });
+            emit_point_event(&*scheduler, points.last().expect("just pushed"), &cluster);
             while next_record <= cluster.clock() {
                 next_record += config.record_every_secs;
             }
@@ -379,6 +409,7 @@ pub fn run_experiment_resumable(
         lr: cluster.lr(),
         comm_bytes: cluster.comm_bytes(),
     });
+    emit_point_event(&*scheduler, points.last().expect("just pushed"), &cluster);
     let _ = last_loss;
 
     Ok(RunOutcome::Completed(RunTrace {

@@ -1,0 +1,431 @@
+//! Minimal JSON support for the trace tooling: a strict parser (enough to
+//! validate and read back emitted JSONL lines) and an object builder that
+//! produces correctly escaped single-line JSON objects.
+//!
+//! This is not a general-purpose JSON library; it exists because the build
+//! environment has no registry access (no `serde_json`). The parser accepts
+//! exactly the JSON this crate emits plus ordinary interchange JSON:
+//! objects, arrays, strings with standard escapes, finite numbers, `true`,
+//! `false`, `null`. It never panics on malformed input.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Key order is not preserved (sorted); duplicate keys keep
+    /// the last occurrence, as in most JSON implementations.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as an object map, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document from `input`. Trailing non-whitespace is
+/// an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad utf8".to_string())?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))?;
+    if !n.is_finite() {
+        return Err(format!("non-finite number {text:?} at byte {start}"));
+    }
+    Ok(Value::Num(n))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        if (0xd800..0xe000).contains(&code) {
+                            // Surrogate pair: require the low half immediately.
+                            if (0xdc00..0xe000).contains(&code) {
+                                return Err("unpaired low surrogate".to_string());
+                            }
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("unpaired high surrogate".to_string());
+                            }
+                            let hex2 = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .ok_or("truncated surrogate pair")?;
+                            let hex2 = std::str::from_utf8(hex2)
+                                .map_err(|_| "bad surrogate escape".to_string())?;
+                            let low = u32::from_str_radix(hex2, 16)
+                                .map_err(|_| format!("bad surrogate escape {hex2:?}"))?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            *pos += 6;
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            out.push(
+                                char::from_u32(combined)
+                                    .ok_or("invalid surrogate pair".to_string())?,
+                            );
+                        } else {
+                            out.push(char::from_u32(code).ok_or("invalid code point")?);
+                        }
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!("unescaped control byte 0x{b:02x}"));
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid by construction).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "bad utf8".to_string())?;
+                let ch = rest.chars().next().ok_or("unexpected end")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'['));
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'{'));
+    *pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Append `s` to `out` with JSON string escaping (quotes not included).
+pub fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a finite `f64` the way the emitter does: integers without a
+/// fractional part, everything else via the shortest `{}` form. Non-finite
+/// inputs (which valid metrics never produce) render as `0`.
+pub fn format_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "0".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Builder for a single-line JSON object with correctly escaped strings.
+/// Fields appear in insertion order.
+#[derive(Default)]
+pub struct ObjectBuilder {
+    body: String,
+}
+
+impl ObjectBuilder {
+    /// Start an empty object.
+    pub fn new() -> ObjectBuilder {
+        ObjectBuilder::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        escape_into(&mut self.body, name);
+        self.body.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.body.push('"');
+        escape_into(&mut self.body, value);
+        self.body.push('"');
+    }
+
+    /// Add a numeric field (see [`format_num`] for rendering rules).
+    pub fn num_field(&mut self, name: &str, value: f64) {
+        self.key(name);
+        self.body.push_str(&format_num(value));
+    }
+
+    /// Add a pre-rendered JSON fragment (array/object) verbatim. The
+    /// caller is responsible for its validity.
+    pub fn raw_field(&mut self, name: &str, raw_json: &str) {
+        self.key(name);
+        self.body.push_str(raw_json);
+    }
+
+    /// Finish and return the rendered `{...}` line.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_values() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" -1.5e2 ").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".to_string()));
+        assert_eq!(
+            parse("[1,2]").unwrap(),
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])
+        );
+    }
+
+    #[test]
+    fn parses_nested_object() {
+        let v = parse(r#"{"a":{"b":[1,"x"]},"c":false}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["c"], Value::Bool(false));
+        let inner = obj["a"].as_obj().unwrap();
+        assert_eq!(inner["b"].as_arr().unwrap()[1], Value::Str("x".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "\"unterminated",
+            "{} trailing",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1f600}".to_string())
+        );
+    }
+
+    #[test]
+    fn builder_escapes_and_round_trips() {
+        let mut obj = ObjectBuilder::new();
+        obj.str_field("name", "line\nbreak \"quoted\" \\ slash \u{0001}");
+        obj.num_field("value", 1.25);
+        obj.num_field("count", 3.0);
+        let line = obj.finish();
+        let parsed = parse(&line).unwrap();
+        let map = parsed.as_obj().unwrap();
+        assert_eq!(
+            map["name"].as_str().unwrap(),
+            "line\nbreak \"quoted\" \\ slash \u{0001}"
+        );
+        assert_eq!(map["value"].as_num().unwrap(), 1.25);
+        assert_eq!(map["count"].as_num().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn format_num_prefers_integers() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(-2.0), "-2");
+        assert_eq!(format_num(0.5), "0.5");
+        assert_eq!(format_num(f64::NAN), "0");
+    }
+}

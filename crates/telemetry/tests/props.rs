@@ -1,0 +1,172 @@
+//! Property tests for the telemetry substrate: the JSONL writer must
+//! round-trip arbitrary strings and numbers through the parser, and the
+//! span machinery must never panic under arbitrary (including unbalanced
+//! and multi-threaded) nesting patterns.
+
+use proptest::prelude::*;
+use telemetry::json::{self, ObjectBuilder};
+use telemetry::schema;
+
+// Arbitrary unicode string, biased toward JSON-hostile characters
+// (quotes, backslashes, control bytes, non-BMP code points).
+fn any_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..0x0020).boxed(),
+            (0x0020u32..0x007f).boxed(),
+            proptest::Just(u32::from('"')).boxed(),
+            proptest::Just(u32::from('\\')).boxed(),
+            proptest::Just(u32::from('\u{00e9}')).boxed(),
+            proptest::Just(u32::from('\u{1f600}')).boxed(),
+            (0u32..0x110000).boxed(),
+        ],
+        0..32,
+    )
+    .prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+// Finite f64 values across the exponent range (the emitter only ever
+// writes finite numbers).
+fn any_finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            (bits % 1_000_003) as f64
+        }
+    })
+}
+
+proptest! {
+    // The object builder's escaping must round-trip any string through
+    // the parser unchanged.
+    #[test]
+    fn jsonl_writer_round_trips_strings(name in any_string(), value in any_string()) {
+        let mut obj = ObjectBuilder::new();
+        obj.str_field("type", "meta_free_form");
+        obj.str_field("name", &name);
+        obj.str_field("value", &value);
+        let line = obj.finish();
+        let parsed = json::parse(&line).unwrap();
+        let map = parsed.as_obj().unwrap();
+        prop_assert_eq!(map["name"].as_str().unwrap(), name.as_str());
+        prop_assert_eq!(map["value"].as_str().unwrap(), value.as_str());
+    }
+
+    // Numeric fields must parse back to the exact same f64 (the emitter
+    // uses shortest-form rendering, which Rust guarantees round-trips).
+    #[test]
+    fn jsonl_writer_round_trips_numbers(value in any_finite_f64()) {
+        let mut obj = ObjectBuilder::new();
+        obj.num_field("value", value);
+        let line = obj.finish();
+        let parsed = json::parse(&line).unwrap();
+        let back = parsed.as_obj().unwrap()["value"].as_num().unwrap();
+        prop_assert_eq!(back.to_bits(), value.to_bits());
+    }
+
+    // A meta line built from arbitrary task/scale strings must validate
+    // against the schema and parse back to the same fields.
+    #[test]
+    fn meta_lines_always_validate(task in any_string(), scale in any_string(), wall in any_finite_f64()) {
+        let wall = wall.abs().min(1e12);
+        let line = schema::meta_line(&task, &scale, wall);
+        match schema::parse_line(&line) {
+            Ok(schema::Record::Meta { task: t, scale: s, .. }) => {
+                prop_assert_eq!(t, task);
+                prop_assert_eq!(s, scale);
+            }
+            other => prop_assert!(false, "meta line {line:?} parsed as {other:?}"),
+        }
+    }
+
+    // The parser must never panic on arbitrary input — malformed bytes
+    // produce Err, valid JSON produces Ok.
+    #[test]
+    fn parser_never_panics(input in any_string()) {
+        let _ = json::parse(&input);
+    }
+
+    // Arbitrary span open/close sequences — including deep nesting,
+    // repeated names, and guards dropped out of creation order via
+    // drain patterns — must never panic and must leave the thread-local
+    // stack balanced (subsequent spans still work).
+    #[test]
+    fn span_nesting_never_panics(ops in proptest::collection::vec(0u8..4, 0..64)) {
+        const NAMES: [&str; 4] = [
+            "prop.span_a",
+            "prop.span_b",
+            "prop.span_c",
+            "prop.span_d",
+        ];
+        let mut open: Vec<telemetry::SpanGuard> = Vec::new();
+        for op in &ops {
+            match op % 4 {
+                0 | 1 => open.push(telemetry::span(NAMES[*op as usize])),
+                2 => {
+                    open.pop();
+                }
+                _ => {
+                    // Drop the whole stack at once (reverse creation order).
+                    open.clear();
+                }
+            }
+        }
+        drop(open);
+        // The stack must still be usable afterwards.
+        let _tail = telemetry::span("prop.span_tail");
+    }
+
+    // Span nesting across threads shares the global registry but each
+    // thread has its own stack; concurrent arbitrary nesting must never
+    // panic or deadlock.
+    #[test]
+    fn concurrent_span_nesting_never_panics(seqs in proptest::collection::vec(proptest::collection::vec(0u8..3, 0..24), 1..4)) {
+        let handles: Vec<_> = seqs
+            .into_iter()
+            .map(|ops| {
+                std::thread::spawn(move || {
+                    let mut open = Vec::new();
+                    for op in ops {
+                        match op % 3 {
+                            0 => open.push(telemetry::span("prop.thread_a")),
+                            1 => open.push(telemetry::span("prop.thread_b")),
+                            _ => {
+                                open.pop();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let _ = telemetry::snapshot();
+    }
+}
+
+#[test]
+fn snapshot_lines_validate_after_random_traffic() {
+    // Deterministic smoke: hammer every primitive, then require the
+    // emitted JSONL to be schema-valid line by line.
+    let c = telemetry::counter("prop.traffic_counter");
+    let h = telemetry::histogram("prop.traffic_hist");
+    let g = telemetry::gauge("prop.traffic_gauge");
+    for i in 0..100u64 {
+        c.add(i % 7);
+        h.observe(i as f64 * 0.37);
+        g.set(i as i64 - 50);
+        let _s = telemetry::span("prop.traffic_span");
+    }
+    for line in telemetry::snapshot().to_jsonl_lines() {
+        telemetry::schema::validate_line(&line)
+            .unwrap_or_else(|e| panic!("invalid snapshot line {line}: {e}"));
+    }
+}

@@ -414,6 +414,7 @@ fn gemm_driver<P: PackRhs + ?Sized>(
 ///
 /// Panics if any slice length disagrees with its dimensions.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = telemetry::kernel_timer("kernel.gemm_nn");
     check_len("a", a.len(), m, k);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
@@ -434,6 +435,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 ///
 /// Panics if any slice length disagrees with its dimensions.
 pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    let _t = telemetry::kernel_timer("kernel.gemm_tn");
     check_len("a", a.len(), k, m);
     check_len("b", b.len(), k, n);
     check_len("out", out.len(), m, n);
@@ -454,6 +456,7 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize,
 ///
 /// Panics if any slice length disagrees with its dimensions.
 pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _t = telemetry::kernel_timer("kernel.gemm_nt");
     check_len("a", a.len(), m, k);
     check_len("b", b.len(), n, k);
     check_len("out", out.len(), m, n);
@@ -478,6 +481,7 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
 ///
 /// Panics if `a` or `out` disagrees with `(m, rhs.k(), rhs.n())`.
 pub fn gemm_rhs<R: PackRhs + ?Sized>(a: &[f32], rhs: &R, out: &mut [f32], m: usize) {
+    let _t = telemetry::kernel_timer("kernel.gemm_rhs");
     check_len("a", a.len(), m, rhs.k());
     check_len("out", out.len(), m, rhs.n());
     gemm_driver(a, m, AMode::Direct, rhs, None, out);
