@@ -439,6 +439,7 @@ fn bench_simulator(c: &mut Criterion) {
                 codec: gradcomp::CodecSpec::Identity,
                 seed: 2,
                 eval_subset: 48,
+                fault: pasgd_sim::FaultConfig::NONE,
             },
         )
     };
@@ -474,6 +475,7 @@ fn bench_scheduler(c: &mut Criterion) {
         initial_loss: 2.3,
         current_lr: 0.2,
         initial_lr: 0.2,
+        degraded_frac: 0.0,
     };
     group.bench_function("adacomm_next_tau", |bench| {
         let mut sched = AdaComm::with_tau0(32);

@@ -1,0 +1,6 @@
+//! Standalone entry for the fault-injected frontier extension
+//! (`figures::ext_faults`).
+
+fn main() -> std::io::Result<()> {
+    adacomm_bench::figures::run_standalone("ext_faults")
+}

@@ -33,6 +33,7 @@ struct Window {
     counters: Vec<(String, f64)>,
     hists: Vec<(String, f64, f64)>, // name, count, sum
     points: usize,
+    warnings: Vec<(String, String)>, // source, reason
     errors: Vec<String>,
 }
 
@@ -56,6 +57,7 @@ fn read_window(path: &std::path::Path) -> Window {
         counters: Vec::new(),
         hists: Vec::new(),
         points: 0,
+        warnings: Vec::new(),
         errors: Vec::new(),
     };
     let text = match std::fs::read_to_string(path) {
@@ -94,6 +96,9 @@ fn read_window(path: &std::path::Path) -> Window {
                 name, count, sum, ..
             }) => win.hists.push((name, count, sum)),
             Ok(Record::Point { .. }) => win.points += 1,
+            // Warnings are recovered anomalies: surfaced in the report
+            // (and under --check), but never a validation violation.
+            Ok(Record::Warning { source, reason }) => win.warnings.push((source, reason)),
             Ok(Record::Gauge { .. }) => {}
             Err(e) => win.errors.push(format!("line {}: {e}", idx + 1)),
         }
@@ -187,6 +192,9 @@ fn render_window(win: &Window) {
         }
         table.print();
     }
+    for (source, reason) in &win.warnings {
+        println!("warning [{source}]: {reason}");
+    }
     println!();
 }
 
@@ -221,6 +229,13 @@ fn main() {
     let violations: Vec<String> = windows.iter().flat_map(check_window).collect();
 
     if check {
+        // Recovered anomalies are worth seeing in CI logs even when the
+        // trace itself is structurally valid.
+        for win in &windows {
+            for (source, reason) in &win.warnings {
+                println!("warning {} [{source}]: {reason}", win.file);
+            }
+        }
         if violations.is_empty() {
             println!(
                 "{} trace file(s) valid: schema ok, phase coverage within tolerance",

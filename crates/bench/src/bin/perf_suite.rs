@@ -32,7 +32,7 @@
 //! `--smoke` shrinks every simulated budget so CI can validate the JSON in
 //! seconds; `--baseline` embeds a previously recorded report (same schema)
 //! and computes per-scenario wall-clock speedups against it — it defaults
-//! to the committed `crates/bench/baselines/pre_pr7.json` when that file
+//! to the committed `crates/bench/baselines/pre_pr8.json` when that file
 //! exists. See the README "Performance" section for the schema.
 //!
 //! When the `trace` feature is on (the default build), every scenario also
@@ -53,7 +53,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 7;
+const BENCH_ID: u32 = 8;
 
 /// One timed scenario.
 struct Measurement {
@@ -308,7 +308,7 @@ fn main() -> std::io::Result<()> {
     // its shrunken budgets make speedups against the full-scale baseline
     // meaningless.
     let baseline_path = flag_value("--baseline").or_else(|| {
-        let committed = repo_root().join("crates/bench/baselines/pre_pr7.json");
+        let committed = repo_root().join("crates/bench/baselines/pre_pr8.json");
         (!smoke && committed.exists()).then_some(committed)
     });
     if smoke {

@@ -4,7 +4,7 @@
 //! ```sh
 //! cargo run --release -p adacomm-bench --bin reproduce_all -- \
 //!     [--full|--smoke] [--only SUBSTR] [--sequential] [--no-cache] \
-//!     [--trace DIR] [--json]
+//!     [--trace DIR] [--json] [--inject-panic SUBSTR]
 //! ```
 //!
 //! Unlike the old driver (which shelled out to the 21 standalone binaries
@@ -29,9 +29,10 @@
 //! * `--trace DIR` writes one JSONL telemetry profile per execution
 //!   window (the sweep wave plus each figure) into `DIR` and appends a
 //!   per-phase timing summary to the report. Requires the `trace`
-//!   feature (on by default); tracing forces the sequential engine so
-//!   each profile is attributable to exactly one figure. Inspect the
-//!   profiles with the `obs_report` binary.
+//!   feature (on by default); tracing **forces the sequential engine**
+//!   (an explicit notice is printed) so each profile is attributable to
+//!   exactly one figure. Inspect the profiles with the `obs_report`
+//!   binary.
 //! * `--json` replaces the human report with one machine-readable JSON
 //!   document on stdout (per-figure wall times + cache statistics), for
 //!   CI trend tracking.
@@ -41,6 +42,16 @@
 //!   every cached run from disk — byte-identical CSVs in seconds instead
 //!   of minutes. `--no-cache` runs fully cold without reading or writing
 //!   the store; deleting the cache directory is always safe.
+//! * Every sweep run executes under the supervisor (panic isolation,
+//!   bounded seeded retry, optional per-run deadline). A run that fails
+//!   terminally degrades the reproduction to a **partial-results
+//!   report**: its figure fails with the supervisor's reason, every
+//!   other figure still completes and writes its CSVs, a per-run failure
+//!   table prints at the end, and the process exits non-zero.
+//! * `--inject-panic SUBSTR` is the fault drill: every supervised run
+//!   whose spec key contains `SUBSTR` panics on every attempt, proving
+//!   the partial-results degradation end to end (CI runs this against
+//!   one scenario and checks the other figures' CSVs are untouched).
 //!
 //! All human-readable output is assembled into a single buffer and
 //! written to stdout in one call, so nothing a figure, the engine, or the
@@ -50,8 +61,30 @@ use adacomm_bench::figures::reproduce_with_trace;
 use adacomm_bench::{sayln, RunStore, Scale, SweepEngine, Table};
 use std::io::Write;
 
+const USAGE: &str = "\
+usage: reproduce_all [--full|--smoke] [--only SUBSTR] [--sequential|--parallel]
+                     [--no-cache] [--trace DIR] [--json] [--inject-panic SUBSTR]
+
+  --full / --smoke      scale selection (default: quick)
+  --only SUBSTR         reproduce only figures whose name contains SUBSTR
+  --sequential          force the sequential engine
+  --parallel            force the parallel engine
+  --no-cache            ignore the persistent run store entirely
+  --trace DIR           write per-window JSONL telemetry profiles to DIR;
+                        forces the sequential engine so each profile is
+                        attributable to exactly one figure
+  --json                machine-readable report on stdout
+  --inject-panic SUBSTR fault drill: panic every supervised run whose spec
+                        key contains SUBSTR (the reproduction degrades to
+                        a partial-results report and exits non-zero)
+  --help                print this help";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let scale = Scale::from_env_and_args();
     let trace_dir = args
         .iter()
@@ -75,7 +108,15 @@ fn main() {
     // (results are bit-identical either way); force with the flags.
     // Tracing overrides everything: per-figure snapshot deltas need the
     // strictly-ordered figure loop.
-    let parallel = if trace_dir.is_some() || args.iter().any(|a| a == "--sequential") {
+    let parallel = if trace_dir.is_some() {
+        if !args.iter().any(|a| a == "--sequential") {
+            eprintln!(
+                "notice: --trace forces the sequential engine (each telemetry profile \
+                 must be attributable to exactly one figure)"
+            );
+        }
+        false
+    } else if args.iter().any(|a| a == "--sequential") {
         false
     } else if args.iter().any(|a| a == "--parallel") {
         true
@@ -87,6 +128,18 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    if let Some(substr) = args
+        .iter()
+        .position(|a| a == "--inject-panic")
+        .and_then(|i| args.get(i + 1))
+    {
+        if substr.starts_with("--") {
+            eprintln!("--inject-panic requires a substring argument");
+            std::process::exit(2);
+        }
+        adacomm_bench::supervisor::inject_panics(substr, u32::MAX);
+        eprintln!("fault drill: every supervised run matching {substr:?} will panic");
+    }
     if scale.is_smoke() {
         adacomm_bench::report::set_results_subdir("smoke");
     }
@@ -123,6 +176,7 @@ fn main() {
     };
     let phase_delta = telemetry::snapshot().delta_since(&before);
     let warnings = engine.take_warnings();
+    let run_failures = engine.run_failures();
 
     if outcome.figures.is_empty() {
         eprintln!("no figure matches --only {:?}", only.as_deref());
@@ -153,6 +207,16 @@ fn main() {
         doc.num_field("cache_mem_hits", cache.mem_hits as f64);
         doc.num_field("cache_misses", cache.misses as f64);
         doc.num_field("cache_rejects", cache.rejects as f64);
+        let failed_runs: Vec<String> = run_failures
+            .iter()
+            .map(|(key, reason)| {
+                let mut obj = telemetry::json::ObjectBuilder::new();
+                obj.str_field("key", key);
+                obj.str_field("reason", reason);
+                obj.finish()
+            })
+            .collect();
+        doc.raw_field("run_failures", &format!("[{}]", failed_runs.join(",")));
         match engine.store() {
             Some(store) => doc.str_field("store_dir", &store.dir().display().to_string()),
             None => doc.raw_field("store_dir", "null"),
@@ -222,15 +286,36 @@ fn main() {
             append_phase_summary(&mut out, &phase_delta, outcome.total_secs);
         }
 
+        if !run_failures.is_empty() {
+            sayln!(
+                out,
+                "\nruns that failed terminally under supervision ({}):",
+                run_failures.len()
+            );
+            for (key, reason) in &run_failures {
+                sayln!(out, "  {key}");
+                sayln!(out, "    -> {reason}");
+            }
+        }
+
         let failures = outcome.failures();
-        if failures.is_empty() {
+        if failures.is_empty() && run_failures.is_empty() {
             sayln!(
                 out,
                 "all {} reproduction targets completed; CSVs are in results/",
                 outcome.figures.len()
             );
         } else {
-            sayln!(out, "FAILED targets: {failures:?}");
+            sayln!(
+                out,
+                "PARTIAL RESULTS: {} of {} reproduction targets completed; the rest \
+                 degraded instead of aborting",
+                outcome.figures.len() - failures.len(),
+                outcome.figures.len()
+            );
+            if !failures.is_empty() {
+                sayln!(out, "FAILED targets: {failures:?}");
+            }
         }
 
         // One write, then flush, so stderr messages below can never land
@@ -249,7 +334,10 @@ fn main() {
             eprintln!("{} FAILED: {failure}", figure.name);
         }
     }
-    if !outcome.failures().is_empty() {
+    for (key, reason) in &run_failures {
+        eprintln!("run FAILED ({reason}): {key}");
+    }
+    if !outcome.failures().is_empty() || !run_failures.is_empty() {
         std::process::exit(1);
     }
 }

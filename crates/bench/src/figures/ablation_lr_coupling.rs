@@ -84,6 +84,7 @@ pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::R
         initial_loss: 1.0,
         current_lr: 0.2,
         initial_lr: 0.2,
+        degraded_frac: 0.0,
     };
     let _ = raw.next_tau(&ctx0);
     let mut ctx = ctx0;

@@ -1,0 +1,244 @@
+//! Extension: error-runtime frontiers under injected faults.
+//!
+//! The paper's frontier (Figures 9/10) assumes a healthy cluster: every
+//! worker computes every round and every upload arrives intact. This
+//! experiment re-sweeps AdaComm against the fixed-τ baselines while the
+//! seeded fault layer crashes workers mid-round, drops or corrupts
+//! uploads (charged as retransmits through the bytes-aware communication
+//! model), and spikes stragglers — under each of the graceful-degradation
+//! aggregation policies (full barrier, quorum-of-m with a compute
+//! deadline, bounded-staleness inclusion).
+//!
+//! The `fault-free` profile is the control: its specs carry
+//! [`FaultConfig::NONE`], whose memoization key is **identical** to the
+//! pre-fault-layer key, so the control rows are cache hits on the very
+//! runs `ext_compression` executes — the zero-fault no-op guarantee,
+//! checked here at the key level and at the trace level.
+//!
+//! CSV: `ext_faults_frontier` — one row per fault profile × method with
+//! the profile's injection rates, the aggregation policy, and the run's
+//! error-runtime endpoint.
+
+use crate::scenarios::ModelFamily;
+use crate::sweep::{LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec};
+use crate::{sayln, write_csv, Scale, Table};
+use pasgd_sim::{AggregationPolicy, FaultConfig, FaultSpec};
+use std::fmt::Write as _;
+use std::io;
+
+/// The fault profiles swept, spanning the crash × loss × policy axes.
+/// Probabilities are per-round (crash/straggle) or per-upload
+/// (drop/corrupt); see the simulator's `FaultSpec` docs.
+fn profiles(scale: Scale) -> Vec<(&'static str, FaultConfig)> {
+    // The quorum deadline caps a round's *compute* time; the compression
+    // scenario's delays shrink 4x below full scale, so the cap scales
+    // with them.
+    let deadline_secs = if scale.is_full() { 8.0 } else { 2.0 };
+    vec![
+        ("fault-free", FaultConfig::NONE),
+        (
+            "crashy",
+            FaultConfig {
+                spec: FaultSpec {
+                    crash_prob: 0.05,
+                    rejoin_after: 3,
+                    ..FaultSpec::NONE
+                },
+                policy: AggregationPolicy::FullBarrier,
+            },
+        ),
+        (
+            "lossy",
+            FaultConfig {
+                spec: FaultSpec {
+                    drop_prob: 0.08,
+                    corrupt_prob: 0.02,
+                    ..FaultSpec::NONE
+                },
+                policy: AggregationPolicy::FullBarrier,
+            },
+        ),
+        (
+            "quorum",
+            FaultConfig {
+                spec: FaultSpec {
+                    crash_prob: 0.04,
+                    rejoin_after: 3,
+                    straggler_prob: 0.2,
+                    straggler_factor: 8.0,
+                    ..FaultSpec::NONE
+                },
+                policy: AggregationPolicy::Quorum {
+                    quorum: 3,
+                    deadline_secs,
+                },
+            },
+        ),
+        (
+            "stale",
+            FaultConfig {
+                spec: FaultSpec {
+                    crash_prob: 0.04,
+                    rejoin_after: 3,
+                    straggler_prob: 0.2,
+                    straggler_factor: 8.0,
+                    ..FaultSpec::NONE
+                },
+                policy: AggregationPolicy::BoundedStaleness {
+                    quorum: 3,
+                    max_staleness: 2,
+                },
+            },
+        ),
+    ]
+}
+
+/// The methods each profile sweeps: the scenario's fixed-τ baselines and
+/// AdaComm, mirroring the paper's frontier panels.
+fn methods(family: ModelFamily) -> Vec<SchedulerSpec> {
+    let mut m: Vec<SchedulerSpec> = family
+        .paper_taus()
+        .into_iter()
+        .map(|tau| SchedulerSpec::Fixed { tau })
+        .collect();
+    m.push(SchedulerSpec::adacomm(family.tau0()));
+    m
+}
+
+pub(crate) fn specs(scale: Scale) -> Vec<SweepSpec> {
+    let family = ModelFamily::VggLike;
+    let scenario = ScenarioSpec::Compression { family, scale };
+    let mut specs = Vec::new();
+    for (_, fault) in profiles(scale) {
+        for scheduler in methods(family) {
+            specs.push(
+                SweepSpec::new(scenario.clone(), scheduler, LrSpec::Fixed).with_faults(fault),
+            );
+        }
+    }
+    specs
+}
+
+/// Renders one fault profile's row in a policy label the CSV carries.
+fn policy_label(fault: &FaultConfig) -> String {
+    match fault.policy {
+        AggregationPolicy::FullBarrier => "full_barrier".into(),
+        AggregationPolicy::Quorum { quorum, .. } => format!("quorum_{quorum}"),
+        AggregationPolicy::BoundedStaleness {
+            quorum,
+            max_staleness,
+        } => format!("stale_{quorum}_{max_staleness}"),
+    }
+}
+
+pub(crate) fn run(scale: Scale, engine: &SweepEngine, out: &mut String) -> io::Result<()> {
+    let family = ModelFamily::VggLike;
+    sayln!(
+        out,
+        "Extension: fault-injected error-runtime frontier ({} profile, scale {scale})\n",
+        family.name()
+    );
+
+    // The no-op guarantee at the key level: a zero-fault spec has the
+    // exact key it had before the fault layer existed, so the control
+    // profile shares cache entries (memory and disk) with the healthy
+    // figures.
+    let plain = SweepSpec::new(
+        ScenarioSpec::Compression { family, scale },
+        SchedulerSpec::adacomm(family.tau0()),
+        LrSpec::Fixed,
+    );
+    assert_eq!(
+        plain.clone().with_faults(FaultConfig::NONE).key(),
+        plain.key(),
+        "FaultConfig::NONE must not perturb the memoization key"
+    );
+
+    let mut frontier = String::from(
+        "profile,method,crash_prob,drop_prob,corrupt_prob,straggler_prob,policy,\
+         clock,iterations,final_loss,min_loss,comm_bytes\n",
+    );
+
+    let mut table = Table::new(vec![
+        "profile".into(),
+        "policy".into(),
+        "method".into(),
+        "final loss".into(),
+        "min loss".into(),
+        "best acc %".into(),
+        "comm MB".into(),
+    ]);
+    let mut control_adacomm_loss = f32::NAN;
+    let mut faulty_adacomm_worst = f32::NEG_INFINITY;
+    for (name, fault) in profiles(scale) {
+        let specs: Vec<SweepSpec> = methods(family)
+            .into_iter()
+            .map(|scheduler| {
+                SweepSpec::new(
+                    ScenarioSpec::Compression { family, scale },
+                    scheduler,
+                    LrSpec::Fixed,
+                )
+                .with_faults(fault)
+            })
+            .collect();
+        let traces = engine.run(&specs);
+        for trace in &traces {
+            let last = trace.points.last().expect("non-empty trace");
+            assert!(
+                trace.final_loss().is_finite(),
+                "{name}/{}: loss diverged under faults",
+                trace.name
+            );
+            table.row(vec![
+                name.into(),
+                policy_label(&fault),
+                trace.name.clone(),
+                format!("{:.4}", trace.final_loss()),
+                format!("{:.4}", trace.min_loss()),
+                format!("{:.2}", 100.0 * trace.best_test_accuracy()),
+                format!("{:.2}", last.comm_bytes / 1e6),
+            ]);
+            let _ = writeln!(
+                frontier,
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                name,
+                trace.name,
+                fault.spec.crash_prob,
+                fault.spec.drop_prob,
+                fault.spec.corrupt_prob,
+                fault.spec.straggler_prob,
+                policy_label(&fault),
+                last.clock,
+                last.iterations,
+                trace.final_loss(),
+                trace.min_loss(),
+                last.comm_bytes
+            );
+        }
+        let adacomm = traces.last().expect("adacomm is the last method");
+        if fault.is_active() {
+            faulty_adacomm_worst = faulty_adacomm_worst.max(adacomm.final_loss());
+        } else {
+            control_adacomm_loss = adacomm.final_loss();
+            // The no-op guarantee at the trace level: the control rows are
+            // bit-identical to the same specs without a fault config.
+            let healthy = engine.run(std::slice::from_ref(&plain));
+            assert_eq!(
+                healthy[0].points, adacomm.points,
+                "zero-fault profile must reproduce the healthy run bit-for-bit"
+            );
+        }
+    }
+    out.push_str(&table.render());
+
+    sayln!(
+        out,
+        "\nadacomm final loss: {control_adacomm_loss:.4} fault-free vs {faulty_adacomm_worst:.4} \
+         worst faulty profile (graceful degradation, not divergence)"
+    );
+
+    let path = write_csv("ext_faults_frontier", &frontier)?;
+    sayln!(out, "[saved {}]", path.display());
+    Ok(())
+}

@@ -39,6 +39,7 @@ pub(crate) fn run(scale: Scale, _engine: &SweepEngine, out: &mut String) -> io::
             codec: gradcomp::CodecSpec::Identity,
             seed: 42,
             eval_subset: 1024,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
     );
 

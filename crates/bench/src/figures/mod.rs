@@ -26,6 +26,7 @@ mod ablation_straggler;
 mod ablation_t0;
 mod ext_averaging_strategies;
 mod ext_compression;
+mod ext_faults;
 mod fig01_concept;
 mod fig04_speedup;
 mod fig05_runtime_dist;
@@ -189,6 +190,11 @@ pub fn registry() -> Vec<Figure> {
             specs: ext_compression::specs,
             run: ext_compression::run,
         },
+        Figure {
+            name: "ext_faults",
+            specs: ext_faults::specs,
+            run: ext_faults::run,
+        },
     ]
 }
 
@@ -318,8 +324,12 @@ pub fn reproduce_with_trace(
     // sequential engine executes runs exactly as the figures would.
     let all_specs: Vec<SweepSpec> = figures.iter().flat_map(|f| (f.specs)(scale)).collect();
     {
+        // `warm`, not `run`: a run that fails terminally under the
+        // supervisor must not abort the wave — its figure fails (with the
+        // supervisor's reason) when its body requests the poisoned key,
+        // and every other figure still completes.
         let _phase = telemetry::span("phase.sweep_wave");
-        let _ = engine.run(&all_specs);
+        engine.warm(&all_specs);
     }
     let sweep_secs = start.elapsed().as_secs_f64();
     write_window(trace_dir, "sweep_wave", sweep_secs)?;

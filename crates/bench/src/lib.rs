@@ -18,6 +18,7 @@ pub mod report;
 pub mod scale;
 pub mod scenarios;
 pub mod store;
+pub mod supervisor;
 pub mod sweep;
 
 pub use panel::{panel_csv, report_panel, save_panel_csv};

@@ -157,6 +157,7 @@ pub fn scenario(family: ModelFamily, classes: usize, workers: usize, scale: Scal
             codec: gradcomp::CodecSpec::Identity,
             seed: 42,
             eval_subset: 1024,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs,

@@ -29,6 +29,25 @@ use pasgd_sim::RunTrace;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Remaining injected save failures (tests and fault drills): while
+/// non-zero, each [`RunStore::save`] consumes one and fails with a
+/// synthetic I/O error before touching the filesystem.
+static INJECTED_SAVE_FAILURES: AtomicU32 = AtomicU32::new(0);
+
+/// Arms `count` synthetic save failures, exercising the retry path
+/// without needing a genuinely broken filesystem.
+pub fn inject_save_failures(count: u32) {
+    INJECTED_SAVE_FAILURES.fetch_add(count, Ordering::SeqCst);
+}
+
+/// Consumes one injected save failure, if armed.
+fn take_injected_save_failure() -> bool {
+    INJECTED_SAVE_FAILURES
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
 
 /// Layout version of the entry frame itself. Bump when the framing
 /// (header fields, checksum, payload encoding) changes shape.
@@ -141,6 +160,9 @@ impl RunStore {
     /// the run already happened, the cache just stays cold.
     pub fn save(&self, key: &str, trace: &RunTrace) -> io::Result<PathBuf> {
         let _phase = telemetry::span("phase.store_save");
+        if take_injected_save_failure() {
+            return Err(io::Error::other("injected save failure (fault drill)"));
+        }
         let path = self.entry_path(key);
         fs::create_dir_all(&self.dir)?;
         let tmp = self.dir.join(format!(
@@ -159,6 +181,37 @@ impl RunStore {
                 Err(e)
             }
         }
+    }
+
+    /// [`RunStore::save`] with bounded retry for transient I/O failures
+    /// (`max_attempts` total attempts, a short fixed pause between them —
+    /// deterministic, no wall-clock randomness). The run already
+    /// happened, so a save that still fails after the budget is reported
+    /// to the caller, who treats the cache as cold rather than evicting
+    /// or failing the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last I/O error once every attempt failed.
+    pub fn save_with_retry(
+        &self,
+        key: &str,
+        trace: &RunTrace,
+        max_attempts: u32,
+    ) -> io::Result<PathBuf> {
+        assert!(max_attempts >= 1);
+        let mut last = None;
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                telemetry::counter("store.save_retries").inc();
+                std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(attempt)));
+            }
+            match self.save(key, trace) {
+                Ok(path) => return Ok(path),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// Removes the entry for `key`, if any — how the engine clears a
@@ -342,8 +395,35 @@ mod tests {
         assert!(decode_entry(&[], "k").is_err());
     }
 
+    // Saves in different tests race on the global injected-failure
+    // counter; every test that saves takes this lock.
+    static SAVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn save_with_retry_recovers_from_injected_io_errors() {
+        let _serial = SAVE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("adacomm_store_retry_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+        let trace = sample_trace();
+
+        // Two injected failures, three attempts: the third succeeds.
+        inject_save_failures(2);
+        store.save_with_retry("rk", &trace, 3).unwrap();
+        assert!(matches!(store.load("rk"), LoadOutcome::Hit(_)));
+
+        // More failures than attempts: the error surfaces, nothing is
+        // written, and the caller's cache simply stays cold.
+        inject_save_failures(3);
+        let err = store.save_with_retry("rk2", &trace, 3).unwrap_err();
+        assert!(err.to_string().contains("injected save failure"), "{err}");
+        assert!(matches!(store.load("rk2"), LoadOutcome::Absent));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn save_load_evict_cycle() {
+        let _serial = SAVE_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("adacomm_store_unit_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let store = RunStore::new(&dir);

@@ -24,6 +24,7 @@
 
 use crate::scenarios::{scenario, ModelFamily};
 use crate::store::{CacheStats, LoadOutcome, RunStore};
+use crate::supervisor::{self, SupervisorPolicy};
 use crate::Scale;
 use adacomm::{
     AdaComm, AdaCommCompress, AdaCommConfig, CommSchedule, FixedComm, LrCoupling, LrSchedule,
@@ -33,7 +34,8 @@ use delay::{CommModel, DelayDistribution, RuntimeModel};
 use gradcomp::CodecSpec;
 use nn::models;
 use pasgd_sim::{
-    AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, MomentumMode, RunTrace,
+    AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, FaultConfig, MomentumMode,
+    RunTrace,
 };
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -189,6 +191,7 @@ fn build_concept() -> BuiltScenario {
             codec: CodecSpec::Identity,
             seed: 17,
             eval_subset: 512,
+            fault: FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 20.0,
@@ -230,6 +233,7 @@ fn build_averaging(strategy: AveragingStrategy, scale: Scale) -> BuiltScenario {
             codec: CodecSpec::Identity,
             seed: 9,
             eval_subset: 1024,
+            fault: FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 20.0,
@@ -441,6 +445,11 @@ pub struct SweepSpec {
     /// Optional `(total_secs, record_every_secs)` budget override, stored
     /// as millisecond integers for a stable identity.
     pub budget_millis: Option<(u64, u64)>,
+    /// Seeded fault-injection plan plus aggregation policy for the run
+    /// ([`FaultConfig::NONE`] — the default — is a provable no-op on the
+    /// simulation and is excluded from the memoization key, so fault-free
+    /// specs keep their pre-fault-layer cache entries).
+    pub fault: FaultConfig,
 }
 
 impl SweepSpec {
@@ -456,6 +465,7 @@ impl SweepSpec {
             gate_lr_on_tau: false,
             codec: CodecSpec::Identity,
             budget_millis: None,
+            fault: FaultConfig::NONE,
         }
     }
 
@@ -483,6 +493,12 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the fault-injection plan and aggregation policy.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Overrides the simulated budget and recording cadence.
     pub fn with_budget(mut self, total_secs: f64, record_every_secs: f64) -> Self {
         self.budget_millis = Some((
@@ -499,7 +515,7 @@ impl SweepSpec {
     /// same key (hashed for the filename, echoed in full inside the
     /// frame), and tests corrupt specific entries by key.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
             self.scenario,
             self.scheduler,
@@ -508,7 +524,16 @@ impl SweepSpec {
             self.gate_lr_on_tau,
             self.codec,
             self.budget_millis,
-        )
+        );
+        // The fault segment appears only for active plans: a `NONE` plan
+        // is a provable no-op on the run, so fault-free specs keep the
+        // exact keys (and on-disk store entries) they had before the
+        // fault layer existed.
+        if self.fault.is_active() {
+            use std::fmt::Write as _;
+            let _ = write!(key, "|{:?}", self.fault);
+        }
+        key
     }
 
     /// Executes this spec against its built scenario (no caching).
@@ -525,6 +550,7 @@ impl SweepSpec {
             Some(self.gate_lr_on_tau),
             Some(self.codec),
             budget,
+            self.fault.is_active().then_some(self.fault),
         )
     }
 }
@@ -559,6 +585,12 @@ pub struct SweepEngine {
     store: Option<RunStore>,
     traffic: Mutex<CacheTraffic>,
     warnings: Mutex<Vec<String>>,
+    supervisor: SupervisorPolicy,
+    /// Keys whose supervised execution failed terminally (all attempts
+    /// panicked, or the deadline was exceeded), with the reason. A failed
+    /// key never re-executes on this engine: repeat requests fail fast
+    /// with the recorded reason.
+    failed: Mutex<HashMap<String, String>>,
 }
 
 /// Origin bookkeeping behind [`SweepEngine::cache_stats`]: `counted`
@@ -602,7 +634,16 @@ impl SweepEngine {
             store: None,
             traffic: Mutex::new(CacheTraffic::default()),
             warnings: Mutex::new(Vec::new()),
+            supervisor: SupervisorPolicy::default(),
+            failed: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Overrides the supervision policy (attempts, backoff, deadline)
+    /// every run on this engine executes under.
+    pub fn with_supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = policy;
+        self
     }
 
     /// Attaches a persistent run store: uncached keys consult the store
@@ -692,7 +733,9 @@ impl SweepEngine {
                 .par_iter_mut()
                 .with_max_len(1)
                 .map(|spec| {
-                    let _ = self.trace_for(spec);
+                    // Failures are swallowed here and surface when the
+                    // assembly loop below re-requests the failed key.
+                    let _ = self.try_trace_for(spec);
                     queue_depth.add(-1);
                 })
                 .collect();
@@ -709,6 +752,24 @@ impl SweepEngine {
     /// Executes one spec, returning a clone of its (possibly cached)
     /// trace with the scheduler's own name.
     ///
+    /// # Panics
+    ///
+    /// Panics when the supervised execution fails terminally (see
+    /// [`SweepEngine::try_trace_for`]); a figure body requesting a failed
+    /// run fails with the supervisor's reason, which `reproduce_all`
+    /// reports in its per-figure failure table.
+    fn trace_for(&self, spec: &SweepSpec) -> RunTrace {
+        match self.try_trace_for(spec) {
+            Ok(trace) => trace,
+            Err(reason) => panic!("supervised run failed terminally: {reason}"),
+        }
+    }
+
+    /// Executes one spec under supervision, returning a clone of its
+    /// (possibly cached) trace — or the terminal failure reason when
+    /// every supervised attempt panicked or the run overran its deadline.
+    /// A failed key is remembered and fails fast on re-request.
+    ///
     /// The cache is check-compute-insert, never blocking: two threads
     /// racing on the *same* uncached key both compute it (runs are
     /// deterministic, so the values are identical and first-insert wins).
@@ -718,13 +779,21 @@ impl SweepEngine {
     /// redundant compute is also rare by construction: `run` pre-dedups
     /// each batch, and `reproduce_all`'s sweep wave warms the cross-figure
     /// keys before figure bodies run concurrently.
-    fn trace_for(&self, spec: &SweepSpec) -> RunTrace {
+    ///
+    /// # Errors
+    ///
+    /// Returns the supervisor's failure reason (panic message or deadline
+    /// report) when the run cannot be produced.
+    pub fn try_trace_for(&self, spec: &SweepSpec) -> Result<RunTrace, String> {
         let key = spec.key();
+        if let Some(reason) = self.failed.lock().expect("failure map poisoned").get(&key) {
+            return Err(reason.clone());
+        }
         if let Some(trace) = self.runs.lock().expect("run cache poisoned").get(&key) {
             let mut t = self.traffic.lock().expect("traffic counters poisoned");
             t.stats.mem_hits += 1;
             telemetry::counter("sweep.cache.mem_hits").inc();
-            return trace.clone();
+            return Ok(trace.clone());
         }
         // Cold in memory: consult the persistent store before simulating.
         // A validated entry is bit-exact (the determinism tests prove the
@@ -733,19 +802,35 @@ impl SweepEngine {
         // cheaper. Anything less than fully valid is evicted and
         // recomputed; the store never gets to produce a wrong figure.
         if let Some(store) = &self.store {
-            match store.load(&key) {
+            let mut outcome = store.load(&key);
+            // An *unreadable* entry is a transient I/O failure (EINTR, a
+            // racing writer, a briefly-unavailable filesystem), not a
+            // validation verdict — retry the read before giving up on
+            // the entry. Validation rejections are deterministic and
+            // never retried.
+            for _ in 0..2 {
+                match &outcome {
+                    LoadOutcome::Rejected(reason) if reason.starts_with("unreadable entry") => {
+                        telemetry::counter("store.load_retries").inc();
+                        outcome = store.load(&key);
+                    }
+                    _ => break,
+                }
+            }
+            match outcome {
                 LoadOutcome::Hit(trace) => {
                     let trace = {
                         let mut runs = self.runs.lock().expect("run cache poisoned");
                         runs.entry(key.clone()).or_insert(trace).clone()
                     };
                     self.note_resolved(&key, true);
-                    return trace;
+                    return Ok(trace);
                 }
                 LoadOutcome::Rejected(reason) => {
                     self.warn(format!(
                         "run store: rejected entry for a sweep key ({reason}); recomputing"
                     ));
+                    telemetry::emit(|| telemetry::schema::warning_line("run_store", &reason));
                     store.evict(&key);
                     let mut t = self.traffic.lock().expect("traffic counters poisoned");
                     t.stats.rejects += 1;
@@ -754,22 +839,86 @@ impl SweepEngine {
                 LoadOutcome::Absent => {}
             }
         }
-        let built = self.scenario(&spec.scenario);
-        let inflight = telemetry::gauge("sweep.inflight_runs");
-        inflight.add(1);
-        let run_started = std::time::Instant::now();
-        let trace = spec.execute(&built);
-        telemetry::histogram("sweep.run_secs").observe(run_started.elapsed().as_secs_f64());
-        inflight.add(-1);
+        let supervised = supervisor::run_supervised(&self.supervisor, &key, || {
+            let built = self.scenario(&spec.scenario);
+            let inflight = telemetry::gauge("sweep.inflight_runs");
+            inflight.add(1);
+            let run_started = std::time::Instant::now();
+            let trace = spec.execute(&built);
+            telemetry::histogram("sweep.run_secs").observe(run_started.elapsed().as_secs_f64());
+            inflight.add(-1);
+            trace
+        });
+        let trace = match supervised {
+            Ok(trace) => trace,
+            Err(reason) => {
+                // A panicked attempt bails out before its `inflight.add(-1)`;
+                // rebalance so the gauge stays truthful for live dashboards.
+                telemetry::gauge("sweep.inflight_runs").set(0);
+                self.warn(format!("run failed under supervision ({reason}): {key}"));
+                self.failed
+                    .lock()
+                    .expect("failure map poisoned")
+                    .insert(key, reason.clone());
+                return Err(reason);
+            }
+        };
         if let Some(store) = &self.store {
-            let _ = store.save(&key, &trace);
+            if let Err(e) = store.save_with_retry(&key, &trace, 3) {
+                self.warn(format!(
+                    "run store: save failed after retries ({e}); cache stays cold for this key"
+                ));
+            }
         }
         let trace = {
             let mut runs = self.runs.lock().expect("run cache poisoned");
             runs.entry(key.clone()).or_insert(trace).clone()
         };
         self.note_resolved(&key, false);
-        trace
+        Ok(trace)
+    }
+
+    /// Warms the cache over `specs` (deduplicated), swallowing terminal
+    /// run failures instead of propagating them — the degraded-mode
+    /// counterpart of [`SweepEngine::run`] that `reproduce_all`'s sweep
+    /// wave uses so one poisoned run cannot abort the whole wave. Failed
+    /// keys are recorded (see [`SweepEngine::run_failures`]) and fail
+    /// fast when a figure body later requests them.
+    pub fn warm(&self, specs: &[SweepSpec]) {
+        telemetry::counter("sweep.batches").inc();
+        telemetry::gauge("sweep.pool_threads").set(rayon::current_num_threads() as i64);
+        let mut seen = std::collections::HashSet::new();
+        let mut unique: Vec<&SweepSpec> = specs
+            .iter()
+            .filter(|spec| seen.insert(spec.key()))
+            .collect();
+        let queue_depth = telemetry::gauge("sweep.queue_depth");
+        queue_depth.add(unique.len() as i64);
+        if self.parallel {
+            unique.par_iter_mut().with_max_len(1).for_each(|spec| {
+                let _ = self.try_trace_for(spec);
+                queue_depth.add(-1);
+            });
+        } else {
+            unique.iter().for_each(|spec| {
+                let _ = self.try_trace_for(spec);
+                queue_depth.add(-1);
+            });
+        }
+    }
+
+    /// Keys whose supervised execution failed terminally so far, with
+    /// reasons, sorted by key for deterministic reporting.
+    pub fn run_failures(&self) -> Vec<(String, String)> {
+        let mut failures: Vec<(String, String)> = self
+            .failed
+            .lock()
+            .expect("failure map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        failures.sort();
+        failures
     }
 
     /// Builds (or reuses) a scenario suite by spec. Public so free-form

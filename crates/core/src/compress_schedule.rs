@@ -46,6 +46,7 @@ use gradcomp::CodecSpec;
 ///     interval_index: 1, wall_clock: 60.0,
 ///     current_loss: 0.25, initial_loss: 1.0,
 ///     current_lr: 0.2, initial_lr: 0.2,
+///     degraded_frac: 0.0,
 /// };
 /// assert_eq!(s.next_tau(&ctx), 8); // ceil(sqrt(0.25) * 16)
 /// let codec = s.codec_override(&ctx).unwrap();
@@ -160,6 +161,7 @@ mod tests {
             initial_loss: f0,
             current_lr: 0.2,
             initial_lr: 0.2,
+            degraded_frac: 0.0,
         }
     }
 

@@ -44,6 +44,7 @@
 //!     initial_loss: 2.0,
 //!     current_lr: 0.2,
 //!     initial_lr: 0.2,
+//!     degraded_frac: 0.0,
 //! };
 //! let tau = sched.next_tau(&ctx);
 //! assert_eq!(tau, 12); // ceil(16 / sqrt(2))

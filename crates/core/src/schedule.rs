@@ -22,6 +22,11 @@ pub struct ScheduleContext {
     pub current_lr: f32,
     /// Initial learning rate `η_0`.
     pub initial_lr: f32,
+    /// Cumulative fraction of averaging rounds so far that aggregated a
+    /// strict subset of the cluster (quorum/deadline/staleness policies
+    /// under fault injection). Exactly `0.0` on a fault-free run, so
+    /// schedulers that key off it are provably no-ops without faults.
+    pub degraded_frac: f64,
 }
 
 /// The resumable state of a [`CommSchedule`], captured at a run checkpoint
@@ -154,6 +159,7 @@ pub trait CommSchedule: Send {
 ///     interval_index: 0, wall_clock: 0.0,
 ///     current_loss: 1.0, initial_loss: 1.0,
 ///     current_lr: 0.1, initial_lr: 0.1,
+///     degraded_frac: 0.0,
 /// };
 /// assert_eq!(s.next_tau(&ctx), 20);
 /// ```
@@ -335,6 +341,12 @@ impl CommSchedule for AdaComm {
             .is_some_and(|prev| (prev - ctx.current_lr).abs() > f32::EPSILON * prev.abs());
         let tau = if ctx.interval_index == 0 {
             self.config.tau0
+        } else if ctx.degraded_frac > 0.5 {
+            // Majority-degraded run: the boundary losses were measured on
+            // partial averages, so rule (17)'s loss ratio is unreliable.
+            // Hold the previous period instead of chasing noise. Fault-free
+            // runs have degraded_frac == 0.0 and never take this branch.
+            self.prev_tau.unwrap_or(self.config.tau0)
         } else if lr_changed && self.config.lr_coupling != LrCoupling::None {
             // A learning-rate decay tolerates a *larger* period (eqs.
             // 19–20: "when the learning rate becomes smaller, the
@@ -398,6 +410,7 @@ mod tests {
             initial_loss: f0,
             current_lr: 0.2,
             initial_lr: 0.2,
+            degraded_frac: 0.0,
         }
     }
 
@@ -577,6 +590,27 @@ mod tests {
     fn fixed_comm_state_is_empty() {
         let s = FixedComm::new(4);
         assert_eq!(s.export_state(), SchedulerState::default());
+    }
+
+    #[test]
+    fn majority_degraded_intervals_hold_the_previous_tau() {
+        let mut s = AdaComm::with_tau0(10);
+        assert_eq!(s.next_tau(&ctx(0, 2.0, 2.0)), 10);
+        assert_eq!(s.next_tau(&ctx(1, 1.0, 2.0)), 8);
+        // A majority-degraded interval holds τ even though the loss fell
+        // enough for rule (17) to propose a decrease.
+        let mut degraded = ctx(2, 0.2, 2.0);
+        degraded.degraded_frac = 0.8;
+        assert_eq!(s.next_tau(&degraded), 8, "hold under degradation");
+        // Back under the threshold, adaptation resumes.
+        let mut healthy = ctx(3, 0.2, 2.0);
+        healthy.degraded_frac = 0.4;
+        assert_eq!(s.next_tau(&healthy), 4);
+        // The first interval always uses tau0, degraded or not.
+        let mut fresh = AdaComm::with_tau0(6);
+        let mut first = ctx(0, 1.0, 1.0);
+        first.degraded_frac = 1.0;
+        assert_eq!(fresh.next_tau(&first), 6);
     }
 
     #[test]

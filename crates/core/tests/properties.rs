@@ -12,6 +12,7 @@ fn ctx(l: usize, loss: f64, f0: f64, lr: f32, lr0: f32) -> ScheduleContext {
         initial_loss: f0,
         current_lr: lr,
         initial_lr: lr0,
+        degraded_frac: 0.0,
     }
 }
 

@@ -139,6 +139,30 @@ impl RuntimeModel {
         }
     }
 
+    /// Samples every worker's compute time for one round of `tau` local
+    /// steps, in worker order.
+    ///
+    /// This is the decomposed form of [`RuntimeModel::sample_round_bytes`]:
+    /// drawing all `m` per-worker totals here and then taking the slowest
+    /// (or a partial-aggregation cutoff over them) consumes exactly the
+    /// same RNG stream as the fused sampler, so callers that need
+    /// per-worker times — the fault-injection layer's straggler spikes and
+    /// quorum policies — stay draw-for-draw compatible with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0`.
+    pub fn sample_worker_compute_times<R: Rng + ?Sized>(
+        &self,
+        tau: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(tau > 0, "communication period must be positive");
+        (0..self.workers)
+            .map(|_| (0..tau).map(|_| self.compute.sample(rng)).sum())
+            .collect()
+    }
+
     /// Samples the *per-iteration* runtime of PASGD with period `tau`
     /// (round total divided by `tau`). With `tau = 1` this is exactly the
     /// synchronous-SGD iteration time of eq. 7.
@@ -369,6 +393,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let b = model.sample_round_bytes(3, 0.0, &mut rng);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_times_match_fused_round_stream() {
+        // The decomposed sampler must consume the RNG exactly like the
+        // fused one: per-worker totals in worker order, then one comm draw.
+        let model = RuntimeModel::new(
+            DelayDistribution::exponential(1.0),
+            CommModel::constant(0.5).with_bandwidth(1e-7),
+            4,
+        );
+        let mut fused_rng = StdRng::seed_from_u64(10);
+        let round = model.sample_round_bytes(3, 2048.0, &mut fused_rng);
+        let mut split_rng = StdRng::seed_from_u64(10);
+        let times = model.sample_worker_compute_times(3, &mut split_rng);
+        let comm = model.comm().sample_bytes(4, 2048.0, &mut split_rng);
+        assert_eq!(times.len(), 4);
+        let slowest = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(round.compute, slowest);
+        assert_eq!(round.comm, comm);
     }
 
     #[test]

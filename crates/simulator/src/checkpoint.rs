@@ -19,7 +19,7 @@
 //! resumed traces (and the cached [`RunTrace`]s the bench run store
 //! persists with [`write_run_trace`]) byte-identical across processes.
 
-use crate::{RunTrace, TracePoint};
+use crate::{FaultCheckpoint, RunTrace, TracePoint};
 use adacomm::SchedulerState;
 use binio::{ByteReader, ByteWriter, ReadError, ReadResult};
 use gradcomp::{CodecSpec, ErrorFeedback};
@@ -30,7 +30,8 @@ const MAGIC: &[u8; 4] = b"ACKP";
 
 /// Version of the checkpoint byte format. Bump on any layout change:
 /// readers reject other versions and the caller recomputes from scratch.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the optional fault-injection frame.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Full training state of one worker at a round boundary.
 #[derive(Debug, Clone)]
@@ -87,6 +88,9 @@ pub struct ClusterCheckpoint {
     pub delay_rng: [u64; 4],
     /// Block-momentum `(buffer, prev_sync)` planes, if configured.
     pub block: Option<(Vec<f32>, Vec<f32>)>,
+    /// Fault-injection state (RNG stream, outage table, staleness
+    /// counters, cumulative stats), present iff faults are active.
+    pub fault: Option<FaultCheckpoint>,
     /// Per-worker state, in worker-id order.
     pub workers: Vec<WorkerCheckpoint>,
 }
@@ -261,6 +265,58 @@ fn read_worker(r: &mut ByteReader<'_>) -> ReadResult<WorkerCheckpoint> {
     })
 }
 
+fn write_fault(w: &mut ByteWriter, ck: &FaultCheckpoint) {
+    write_rng_state(w, &ck.rng);
+    w.put_len(ck.down_until.len());
+    for &round in &ck.down_until {
+        w.put_u64(round);
+    }
+    w.put_len(ck.missed.len());
+    for &count in &ck.missed {
+        w.put_u64(count);
+    }
+    w.put_u64(ck.stats.crashes);
+    w.put_u64(ck.stats.rejoins);
+    w.put_u64(ck.stats.drops);
+    w.put_u64(ck.stats.corruptions);
+    w.put_u64(ck.stats.stragglers);
+    w.put_u64(ck.stats.retransmits);
+    w.put_u64(ck.stats.degraded_rounds);
+}
+
+fn read_u64_table(r: &mut ByteReader<'_>) -> ReadResult<Vec<u64>> {
+    let count = r.len()?;
+    if count > r.remaining() / 8 {
+        return Err(ReadError::BadLength(count as u64));
+    }
+    let mut table = Vec::with_capacity(count);
+    for _ in 0..count {
+        table.push(r.u64()?);
+    }
+    Ok(table)
+}
+
+fn read_fault(r: &mut ByteReader<'_>) -> ReadResult<FaultCheckpoint> {
+    let rng = read_rng_state(r)?;
+    let down_until = read_u64_table(r)?;
+    let missed = read_u64_table(r)?;
+    let stats = crate::FaultStats {
+        crashes: r.u64()?,
+        rejoins: r.u64()?,
+        drops: r.u64()?,
+        corruptions: r.u64()?,
+        stragglers: r.u64()?,
+        retransmits: r.u64()?,
+        degraded_rounds: r.u64()?,
+    };
+    Ok(FaultCheckpoint {
+        rng,
+        down_until,
+        missed,
+        stats,
+    })
+}
+
 fn write_cluster(w: &mut ByteWriter, ck: &ClusterCheckpoint) {
     w.put_f64(ck.clock);
     w.put_u64(ck.iterations);
@@ -277,6 +333,13 @@ fn write_cluster(w: &mut ByteWriter, ck: &ClusterCheckpoint) {
             w.put_u8(1);
             w.put_f32_slice(buffer);
             w.put_f32_slice(prev_sync);
+        }
+        None => w.put_u8(0),
+    }
+    match &ck.fault {
+        Some(fault) => {
+            w.put_u8(1);
+            write_fault(w, fault);
         }
         None => w.put_u8(0),
     }
@@ -306,6 +369,11 @@ fn read_cluster(r: &mut ByteReader<'_>) -> ReadResult<ClusterCheckpoint> {
         }
         flag => return Err(ReadError::BadLength(u64::from(flag))),
     };
+    let fault = match r.u8()? {
+        0 => None,
+        1 => Some(read_fault(r)?),
+        flag => return Err(ReadError::BadLength(u64::from(flag))),
+    };
     let worker_count = r.len()?;
     // A worker frame is at least ~100 bytes; 64 is a safe floor.
     if worker_count > r.remaining() / 64 {
@@ -327,6 +395,7 @@ fn read_cluster(r: &mut ByteReader<'_>) -> ReadResult<ClusterCheckpoint> {
         codec,
         delay_rng,
         block,
+        fault,
         workers,
     })
 }
@@ -464,6 +533,20 @@ mod tests {
                 codec: CodecSpec::TopK { ratio: 0.05 },
                 delay_rng: [1, 2, 3, 4],
                 block: Some((vec![0.5, -0.5], vec![1.0, f32::NAN])),
+                fault: Some(FaultCheckpoint {
+                    rng: [13, 14, 15, 16],
+                    down_until: vec![0, 9],
+                    missed: vec![0, 3],
+                    stats: crate::FaultStats {
+                        crashes: 2,
+                        rejoins: 1,
+                        drops: 4,
+                        corruptions: 1,
+                        stragglers: 3,
+                        retransmits: 5,
+                        degraded_rounds: 6,
+                    },
+                }),
                 workers: vec![WorkerCheckpoint {
                     params: vec![1.0, -0.0],
                     momentum_buffers: vec![Tensor::from_vec(vec![0.25, 0.75], &[2]).unwrap()],
@@ -509,6 +592,7 @@ mod tests {
         assert_eq!(back.cluster.codec, ck.cluster.codec);
         let (buf, prev) = back.cluster.block.as_ref().unwrap();
         assert_eq!(buf, &[0.5, -0.5]);
+        assert_eq!(back.cluster.fault, ck.cluster.fault);
         // NaN travels bit-exactly through the raw-bit encoding.
         assert!(prev[1].is_nan());
         let w = &back.cluster.workers[0];

@@ -2,12 +2,13 @@
 //! simulated wall clock.
 
 use crate::checkpoint::ClusterCheckpoint;
-use crate::{AveragingStrategy, BlockMomentum, MomentumMode, Worker};
+use crate::fault::FaultState;
+use crate::{AveragingStrategy, BlockMomentum, FaultConfig, FaultStats, MomentumMode, Worker};
 use delay::RuntimeModel;
 use gradcomp::CodecSpec;
 use nn::{Network, Sgd};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use tensor::Tensor;
 
@@ -68,6 +69,10 @@ pub struct ClusterConfig {
     /// Cap on the number of examples used when evaluating training loss
     /// (keeps evaluation cheap; 0 means the full training set).
     pub eval_subset: usize,
+    /// Fault injection and degradation policy. The default
+    /// ([`FaultConfig::NONE`]) is provably a no-op: the cluster takes the
+    /// exact fault-free code path with zero extra RNG draws.
+    pub fault: FaultConfig,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +87,7 @@ impl Default for ClusterConfig {
             codec: CodecSpec::Identity,
             seed: 0,
             eval_subset: 1024,
+            fault: FaultConfig::NONE,
         }
     }
 }
@@ -127,6 +133,11 @@ pub struct PasgdCluster {
     averaging: AveragingStrategy,
     codec: CodecSpec,
     block: Option<BlockMomentum>,
+    /// Active fault-injection state, or `None` for the fault-free
+    /// fast path (the [`FaultConfig::NONE`] default): rounds then run the
+    /// exact pre-fault code with zero extra RNG draws.
+    fault: Option<FaultState>,
+    fault_config: FaultConfig,
     delay_rng: StdRng,
     clock: f64,
     iterations: u64,
@@ -195,11 +206,18 @@ impl PasgdCluster {
         config.momentum.validate();
         config.averaging.validate();
         config.codec.validate();
+        config.fault.validate();
         assert!(
             matches!(config.averaging, AveragingStrategy::FullAverage)
                 || !matches!(config.momentum, MomentumMode::Block { .. }),
             "block momentum is defined over the all-node average (eq. 24); \
              use MomentumMode::None or Local with other averaging strategies"
+        );
+        assert!(
+            !config.fault.is_active() || !matches!(config.momentum, MomentumMode::Block { .. }),
+            "block momentum is defined over the all-node average (eq. 24), \
+             which partial/faulty aggregation cannot guarantee; use \
+             MomentumMode::None or Local with an active FaultConfig"
         );
         let train = split.train;
         let test = split.test;
@@ -271,6 +289,11 @@ impl PasgdCluster {
             averaging: config.averaging,
             codec: config.codec,
             block,
+            fault: config
+                .fault
+                .is_active()
+                .then(|| FaultState::new(config.seed, config.workers)),
+            fault_config: config.fault,
             delay_rng: StdRng::seed_from_u64(config.seed ^ 0xD15C_0C1C_D15C_0C1C),
             clock: 0.0,
             iterations: 0,
@@ -417,6 +440,23 @@ impl PasgdCluster {
         &self.runtime
     }
 
+    /// Cumulative fault-event counters (all zero on the fault-free path).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Fraction of completed rounds that were averaged over a strict
+    /// subset of the cluster (0 on the fault-free path). Schedulers
+    /// consult this through
+    /// [`ScheduleContext::degraded_frac`](adacomm::ScheduleContext) to
+    /// hold the communication period steady while the cluster is degraded.
+    pub fn degraded_frac(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.fault_stats().degraded_rounds as f64 / self.rounds as f64
+    }
+
     // ------------------------------------------------------------------
     // Training
     // ------------------------------------------------------------------
@@ -449,6 +489,9 @@ impl PasgdCluster {
     /// Panics if `tau == 0`.
     pub fn run_round(&mut self, tau: usize) -> f32 {
         assert!(tau >= 1, "communication period must be at least 1");
+        if self.fault.is_some() {
+            return self.run_round_faulty(tau);
+        }
         let mean_loss = self.local_fanout(tau);
         let bytes = self.average_models(tau);
         telemetry::counter("sim.rounds").inc();
@@ -463,6 +506,154 @@ impl PasgdCluster {
         self.comm_bytes += bytes;
         self.peak_payload_bytes = self.peak_payload_bytes.max(bytes);
         self.rounds += 1;
+        mean_loss
+    }
+
+    /// The fault-injected variant of [`PasgdCluster::run_round`], taken
+    /// whenever the cluster was configured with an active [`FaultConfig`].
+    ///
+    /// Round order (each step draws a deterministic number of values from
+    /// the dedicated fault RNG stream given the cluster state):
+    ///
+    /// 1. rejoin sweep — crashed workers whose downtime elapsed come back
+    ///    up with the stale parameters they last held;
+    /// 2. crash draws — one Bernoulli per up worker in worker order, with
+    ///    a deterministic survivor guarantee (never zero up workers);
+    /// 3. `tau` local steps on the up workers only (a down worker's batch
+    ///    stream does not advance until it rejoins);
+    /// 4. per-worker compute times from the delay model — the decomposed
+    ///    form of the fused fault-free sampler — plus straggler spikes;
+    /// 5. the [`AggregationPolicy`](crate::AggregationPolicy) picks the
+    ///    participant set from the up workers' times and staleness;
+    /// 6. the participants' models are averaged (codec included) and the
+    ///    result broadcast *to the participants*; everyone else keeps its
+    ///    local model;
+    /// 7. drop/corrupt draws per participant charge retransmit cost
+    ///    through the bytes-aware comm model;
+    /// 8. the clock advances by the slowest *participant* plus the round's
+    ///    communication delays, and the staleness table updates.
+    ///
+    /// The fault layer covers only this entry point: the mid-round probes
+    /// [`PasgdCluster::average_now`] and [`PasgdCluster::run_local_only`]
+    /// bypass it, and evaluation still reads worker 0 (whose model can be
+    /// stale while worker 0 is down).
+    fn run_round_faulty(&mut self, tau: usize) -> f32 {
+        let spec = self.fault_config.spec;
+        let policy = self.fault_config.policy;
+        let round_index = self.rounds;
+        // take/put-back: the fault state cannot stay borrowed while
+        // `&mut self` round methods run.
+        let mut fault = self
+            .fault
+            .take()
+            .expect("run_round_faulty requires active fault state");
+
+        let rejoined = fault.sweep_rejoins(round_index);
+        if rejoined > 0 {
+            telemetry::counter("sim.faults.rejoins").add(rejoined);
+        }
+        let crashed = fault.draw_crashes(round_index, &spec);
+        if crashed > 0 {
+            telemetry::counter("sim.faults.crashes").add(crashed);
+        }
+        let up = fault.up_workers(round_index);
+        debug_assert!(!up.is_empty(), "survivor guarantee violated");
+
+        let mean_loss = self.local_fanout_subset(tau, &up);
+
+        // Per-worker compute times, drawn for the whole cluster in worker
+        // order — the same delay-stream structure as the fused fault-free
+        // sampler, so the per-round draw count is constant.
+        let mut times = self
+            .runtime
+            .sample_worker_compute_times(tau, &mut self.delay_rng);
+        let mut stragglers = 0u64;
+        if spec.straggler_prob > 0.0 {
+            for &i in &up {
+                if fault.rng.gen_bool(spec.straggler_prob) {
+                    times[i] *= spec.straggler_factor;
+                    stragglers += 1;
+                }
+            }
+        }
+        fault.stats.stragglers += stragglers;
+        if stragglers > 0 {
+            telemetry::counter("sim.faults.stragglers").add(stragglers);
+        }
+
+        let participants = policy.select(&up, &times, &fault.missed);
+        let degraded = participants.len() < self.workers.len();
+
+        let bytes = if degraded {
+            let _degraded_phase = telemetry::span("phase.degraded");
+            telemetry::counter("sim.degraded_rounds").inc();
+            fault.stats.degraded_rounds += 1;
+            self.average_subset(tau, &participants)
+        } else {
+            self.average_models(tau)
+        };
+        telemetry::counter("sim.rounds").inc();
+        telemetry::histogram("sim.round_tau").observe(tau as f64);
+        telemetry::histogram("sim.round_payload_bytes").observe(bytes);
+
+        // Transport faults: each participant's upload may be dropped or
+        // corrupted in flight. The transport detects the loss and
+        // retransmits, so the average above is unaffected — but every
+        // loss costs one extra bytes-aware communication delay below.
+        let mut drops = 0u64;
+        let mut corruptions = 0u64;
+        if spec.drop_prob > 0.0 || spec.corrupt_prob > 0.0 {
+            for _ in &participants {
+                if fault.rng.gen_bool(spec.drop_prob) {
+                    drops += 1;
+                }
+                if fault.rng.gen_bool(spec.corrupt_prob) {
+                    corruptions += 1;
+                }
+            }
+        }
+        let retransmits = drops + corruptions;
+        fault.stats.drops += drops;
+        fault.stats.corruptions += corruptions;
+        fault.stats.retransmits += retransmits;
+        if drops > 0 {
+            telemetry::counter("sim.faults.drops").add(drops);
+        }
+        if corruptions > 0 {
+            telemetry::counter("sim.faults.corruptions").add(corruptions);
+        }
+        if retransmits > 0 {
+            telemetry::counter("sim.faults.retransmits").add(retransmits);
+        }
+
+        // Clock advance: the round waits for its slowest participant, then
+        // pays one communication delay over the participant group plus one
+        // per retransmit.
+        let elapsed_compute = participants
+            .iter()
+            .map(|&i| times[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut comm =
+            self.runtime
+                .comm()
+                .sample_bytes(participants.len(), bytes, &mut self.delay_rng);
+        let mut round_bytes = bytes;
+        for _ in 0..retransmits {
+            comm +=
+                self.runtime
+                    .comm()
+                    .sample_bytes(participants.len(), bytes, &mut self.delay_rng);
+            round_bytes += bytes;
+        }
+        self.clock += elapsed_compute + comm;
+        self.compute_time += elapsed_compute;
+        self.comm_time += comm;
+        self.comm_bytes += round_bytes;
+        self.peak_payload_bytes = self.peak_payload_bytes.max(bytes);
+        self.rounds += 1;
+
+        fault.note_participants(&participants);
+        self.fault = Some(fault);
         mean_loss
     }
 
@@ -499,6 +690,27 @@ impl PasgdCluster {
             .sum();
         self.iterations += steps as u64;
         total / self.workers.len() as f32
+    }
+
+    /// The fault-path local-update fan-out: only the `up` workers
+    /// (ascending indices) take `steps` local SGD steps; a down worker's
+    /// batch stream does not advance. The iteration counter still moves by
+    /// the nominal `steps`, keeping the paper's iteration axis meaningful,
+    /// and the returned loss is the mean over the workers that actually
+    /// stepped.
+    fn local_fanout_subset(&mut self, steps: usize, up: &[usize]) -> f32 {
+        let _phase = telemetry::span("phase.compute");
+        telemetry::counter("sim.local_steps").add((steps * up.len()) as u64);
+        let mut active: Vec<&mut Worker> = self
+            .workers
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| up.binary_search(i).is_ok())
+            .map(|(_, w)| w)
+            .collect();
+        let total: f32 = active.par_iter_mut().map(|w| w.local_steps(steps)).sum();
+        self.iterations += steps as u64;
+        total / up.len() as f32
     }
 
     /// Performs the averaging step immediately (eq. 3's first case),
@@ -623,6 +835,118 @@ impl PasgdCluster {
         );
         self.broadcast_accum(tau);
         payload_bytes
+    }
+
+    /// Degraded-round averaging over a strict subset of the cluster: only
+    /// the `participants` (ascending worker indices, non-empty) exchange
+    /// messages and receive the result; every other worker keeps its local
+    /// — possibly stale — parameters. Returns the round's per-worker
+    /// payload bytes.
+    ///
+    /// Mix-based strategies run on a compacted view: the participants'
+    /// message planes are swapped into the leading slots, mixed as a
+    /// `p`-worker cluster, and swapped back (reverse order restores the
+    /// layout exactly because `slot ≤ participants[slot]` for ascending
+    /// indices). Block momentum is rejected for fault-active clusters, so
+    /// there is no global-buffer step here.
+    fn average_subset(&mut self, tau: usize, participants: &[usize]) -> f64 {
+        debug_assert!(!participants.is_empty(), "no participants to average");
+        debug_assert!(participants.len() < self.workers.len());
+        let _phase = telemetry::span("phase.average");
+        let identity = matches!(self.codec, CodecSpec::Identity);
+        let full_average = matches!(self.averaging, AveragingStrategy::FullAverage);
+        let count = participants.len();
+        let mut payload_bytes = self.full_payload_bytes as f64;
+
+        // Fast-path mirror of `average_models`: full-precision full
+        // averaging accumulates the participants straight into the reused
+        // accumulator in participant order.
+        if identity && full_average {
+            self.workers[participants[0]].copy_params_into(&mut self.accum);
+            for &i in &participants[1..] {
+                self.workers[i].add_params_to(&mut self.accum);
+            }
+            let inv = 1.0 / count as f32;
+            for a in self.accum.iter_mut() {
+                *a *= inv;
+            }
+            self.broadcast_accum_to(tau, participants);
+            return payload_bytes;
+        }
+
+        // Fill the participants' message planes (identity copies, codecs
+        // encode the error-feedback-compensated delta).
+        if identity {
+            for &i in participants {
+                let (workers, planes) = (&self.workers, &mut self.msg_planes);
+                workers[i].copy_params_into(&mut planes[i]);
+            }
+        } else {
+            let _codec_phase = telemetry::span("phase.codec");
+            let codec = self.codec;
+            let mut max_bytes = 0usize;
+            let workers = &mut self.workers;
+            let planes = &mut self.msg_planes;
+            let scratch = &mut self.scratch;
+            let param_sizes = &self.param_sizes;
+            for &i in participants {
+                let bytes =
+                    workers[i].encode_update_into(&codec, param_sizes, scratch, &mut planes[i]);
+                max_bytes = max_bytes.max(bytes);
+            }
+            payload_bytes = max_bytes as f64;
+        }
+
+        if !full_average {
+            // Swap-compact, mix as a `count`-worker cluster, swap back.
+            let compressed = !identity;
+            for (slot, &i) in participants.iter().enumerate() {
+                self.msg_planes.swap(slot, i);
+            }
+            let touched = self
+                .averaging
+                .mix_tracked(&mut self.msg_planes[..count], &mut self.delay_rng);
+            for (slot, &i) in participants.iter().enumerate().rev() {
+                self.msg_planes.swap(slot, i);
+            }
+            for (slot, &i) in participants.iter().enumerate() {
+                let plane = &self.msg_planes[i];
+                let w = &mut self.workers[i];
+                if touched[slot] {
+                    w.load_params_from(plane);
+                } else if compressed {
+                    w.reset_feedback();
+                }
+                if self.momentum.resets_local_at_sync(tau) {
+                    w.reset_momentum();
+                }
+            }
+            return payload_bytes;
+        }
+
+        // Full average of the participants' (reconstructed) messages, in
+        // participant order, through the shared mean reduction.
+        let planes = &self.msg_planes;
+        crate::topology::mean_plane_into(
+            &mut self.accum,
+            &planes[participants[0]],
+            participants[1..].iter().map(|&i| planes[i].as_slice()),
+            count,
+        );
+        self.broadcast_accum_to(tau, participants);
+        payload_bytes
+    }
+
+    /// Broadcasts the accumulator to the `participants` only — the
+    /// degraded-round counterpart of [`PasgdCluster::broadcast_accum`].
+    fn broadcast_accum_to(&mut self, tau: usize, participants: &[usize]) {
+        for &i in participants {
+            let w = &mut self.workers[i];
+            w.load_params_from(&self.accum);
+            if self.momentum.resets_local_at_sync(tau) {
+                w.reset_momentum();
+            }
+        }
     }
 
     /// Applies block momentum to the averaged plane in `self.accum` (if
@@ -793,6 +1117,7 @@ impl PasgdCluster {
                 let (buffer, prev_sync) = b.state();
                 (buffer.to_vec(), prev_sync.to_vec())
             }),
+            fault: self.fault.as_ref().map(|f| f.export_checkpoint()),
             workers: self.workers.iter().map(Worker::export_checkpoint).collect(),
         }
     }
@@ -839,11 +1164,34 @@ impl PasgdCluster {
                 return Err("checkpoint has block momentum but the cluster does not".to_string())
             }
         }
+        match (&self.fault, &ck.fault) {
+            (Some(_), Some(_)) | (None, None) => {}
+            (Some(_), None) => {
+                return Err("fault injection configured but absent from checkpoint".to_string())
+            }
+            (None, Some(_)) => {
+                return Err("checkpoint has fault state but the cluster does not".to_string())
+            }
+        }
+        if let Some(fck) = &ck.fault {
+            if fck.down_until.len() != self.workers.len() || fck.missed.len() != self.workers.len()
+            {
+                return Err(format!(
+                    "fault checkpoint tables sized for {}/{} workers but the cluster has {}",
+                    fck.down_until.len(),
+                    fck.missed.len(),
+                    self.workers.len()
+                ));
+            }
+        }
         for (w, wck) in self.workers.iter_mut().zip(&ck.workers) {
             w.restore_checkpoint(wck)?;
         }
         if let (Some(block), Some((buffer, prev_sync))) = (&mut self.block, &ck.block) {
             block.restore_state(buffer.clone(), prev_sync.clone())?;
+        }
+        if let (Some(fault), Some(fck)) = (&mut self.fault, &ck.fault) {
+            fault.restore_checkpoint(fck);
         }
         self.clock = ck.clock;
         self.iterations = ck.iterations;
@@ -915,6 +1263,7 @@ mod tests {
                 codec: gradcomp::CodecSpec::Identity,
                 seed,
                 eval_subset: 64,
+                fault: FaultConfig::NONE,
             },
         )
     }
@@ -1020,6 +1369,7 @@ mod tests {
                     codec: gradcomp::CodecSpec::Identity,
                     seed: 21,
                     eval_subset: 64,
+                    fault: FaultConfig::NONE,
                 },
             )
         };
@@ -1259,5 +1609,340 @@ mod tests {
     fn zero_tau_rejected() {
         let mut c = toy_cluster(MomentumMode::None, 11);
         let _ = c.run_round(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use crate::{AggregationPolicy, FaultSpec};
+
+    fn faulty_cluster(seed: u64, fault: FaultConfig, m: usize) -> PasgdCluster {
+        let split = GaussianMixture::small_test().generate(3);
+        PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, m),
+            ClusterConfig {
+                workers: m,
+                batch_size: 8,
+                lr: 0.05,
+                weight_decay: 0.0,
+                seed,
+                eval_subset: 64,
+                fault,
+                ..ClusterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn crashes_rejoin_and_training_survives() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.3,
+                rejoin_after: 2,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        };
+        let mut c = faulty_cluster(5, fault, 4);
+        for _ in 0..20 {
+            c.run_round(3);
+        }
+        let stats = c.fault_stats();
+        assert!(
+            stats.crashes > 0,
+            "crash_prob 0.3 over 20 rounds: {stats:?}"
+        );
+        assert!(stats.rejoins > 0, "rejoin_after 2 must fire: {stats:?}");
+        assert!(stats.degraded_rounds > 0);
+        assert!(c.degraded_frac() > 0.0 && c.degraded_frac() <= 1.0);
+        assert!(c.eval_train_loss().is_finite());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_given_seed() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.2,
+                rejoin_after: 2,
+                drop_prob: 0.1,
+                corrupt_prob: 0.05,
+                straggler_prob: 0.2,
+                straggler_factor: 4.0,
+            },
+            policy: AggregationPolicy::Quorum {
+                quorum: 3,
+                deadline_secs: 50.0,
+            },
+        };
+        let run = |seed| {
+            let mut c = faulty_cluster(seed, fault, 4);
+            for _ in 0..12 {
+                c.run_round(2);
+            }
+            (c.eval_train_loss(), c.clock(), c.fault_stats())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn quorum_policy_caps_straggler_compute_time() {
+        // Same seed and spec, two policies: the fault draws are identical,
+        // so the quorum run must wait strictly less compute time whenever
+        // a straggler fired.
+        let spec = FaultSpec {
+            straggler_prob: 0.3,
+            straggler_factor: 100.0,
+            ..FaultSpec::NONE
+        };
+        let run = |policy| {
+            let mut c = faulty_cluster(11, FaultConfig { spec, policy }, 4);
+            for _ in 0..10 {
+                c.run_round(2);
+            }
+            (c.compute_time(), c.fault_stats())
+        };
+        let (barrier_time, barrier_stats) = run(AggregationPolicy::FullBarrier);
+        let (quorum_time, quorum_stats) = run(AggregationPolicy::Quorum {
+            quorum: 3,
+            deadline_secs: 1000.0,
+        });
+        assert_eq!(barrier_stats.stragglers, quorum_stats.stragglers);
+        assert!(barrier_stats.stragglers > 0, "seed 11 must straggle");
+        assert!(
+            quorum_time < barrier_time,
+            "quorum {quorum_time} vs barrier {barrier_time}"
+        );
+        assert!(quorum_stats.degraded_rounds > 0);
+    }
+
+    #[test]
+    fn bounded_staleness_forces_slow_workers_back_in() {
+        let spec = FaultSpec {
+            straggler_prob: 0.4,
+            straggler_factor: 50.0,
+            ..FaultSpec::NONE
+        };
+        let mut c = faulty_cluster(
+            13,
+            FaultConfig {
+                spec,
+                policy: AggregationPolicy::BoundedStaleness {
+                    quorum: 2,
+                    max_staleness: 2,
+                },
+            },
+            4,
+        );
+        for _ in 0..15 {
+            c.run_round(2);
+        }
+        // The staleness bound means nobody can miss 3+ consecutive
+        // averages; with quorum 2 of 4 there must be degraded rounds.
+        assert!(c.fault_stats().degraded_rounds > 0);
+        assert!(c.eval_train_loss().is_finite());
+    }
+
+    #[test]
+    fn retransmits_charge_extra_bytes_and_comm_time() {
+        let spec = FaultSpec {
+            drop_prob: 0.5,
+            corrupt_prob: 0.2,
+            ..FaultSpec::NONE
+        };
+        let mut c = faulty_cluster(
+            17,
+            FaultConfig {
+                spec,
+                policy: AggregationPolicy::FullBarrier,
+            },
+            2,
+        );
+        for _ in 0..10 {
+            c.run_round(2);
+        }
+        let stats = c.fault_stats();
+        assert!(stats.drops > 0 && stats.corruptions > 0);
+        assert_eq!(stats.retransmits, stats.drops + stats.corruptions);
+        let full = c.full_payload_bytes() as f64;
+        assert!(
+            c.comm_bytes() > 10.0 * full,
+            "retransmits must charge extra bytes: {} vs base {}",
+            c.comm_bytes(),
+            10.0 * full
+        );
+        // One 0.5 s constant delay per round plus one per retransmit.
+        let want = 0.5 * (10 + stats.retransmits) as f64;
+        assert!((c.comm_time() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_workers_keep_stale_models() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.5,
+                rejoin_after: 3,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        };
+        let mut c = faulty_cluster(19, fault, 4);
+        let mut saw_degraded = false;
+        for _ in 0..20 {
+            let before = c.fault_stats().degraded_rounds;
+            c.run_round(2);
+            if c.fault_stats().degraded_rounds > before {
+                saw_degraded = true;
+                assert!(
+                    c.model_discrepancy() > 0.0,
+                    "a down worker must hold stale parameters after a degraded round"
+                );
+                break;
+            }
+        }
+        assert!(saw_degraded, "seed 19 must produce a degraded round");
+    }
+
+    #[test]
+    fn fault_state_survives_checkpoint_restore() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.25,
+                rejoin_after: 2,
+                drop_prob: 0.2,
+                straggler_prob: 0.2,
+                straggler_factor: 8.0,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::Quorum {
+                quorum: 3,
+                deadline_secs: 500.0,
+            },
+        };
+        let mut golden = faulty_cluster(23, fault, 4);
+        let mut interrupted = faulty_cluster(23, fault, 4);
+        for _ in 0..6 {
+            golden.run_round(2);
+            interrupted.run_round(2);
+        }
+        let ck = interrupted.checkpoint();
+        assert!(ck.fault.is_some(), "active faults must checkpoint state");
+        let mut resumed = faulty_cluster(23, fault, 4);
+        resumed.restore(&ck).expect("restore must succeed");
+        for _ in 0..6 {
+            golden.run_round(2);
+            resumed.run_round(2);
+        }
+        assert_eq!(golden.clock(), resumed.clock());
+        assert_eq!(golden.eval_train_loss(), resumed.eval_train_loss());
+        assert_eq!(golden.fault_stats(), resumed.fault_stats());
+    }
+
+    #[test]
+    fn restore_rejects_fault_presence_mismatch() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.2,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        };
+        let mut plain = toy_cluster(MomentumMode::None, 1);
+        let mut faulty = faulty_cluster(1, fault, 2);
+        let ck_plain = plain.checkpoint();
+        let ck_faulty = faulty.checkpoint();
+        assert!(faulty.restore(&ck_plain).is_err());
+        assert!(plain.restore(&ck_faulty).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block momentum is defined over the all-node average")]
+    fn block_momentum_rejected_with_active_faults() {
+        let fault = FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.1,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        };
+        let _ = faulty_cluster_with_momentum(fault);
+    }
+
+    fn faulty_cluster_with_momentum(fault: FaultConfig) -> PasgdCluster {
+        let split = GaussianMixture::small_test().generate(3);
+        PasgdCluster::new(
+            models::mlp_classifier(8, &[16], 3, 11),
+            split,
+            constant_runtime(1.0, 0.5, 2),
+            ClusterConfig {
+                workers: 2,
+                batch_size: 8,
+                momentum: MomentumMode::paper_block(),
+                seed: 1,
+                eval_subset: 64,
+                fault,
+                ..ClusterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn subset_averaging_composes_with_codecs_and_strategies() {
+        // Degraded rounds through the compressed mix path and the shared
+        // mean reduction must keep training finite for every strategy.
+        for (averaging, codec) in [
+            (crate::AveragingStrategy::FullAverage, CodecSpec::Identity),
+            (
+                crate::AveragingStrategy::FullAverage,
+                CodecSpec::TopK { ratio: 0.25 },
+            ),
+            (crate::AveragingStrategy::Ring, CodecSpec::Sign),
+            (
+                crate::AveragingStrategy::Elastic { alpha: 0.5 },
+                CodecSpec::Identity,
+            ),
+            (
+                crate::AveragingStrategy::PartialParticipation { fraction: 0.5 },
+                CodecSpec::Identity,
+            ),
+        ] {
+            let split = GaussianMixture::small_test().generate(6);
+            let mut c = PasgdCluster::new(
+                models::mlp_classifier(8, &[16], 3, 11),
+                split,
+                constant_runtime(1.0, 0.5, 4),
+                ClusterConfig {
+                    workers: 4,
+                    batch_size: 8,
+                    averaging,
+                    codec,
+                    seed: 8,
+                    eval_subset: 64,
+                    fault: FaultConfig {
+                        spec: FaultSpec {
+                            crash_prob: 0.3,
+                            rejoin_after: 2,
+                            ..FaultSpec::NONE
+                        },
+                        policy: AggregationPolicy::FullBarrier,
+                    },
+                    ..ClusterConfig::default()
+                },
+            );
+            for _ in 0..6 {
+                c.run_round(2);
+            }
+            assert!(
+                c.eval_train_loss().is_finite(),
+                "{averaging:?}/{codec:?} diverged under faults"
+            );
+            assert!(
+                c.fault_stats().degraded_rounds > 0,
+                "{averaging:?}/{codec:?}: seed 8 must degrade at least one round"
+            );
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! and trace recording.
 
 use crate::checkpoint::RunCheckpoint;
-use crate::{ClusterConfig, MomentumMode, PasgdCluster};
+use crate::{ClusterConfig, FaultConfig, MomentumMode, PasgdCluster};
 use adacomm::{CommSchedule, LrSchedule, ScheduleContext};
 use data::TrainTestSplit;
 use delay::RuntimeModel;
@@ -314,6 +314,7 @@ pub fn run_experiment_resumable(
             initial_loss,
             current_lr: initial_lr,
             initial_lr,
+            degraded_frac: 0.0,
         };
         tau = scheduler.next_tau(&initial_ctx);
         if let Some(codec) = scheduler.codec_override(&initial_ctx) {
@@ -342,6 +343,7 @@ pub fn run_experiment_resumable(
                 initial_loss,
                 current_lr: cluster.lr(),
                 initial_lr,
+                degraded_frac: cluster.degraded_frac(),
             };
             tau = scheduler.next_tau(&ctx);
             if let Some(codec) = scheduler.codec_override(&ctx) {
@@ -502,13 +504,22 @@ impl ExperimentSuite {
         momentum: Option<MomentumMode>,
         gate_lr_on_tau: Option<bool>,
     ) -> RunTrace {
-        self.run_configured(scheduler, lr_schedule, momentum, gate_lr_on_tau, None, None)
+        self.run_configured(
+            scheduler,
+            lr_schedule,
+            momentum,
+            gate_lr_on_tau,
+            None,
+            None,
+            None,
+        )
     }
 
     /// The fully-general run entry point: every per-run override in one
     /// place. `None` keeps the suite's configured value. This is what the
     /// bench crate's sweep engine calls to execute a declarative
     /// `SweepSpec`; the narrower `run_*` helpers all delegate here.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_configured(
         &self,
         scheduler: &mut dyn CommSchedule,
@@ -517,6 +528,7 @@ impl ExperimentSuite {
         gate_lr_on_tau: Option<bool>,
         codec: Option<CodecSpec>,
         budget: Option<(f64, f64)>,
+        fault: Option<FaultConfig>,
     ) -> RunTrace {
         match self
             .run_configured_resumable(
@@ -526,6 +538,7 @@ impl ExperimentSuite {
                 gate_lr_on_tau,
                 codec,
                 budget,
+                fault,
                 None,
                 None,
             )
@@ -549,6 +562,7 @@ impl ExperimentSuite {
         gate_lr_on_tau: Option<bool>,
         codec: Option<CodecSpec>,
         budget: Option<(f64, f64)>,
+        fault: Option<FaultConfig>,
         resume: Option<&RunCheckpoint>,
         stop_after_rounds: Option<u64>,
     ) -> Result<RunOutcome, String> {
@@ -558,6 +572,9 @@ impl ExperimentSuite {
         }
         if let Some(c) = codec {
             cluster_config.codec = c;
+        }
+        if let Some(f) = fault {
+            cluster_config.fault = f;
         }
         let mut experiment_config = self.experiment_config.clone();
         if let Some(g) = gate_lr_on_tau {
@@ -658,6 +675,7 @@ mod tests {
                 codec: gradcomp::CodecSpec::Identity,
                 seed,
                 eval_subset: 96,
+                fault: FaultConfig::NONE,
             },
             ExperimentConfig {
                 interval_secs: 4.0,

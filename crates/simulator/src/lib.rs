@@ -60,6 +60,7 @@
 pub mod checkpoint;
 mod cluster;
 mod experiment;
+mod fault;
 mod momentum;
 mod topology;
 mod worker;
@@ -69,6 +70,9 @@ pub use cluster::{ClusterConfig, PasgdCluster};
 pub use experiment::{
     run_experiment, run_experiment_resumable, ExperimentConfig, ExperimentSuite, RunOutcome,
     RunTrace, TracePoint,
+};
+pub use fault::{
+    AggregationPolicy, FaultCheckpoint, FaultConfig, FaultSpec, FaultStats, FAULT_SEED_SALT,
 };
 pub use momentum::{BlockMomentum, MomentumMode};
 pub use topology::AveragingStrategy;

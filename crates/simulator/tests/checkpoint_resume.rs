@@ -32,6 +32,7 @@ fn suite(seed: u64, momentum: MomentumMode) -> ExperimentSuite {
             codec: CodecSpec::Identity,
             seed,
             eval_subset: 96,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 4.0,
@@ -50,6 +51,7 @@ fn assert_resume_is_bit_identical<S, F>(
     make_scheduler: F,
     codec: Option<CodecSpec>,
     momentum: Option<MomentumMode>,
+    fault: Option<pasgd_sim::FaultConfig>,
     stop_rounds: u64,
 ) where
     S: CommSchedule,
@@ -65,6 +67,7 @@ fn assert_resume_is_bit_identical<S, F>(
             None,
             codec,
             None,
+            fault,
             None,
             None,
         )
@@ -83,6 +86,7 @@ fn assert_resume_is_bit_identical<S, F>(
             None,
             codec,
             None,
+            fault,
             None,
             Some(stop_rounds),
         )
@@ -92,6 +96,13 @@ fn assert_resume_is_bit_identical<S, F>(
         RunOutcome::Completed(_) => panic!("run finished before round {stop_rounds}"),
     };
     assert!(ck.cluster.rounds >= stop_rounds);
+    // The fault frame (fault RNG stream, outage table, staleness counters,
+    // stats) rides the checkpoint exactly when faults are active.
+    assert_eq!(
+        ck.cluster.fault.is_some(),
+        fault.is_some_and(|f| f.is_active()),
+        "fault frame presence must match fault activity"
+    );
 
     // Serialize and decode: resume must survive the byte format, not just
     // the in-memory struct.
@@ -108,6 +119,7 @@ fn assert_resume_is_bit_identical<S, F>(
             None,
             codec,
             None,
+            fault,
             Some(&decoded),
             None,
         )
@@ -155,7 +167,7 @@ fn assert_traces_bit_identical(a: &RunTrace, b: &RunTrace) {
 #[test]
 fn fixed_tau_resume_is_bit_identical() {
     let s = suite(1, MomentumMode::None);
-    assert_resume_is_bit_identical(&s, || FixedComm::new(4), None, None, 7);
+    assert_resume_is_bit_identical(&s, || FixedComm::new(4), None, None, None, 7);
 }
 
 #[test]
@@ -163,7 +175,7 @@ fn adacomm_resume_is_bit_identical() {
     // The scheduler's prev_tau memory crosses the checkpoint: resuming with
     // a fresh AdaComm must not re-raise tau.
     let s = suite(2, MomentumMode::None);
-    assert_resume_is_bit_identical(&s, || AdaComm::with_tau0(8), None, None, 9);
+    assert_resume_is_bit_identical(&s, || AdaComm::with_tau0(8), None, None, None, 9);
 }
 
 #[test]
@@ -177,6 +189,7 @@ fn compressed_block_momentum_resume_is_bit_identical() {
         || FixedComm::new(4),
         Some(CodecSpec::TopK { ratio: 0.25 }),
         Some(MomentumMode::paper_block()),
+        None,
         6,
     );
 }
@@ -199,6 +212,7 @@ fn co_adaptive_codec_resume_is_bit_identical() {
         },
         None,
         None,
+        None,
         8,
     );
 }
@@ -207,7 +221,7 @@ fn co_adaptive_codec_resume_is_bit_identical() {
 fn resume_at_different_rounds_always_matches() {
     let s = suite(5, MomentumMode::None);
     for stop in [1, 3, 11] {
-        assert_resume_is_bit_identical(&s, || FixedComm::new(2), None, None, stop);
+        assert_resume_is_bit_identical(&s, || FixedComm::new(2), None, None, None, stop);
     }
 }
 
@@ -217,7 +231,7 @@ fn corrupted_checkpoint_is_rejected_by_the_driver() {
     let lr = LrSchedule::constant(0.05);
     let mut sched = FixedComm::new(4);
     let ck = match s
-        .run_configured_resumable(&mut sched, &lr, None, None, None, None, None, Some(3))
+        .run_configured_resumable(&mut sched, &lr, None, None, None, None, None, None, Some(3))
         .unwrap()
     {
         RunOutcome::Checkpointed(ck) => ck,
@@ -230,7 +244,17 @@ fn corrupted_checkpoint_is_rejected_by_the_driver() {
     wrong.cluster.workers.pop();
     let mut sched2 = FixedComm::new(4);
     assert!(s
-        .run_configured_resumable(&mut sched2, &lr, None, None, None, None, Some(&wrong), None)
+        .run_configured_resumable(
+            &mut sched2,
+            &lr,
+            None,
+            None,
+            None,
+            None,
+            None,
+            Some(&wrong),
+            None
+        )
         .is_err());
 
     // Mismatched parameter plane inside one worker.
@@ -245,6 +269,7 @@ fn corrupted_checkpoint_is_rejected_by_the_driver() {
             None,
             None,
             None,
+            None,
             Some(&bad_params),
             None
         )
@@ -253,6 +278,84 @@ fn corrupted_checkpoint_is_rejected_by_the_driver() {
     // The original checkpoint still resumes fine afterwards.
     let mut sched4 = FixedComm::new(4);
     assert!(s
-        .run_configured_resumable(&mut sched4, &lr, None, None, None, None, Some(&ck), None)
+        .run_configured_resumable(
+            &mut sched4,
+            &lr,
+            None,
+            None,
+            None,
+            None,
+            None,
+            Some(&ck),
+            None
+        )
         .is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property: a fault firing in (or straddling) the stopped round must not
+// break resume bit-identity. The injection rates below are high enough
+// that crashes, drops, and straggler spikes land in nearly every round —
+// including the round the checkpoint cuts through — so worker outages
+// whose rejoin deadline crosses the boundary, in-flight retransmit
+// charges, and the fault RNG stream all have to survive the byte format.
+
+use proptest::prelude::*;
+
+// The profiles cover each fault axis and each aggregation policy family
+// (quorum = 1 of 2 workers keeps the toy cluster making progress even
+// when the other worker is down).
+fn aggressive_fault_profile(idx: usize) -> pasgd_sim::FaultConfig {
+    use pasgd_sim::{AggregationPolicy, FaultConfig, FaultSpec};
+    match idx {
+        0 => FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.4,
+                rejoin_after: 2,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        },
+        1 => FaultConfig {
+            spec: FaultSpec {
+                drop_prob: 0.5,
+                corrupt_prob: 0.2,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::FullBarrier,
+        },
+        _ => FaultConfig {
+            spec: FaultSpec {
+                crash_prob: 0.3,
+                rejoin_after: 3,
+                straggler_prob: 0.5,
+                straggler_factor: 4.0,
+                ..FaultSpec::NONE
+            },
+            policy: AggregationPolicy::BoundedStaleness {
+                quorum: 1,
+                max_staleness: 2,
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn faulty_resume_is_bit_identical(
+        stop in 1u64..6,
+        seed in 0u64..64,
+        profile in 0usize..3,
+    ) {
+        let s = suite(seed, MomentumMode::None);
+        assert_resume_is_bit_identical(
+            &s,
+            || FixedComm::new(3),
+            None,
+            None,
+            Some(aggressive_fault_profile(profile)),
+            stop,
+        );
+    }
 }

@@ -63,6 +63,7 @@ fn build_cluster(
             codec: CodecSpec::Identity,
             seed,
             eval_subset: 64,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
     )
 }

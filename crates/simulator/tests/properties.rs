@@ -26,6 +26,7 @@ fn cluster(workers: usize, seed: u64, y: f64, d: f64) -> PasgdCluster {
             codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 48,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
     )
 }

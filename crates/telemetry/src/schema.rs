@@ -2,7 +2,7 @@
 //! consumed by `obs_report`.
 //!
 //! Every line of a trace file is a standalone JSON object with a `"type"`
-//! discriminator. Schema version 1 defines six record types:
+//! discriminator. Schema version 1 defines seven record types:
 //!
 //! | type      | required fields |
 //! |-----------|-----------------|
@@ -12,6 +12,7 @@
 //! | `hist`    | `name` (str), `count`, `sum`, `buckets` (array of `[index, count]` pairs) |
 //! | `span`    | `name` (str), `count`, `total_secs`, `self_secs` |
 //! | `point`   | `run` (str), `clock`, `iterations`, `epoch`, `train_loss`, `test_accuracy`, `tau`, `lr`, `comm_bytes`, `compute_secs`, `comm_secs` |
+//! | `warning` | `source` (str), `reason` (str) |
 //!
 //! Unlisted fields are allowed (forward compatibility); unknown `type`
 //! values, missing fields, and wrong field types are errors. Validation is
@@ -98,6 +99,16 @@ pub enum Record {
         compute_secs: f64,
         /// Simulated communication seconds consumed so far.
         comm_secs: f64,
+    },
+    /// A non-fatal anomaly the producing subsystem recovered from (e.g.
+    /// the run store rejecting a corrupt entry and recomputing).
+    /// Warnings are diagnostics, not violations: `obs_report --check`
+    /// surfaces them without failing the trace.
+    Warning {
+        /// The subsystem that recovered (`run_store`, ...).
+        source: String,
+        /// What was wrong, in the subsystem's own words.
+        reason: String,
     },
 }
 
@@ -192,6 +203,10 @@ pub fn parse_line(line: &str) -> Result<Record, String> {
             compute_secs: req_num(map, "compute_secs")?,
             comm_secs: req_num(map, "comm_secs")?,
         }),
+        "warning" => Ok(Record::Warning {
+            source: req_str(map, "source")?,
+            reason: req_str(map, "reason")?,
+        }),
         other => Err(format!("unknown record type {other:?}")),
     }
 }
@@ -209,6 +224,16 @@ pub fn meta_line(task: &str, scale: &str, wall_secs: f64) -> String {
     obj.str_field("task", task);
     obj.str_field("scale", scale);
     obj.num_field("wall_secs", wall_secs);
+    obj.finish()
+}
+
+/// Build a `warning` line: a recovered anomaly worth surfacing in
+/// `obs_report`, attributed to the subsystem that saw it.
+pub fn warning_line(source: &str, reason: &str) -> String {
+    let mut obj = json::ObjectBuilder::new();
+    obj.str_field("type", "warning");
+    obj.str_field("source", source);
+    obj.str_field("reason", reason);
     obj.finish()
 }
 
@@ -247,6 +272,7 @@ mod tests {
             r#"{"type":"meta","schema":99,"task":"t","scale":"s","wall_secs":0}"#,
             r#"{"type":"hist","name":"h","count":1,"sum":1,"buckets":[[0]]}"#,
             r#"{"type":"hist","name":"h","count":1,"sum":1,"buckets":[[-1,2]]}"#,
+            r#"{"type":"warning","source":"run_store"}"#,
         ] {
             assert!(validate_line(bad).is_err(), "accepted bad line {bad:?}");
         }
@@ -256,6 +282,18 @@ mod tests {
     fn accepts_extra_fields() {
         let line = r#"{"type":"span","name":"phase.compute","count":3,"total_secs":0.5,"self_secs":0.5,"note":"extra"}"#;
         assert!(validate_line(line).is_ok());
+    }
+
+    #[test]
+    fn warning_line_round_trips() {
+        let line = warning_line("run_store", "payload checksum mismatch; \"quoted\"");
+        match parse_line(&line).unwrap() {
+            Record::Warning { source, reason } => {
+                assert_eq!(source, "run_store");
+                assert_eq!(reason, "payload checksum mismatch; \"quoted\"");
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
             codec: gradcomp::CodecSpec::Identity,
             seed: 1,
             eval_subset: 256,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 5.0,

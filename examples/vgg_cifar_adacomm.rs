@@ -42,6 +42,7 @@ fn main() {
             codec: gradcomp::CodecSpec::Identity,
             seed: 5,
             eval_subset: 1024,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 60.0,

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use gradcomp::{CodecSpec, Compressed, Compressor, ErrorFeedback};
     pub use nn::{models, Loss, Network, Sgd};
     pub use pasgd_sim::{
-        run_experiment, AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite,
-        MomentumMode, PasgdCluster, RunTrace, TracePoint,
+        run_experiment, AggregationPolicy, AveragingStrategy, ClusterConfig, ExperimentConfig,
+        ExperimentSuite, FaultConfig, FaultSpec, MomentumMode, PasgdCluster, RunTrace, TracePoint,
     };
     pub use tensor::Tensor;
 }

@@ -37,6 +37,7 @@ fn comm_bound_suite(seed: u64) -> ExperimentSuite {
             codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 512,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
         ExperimentConfig {
             interval_secs: 10.0,

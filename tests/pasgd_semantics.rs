@@ -23,6 +23,7 @@ fn small_cluster(workers: usize, momentum: MomentumMode, seed: u64) -> PasgdClus
             codec: gradcomp::CodecSpec::Identity,
             seed,
             eval_subset: 96,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
     )
 }
@@ -158,6 +159,7 @@ fn weight_decay_and_momentum_compose() {
             codec: gradcomp::CodecSpec::Identity,
             seed: 12,
             eval_subset: 96,
+            fault: pasgd_sim::FaultConfig::NONE,
         },
     );
     let before = c.eval_train_loss();
@@ -198,6 +200,7 @@ fn extension_averaging_strategies_train() {
                 codec: gradcomp::CodecSpec::Identity,
                 seed: 33,
                 eval_subset: 96,
+                fault: pasgd_sim::FaultConfig::NONE,
             },
         );
         let before = c.eval_train_loss();
@@ -237,6 +240,7 @@ fn block_momentum_requires_full_averaging() {
                 codec: gradcomp::CodecSpec::Identity,
                 seed: 1,
                 eval_subset: 48,
+                fault: pasgd_sim::FaultConfig::NONE,
             },
         )
     });
