@@ -1,0 +1,753 @@
+//! `load_suite` — the sweep service's load and robustness harness.
+//!
+//! ```sh
+//! cargo run --release -p adacomm-bench --bin load_suite -- \
+//!     [--smoke] [--out PATH] [--trace DIR]
+//! ```
+//!
+//! Spawns a real `sweepd` child (the sibling binary, `--smoke` scale, a
+//! deliberately small queue) and drives thousands of concurrent mixed
+//! requests through every failure mode the service promises to survive,
+//! asserting each one:
+//!
+//! 1. **warm + latency** — ping round-trips and memoized run requests
+//!    measure baseline latency/throughput.
+//! 2. **duplicate storm** — both workers are first pinned by slow runs,
+//!    then 100 identical requests arrive on 100 connections; all of them
+//!    join one queued flight, so the engine computes the spec **exactly
+//!    once** (`unique_runs` delta of 1, ≥ 99 dedup hits) and every
+//!    client receives the identical result.
+//! 3. **shed burst** — with the workers still pinned, a pipelined burst
+//!    of distinct requests overflows the bounded queue; the overflow is
+//!    answered `overloaded` (counted, never queued), the rest complete.
+//! 4. **panic isolation** — a forced-panic request (`panic: true`)
+//!    degrades exactly one response to a `panic` error; the daemon still
+//!    answers pings.
+//! 5. **malformed input** — a corpus of garbage lines (invalid JSON,
+//!    wrong field types, truncated objects, a line over the 1 MiB cap)
+//!    plus a request delivered in two partial writes: every complete
+//!    line gets a structured reply, framing never desyncs, and the split
+//!    request still parses.
+//! 6. **deadline → park → resume** — a run with a short deadline is
+//!    cooperatively cancelled (`deadline` error, progress parked in the
+//!    store); re-requesting the same spec without a deadline finishes
+//!    from the checkpoint with `source: "resumed"`.
+//! 7. **mid-burst SIGTERM** — while a mixed burst is in flight, the
+//!    daemon receives SIGTERM; it drains (every waiter gets `ok` or
+//!    `draining`, nothing hangs) and **exits 0**.
+//!
+//! Results (latency/throughput plus the final service counters) are
+//! written to `BENCH_9.json` at the repository root (`--out` overrides).
+//! `--trace DIR` is forwarded to the daemon, which writes
+//! `DIR/sweepd.jsonl` during the SIGTERM drain — `obs_report --check`
+//! then validates the service window and surfaces the `server.*`
+//! counters this suite made nonzero.
+
+use adacomm_bench::server::protocol::{
+    self, Command, ErrorKind, Request, Response, ResponseBody, RunRequest, StatsBody,
+};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command as ProcessCommand, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGTERM: i32 = 15;
+
+/// Which `BENCH_<n>.json` this binary emits.
+const BENCH_ID: u32 = 9;
+
+fn repo_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => Path::new(&dir).join("../.."),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("load_suite: FAILED: {message}");
+    std::process::exit(1);
+}
+
+/// A run request template; phases vary `tau`/`budget` to mint distinct
+/// specs (both are part of the content-addressed key) and reuse the same
+/// values to mint identical ones.
+fn concept_run(tau: u64, budget: (f64, f64)) -> RunRequest {
+    RunRequest {
+        scenario: "concept".into(),
+        scheduler: "fixed".into(),
+        tau,
+        budget: Some(budget),
+        deadline_ms: None,
+        panic: false,
+    }
+}
+
+/// A distinct *slow* request (~seconds of wall clock at smoke scale):
+/// wall time tracks the round count `total_secs / tau`, so slow specs
+/// keep `tau = 1` and differ by one simulated second of budget.
+fn slow_run(i: u64) -> RunRequest {
+    let budget = 6000.0 + i as f64;
+    concept_run(1, (budget, budget))
+}
+
+fn connect(socket: &Path) -> UnixStream {
+    match UnixStream::connect(socket) {
+        Ok(stream) => stream,
+        Err(e) => fail(&format!("cannot connect to {}: {e}", socket.display())),
+    }
+}
+
+/// One request / one response on a fresh connection.
+fn call(socket: &Path, id: u64, cmd: Command) -> Response {
+    let stream = connect(socket);
+    send_line(
+        &stream,
+        &protocol::encode_request(&Request { id: Some(id), cmd }),
+    );
+    match read_response(&mut BufReader::new(&stream)) {
+        Some(response) => response,
+        None => fail(&format!("no reply to request {id}")),
+    }
+}
+
+fn send_line(mut stream: &UnixStream, line: &str) {
+    if stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        fail("connection lost while sending");
+    }
+}
+
+fn read_response(reader: &mut BufReader<&UnixStream>) -> Option<Response> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => match protocol::parse_response(line.trim()) {
+            Ok(response) => Some(response),
+            Err(e) => fail(&format!("unparseable response ({e}): {}", line.trim())),
+        },
+        _ => None,
+    }
+}
+
+fn stats(socket: &Path) -> StatsBody {
+    match call(socket, 0, Command::Stats).body {
+        ResponseBody::Stats(stats) => stats,
+        other => fail(&format!("stats answered {other:?}")),
+    }
+}
+
+fn expect_error(response: &Response, kind: ErrorKind, phase: &str) {
+    match &response.body {
+        ResponseBody::Error { kind: got, .. } if *got == kind => {}
+        other => fail(&format!(
+            "{phase}: expected a {} error, got {other:?}",
+            kind.as_str()
+        )),
+    }
+}
+
+/// Sorted ascending; index for percentile `p` in [0, 1].
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(socket: &Path, queue_limit: usize, trace_dir: Option<&Path>) -> Daemon {
+        let exe = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("sweepd")))
+            .filter(|p| p.exists())
+            .unwrap_or_else(|| fail("cannot locate the sibling sweepd binary"));
+        let mut cmd = ProcessCommand::new(exe);
+        cmd.arg("--socket")
+            .arg(socket)
+            .arg("--workers")
+            .arg("2")
+            .arg("--queue-limit")
+            .arg(queue_limit.to_string())
+            .arg("--smoke")
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit());
+        if let Some(dir) = trace_dir {
+            cmd.arg("--trace").arg(dir);
+        }
+        let child = match cmd.spawn() {
+            Ok(child) => child,
+            Err(e) => fail(&format!("cannot spawn sweepd: {e}")),
+        };
+        let daemon = Daemon {
+            child,
+            socket: socket.to_path_buf(),
+        };
+        // The daemon builds its engine before binding; poll until the
+        // socket accepts.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while UnixStream::connect(&daemon.socket).is_err() {
+            if Instant::now() > deadline {
+                fail("sweepd did not bind its socket within 30 s");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon
+    }
+
+    fn pid(&self) -> i32 {
+        self.child.id() as i32
+    }
+
+    /// Waits for exit with a hang guard; returns the exit code.
+    fn wait_with_deadline(mut self, limit: Duration) -> i32 {
+        let deadline = Instant::now() + limit;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return status.code().unwrap_or(-1),
+                Ok(None) if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    fail("sweepd failed to drain within the deadline (killed)");
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(25)),
+                Err(e) => fail(&format!("waiting for sweepd: {e}")),
+            }
+        }
+    }
+}
+
+/// Sends `count` identical requests concurrently, each on its own
+/// connection, pre-connected and released by a barrier. Returns the
+/// responses (completion order).
+fn concurrent_identical(socket: &Path, count: usize, run: &RunRequest) -> Vec<Response> {
+    let barrier = Arc::new(Barrier::new(count));
+    let line = Arc::new(protocol::encode_request(&Request {
+        id: Some(7),
+        cmd: Command::Run(run.clone()),
+    }));
+    let handles: Vec<_> = (0..count)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let line = Arc::clone(&line);
+            let socket = socket.to_path_buf();
+            std::thread::spawn(move || {
+                let stream = connect(&socket);
+                barrier.wait();
+                send_line(&stream, &line);
+                read_response(&mut BufReader::new(&stream))
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .filter_map(|h| h.join().unwrap_or(None))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .map(PathBuf::from)
+    };
+    let out_path =
+        flag_value("--out").unwrap_or_else(|| repo_root().join(format!("BENCH_{BENCH_ID}.json")));
+    let trace_dir = flag_value("--trace");
+    // The daemon always runs at --smoke scale; load_suite's own --smoke
+    // only shrinks the measurement loops.
+    let pings = if smoke { 200 } else { 2000 };
+    let cached_runs = if smoke { 100 } else { 1000 };
+
+    // A clean store so memoization can't leak across suite invocations
+    // (the duplicate storm asserts a cold compute happens exactly once).
+    adacomm_bench::report::set_results_subdir("smoke");
+    let store_dir = adacomm_bench::RunStore::default_dir();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let socket =
+        std::env::temp_dir().join(format!("adacomm-load-suite-{}.sock", std::process::id()));
+    let daemon = Daemon::spawn(&socket, 8, trace_dir.as_deref());
+    println!(
+        "load_suite ({} mode) — daemon pid {} on {}",
+        if smoke { "smoke" } else { "full" },
+        daemon.pid(),
+        socket.display()
+    );
+
+    // Fast requests (milliseconds of wall clock) share one small budget;
+    // slow requests that pin a worker for seconds come from `slow_run`.
+    let fast = (6.0, 6.0);
+
+    // --- Phase 1: warm + latency -------------------------------------
+    let phase_started = Instant::now();
+    let warm = call(&socket, 1, Command::Run(concept_run(1, fast)));
+    let ResponseBody::Run(warm_stats) = &warm.body else {
+        fail(&format!("warm run answered {:?}", warm.body));
+    };
+    if warm_stats.source != "computed" {
+        fail(&format!(
+            "warm run on a wiped store must be computed, was {}",
+            warm_stats.source
+        ));
+    }
+    let mut ping_us: Vec<f64> = Vec::with_capacity(pings);
+    {
+        let stream = connect(&socket);
+        let mut reader = BufReader::new(&stream);
+        for i in 0..pings {
+            let at = Instant::now();
+            send_line(
+                &stream,
+                &protocol::encode_request(&Request {
+                    id: Some(i as u64),
+                    cmd: Command::Ping,
+                }),
+            );
+            if read_response(&mut reader).is_none() {
+                fail("ping went unanswered");
+            }
+            ping_us.push(at.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    ping_us.sort_by(f64::total_cmp);
+    let cached_started = Instant::now();
+    let mut cached_ms: Vec<f64> = Vec::with_capacity(cached_runs);
+    {
+        let stream = connect(&socket);
+        let mut reader = BufReader::new(&stream);
+        let line = protocol::encode_request(&Request {
+            id: Some(2),
+            cmd: Command::Run(concept_run(1, fast)),
+        });
+        for _ in 0..cached_runs {
+            let at = Instant::now();
+            send_line(&stream, &line);
+            match read_response(&mut reader) {
+                Some(Response {
+                    body: ResponseBody::Run(r),
+                    ..
+                }) if r.source == "memory" => {}
+                other => fail(&format!("cached run answered {other:?}")),
+            }
+            cached_ms.push(at.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let cached_wall = cached_started.elapsed().as_secs_f64();
+    cached_ms.sort_by(f64::total_cmp);
+    println!(
+        "phase 1 warm: {} pings (p50 {:.0} us, p99 {:.0} us), {} memoized runs \
+         ({:.0} req/s) in {:.2} s",
+        pings,
+        percentile(&ping_us, 0.5),
+        percentile(&ping_us, 0.99),
+        cached_runs,
+        cached_runs as f64 / cached_wall.max(1e-9),
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 2: duplicate storm ------------------------------------
+    // Pin both workers with slow distinct runs so the storm's single
+    // flight stays *queued* while all 100 requests arrive — every
+    // follower joins the flight deterministically.
+    let phase_started = Instant::now();
+    let before = stats(&socket);
+    let pin_a = std::thread::spawn({
+        let socket = socket.clone();
+        move || call(&socket, 3, Command::Run(slow_run(1)))
+    });
+    let pin_b = std::thread::spawn({
+        let socket = socket.clone();
+        move || call(&socket, 4, Command::Run(slow_run(2)))
+    });
+    // Wait until both pins occupy the workers (queue empty, two flights
+    // in execution = stats show queue_depth 0 after two enqueues).
+    std::thread::sleep(Duration::from_millis(300));
+    let storm = concurrent_identical(&socket, 100, &slow_run(3));
+    if storm.len() != 100 {
+        fail(&format!(
+            "storm: expected 100 responses, got {}",
+            storm.len()
+        ));
+    }
+    let mut storm_losses = Vec::new();
+    for response in &storm {
+        match &response.body {
+            ResponseBody::Run(r) => storm_losses.push(r.final_loss),
+            other => fail(&format!("storm response was {other:?}")),
+        }
+    }
+    if storm_losses.windows(2).any(|w| w[0] != w[1]) {
+        fail("storm responses disagree on final loss");
+    }
+    for pin in [pin_a, pin_b] {
+        match pin.join() {
+            Ok(Response {
+                body: ResponseBody::Run(_),
+                ..
+            }) => {}
+            other => fail(&format!("worker-pinning run failed: {other:?}")),
+        }
+    }
+    let after = stats(&socket);
+    let storm_unique = after.unique_runs - before.unique_runs;
+    let storm_dedup = after.dedup_hits - before.dedup_hits;
+    // 3 distinct specs entered this phase (2 pins + the storm spec): the
+    // 100-request storm itself computed exactly once.
+    if storm_unique != 3 {
+        fail(&format!(
+            "duplicate storm: expected 3 unique runs (2 pins + 1 storm), engine computed {storm_unique}"
+        ));
+    }
+    if storm_dedup < 99 {
+        fail(&format!(
+            "duplicate storm: expected >= 99 dedup hits, got {storm_dedup}"
+        ));
+    }
+    println!(
+        "phase 2 storm: 100 identical requests -> 1 computation ({storm_dedup} dedup hits) \
+         in {:.2} s",
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 3: shed burst -----------------------------------------
+    let phase_started = Instant::now();
+    let before = stats(&socket);
+    let pin_a = std::thread::spawn({
+        let socket = socket.clone();
+        move || call(&socket, 5, Command::Run(slow_run(4)))
+    });
+    let pin_b = std::thread::spawn({
+        let socket = socket.clone();
+        move || call(&socket, 6, Command::Run(slow_run(5)))
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    // 24 distinct fast runs pipelined on one connection against a queue
+    // of 8 with both workers pinned: at least 16 must shed.
+    let burst_sent = 24u64;
+    let (burst_ok, burst_shed) = {
+        let stream = connect(&socket);
+        let mut block = String::new();
+        for i in 0..burst_sent {
+            let _ = writeln!(
+                block,
+                "{}",
+                protocol::encode_request(&Request {
+                    id: Some(100 + i),
+                    cmd: Command::Run(concept_run(30 + i, fast)),
+                })
+            );
+        }
+        send_line(&stream, block.trim_end());
+        let mut reader = BufReader::new(&stream);
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..burst_sent {
+            match read_response(&mut reader) {
+                Some(Response {
+                    body: ResponseBody::Run(_),
+                    ..
+                }) => ok += 1,
+                Some(Response {
+                    body:
+                        ResponseBody::Error {
+                            kind: ErrorKind::Overloaded,
+                            ..
+                        },
+                    ..
+                }) => shed += 1,
+                other => fail(&format!("burst response was {other:?}")),
+            }
+        }
+        (ok, shed)
+    };
+    for pin in [pin_a, pin_b] {
+        let _ = pin.join();
+    }
+    let after = stats(&socket);
+    if burst_shed == 0 || after.shed <= before.shed {
+        fail("shed burst: the bounded queue never shed a request");
+    }
+    if burst_ok + burst_shed != burst_sent {
+        fail("shed burst: responses do not add up");
+    }
+    println!(
+        "phase 3 shed: {burst_sent} distinct requests against queue limit 8 -> \
+         {burst_ok} served, {burst_shed} shed in {:.2} s",
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 4: panic isolation ------------------------------------
+    let drill = call(
+        &socket,
+        8,
+        Command::Run(RunRequest {
+            panic: true,
+            ..concept_run(1, fast)
+        }),
+    );
+    expect_error(&drill, ErrorKind::Panic, "panic drill");
+    match call(&socket, 9, Command::Ping).body {
+        ResponseBody::Pong => {}
+        other => fail(&format!("daemon unresponsive after panic drill: {other:?}")),
+    }
+    let after = stats(&socket);
+    if after.request_panics == 0 {
+        fail("panic drill did not increment request_panics");
+    }
+    println!("phase 4 panic: forced panic degraded one response; daemon still answers");
+
+    // --- Phase 5: malformed input ------------------------------------
+    let corpus: &[&str] = &[
+        "not json at all",
+        "42",
+        "[1,2,3]",
+        "{\"id\":1}",
+        "{\"id\":-3,\"cmd\":\"ping\"}",
+        "{\"id\":2,\"cmd\":\"nope\"}",
+        "{\"id\":3,\"cmd\":\"run\",\"scenario\":42}",
+        "{\"id\":4,\"cmd\":\"run\",\"scenario\":\"concept\",\"tau\":0}",
+        "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"total_secs\":1}",
+        "{\"id\":6,\"cmd\":\"figure\",\"name\":\"no_such_figure\"}",
+        "{\"id\":7,\"cmd\":\"run\",\"scenario\":\"concept\",\"deadline_ms\":1.5}",
+        "{\"id\":8,\"cmd\":\"ru",
+    ];
+    {
+        let stream = connect(&socket);
+        let mut reader = BufReader::new(&stream);
+        for line in corpus {
+            send_line(&stream, line);
+            match read_response(&mut reader) {
+                Some(response) => {
+                    expect_error(&response, ErrorKind::BadRequest, "malformed corpus")
+                }
+                None => fail(&format!("malformed line {line:?} went unanswered")),
+            }
+        }
+        // A line over the 1 MiB cap is consumed (framing intact) and
+        // rejected without buffering its payload.
+        let mut huge = vec![b'x'; (2 << 20) + 17];
+        huge.push(b'\n');
+        let mut w = &stream;
+        if w.write_all(&huge).and_then(|()| w.flush()).is_err() {
+            fail("connection lost while sending the oversized line");
+        }
+        match read_response(&mut reader) {
+            Some(response) => expect_error(&response, ErrorKind::BadRequest, "oversized line"),
+            None => fail("oversized line went unanswered"),
+        }
+        // The same connection still serves real requests afterwards.
+        send_line(
+            &stream,
+            &protocol::encode_request(&Request {
+                id: Some(10),
+                cmd: Command::Ping,
+            }),
+        );
+        match read_response(&mut reader) {
+            Some(Response {
+                body: ResponseBody::Pong,
+                ..
+            }) => {}
+            other => fail(&format!("connection desynced after garbage: {other:?}")),
+        }
+    }
+    // Interleaved partial writes: a request split mid-token across two
+    // writes (with a pause between) must still parse once its newline
+    // arrives.
+    {
+        let stream = connect(&socket);
+        let mut reader = BufReader::new(&stream);
+        let line = protocol::encode_request(&Request {
+            id: Some(11),
+            cmd: Command::Ping,
+        });
+        let (head, tail) = line.split_at(line.len() / 2);
+        let mut w = &stream;
+        if w.write_all(head.as_bytes())
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            fail("partial write failed");
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        if w.write_all(tail.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            fail("partial write failed");
+        }
+        match read_response(&mut reader) {
+            Some(Response {
+                body: ResponseBody::Pong,
+                ..
+            }) => {}
+            other => fail(&format!("split request mis-parsed: {other:?}")),
+        }
+    }
+    println!(
+        "phase 5 malformed: {} garbage lines + oversize + split writes all answered structurally",
+        corpus.len()
+    );
+
+    // --- Phase 6: deadline -> park -> resume --------------------------
+    let phase_started = Instant::now();
+    let before = stats(&socket);
+    let mut missed = call(
+        &socket,
+        12,
+        Command::Run(RunRequest {
+            deadline_ms: Some(150),
+            ..slow_run(6)
+        }),
+    );
+    // The spec is fresh, so the engine must compute — and the 150 ms
+    // deadline fires mid-run, parking the partial progress.
+    expect_error(&missed, ErrorKind::Deadline, "deadline run");
+    if let ResponseBody::Error { message, .. } = &missed.body {
+        if !message.contains("parked") {
+            fail(&format!(
+                "deadline error does not mention parking: {message}"
+            ));
+        }
+    }
+    missed = call(&socket, 13, Command::Run(slow_run(6)));
+    match &missed.body {
+        ResponseBody::Run(r) if r.source == "resumed" => {}
+        other => fail(&format!(
+            "re-request after a deadline park must resume, got {other:?}"
+        )),
+    }
+    let after = stats(&socket);
+    if after.deadline_misses <= before.deadline_misses {
+        fail("deadline phase did not increment deadline_misses");
+    }
+    println!(
+        "phase 6 deadline: 150 ms deadline parked the run; re-request resumed from \
+         the checkpoint in {:.2} s",
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 7: mid-burst SIGTERM drain ----------------------------
+    let final_stats = stats(&socket);
+    let answered = Arc::new(AtomicU64::new(0));
+    let hung = Arc::new(AtomicU64::new(0));
+    let burst: Vec<_> = (0..16)
+        .map(|i| {
+            let socket = socket.clone();
+            let answered = Arc::clone(&answered);
+            let hung = Arc::clone(&hung);
+            std::thread::spawn(move || {
+                let stream = connect(&socket);
+                send_line(
+                    &stream,
+                    &protocol::encode_request(&Request {
+                        id: Some(200 + i),
+                        cmd: Command::Run(slow_run(10 + i)),
+                    }),
+                );
+                // Every fate is legal mid-drain (ok, draining, shed,
+                // even EOF once conns shut down) except hanging; the
+                // 60 s guard below converts a hang into a suite failure.
+                match read_response(&mut BufReader::new(&stream)) {
+                    Some(_) => answered.fetch_add(1, Ordering::SeqCst),
+                    None => hung.fetch_add(1, Ordering::SeqCst),
+                };
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    let pid = daemon.pid();
+    // SAFETY: plain kill(2) on the child we spawned.
+    if unsafe { kill(pid, SIGTERM) } != 0 {
+        fail("kill(SIGTERM) failed");
+    }
+    let exit_code = daemon.wait_with_deadline(Duration::from_secs(60));
+    if exit_code != 0 {
+        fail(&format!("sweepd exited {exit_code} after SIGTERM (want 0)"));
+    }
+    for handle in burst {
+        let _ = handle.join();
+    }
+    println!(
+        "phase 7 drain: SIGTERM mid-burst -> exit 0; {} of 16 burst requests answered, \
+         {} saw EOF after drain",
+        answered.load(Ordering::SeqCst),
+        hung.load(Ordering::SeqCst)
+    );
+
+    // --- Report -------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench_id\": {BENCH_ID},");
+    let _ = writeln!(json, "  \"generated_by\": \"load_suite\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"ping\": {{\"count\": {pings}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        percentile(&ping_us, 0.5),
+        percentile(&ping_us, 0.99)
+    );
+    let _ = writeln!(
+        json,
+        "  \"memoized_run\": {{\"count\": {cached_runs}, \"p50_ms\": {:.3}, \
+         \"p99_ms\": {:.3}, \"throughput_rps\": {:.1}}},",
+        percentile(&cached_ms, 0.5),
+        percentile(&cached_ms, 0.99),
+        cached_runs as f64 / cached_wall.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "  \"duplicate_storm\": {{\"requests\": 100, \"computations\": 1, \
+         \"dedup_hits\": {storm_dedup}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"shed_burst\": {{\"sent\": {burst_sent}, \"served\": {burst_ok}, \
+         \"shed\": {burst_shed}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"counters\": {{\"requests\": {}, \"shed\": {}, \"dedup_hits\": {}, \
+         \"deadline_misses\": {}, \"request_panics\": {}, \"unique_runs\": {}}},",
+        final_stats.requests,
+        final_stats.shed,
+        final_stats.dedup_hits,
+        final_stats.deadline_misses,
+        final_stats.request_panics,
+        final_stats.unique_runs
+    );
+    let _ = writeln!(json, "  \"sigterm_drain_exit_code\": {exit_code}");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        fail(&format!("cannot write {}: {e}", out_path.display()));
+    }
+    println!(
+        "load_suite: all phases passed; report written to {}",
+        out_path.display()
+    );
+}

@@ -8,17 +8,22 @@
 //! Without flags, prints a per-window report for every `*.jsonl` file in
 //! `DIR` (sorted by name): the per-phase wall-time attribution table
 //! (span self/total seconds and share of the window's measured wall
-//! clock), the byte-traffic counters, and the enriched simulator trace
-//! point count.
+//! clock), the byte-traffic counters, the sweep-service counters
+//! (`server.*`, when the window has any), and the enriched simulator
+//! trace point count.
 //!
 //! `--check` validates instead of rendering: every line must parse
 //! against the schema (see `telemetry::schema`), every file must lead
 //! with exactly one `meta` header, and the `phase.*` span self-times must
 //! sum to the window's measured wall clock within `max(5%, 2 ms)` — the
 //! structural guarantee that the phase taxonomy actually covers the run.
-//! Exits non-zero listing every violation. The checker is feature-free:
-//! it works in a `--no-default-features` build and on traces recorded on
-//! another machine.
+//! Windows whose meta line carries `"service":true` (the `sweepd`
+//! profile) are exempt from the coverage rule — a daemon idles between
+//! requests and its workers overlap — and their `server.*` counters are
+//! printed one per line (`service <file>: server.shed = N`) so CI can
+//! assert on them. Exits non-zero listing every violation. The checker
+//! is feature-free: it works in a `--no-default-features` build and on
+//! traces recorded on another machine.
 
 use adacomm_bench::Table;
 use telemetry::schema::{self, Record};
@@ -29,6 +34,7 @@ struct Window {
     task: String,
     scale: String,
     wall_secs: f64,
+    service: bool,
     spans: Vec<(String, f64, f64, f64)>, // name, count, total, self
     counters: Vec<(String, f64)>,
     hists: Vec<(String, f64, f64)>, // name, count, sum
@@ -53,6 +59,7 @@ fn read_window(path: &std::path::Path) -> Window {
         task: String::new(),
         scale: String::new(),
         wall_secs: 0.0,
+        service: false,
         spans: Vec::new(),
         counters: Vec::new(),
         hists: Vec::new(),
@@ -74,6 +81,7 @@ fn read_window(path: &std::path::Path) -> Window {
                 task,
                 scale,
                 wall_secs,
+                service,
                 ..
             }) => {
                 metas += 1;
@@ -84,6 +92,7 @@ fn read_window(path: &std::path::Path) -> Window {
                 win.task = task;
                 win.scale = scale;
                 win.wall_secs = wall_secs;
+                win.service = service;
             }
             Ok(Record::Span {
                 name,
@@ -127,8 +136,11 @@ fn check_window(win: &Window) -> Vec<String> {
         .iter()
         .map(|e| format!("{}: {e}", win.file))
         .collect();
+    // Service windows (meta `"service":true`, e.g. `sweepd`) are exempt
+    // from phase coverage: a daemon idles between requests and its
+    // workers overlap, so span self-times never tile the wall clock.
     let covered = phase_self_sum(win);
-    if (covered - win.wall_secs).abs() > coverage_slack(win.wall_secs) {
+    if !win.service && (covered - win.wall_secs).abs() > coverage_slack(win.wall_secs) {
         violations.push(format!(
             "{}: phase self-times sum to {covered:.4} s but the window measured {:.4} s wall \
              (tolerance {:.4} s)",
@@ -140,8 +152,23 @@ fn check_window(win: &Window) -> Vec<String> {
     violations
 }
 
+/// The sweep service's counters (`server.*`), for the dedicated table in
+/// the rendered report and the `service` lines under `--check`.
+fn server_counters(win: &Window) -> Vec<&(String, f64)> {
+    win.counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("server."))
+        .collect()
+}
+
 fn render_window(win: &Window) {
-    println!("=== {} (task {}, scale {})", win.file, win.task, win.scale);
+    println!(
+        "=== {} (task {}, scale {}{})",
+        win.file,
+        win.task,
+        win.scale,
+        if win.service { ", service" } else { "" }
+    );
     let covered = phase_self_sum(win);
     println!(
         "wall {:.3} s; phase coverage {:.3} s ({:.1}%); {} trace points",
@@ -177,6 +204,14 @@ fn render_window(win: &Window) {
     if !bytes.is_empty() {
         let mut table = Table::new(vec!["counter".into(), "bytes".into()]);
         for (name, value) in bytes {
+            table.row(vec![name.clone(), format!("{value:.0}")]);
+        }
+        table.print();
+    }
+    let service = server_counters(win);
+    if !service.is_empty() {
+        let mut table = Table::new(vec!["service counter".into(), "value".into()]);
+        for (name, value) in service {
             table.row(vec![name.clone(), format!("{value:.0}")]);
         }
         table.print();
@@ -234,6 +269,11 @@ fn main() {
         for win in &windows {
             for (source, reason) in &win.warnings {
                 println!("warning {} [{source}]: {reason}", win.file);
+            }
+            // Sweep-service counters, one per line so CI can assert on
+            // them (e.g. nonzero shed/dedup after a load run).
+            for (name, value) in server_counters(win) {
+                println!("service {}: {name} = {value:.0}", win.file);
             }
         }
         if violations.is_empty() {

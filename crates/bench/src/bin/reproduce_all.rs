@@ -31,8 +31,9 @@
 //!   per-phase timing summary to the report. Requires the `trace`
 //!   feature (on by default); tracing **forces the sequential engine**
 //!   (an explicit notice is printed) so each profile is attributable to
-//!   exactly one figure. Inspect the profiles with the `obs_report`
-//!   binary.
+//!   exactly one figure — combining `--trace` with an explicit
+//!   `--parallel` is a hard argument conflict (exit 2). Inspect the
+//!   profiles with the `obs_report` binary.
 //! * `--json` replaces the human report with one machine-readable JSON
 //!   document on stdout (per-figure wall times + cache statistics), for
 //!   CI trend tracking.
@@ -41,7 +42,10 @@
 //!   `results/smoke/cache/` under `--smoke`) and a warm re-run serves
 //!   every cached run from disk — byte-identical CSVs in seconds instead
 //!   of minutes. `--no-cache` runs fully cold without reading or writing
-//!   the store; deleting the cache directory is always safe.
+//!   the store; deleting the cache directory is always safe. The store's
+//!   lockfile makes cache writers mutually exclusive: a reproduction
+//!   against a cache a `sweepd` daemon is serving out of fails fast
+//!   (exit 1, naming the holder) instead of interleaving writes.
 //! * Every sweep run executes under the supervisor (panic isolation,
 //!   bounded seeded retry, optional per-run deadline). A run that fails
 //!   terminally degrades the reproduction to a **partial-results
@@ -109,6 +113,16 @@ fn main() {
     // Tracing overrides everything: per-figure snapshot deltas need the
     // strictly-ordered figure loop.
     let parallel = if trace_dir.is_some() {
+        // An explicit --parallel is a hard conflict, not a silent
+        // override: the user asked for two things that cannot coexist.
+        if args.iter().any(|a| a == "--parallel") {
+            eprintln!(
+                "--trace and --parallel conflict: tracing requires the sequential \
+                 engine (each telemetry profile must be attributable to exactly one \
+                 figure); drop one of the flags"
+            );
+            std::process::exit(2);
+        }
         if !args.iter().any(|a| a == "--sequential") {
             eprintln!(
                 "notice: --trace forces the sequential engine (each telemetry profile \
@@ -160,10 +174,26 @@ fn main() {
 
     // Persistent memoization unless --no-cache: the store must be set up
     // after the --smoke results redirect so a smoke cache never mixes
-    // with the quick-scale one.
+    // with the quick-scale one. The store's lockfile excludes concurrent
+    // writers — most importantly a running `sweepd` serving out of the
+    // same cache — instead of interleaving their writes; a lock left by
+    // a crashed process is reclaimed automatically.
     let mut engine = SweepEngine::with_parallelism(parallel);
+    let mut _store_lock = None;
     if !args.iter().any(|a| a == "--no-cache") {
-        engine = engine.with_store(RunStore::new(RunStore::default_dir()));
+        let store = RunStore::new(RunStore::default_dir());
+        match store.lock("reproduce_all") {
+            Ok(lock) => _store_lock = Some(lock),
+            Err(e) => {
+                eprintln!(
+                    "cannot lock the run store: {e}\n\
+                     (is a sweepd daemon serving out of the same cache? stop it, or \
+                     run with --no-cache)"
+                );
+                std::process::exit(1);
+            }
+        }
+        engine = engine.with_store(store);
     }
     let before = telemetry::snapshot();
     let outcome = match reproduce_with_trace(scale, &engine, only.as_deref(), trace_dir.as_deref())

@@ -1,0 +1,199 @@
+//! `sweepctl` — command-line client for the `sweepd` sweep service.
+//!
+//! ```sh
+//! sweepctl [--socket PATH] ping
+//! sweepctl [--socket PATH] stats
+//! sweepctl [--socket PATH] shutdown
+//! sweepctl [--socket PATH] figure NAME
+//! sweepctl [--socket PATH] run SCENARIO [--scheduler fixed|adacomm]
+//!          [--tau N] [--budget TOTAL RECORD] [--deadline-ms N] [--panic]
+//! ```
+//!
+//! Sends exactly one request over the daemon's Unix-domain socket and
+//! prints the response. Exit status: 0 on an `ok` response, 1 when the
+//! daemon answered with a structured error (`overloaded`, `deadline`,
+//! `draining`, `panic`, `failed`, `bad_request`), 2 on usage or
+//! connection problems — so shell scripts and CI can branch on the
+//! failure class printed on the first output line.
+
+use adacomm_bench::server::protocol::{self, Command, Request, Response, ResponseBody, RunRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: sweepctl [--socket PATH] COMMAND
+
+commands:
+  ping                  liveness probe
+  stats                 service counters (requests, shed, dedup hits, ...)
+  shutdown              ask the daemon to drain gracefully and exit
+  figure NAME           render one registry figure (CSVs land in the
+                        daemon's results directory, byte-identical to a
+                        batch reproduce_all at the same scale)
+  run SCENARIO          execute one scenario run; scenarios: concept,
+                        canonical-vgg, canonical-resnet, compression
+    --scheduler S       fixed (default) or adacomm
+    --tau N             tau (fixed) or tau0 (adacomm); default 4
+    --budget T R        override simulated budget: total secs, record secs
+    --deadline-ms N     per-request deadline; an overrunning run parks its
+                        progress resumably and answers `deadline`
+    --panic             forced-panic drill (isolated to this request)
+
+  --socket PATH         daemon socket (default /tmp/adacomm-sweepd.sock)
+
+exit status: 0 ok response, 1 error response, 2 usage/connection failure";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("sweepctl: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_run(args: &[String]) -> RunRequest {
+    let scenario = match args.first() {
+        Some(s) if !s.starts_with("--") => s.clone(),
+        _ => usage_error("run requires a scenario name"),
+    };
+    let rest = &args[1..];
+    let flag_value = |flag: &str| {
+        rest.iter()
+            .position(|a| a == flag)
+            .map(|i| match rest.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => usage_error(&format!("{flag} requires a value")),
+            })
+    };
+    let scheduler = flag_value("--scheduler").unwrap_or_else(|| "fixed".into());
+    let tau = flag_value("--tau")
+        .map(|raw| {
+            raw.parse()
+                .unwrap_or_else(|_| usage_error(&format!("--tau must be an integer, got {raw:?}")))
+        })
+        .unwrap_or(4);
+    let budget = rest.iter().position(|a| a == "--budget").map(|i| {
+        let parse = |v: Option<&String>| -> f64 {
+            match v {
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--budget values must be numbers, got {raw:?}"))
+                }),
+                None => usage_error("--budget requires TOTAL and RECORD seconds"),
+            }
+        };
+        (parse(rest.get(i + 1)), parse(rest.get(i + 2)))
+    });
+    let deadline_ms = flag_value("--deadline-ms").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            usage_error(&format!("--deadline-ms must be an integer, got {raw:?}"))
+        })
+    });
+    RunRequest {
+        scenario,
+        scheduler,
+        tau,
+        budget,
+        deadline_ms,
+        panic: rest.iter().any(|a| a == "--panic"),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let socket = args
+        .iter()
+        .position(|a| a == "--socket")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                usage_error("--socket requires a path");
+            }
+            let path = PathBuf::from(args.remove(i + 1));
+            args.remove(i);
+            path
+        })
+        .unwrap_or_else(|| PathBuf::from("/tmp/adacomm-sweepd.sock"));
+    let cmd = match args.first().map(String::as_str) {
+        Some("ping") => Command::Ping,
+        Some("stats") => Command::Stats,
+        Some("shutdown") => Command::Shutdown,
+        Some("figure") => Command::Figure {
+            name: match args.get(1) {
+                Some(name) if !name.starts_with("--") => name.clone(),
+                _ => usage_error("figure requires a registry name"),
+            },
+        },
+        Some("run") => Command::Run(parse_run(&args[1..])),
+        Some(other) => usage_error(&format!("unknown command {other:?}")),
+        None => usage_error("a command is required"),
+    };
+
+    let stream = match UnixStream::connect(&socket) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("sweepctl: cannot connect to {}: {e}", socket.display());
+            std::process::exit(2);
+        }
+    };
+    let request = Request { id: Some(1), cmd };
+    let line = protocol::encode_request(&request);
+    let mut writer = &stream;
+    if writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        eprintln!("sweepctl: connection lost while sending");
+        std::process::exit(2);
+    }
+    let mut reply = String::new();
+    match BufReader::new(&stream).read_line(&mut reply) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            eprintln!("sweepctl: daemon closed the connection without replying");
+            std::process::exit(2);
+        }
+    }
+    let response = match protocol::parse_response(reply.trim()) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("sweepctl: unparseable response ({e}): {}", reply.trim());
+            std::process::exit(2);
+        }
+    };
+    print_response(&response);
+    if matches!(response.body, ResponseBody::Error { .. }) {
+        std::process::exit(1);
+    }
+}
+
+fn print_response(response: &Response) {
+    match &response.body {
+        ResponseBody::Pong => println!("pong"),
+        ResponseBody::ShuttingDown => println!("shutting down (drain follows)"),
+        ResponseBody::Stats(s) => {
+            println!(
+                "requests {}  shed {}  dedup_hits {}  deadline_misses {}  request_panics {}",
+                s.requests, s.shed, s.dedup_hits, s.deadline_misses, s.request_panics
+            );
+            println!(
+                "unique_runs {}  queue_depth {}  draining {}",
+                s.unique_runs, s.queue_depth, s.draining
+            );
+        }
+        ResponseBody::Figure { name, wall_ms } => {
+            println!("figure {name} rendered in {wall_ms:.0} ms");
+        }
+        ResponseBody::Run(r) => {
+            println!(
+                "run ok (source {}): {} rounds, {} points, final loss {:.6}, {:.0} ms",
+                r.source, r.rounds, r.points, r.final_loss, r.wall_ms
+            );
+        }
+        ResponseBody::Error { kind, message } => {
+            println!("error [{}]: {message}", kind.as_str());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! `sweepd` — the sweep service daemon.
+//!
+//! ```sh
+//! cargo run --release -p adacomm-bench --bin sweepd -- \
+//!     [--socket PATH] [--workers N] [--queue-limit N] \
+//!     [--smoke|--full] [--no-cache] [--trace DIR]
+//! ```
+//!
+//! Binds a Unix-domain socket (default `/tmp/adacomm-sweepd.sock`) and
+//! serves scenario runs and whole registry figures out of the in-process
+//! sweep engine, backed by the persistent run store — so a figure served
+//! by the daemon writes CSVs byte-identical to a batch `reproduce_all`
+//! at the same scale. Talk to it with `sweepctl`.
+//!
+//! Lifecycle and failure semantics live in `adacomm_bench::server`; this
+//! binary adds the process glue:
+//!
+//! * **Store lock** — the daemon holds the run store's lockfile for its
+//!   whole lifetime, so a concurrent batch `reproduce_all` against the
+//!   same cache fails fast instead of interleaving writes. A lock left
+//!   by a crashed daemon is reclaimed automatically (pid liveness).
+//! * **SIGTERM / SIGINT → graceful drain** — stop accepting, answer
+//!   queued requests with `draining`, park in-flight runs resumably,
+//!   flush telemetry, remove the socket, exit 0. The `shutdown` protocol
+//!   command takes the identical path.
+//! * **`--trace DIR`** — on exit, write one JSONL telemetry profile
+//!   (`DIR/sweepd.jsonl`) covering the serving window, headed by a
+//!   *service* meta line: `obs_report --check` validates it without
+//!   applying the phase-coverage rule (a daemon is mostly idle and its
+//!   workers overlap, so span self-times never tile the wall clock).
+
+use adacomm_bench::server::{Server, ServerConfig};
+use adacomm_bench::{RunStore, Scale, SweepEngine};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: sweepd [--socket PATH] [--workers N] [--queue-limit N]
+              [--smoke|--full] [--no-cache] [--trace DIR]
+
+  --socket PATH      Unix-domain socket to listen on
+                     (default /tmp/adacomm-sweepd.sock)
+  --workers N        request worker threads (default 2)
+  --queue-limit N    bounded queue: distinct jobs waiting before requests
+                     are shed with `overloaded` (default 64)
+  --smoke / --full   scale served scenarios are built at (default quick);
+                     --smoke also redirects CSVs to results/smoke/
+  --no-cache         serve without the persistent run store (no lockfile,
+                     no parking across restarts)
+  --trace DIR        write DIR/sweepd.jsonl (telemetry profile of the
+                     serving window) during shutdown
+  --help             print this help
+
+SIGTERM, SIGINT, and the `shutdown` protocol command all drain
+gracefully: queued requests are answered with `draining`, in-flight runs
+park their progress resumably in the store, and the process exits 0.";
+
+/// Set by the signal handler; polled by the main loop. Signal-handler
+/// safe: a relaxed atomic store is all that happens in handler context.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGTERM: i32 = 15;
+const SIGINT: i32 = 2;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+fn numeric_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match flag_value(args, flag) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} requires a positive integer, got {raw:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let scale = Scale::from_env_and_args();
+    if scale.is_smoke() {
+        adacomm_bench::report::set_results_subdir("smoke");
+    }
+    let config = ServerConfig {
+        socket_path: flag_value(&args, "--socket")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("/tmp/adacomm-sweepd.sock")),
+        workers: numeric_flag(&args, "--workers", 2),
+        queue_limit: numeric_flag(&args, "--queue-limit", 64),
+        scale,
+    };
+    let trace_dir = flag_value(&args, "--trace").map(PathBuf::from);
+    if trace_dir.is_some() && !telemetry::is_enabled() {
+        eprintln!(
+            "--trace requires the `trace` feature (this binary was built with \
+             --no-default-features); rebuild with default features"
+        );
+        std::process::exit(2);
+    }
+
+    // The engine owns the store; the daemon holds the store's lockfile
+    // for its whole lifetime so batch writers against the same cache
+    // fail fast instead of interleaving. Dropped (= released) on every
+    // exit path below; a SIGKILL leaves a stale lock the next locker
+    // reclaims via pid liveness.
+    let mut engine = SweepEngine::default();
+    let mut _store_lock = None;
+    if !args.iter().any(|a| a == "--no-cache") {
+        let store = RunStore::new(RunStore::default_dir());
+        match store.lock("sweepd") {
+            Ok(lock) => _store_lock = Some(lock),
+            Err(e) => {
+                eprintln!("cannot lock run store: {e}");
+                std::process::exit(1);
+            }
+        }
+        engine = engine.with_store(store);
+    }
+
+    // SAFETY: installing a handler that only stores a relaxed atomic.
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+
+    let sink = trace_dir.as_deref().map(|dir| {
+        std::fs::create_dir_all(dir).ok();
+        telemetry::EventSink::new()
+    });
+    let previous_sink = sink
+        .as_ref()
+        .map(|s| telemetry::install_sink(Some(s.clone())));
+    let before = telemetry::snapshot();
+    let started = Instant::now();
+
+    let handle = match Server::start(config, Arc::new(engine)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("sweepd: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "sweepd: serving on {} (scale {scale}); SIGTERM or `sweepctl shutdown` drains",
+        handle.socket_path().display()
+    );
+
+    while !TERM.load(Ordering::Relaxed) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let why = if TERM.load(Ordering::Relaxed) {
+        "signal"
+    } else {
+        "shutdown command"
+    };
+    eprintln!("sweepd: draining ({why})");
+    handle.initiate_drain();
+    let stats = {
+        let stats_after_drain = &handle;
+        stats_after_drain.stats()
+    };
+    handle.join();
+
+    let wall_secs = started.elapsed().as_secs_f64();
+    if let Some(dir) = &trace_dir {
+        let delta = telemetry::snapshot().delta_since(&before);
+        let mut lines = vec![telemetry::schema::meta_service_line(
+            "sweepd",
+            &format!("{scale}"),
+            wall_secs,
+        )];
+        lines.extend(delta.to_jsonl_lines());
+        if let Some(sink) = &sink {
+            lines.extend(sink.drain());
+        }
+        if let Err(e) = telemetry::write_jsonl_atomic(&dir.join("sweepd.jsonl"), &lines) {
+            eprintln!("sweepd: failed to write telemetry trace: {e}");
+        }
+    }
+    if let Some(previous) = previous_sink {
+        telemetry::install_sink(previous);
+    }
+
+    println!(
+        "sweepd: drained after {wall_secs:.2} s — {} requests ({} shed, {} dedup hits, \
+         {} deadline misses, {} request panics), {} unique runs",
+        stats.requests,
+        stats.shed,
+        stats.dedup_hits,
+        stats.deadline_misses,
+        stats.request_panics,
+        stats.unique_runs
+    );
+}

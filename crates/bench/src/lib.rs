@@ -17,6 +17,7 @@ pub mod panel;
 pub mod report;
 pub mod scale;
 pub mod scenarios;
+pub mod server;
 pub mod store;
 pub mod supervisor;
 pub mod sweep;
@@ -24,9 +25,10 @@ pub mod sweep;
 pub use panel::{panel_csv, report_panel, save_panel_csv};
 pub use report::{ascii_series, write_csv, Table};
 pub use scale::Scale;
-pub use store::{CacheStats, LoadOutcome, RunStore};
+pub use store::{CacheStats, LoadOutcome, ParkedOutcome, RunStore, StoreLock};
 pub use sweep::{
-    standard_panel_specs, LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec,
+    standard_panel_specs, CancellableRun, LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine,
+    SweepSpec, TraceSource,
 };
 
 /// `writeln!` into a figure's report buffer, ignoring the (infallible)

@@ -1,0 +1,533 @@
+//! The sweep service's newline-delimited JSON protocol: typed
+//! request/response shapes plus strict, never-panicking encode/parse.
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"id":1,"cmd":"ping"}
+//! {"id":2,"cmd":"stats"}
+//! {"id":3,"cmd":"shutdown"}
+//! {"id":4,"cmd":"figure","name":"fig01_concept"}
+//! {"id":5,"cmd":"run","scenario":"concept","scheduler":"fixed","tau":4,
+//!  "total_secs":40,"record_secs":10,"deadline_ms":500,"panic":false}
+//! ```
+//!
+//! Responses echo the request `id` (`null` when the request was too
+//! broken to carry one) and are either `"ok":true` with a `result`, or
+//! `"ok":false` with a structured error:
+//!
+//! ```text
+//! {"id":5,"ok":true,"result":"run","source":"computed","rounds":120,
+//!  "points":9,"final_loss":0.41,"wall_ms":182.4}
+//! {"id":6,"ok":false,"kind":"overloaded","message":"queue full (8 distinct jobs waiting); retry later"}
+//! ```
+//!
+//! Every parse failure is a `Result::Err` with a reason — foreign bytes
+//! can never panic this module (property-tested together with a
+//! malformed-line corpus in `tests/server_protocol.rs`).
+
+use crate::scenarios::ModelFamily;
+use crate::sweep::{LrSpec, ScenarioSpec, SchedulerSpec, SweepSpec};
+use crate::Scale;
+use std::collections::BTreeMap;
+use telemetry::json::{self, ObjectBuilder, Value};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// What to do.
+    pub cmd: Command,
+}
+
+/// The request verb plus its arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Service counters snapshot.
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+    /// Render one registry figure against the shared engine.
+    Figure {
+        /// Registry name, e.g. `fig01_concept`.
+        name: String,
+    },
+    /// Execute one scenario run.
+    Run(RunRequest),
+}
+
+/// Arguments of a `run` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Scenario name: `concept`, `canonical-vgg`, `canonical-resnet`, or
+    /// `compression`.
+    pub scenario: String,
+    /// Scheduler name: `fixed` or `adacomm`.
+    pub scheduler: String,
+    /// τ (fixed) or τ0 (adacomm). Must be ≥ 1.
+    pub tau: u64,
+    /// Optional `(total_secs, record_secs)` simulated-budget override —
+    /// both present or both absent.
+    pub budget: Option<(f64, f64)>,
+    /// Per-request deadline in wall-clock milliseconds; an overrunning
+    /// run is cancelled at the next round boundary and parked.
+    pub deadline_ms: Option<u64>,
+    /// Forced-panic drill: the request panics under the supervisor and
+    /// degrades only its own response.
+    pub panic: bool,
+}
+
+impl RunRequest {
+    /// Resolves the request into the engine's content-addressed spec at
+    /// the server's scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field for unknown
+    /// scenarios/schedulers or an invalid τ/budget.
+    pub fn sweep_spec(&self, scale: Scale) -> Result<SweepSpec, String> {
+        let scenario = match self.scenario.as_str() {
+            "concept" => ScenarioSpec::Concept,
+            "canonical-vgg" => ScenarioSpec::Canonical {
+                family: ModelFamily::VggLike,
+                classes: 10,
+                workers: 4,
+                scale,
+            },
+            "canonical-resnet" => ScenarioSpec::Canonical {
+                family: ModelFamily::ResnetLike,
+                classes: 10,
+                workers: 4,
+                scale,
+            },
+            "compression" => ScenarioSpec::Compression {
+                family: ModelFamily::VggLike,
+                scale,
+            },
+            other => {
+                return Err(format!(
+                    "unknown scenario \"{other}\" (expected concept, canonical-vgg, \
+                     canonical-resnet, or compression)"
+                ))
+            }
+        };
+        if self.tau == 0 || self.tau > 4096 {
+            return Err(format!("\"tau\" must be in 1..=4096, got {}", self.tau));
+        }
+        let scheduler = match self.scheduler.as_str() {
+            "fixed" => SchedulerSpec::Fixed {
+                tau: self.tau as usize,
+            },
+            "adacomm" => SchedulerSpec::adacomm(self.tau as usize),
+            other => {
+                return Err(format!(
+                    "unknown scheduler \"{other}\" (expected fixed or adacomm)"
+                ))
+            }
+        };
+        let mut spec = SweepSpec::new(scenario, scheduler, LrSpec::Fixed);
+        if let Some((total, record)) = self.budget {
+            if !(total.is_finite() && record.is_finite() && total > 0.0 && record > 0.0) {
+                return Err("budget durations must be positive and finite".into());
+            }
+            spec = spec.with_budget(total, record);
+        }
+        Ok(spec)
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id (`None` renders as JSON `null`).
+    pub id: Option<u64>,
+    /// Success payload or structured error.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: Option<u64>, body: ResponseBody) -> Response {
+        debug_assert!(!matches!(body, ResponseBody::Error { .. }));
+        Response { id, body }
+    }
+
+    /// A structured error response.
+    pub fn error(id: Option<u64>, kind: ErrorKind, message: &str) -> Response {
+        Response {
+            id,
+            body: ResponseBody::Error {
+                kind,
+                message: message.to_string(),
+            },
+        }
+    }
+}
+
+/// Success payloads and the structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// `ping` reply.
+    Pong,
+    /// `stats` reply.
+    Stats(StatsBody),
+    /// `shutdown` acknowledgment (the drain follows asynchronously).
+    ShuttingDown,
+    /// A completed `figure` request.
+    Figure {
+        /// The figure rendered.
+        name: String,
+        /// Wall-clock milliseconds spent executing it.
+        wall_ms: f64,
+    },
+    /// A completed `run` request.
+    Run(RunStats),
+    /// Any failure, always structured.
+    Error {
+        /// Machine-readable failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Payload of a successful `run` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Where the trace came from: `memory`, `disk`, `computed`, or
+    /// `resumed`.
+    pub source: String,
+    /// Averaging rounds in the run.
+    pub rounds: u64,
+    /// Trace points recorded.
+    pub points: u64,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Wall-clock milliseconds this request spent executing.
+    pub wall_ms: f64,
+}
+
+/// Payload of a `stats` response (also `sweepd`'s exit summary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsBody {
+    /// Request lines handled (including malformed ones).
+    pub requests: u64,
+    /// Requests shed by the bounded queue.
+    pub shed: u64,
+    /// Requests that joined an in-flight identical computation.
+    pub dedup_hits: u64,
+    /// Requests answered with a `deadline` error.
+    pub deadline_misses: u64,
+    /// Requests whose execution panicked (isolated per request).
+    pub request_panics: u64,
+    /// Distinct runs resident in the engine's memoization cache.
+    pub unique_runs: u64,
+    /// Distinct jobs currently queued.
+    pub queue_depth: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+/// Failure classes a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was malformed or named unknown entities.
+    BadRequest,
+    /// The bounded queue was full; the request was shed.
+    Overloaded,
+    /// The per-request deadline fired; partial progress is parked.
+    Deadline,
+    /// The server is draining; retry against the next instance.
+    Draining,
+    /// The request's execution panicked (isolated to this response).
+    Panic,
+    /// The run failed terminally under supervision for another reason.
+    Failed,
+}
+
+impl ErrorKind {
+    /// The stable wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Failed => "failed",
+        }
+    }
+
+    /// Parses the wire label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label.
+    pub fn from_label(label: &str) -> Result<ErrorKind, String> {
+        Ok(match label {
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline" => ErrorKind::Deadline,
+            "draining" => ErrorKind::Draining,
+            "panic" => ErrorKind::Panic,
+            "failed" => ErrorKind::Failed,
+            other => return Err(format!("unknown error kind \"{other}\"")),
+        })
+    }
+}
+
+/// Exclusive upper bound on integer-valued wire fields (`id`, `tau`,
+/// `deadline_ms`, ...): integers below it survive the JSON `f64` number
+/// representation exactly (it is below 2^53).
+pub const MAX_WIRE_INT: u64 = 9_000_000_000_000_000;
+
+/// Extracts an optional non-negative integer field.
+fn opt_u64(obj: &BTreeMap<String, Value>, name: &str) -> Result<Option<u64>, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => match v.as_num() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n < MAX_WIRE_INT as f64 => {
+                Ok(Some(n as u64))
+            }
+            _ => Err(format!("\"{name}\" must be a non-negative integer")),
+        },
+    }
+}
+
+/// Extracts an optional finite number field.
+fn opt_f64(obj: &BTreeMap<String, Value>, name: &str) -> Result<Option<f64>, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => match v.as_num() {
+            Some(n) if n.is_finite() => Ok(Some(n)),
+            _ => Err(format!("\"{name}\" must be a finite number")),
+        },
+    }
+}
+
+/// Extracts an optional boolean field (default `false`).
+fn opt_bool(obj: &BTreeMap<String, Value>, name: &str) -> Result<bool, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("\"{name}\" must be a boolean")),
+    }
+}
+
+/// Extracts a required string field.
+fn req_str(obj: &BTreeMap<String, Value>, name: &str) -> Result<String, String> {
+    obj.get(name)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field \"{name}\""))
+}
+
+/// Parses one request line. On failure, returns the request id when one
+/// was recoverable (so the error response can still correlate) plus the
+/// reason. Never panics on any input.
+///
+/// # Errors
+///
+/// Any line that is not a fully valid request object.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
+    let value = json::parse(line).map_err(|e| (None, format!("invalid JSON: {e}")))?;
+    let obj = value
+        .as_obj()
+        .ok_or((None, "request must be a JSON object".to_string()))?;
+    let id = opt_u64(obj, "id").map_err(|e| (None, e))?;
+    let fail = |msg: String| (id, msg);
+    let cmd_name = req_str(obj, "cmd").map_err(fail)?;
+    let cmd = match cmd_name.as_str() {
+        "ping" => Command::Ping,
+        "stats" => Command::Stats,
+        "shutdown" => Command::Shutdown,
+        "figure" => Command::Figure {
+            name: req_str(obj, "name").map_err(fail)?,
+        },
+        "run" => {
+            let scenario = req_str(obj, "scenario").map_err(fail)?;
+            let scheduler = match obj.get("scheduler") {
+                None => "fixed".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| fail("\"scheduler\" must be a string".into()))?,
+            };
+            let tau = opt_u64(obj, "tau").map_err(fail)?.unwrap_or(4);
+            let total_secs = opt_f64(obj, "total_secs").map_err(fail)?;
+            let record_secs = opt_f64(obj, "record_secs").map_err(fail)?;
+            let budget = match (total_secs, record_secs) {
+                (Some(t), Some(r)) => Some((t, r)),
+                (None, None) => None,
+                _ => {
+                    return Err(fail(
+                        "\"total_secs\" and \"record_secs\" must be given together".into(),
+                    ))
+                }
+            };
+            let deadline_ms = opt_u64(obj, "deadline_ms").map_err(fail)?;
+            let panic = opt_bool(obj, "panic").map_err(fail)?;
+            Command::Run(RunRequest {
+                scenario,
+                scheduler,
+                tau,
+                budget,
+                deadline_ms,
+                panic,
+            })
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown cmd \"{other}\" (expected ping, stats, shutdown, figure, or run)"
+            )))
+        }
+    };
+    Ok(Request { id, cmd })
+}
+
+/// Encodes one request as a single JSON line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    let mut o = ObjectBuilder::new();
+    match request.id {
+        Some(id) => o.num_field("id", id as f64),
+        None => o.raw_field("id", "null"),
+    }
+    match &request.cmd {
+        Command::Ping => o.str_field("cmd", "ping"),
+        Command::Stats => o.str_field("cmd", "stats"),
+        Command::Shutdown => o.str_field("cmd", "shutdown"),
+        Command::Figure { name } => {
+            o.str_field("cmd", "figure");
+            o.str_field("name", name);
+        }
+        Command::Run(run) => {
+            o.str_field("cmd", "run");
+            o.str_field("scenario", &run.scenario);
+            o.str_field("scheduler", &run.scheduler);
+            o.num_field("tau", run.tau as f64);
+            if let Some((total, record)) = run.budget {
+                o.num_field("total_secs", total);
+                o.num_field("record_secs", record);
+            }
+            if let Some(ms) = run.deadline_ms {
+                o.num_field("deadline_ms", ms as f64);
+            }
+            if run.panic {
+                o.raw_field("panic", "true");
+            }
+        }
+    }
+    o.finish()
+}
+
+/// Encodes one response as a single JSON line (no trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    let mut o = ObjectBuilder::new();
+    match response.id {
+        Some(id) => o.num_field("id", id as f64),
+        None => o.raw_field("id", "null"),
+    }
+    match &response.body {
+        ResponseBody::Pong => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "pong");
+        }
+        ResponseBody::Stats(s) => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "stats");
+            o.num_field("requests", s.requests as f64);
+            o.num_field("shed", s.shed as f64);
+            o.num_field("dedup_hits", s.dedup_hits as f64);
+            o.num_field("deadline_misses", s.deadline_misses as f64);
+            o.num_field("request_panics", s.request_panics as f64);
+            o.num_field("unique_runs", s.unique_runs as f64);
+            o.num_field("queue_depth", s.queue_depth as f64);
+            o.raw_field("draining", if s.draining { "true" } else { "false" });
+        }
+        ResponseBody::ShuttingDown => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "shutting_down");
+        }
+        ResponseBody::Figure { name, wall_ms } => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "figure");
+            o.str_field("name", name);
+            o.num_field("wall_ms", *wall_ms);
+        }
+        ResponseBody::Run(r) => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "run");
+            o.str_field("source", &r.source);
+            o.num_field("rounds", r.rounds as f64);
+            o.num_field("points", r.points as f64);
+            o.num_field("final_loss", r.final_loss);
+            o.num_field("wall_ms", r.wall_ms);
+        }
+        ResponseBody::Error { kind, message } => {
+            o.raw_field("ok", "false");
+            o.str_field("kind", kind.as_str());
+            o.str_field("message", message);
+        }
+    }
+    o.finish()
+}
+
+/// Parses one response line (the client half). Never panics.
+///
+/// # Errors
+///
+/// Any line that is not a fully valid response object.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = value
+        .as_obj()
+        .ok_or_else(|| "response must be a JSON object".to_string())?;
+    let id = opt_u64(obj, "id")?;
+    let ok = match obj.get("ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("missing boolean field \"ok\"".into()),
+    };
+    if !ok {
+        let kind = ErrorKind::from_label(&req_str(obj, "kind")?)?;
+        let message = req_str(obj, "message")?;
+        return Ok(Response {
+            id,
+            body: ResponseBody::Error { kind, message },
+        });
+    }
+    let need_u64 = |name: &str| opt_u64(obj, name)?.ok_or(format!("missing field \"{name}\""));
+    let need_f64 = |name: &str| opt_f64(obj, name)?.ok_or(format!("missing field \"{name}\""));
+    let body = match req_str(obj, "result")?.as_str() {
+        "pong" => ResponseBody::Pong,
+        "shutting_down" => ResponseBody::ShuttingDown,
+        "stats" => ResponseBody::Stats(StatsBody {
+            requests: need_u64("requests")?,
+            shed: need_u64("shed")?,
+            dedup_hits: need_u64("dedup_hits")?,
+            deadline_misses: need_u64("deadline_misses")?,
+            request_panics: need_u64("request_panics")?,
+            unique_runs: need_u64("unique_runs")?,
+            queue_depth: need_u64("queue_depth")?,
+            draining: match obj.get("draining") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("missing boolean field \"draining\"".into()),
+            },
+        }),
+        "figure" => ResponseBody::Figure {
+            name: req_str(obj, "name")?,
+            wall_ms: need_f64("wall_ms")?,
+        },
+        "run" => ResponseBody::Run(RunStats {
+            source: req_str(obj, "source")?,
+            rounds: need_u64("rounds")?,
+            points: need_u64("points")?,
+            final_loss: need_f64("final_loss")?,
+            wall_ms: need_f64("wall_ms")?,
+        }),
+        other => return Err(format!("unknown result \"{other}\"")),
+    };
+    Ok(Response { id, body })
+}

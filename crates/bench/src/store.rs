@@ -25,9 +25,10 @@
 
 use binio::{crc32, fnv1a64, ByteReader, ByteWriter};
 use pasgd_sim::checkpoint::{read_run_trace, write_run_trace};
-use pasgd_sim::RunTrace;
+use pasgd_sim::{RunCheckpoint, RunTrace};
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -62,6 +63,9 @@ pub const CODE_SEMANTICS_VERSION: u32 = 1;
 
 /// Entry frame magic: **A**da**C**omm **R**un **S**tore.
 const MAGIC: [u8; 4] = *b"ACRS";
+
+/// Parked-checkpoint frame magic: **A**da**C**omm **P**ar**K**ed.
+const PARK_MAGIC: [u8; 4] = *b"ACPK";
 
 /// Outcome of [`RunStore::load`].
 #[derive(Debug)]
@@ -220,6 +224,239 @@ impl RunStore {
     pub fn evict(&self, key: &str) {
         let _ = fs::remove_file(self.entry_path(key));
     }
+
+    /// The writer lockfile guarding this store directory.
+    pub fn lock_path(&self) -> PathBuf {
+        self.dir.join(".lock")
+    }
+
+    /// Acquires the store's single-writer lock, identifying the holder as
+    /// `owner` (a short label like `sweepd` or `reproduce_all`). The lock
+    /// is a `create_new` lockfile containing `<pid> <owner>`; it prevents
+    /// a running daemon and a concurrent batch reproduction from
+    /// interleaving writes to the same cache directory.
+    ///
+    /// A lockfile left behind by a crashed process (the recorded pid no
+    /// longer exists, or the contents are unreadable) is detected and
+    /// reclaimed automatically — crash recovery needs no manual cleanup.
+    /// Dropping the returned [`StoreLock`] releases the lock.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::WouldBlock`] when another *live*
+    /// process holds the lock (the error message names its pid and
+    /// owner label), or with the underlying error when the lockfile
+    /// cannot be created at all.
+    pub fn lock(&self, owner: &str) -> io::Result<StoreLock> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.lock_path();
+        // Two reclaim rounds: a stale lock is removed and the create
+        // retried; losing the re-create race twice to live holders is a
+        // genuine conflict.
+        for _ in 0..3 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{} {owner}", std::process::id());
+                    telemetry::counter("store.lock_acquisitions").inc();
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let contents = fs::read_to_string(&path).unwrap_or_default();
+                    let mut parts = contents.split_whitespace();
+                    let pid = parts.next().and_then(|p| p.parse::<u32>().ok());
+                    let holder = parts.next().unwrap_or("unknown");
+                    match pid {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "store {} is locked by live process {pid} ({holder}); \
+                                     wait for it to finish or remove {} if that pid is wrong",
+                                    self.dir.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        _ => {
+                            // Dead pid or garbage contents: a crashed
+                            // writer never released it. Reclaim and retry.
+                            telemetry::counter("store.lock_reclaims").inc();
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "store {} lock contended: another process kept re-acquiring it mid-reclaim",
+                self.dir.display()
+            ),
+        ))
+    }
+
+    /// The file a parked checkpoint for `key` lives at, under the
+    /// `parked/` subdirectory (keyed like [`RunStore::entry_path`]).
+    pub fn parked_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join("parked")
+            .join(format!("{:016x}.park", fnv1a64(key.as_bytes())))
+    }
+
+    /// Parks a mid-run checkpoint for `key` — the resumable remainder of
+    /// a run that was cancelled by a deadline or a drain. The frame
+    /// carries the same magic/version/key-echo/CRC armor as a trace
+    /// entry, and the payload itself is the self-validating
+    /// [`RunCheckpoint::to_bytes`] frame. Written atomically
+    /// (temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; callers treat a failed park as
+    /// lost progress, not a failed request.
+    pub fn park(&self, key: &str, checkpoint: &RunCheckpoint) -> io::Result<PathBuf> {
+        let path = self.parked_path(key);
+        let parked_dir = path.parent().expect("parked path has a parent");
+        fs::create_dir_all(parked_dir)?;
+        let tmp = parked_dir.join(format!(
+            "{:016x}.tmp.{}",
+            fnv1a64(key.as_bytes()),
+            std::process::id()
+        ));
+        let payload = checkpoint.to_bytes();
+        let mut w = ByteWriter::with_capacity(payload.len() + key.len() + 32);
+        w.put_bytes(&PARK_MAGIC);
+        w.put_u32(STORE_FORMAT_VERSION);
+        w.put_u32(CODE_SEMANTICS_VERSION);
+        w.put_str(key);
+        w.put_u64(payload.len() as u64);
+        w.put_u32(crc32(&payload));
+        w.put_bytes(&payload);
+        let frame = w.into_vec();
+        telemetry::counter("store.parks").inc();
+        telemetry::counter("store.park_bytes").add(frame.len() as u64);
+        fs::write(&tmp, frame)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads and validates the parked checkpoint for `key`. Like
+    /// [`RunStore::load`], never panics: every failure short of a fully
+    /// valid frame for exactly this key is [`ParkedOutcome::Rejected`].
+    pub fn load_parked(&self, key: &str) -> ParkedOutcome {
+        let bytes = match fs::read(self.parked_path(key)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return ParkedOutcome::Absent,
+            Err(e) => return ParkedOutcome::Rejected(format!("unreadable parked entry: {e}")),
+        };
+        match decode_parked(&bytes, key) {
+            Ok(ck) => ParkedOutcome::Hit(Box::new(ck)),
+            Err(reason) => ParkedOutcome::Rejected(reason),
+        }
+    }
+
+    /// Removes the parked checkpoint for `key`, if any — called once the
+    /// run completes (or the checkpoint proves unusable). Best-effort.
+    pub fn unpark(&self, key: &str) {
+        let _ = fs::remove_file(self.parked_path(key));
+    }
+}
+
+/// Outcome of [`RunStore::load_parked`].
+#[derive(Debug)]
+pub enum ParkedOutcome {
+    /// A parked checkpoint existed, validated, and decoded.
+    Hit(Box<RunCheckpoint>),
+    /// No parked work for this key.
+    Absent,
+    /// A parked frame existed but failed validation; the caller removes
+    /// it and runs fresh.
+    Rejected(String),
+}
+
+/// Exclusive writer lease on a [`RunStore`] directory; see
+/// [`RunStore::lock`]. Dropping it deletes the lockfile. A process that
+/// exits without dropping (crash, `std::process::exit`) leaves a stale
+/// file that the next `lock()` reclaims by pid liveness.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// The lockfile this lease owns (tests and diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` names a live process. Reads `/proc`; on systems without
+/// procfs the holder is conservatively assumed alive (a stale lock then
+/// needs manual removal, but a live writer is never stomped).
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// Validates and decodes one parked-checkpoint frame for `key`. The
+/// outer frame mirrors [`decode_entry`]; the payload decode is the
+/// fallible [`RunCheckpoint::from_bytes`].
+fn decode_parked(bytes: &[u8], key: &str) -> Result<RunCheckpoint, String> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(4).map_err(|e| format!("truncated magic: {e:?}"))?;
+    if magic != PARK_MAGIC {
+        return Err(format!("bad parked magic {magic:02x?}"));
+    }
+    let format = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    if format != STORE_FORMAT_VERSION {
+        return Err(format!(
+            "store format v{format}, this build reads v{STORE_FORMAT_VERSION}"
+        ));
+    }
+    let semantics = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    if semantics != CODE_SEMANTICS_VERSION {
+        return Err(format!(
+            "code semantics v{semantics}, this build is v{CODE_SEMANTICS_VERSION}"
+        ));
+    }
+    let stored_key = r.str().map_err(|e| format!("unreadable key: {e:?}"))?;
+    if stored_key != key {
+        return Err("key mismatch (hash collision or stale rewrite)".into());
+    }
+    let payload_len = r.u64().map_err(|e| format!("truncated header: {e:?}"))? as usize;
+    if payload_len != r.remaining().saturating_sub(4) {
+        return Err(format!(
+            "payload length {payload_len} disagrees with file size"
+        ));
+    }
+    let stored_crc = r.u32().map_err(|e| format!("truncated header: {e:?}"))?;
+    let payload = r
+        .bytes(payload_len)
+        .map_err(|e| format!("truncated payload: {e:?}"))?;
+    if crc32(payload) != stored_crc {
+        return Err("payload checksum mismatch".into());
+    }
+    RunCheckpoint::from_bytes(payload).map_err(|e| format!("undecodable checkpoint: {e}"))
 }
 
 /// Builds the full entry frame:
@@ -418,6 +655,81 @@ mod tests {
         let err = store.save_with_retry("rk2", &trace, 3).unwrap_err();
         assert!(err.to_string().contains("injected save failure"), "{err}");
         assert!(matches!(store.load("rk2"), LoadOutcome::Absent));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_excludes_second_writer_and_releases_on_drop() {
+        let dir = std::env::temp_dir().join(format!("adacomm_store_lock_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+
+        let lock = store.lock("first-writer").unwrap();
+        assert!(lock.path().exists());
+        // Our own pid is alive, so a second writer must be refused with a
+        // message naming the holder.
+        let err = store.lock("second-writer").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let msg = err.to_string();
+        assert!(msg.contains("first-writer"), "{msg}");
+        assert!(msg.contains(&std::process::id().to_string()), "{msg}");
+
+        drop(lock);
+        // Released: the next writer acquires cleanly.
+        let relock = store.lock("second-writer").unwrap();
+        drop(relock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_crashed_process_is_reclaimed() {
+        let dir =
+            std::env::temp_dir().join(format!("adacomm_store_reclaim_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        // A pid far above any real pid_max: the "crashed writer" cannot
+        // exist, so its lock is stale by construction.
+        fs::write(store.lock_path(), "4000000000 crashed-daemon").unwrap();
+        let lock = store
+            .lock("survivor")
+            .expect("stale lock must be reclaimed");
+        let contents = fs::read_to_string(lock.path()).unwrap();
+        assert!(
+            contents.starts_with(&std::process::id().to_string()),
+            "reclaimed lock must name the new holder: {contents}"
+        );
+        drop(lock);
+
+        // Garbage contents (no pid at all) are also treated as stale.
+        fs::write(store.lock_path(), "not-a-pid at all").unwrap();
+        let lock = store.lock("survivor2").expect("garbage lock is stale");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parked_checkpoints_absent_rejected_and_unparked() {
+        let dir = std::env::temp_dir().join(format!("adacomm_store_park_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+
+        assert!(matches!(store.load_parked("pk"), ParkedOutcome::Absent));
+
+        // Foreign bytes at the parked path must reject, never panic.
+        let path = store.parked_path("pk");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, b"ACPKgarbage").unwrap();
+        match store.load_parked("pk") {
+            ParkedOutcome::Rejected(reason) => {
+                assert!(reason.contains("store format"), "{reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        store.unpark("pk");
+        assert!(matches!(store.load_parked("pk"), ParkedOutcome::Absent));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -23,7 +23,7 @@
 //! references it.
 
 use crate::scenarios::{scenario, ModelFamily};
-use crate::store::{CacheStats, LoadOutcome, RunStore};
+use crate::store::{CacheStats, LoadOutcome, ParkedOutcome, RunStore};
 use crate::supervisor::{self, SupervisorPolicy};
 use crate::Scale;
 use adacomm::{
@@ -35,7 +35,7 @@ use gradcomp::CodecSpec;
 use nn::models;
 use pasgd_sim::{
     AveragingStrategy, ClusterConfig, ExperimentConfig, ExperimentSuite, FaultConfig, MomentumMode,
-    RunTrace,
+    RunCheckpoint, RunOutcome, RunTrace,
 };
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -553,6 +553,75 @@ impl SweepSpec {
             self.fault.is_active().then_some(self.fault),
         )
     }
+
+    /// [`SweepSpec::execute`] with resume and a cooperative stop
+    /// predicate (no caching) — the primitive behind the engine's
+    /// deadline- and drain-preemptible runs.
+    fn execute_cancellable(
+        &self,
+        built: &BuiltScenario,
+        resume: Option<&RunCheckpoint>,
+        stop: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<RunOutcome, String> {
+        let mut scheduler = self.scheduler.build();
+        let lr = self.lr.resolve(built);
+        let budget = self
+            .budget_millis
+            .map(|(t, r)| (t as f64 / 1000.0, r as f64 / 1000.0));
+        built.suite.run_configured_cancellable(
+            scheduler.as_mut(),
+            &lr,
+            Some(self.momentum),
+            Some(self.gate_lr_on_tau),
+            Some(self.codec),
+            budget,
+            self.fault.is_active().then_some(self.fault),
+            resume,
+            None,
+            stop,
+        )
+    }
+}
+
+/// Where [`SweepEngine::try_trace_cancellable`] got its trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSource {
+    /// The in-process memoization map.
+    Memory,
+    /// A validated persistent-store entry.
+    Disk,
+    /// Simulated fresh in this call.
+    Computed,
+    /// Simulated in this call, continuing a parked checkpoint.
+    Resumed,
+}
+
+impl TraceSource {
+    /// Stable lowercase label (protocol responses, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceSource::Memory => "memory",
+            TraceSource::Disk => "disk",
+            TraceSource::Computed => "computed",
+            TraceSource::Resumed => "resumed",
+        }
+    }
+}
+
+/// Outcome of [`SweepEngine::try_trace_cancellable`].
+#[derive(Debug)]
+pub enum CancellableRun {
+    /// The trace was produced (possibly from cache).
+    Done {
+        /// The run's trace, renamed per the spec if requested.
+        trace: RunTrace,
+        /// Which layer satisfied the request.
+        source: TraceSource,
+    },
+    /// The stop predicate fired mid-run; the partial work is parked in
+    /// the store (when one is attached and the park write succeeded) and
+    /// a later request for the same key resumes it.
+    Cancelled,
 }
 
 /// Aggregate statistics over an engine's distinct executed runs (see
@@ -876,6 +945,188 @@ impl SweepEngine {
         };
         self.note_resolved(&key, false);
         Ok(trace)
+    }
+
+    /// [`SweepEngine::try_trace_for`] with cooperative cancellation and
+    /// park/resume through the attached store — the sweep service's
+    /// execution primitive.
+    ///
+    /// The cache layers are consulted exactly like `try_trace_for`
+    /// (failure map, memory, disk). A cold key then checks the store for
+    /// a *parked* mid-run checkpoint — the remainder of a previous
+    /// deadline- or drain-cancelled request — and resumes it
+    /// bit-identically instead of starting over (a checkpoint that fails
+    /// structural validation is discarded with a warning and the run
+    /// starts fresh). The `stop` predicate is polled at round boundaries;
+    /// when it fires, the partial run is parked back to the store and
+    /// [`CancellableRun::Cancelled`] is returned — the request lost, the
+    /// work kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns the supervisor's failure reason (panic message or deadline
+    /// report) when the run cannot be produced; the key then fails fast
+    /// on re-request, as in `try_trace_for`.
+    pub fn try_trace_cancellable(
+        &self,
+        spec: &SweepSpec,
+        stop: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<CancellableRun, String> {
+        let key = spec.key();
+        if let Some(reason) = self.failed.lock().expect("failure map poisoned").get(&key) {
+            return Err(reason.clone());
+        }
+        if let Some(trace) = self.runs.lock().expect("run cache poisoned").get(&key) {
+            let mut t = self.traffic.lock().expect("traffic counters poisoned");
+            t.stats.mem_hits += 1;
+            telemetry::counter("sweep.cache.mem_hits").inc();
+            return Ok(CancellableRun::Done {
+                trace: trace.clone(),
+                source: TraceSource::Memory,
+            });
+        }
+        if let Some(store) = &self.store {
+            let mut outcome = store.load(&key);
+            for _ in 0..2 {
+                match &outcome {
+                    LoadOutcome::Rejected(reason) if reason.starts_with("unreadable entry") => {
+                        telemetry::counter("store.load_retries").inc();
+                        outcome = store.load(&key);
+                    }
+                    _ => break,
+                }
+            }
+            match outcome {
+                LoadOutcome::Hit(trace) => {
+                    let trace = {
+                        let mut runs = self.runs.lock().expect("run cache poisoned");
+                        runs.entry(key.clone()).or_insert(trace).clone()
+                    };
+                    self.note_resolved(&key, true);
+                    return Ok(CancellableRun::Done {
+                        trace,
+                        source: TraceSource::Disk,
+                    });
+                }
+                LoadOutcome::Rejected(reason) => {
+                    self.warn(format!(
+                        "run store: rejected entry for a sweep key ({reason}); recomputing"
+                    ));
+                    telemetry::emit(|| telemetry::schema::warning_line("run_store", &reason));
+                    store.evict(&key);
+                    let mut t = self.traffic.lock().expect("traffic counters poisoned");
+                    t.stats.rejects += 1;
+                    telemetry::counter("sweep.cache.rejects").inc();
+                }
+                LoadOutcome::Absent => {}
+            }
+        }
+        // Cold everywhere: is there parked work to continue?
+        let resume_ck: Option<Box<RunCheckpoint>> = match &self.store {
+            Some(store) => match store.load_parked(&key) {
+                ParkedOutcome::Hit(ck) => Some(ck),
+                ParkedOutcome::Rejected(reason) => {
+                    self.warn(format!(
+                        "run store: rejected parked checkpoint ({reason}); running fresh"
+                    ));
+                    store.unpark(&key);
+                    None
+                }
+                ParkedOutcome::Absent => None,
+            },
+            None => None,
+        };
+        let supervised = supervisor::run_supervised(&self.supervisor, &key, || {
+            let built = self.scenario(&spec.scenario);
+            let inflight = telemetry::gauge("sweep.inflight_runs");
+            inflight.add(1);
+            let run_started = std::time::Instant::now();
+            let (outcome, resumed) = match resume_ck.as_deref() {
+                Some(ck) => match spec.execute_cancellable(&built, Some(ck), stop) {
+                    Ok(outcome) => (outcome, true),
+                    Err(reason) => {
+                        // A structurally-mismatched checkpoint (different
+                        // build semantics, foreign spec): discard and
+                        // start over. Fresh runs never fail.
+                        self.warn(format!(
+                            "run store: parked checkpoint unusable on resume ({reason}); \
+                             running fresh"
+                        ));
+                        (
+                            spec.execute_cancellable(&built, None, stop)
+                                .expect("fresh runs never fail"),
+                            false,
+                        )
+                    }
+                },
+                None => (
+                    spec.execute_cancellable(&built, None, stop)
+                        .expect("fresh runs never fail"),
+                    false,
+                ),
+            };
+            telemetry::histogram("sweep.run_secs").observe(run_started.elapsed().as_secs_f64());
+            inflight.add(-1);
+            (outcome, resumed)
+        });
+        let (outcome, resumed) = match supervised {
+            Ok(pair) => pair,
+            Err(reason) => {
+                telemetry::gauge("sweep.inflight_runs").set(0);
+                self.warn(format!("run failed under supervision ({reason}): {key}"));
+                self.failed
+                    .lock()
+                    .expect("failure map poisoned")
+                    .insert(key, reason.clone());
+                return Err(reason);
+            }
+        };
+        match outcome {
+            RunOutcome::Completed(trace) => {
+                if resumed {
+                    telemetry::counter("sweep.resumed").inc();
+                }
+                if let Some(store) = &self.store {
+                    if let Err(e) = store.save_with_retry(&key, &trace, 3) {
+                        self.warn(format!(
+                            "run store: save failed after retries ({e}); cache stays cold \
+                             for this key"
+                        ));
+                    }
+                    // The run is complete; any parked remainder is obsolete.
+                    store.unpark(&key);
+                }
+                let trace = {
+                    let mut runs = self.runs.lock().expect("run cache poisoned");
+                    runs.entry(key.clone()).or_insert(trace).clone()
+                };
+                self.note_resolved(&key, false);
+                Ok(CancellableRun::Done {
+                    trace,
+                    source: if resumed {
+                        TraceSource::Resumed
+                    } else {
+                        TraceSource::Computed
+                    },
+                })
+            }
+            RunOutcome::Checkpointed(ck) => {
+                telemetry::counter("sweep.parked").inc();
+                match &self.store {
+                    Some(store) => {
+                        if let Err(e) = store.park(&key, &ck) {
+                            self.warn(format!(
+                                "run store: park failed ({e}); cancelled progress is lost"
+                            ));
+                        }
+                    }
+                    None => self.warn(format!(
+                        "no store attached; cancelled progress is lost: {key}"
+                    )),
+                }
+                Ok(CancellableRun::Cancelled)
+            }
+        }
     }
 
     /// Warms the cache over `specs` (deduplicated), swallowing terminal

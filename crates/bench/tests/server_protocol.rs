@@ -1,0 +1,314 @@
+//! Property tests for the sweep service's wire protocol: arbitrary
+//! requests and responses must round-trip exactly through their JSON
+//! line encoding, and arbitrary garbage — truncated JSON, wrong field
+//! types, huge inputs, random bytes — must fail with a structured error,
+//! never a panic.
+
+use adacomm_bench::server::protocol::{
+    encode_request, encode_response, parse_request, parse_response, Command, ErrorKind, Request,
+    Response, ResponseBody, RunRequest, RunStats, StatsBody, MAX_WIRE_INT,
+};
+use proptest::prelude::*;
+
+/// Finite f64 via raw bits; non-finite patterns (which the wire format
+/// rejects by design) collapse to an ordinary value.
+fn any_finite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u64..u64::MAX)
+            .prop_map(|bits| {
+                let f = f64::from_bits(bits);
+                if f.is_finite() {
+                    f
+                } else {
+                    -1234.5678e-9
+                }
+            })
+            .boxed(),
+        proptest::Just(0.0f64).boxed(),
+        proptest::Just(-0.0f64).boxed(),
+        proptest::Just(1e300f64).boxed(),
+        proptest::Just(f64::MIN_POSITIVE).boxed(),
+    ]
+}
+
+/// Names exercising escaping: plain ASCII, empty, embedded quotes,
+/// backslashes, control characters, and multibyte unicode.
+fn any_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::collection::vec(0u8..26, 0..24)
+            .prop_map(|v| v.iter().map(|b| (b'a' + b) as char).collect())
+            .boxed(),
+        proptest::Just(String::new()).boxed(),
+        proptest::Just("fig09 \"vgg\" τ→∞ \\ / \u{1}".to_string()).boxed(),
+        proptest::Just("line\nbreak\ttab\rret".to_string()).boxed(),
+    ]
+}
+
+fn any_id() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        proptest::Just(None).boxed(),
+        (0u64..MAX_WIRE_INT).prop_map(Some).boxed(),
+    ]
+}
+
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+fn any_run_request() -> impl Strategy<Value = RunRequest> {
+    (
+        (any_name(), any_name(), 0u64..10_000),
+        (
+            prop_oneof![
+                proptest::Just(None).boxed(),
+                (any_finite(), any_finite()).prop_map(Some).boxed(),
+            ],
+            prop_oneof![
+                proptest::Just(None).boxed(),
+                (0u64..MAX_WIRE_INT).prop_map(Some).boxed(),
+            ],
+            any_bool(),
+        ),
+    )
+        .prop_map(
+            |((scenario, scheduler, tau), (budget, deadline_ms, panic))| RunRequest {
+                scenario,
+                scheduler,
+                tau,
+                budget,
+                deadline_ms,
+                panic,
+            },
+        )
+}
+
+fn any_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        proptest::Just(Command::Ping).boxed(),
+        proptest::Just(Command::Stats).boxed(),
+        proptest::Just(Command::Shutdown).boxed(),
+        any_name().prop_map(|name| Command::Figure { name }).boxed(),
+        any_run_request().prop_map(Command::Run).boxed(),
+    ]
+}
+
+fn any_stats() -> impl Strategy<Value = StatsBody> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, any_bool()),
+    )
+        .prop_map(
+            |(
+                (requests, shed, dedup_hits, deadline_misses),
+                (request_panics, unique_runs, queue_depth, draining),
+            )| StatsBody {
+                requests,
+                shed,
+                dedup_hits,
+                deadline_misses,
+                request_panics,
+                unique_runs,
+                queue_depth,
+                draining,
+            },
+        )
+}
+
+fn any_kind() -> impl Strategy<Value = ErrorKind> {
+    prop_oneof![
+        proptest::Just(ErrorKind::BadRequest).boxed(),
+        proptest::Just(ErrorKind::Overloaded).boxed(),
+        proptest::Just(ErrorKind::Deadline).boxed(),
+        proptest::Just(ErrorKind::Draining).boxed(),
+        proptest::Just(ErrorKind::Panic).boxed(),
+        proptest::Just(ErrorKind::Failed).boxed(),
+    ]
+}
+
+fn any_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        proptest::Just(ResponseBody::Pong).boxed(),
+        proptest::Just(ResponseBody::ShuttingDown).boxed(),
+        any_stats().prop_map(ResponseBody::Stats).boxed(),
+        (any_name(), any_finite())
+            .prop_map(|(name, wall_ms)| ResponseBody::Figure { name, wall_ms })
+            .boxed(),
+        (
+            any_name(),
+            0u64..1 << 40,
+            0u64..1 << 40,
+            any_finite(),
+            any_finite()
+        )
+            .prop_map(|(source, rounds, points, final_loss, wall_ms)| {
+                ResponseBody::Run(RunStats {
+                    source,
+                    rounds,
+                    points,
+                    final_loss,
+                    wall_ms,
+                })
+            })
+            .boxed(),
+        (any_kind(), any_name())
+            .prop_map(|(kind, message)| ResponseBody::Error { kind, message })
+            .boxed(),
+    ]
+}
+
+proptest! {
+    // Any request — unicode names, quotes, newlines, any finite budget
+    // floats — round-trips exactly through its single-line encoding.
+    #[test]
+    fn request_roundtrips(id in any_id(), cmd in any_command()) {
+        let request = Request { id, cmd };
+        let line = encode_request(&request);
+        prop_assert!(!line.contains('\n'), "a request must encode to one line");
+        let back = parse_request(&line)
+            .unwrap_or_else(|(_, e)| panic!("own encoding rejected ({e}): {line}"));
+        prop_assert_eq!(back, request);
+    }
+
+    // Any response round-trips exactly, including exact f64 values.
+    #[test]
+    fn response_roundtrips(id in any_id(), body in any_body()) {
+        let response = Response { id, body };
+        let line = encode_response(&response);
+        prop_assert!(!line.contains('\n'), "a response must encode to one line");
+        let back = parse_response(&line)
+            .unwrap_or_else(|e| panic!("own encoding rejected ({e}): {line}"));
+        prop_assert_eq!(back, response);
+    }
+
+    // Any strict prefix of a valid request line is an error (truncated
+    // JSON), never a panic and never a silent partial parse.
+    #[test]
+    fn truncated_requests_error(id in any_id(), cmd in any_command(), frac in 0.0f64..1.0) {
+        let line = encode_request(&Request { id, cmd });
+        let mut cut = (((line.len() as f64) * frac) as usize).min(line.len() - 1);
+        // Cutting mid-UTF-8 isn't a valid &str; step back to a boundary.
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(parse_request(&line[..cut]).is_err());
+    }
+
+    // Arbitrary byte soup never panics either parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u16..256, 0..512)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&raw);
+        let _ = parse_request(&text);
+        let _ = parse_response(&text);
+    }
+}
+
+/// A hand-written corpus of structurally plausible but invalid lines:
+/// each must produce `Err`, and `parse_request` must still recover the
+/// `id` whenever one is legible (so the error response can correlate).
+#[test]
+fn malformed_request_corpus() {
+    let cases: &[(&str, Option<u64>)] = &[
+        ("", None),
+        ("   ", None),
+        ("not json", None),
+        ("42", None),
+        ("[]", None),
+        ("null", None),
+        ("{}", None),
+        ("{\"id\":3}", Some(3)),
+        ("{\"id\":3,\"cmd\":7}", Some(3)),
+        ("{\"id\":3,\"cmd\":\"warp\"}", Some(3)),
+        ("{\"id\":-1,\"cmd\":\"ping\"}", None),
+        ("{\"id\":1.5,\"cmd\":\"ping\"}", None),
+        ("{\"id\":1e30,\"cmd\":\"ping\"}", None),
+        ("{\"id\":\"x\",\"cmd\":\"ping\"}", None),
+        ("{\"id\":4,\"cmd\":\"figure\"}", Some(4)),
+        ("{\"id\":4,\"cmd\":\"figure\",\"name\":9}", Some(4)),
+        ("{\"id\":5,\"cmd\":\"run\"}", Some(5)),
+        ("{\"id\":5,\"cmd\":\"run\",\"scenario\":1}", Some(5)),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"scheduler\":2}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"tau\":-2}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"tau\":2.5}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"total_secs\":1}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"record_secs\":1}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"deadline_ms\":0.5}",
+            Some(5),
+        ),
+        (
+            "{\"id\":5,\"cmd\":\"run\",\"scenario\":\"concept\",\"panic\":\"yes\"}",
+            Some(5),
+        ),
+        ("{\"id\":6,\"cmd\":\"pi", None),
+        ("{\"id\":6,\"cmd\":\"ping\"", None),
+        ("\u{0}\u{1}\u{2}", None),
+    ];
+    for (line, expect_id) in cases {
+        match parse_request(line) {
+            Ok(request) => panic!("accepted malformed line {line:?} as {request:?}"),
+            Err((id, reason)) => {
+                assert_eq!(id, *expect_id, "recovered id for {line:?} ({reason})");
+                assert!(!reason.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_response_corpus() {
+    for line in [
+        "",
+        "not json",
+        "{}",
+        "{\"id\":1}",
+        "{\"id\":1,\"ok\":\"yes\"}",
+        "{\"id\":1,\"ok\":true}",
+        "{\"id\":1,\"ok\":true,\"result\":\"mystery\"}",
+        "{\"id\":1,\"ok\":true,\"result\":\"run\",\"source\":\"memory\"}",
+        "{\"id\":1,\"ok\":true,\"result\":\"stats\",\"requests\":1}",
+        "{\"id\":1,\"ok\":false}",
+        "{\"id\":1,\"ok\":false,\"kind\":\"weird\",\"message\":\"m\"}",
+        "{\"id\":1,\"ok\":false,\"kind\":\"panic\"}",
+    ] {
+        assert!(
+            parse_response(line).is_err(),
+            "accepted malformed response {line:?}"
+        );
+    }
+}
+
+/// A line far beyond any real request (a 256 KiB name) parses without
+/// panic; deeply repeated garbage errs cleanly. Lines past 1 MiB never
+/// reach the parser at all — the server's read cap discards them and
+/// answers `bad_request` — so this bounds the parser's work inside the
+/// cap, not beyond it.
+#[test]
+fn huge_lines_are_handled() {
+    let huge_name = "x".repeat(256 << 10);
+    let line = format!("{{\"id\":1,\"cmd\":\"figure\",\"name\":\"{huge_name}\"}}");
+    match parse_request(&line) {
+        Ok(Request {
+            cmd: Command::Figure { name },
+            ..
+        }) => assert_eq!(name.len(), huge_name.len()),
+        other => panic!("huge valid line misparsed: {other:?}"),
+    }
+    let garbage = "{".repeat(256 << 10);
+    assert!(parse_request(&garbage).is_err());
+}

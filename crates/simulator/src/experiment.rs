@@ -251,6 +251,44 @@ pub fn run_experiment_resumable(
     resume: Option<&RunCheckpoint>,
     stop_after_rounds: Option<u64>,
 ) -> Result<RunOutcome, String> {
+    run_experiment_cancellable(
+        model,
+        split,
+        runtime,
+        cluster_config,
+        scheduler,
+        lr_schedule,
+        config,
+        resume,
+        stop_after_rounds,
+        None,
+    )
+}
+
+/// [`run_experiment_resumable`] with a cooperative stop predicate.
+///
+/// `stop` is polled at every averaging-round boundary (the only points
+/// where the cluster state is checkpointable); once it returns `true`
+/// while simulated time remains, the run returns
+/// [`RunOutcome::Checkpointed`] exactly as if a round limit had been hit.
+/// The checkpoint resumes bit-identically, so a deadline-cancelled or
+/// drain-preempted run loses no work — the predicate only decides *when*
+/// the run parks, never *what* it computes. A run whose final round
+/// exhausts the budget completes normally even if `stop` fires on the
+/// same round.
+#[allow(clippy::too_many_arguments)]
+pub fn run_experiment_cancellable(
+    model: Network,
+    split: TrainTestSplit,
+    runtime: RuntimeModel,
+    cluster_config: ClusterConfig,
+    scheduler: &mut dyn CommSchedule,
+    lr_schedule: &LrSchedule,
+    config: &ExperimentConfig,
+    resume: Option<&RunCheckpoint>,
+    stop_after_rounds: Option<u64>,
+    stop: Option<&(dyn Fn() -> bool + Sync)>,
+) -> Result<RunOutcome, String> {
     assert!(
         config.interval_secs > 0.0 && config.total_secs > 0.0,
         "experiment durations must be positive"
@@ -384,8 +422,13 @@ pub fn run_experiment_resumable(
 
         // Round-boundary checkpoint: only while the budget has time left —
         // a run whose last round exhausted the budget completes normally.
-        if let Some(limit) = stop_after_rounds {
-            if cluster.rounds() >= limit && cluster.clock() < config.total_secs {
+        if cluster.clock() < config.total_secs {
+            let limit_hit = stop_after_rounds.is_some_and(|limit| cluster.rounds() >= limit);
+            let cancelled = !limit_hit && stop.is_some_and(|s| s());
+            if cancelled {
+                telemetry::counter("sim.cancelled_runs").inc();
+            }
+            if limit_hit || cancelled {
                 return Ok(RunOutcome::Checkpointed(Box::new(RunCheckpoint {
                     points,
                     interval,
@@ -566,6 +609,38 @@ impl ExperimentSuite {
         resume: Option<&RunCheckpoint>,
         stop_after_rounds: Option<u64>,
     ) -> Result<RunOutcome, String> {
+        self.run_configured_cancellable(
+            scheduler,
+            lr_schedule,
+            momentum,
+            gate_lr_on_tau,
+            codec,
+            budget,
+            fault,
+            resume,
+            stop_after_rounds,
+            None,
+        )
+    }
+
+    /// [`ExperimentSuite::run_configured_resumable`] with a cooperative
+    /// stop predicate — see [`run_experiment_cancellable`]. This is the
+    /// entry point the sweep service uses for deadline- and
+    /// drain-preemptible runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_configured_cancellable(
+        &self,
+        scheduler: &mut dyn CommSchedule,
+        lr_schedule: &LrSchedule,
+        momentum: Option<MomentumMode>,
+        gate_lr_on_tau: Option<bool>,
+        codec: Option<CodecSpec>,
+        budget: Option<(f64, f64)>,
+        fault: Option<FaultConfig>,
+        resume: Option<&RunCheckpoint>,
+        stop_after_rounds: Option<u64>,
+        stop: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Result<RunOutcome, String> {
         let mut cluster_config = self.cluster_config.clone();
         if let Some(m) = momentum {
             cluster_config.momentum = m;
@@ -588,7 +663,7 @@ impl ExperimentSuite {
             experiment_config.total_secs = total_secs;
             experiment_config.record_every_secs = record_every_secs;
         }
-        run_experiment_resumable(
+        run_experiment_cancellable(
             self.model.clone(),
             self.split.clone(),
             self.runtime,
@@ -598,6 +673,7 @@ impl ExperimentSuite {
             &experiment_config,
             resume,
             stop_after_rounds,
+            stop,
         )
     }
 
@@ -765,5 +841,82 @@ mod tests {
         let suite = quick_suite(7);
         let trace = suite.run(&mut FixedComm::new(2), &adacomm::LrSchedule::constant(0.05));
         assert!(trace.best_test_accuracy() >= trace.points[0].test_accuracy);
+    }
+
+    #[test]
+    fn cancelled_run_resumes_bit_identically() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let lr = adacomm::LrSchedule::constant(0.05);
+        let straight = quick_suite(8).run(&mut FixedComm::new(4), &lr);
+
+        // Cancel after the stop predicate has been polled three times
+        // (i.e. at the third round boundary), then resume to completion.
+        let polls = AtomicU32::new(0);
+        let stop = move || polls.fetch_add(1, Ordering::SeqCst) + 1 >= 3;
+        let suite = quick_suite(8);
+        let outcome = suite
+            .run_configured_cancellable(
+                &mut FixedComm::new(4),
+                &lr,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                Some(&stop),
+            )
+            .expect("fresh run");
+        let ck = match outcome {
+            RunOutcome::Checkpointed(ck) => ck,
+            RunOutcome::Completed(_) => panic!("stop predicate must park the run"),
+        };
+        assert!(ck.cluster.clock < 24.0, "parked mid-run");
+
+        let resumed = suite
+            .run_configured_cancellable(
+                &mut FixedComm::new(4),
+                &lr,
+                None,
+                None,
+                None,
+                None,
+                None,
+                Some(&ck),
+                None,
+                None,
+            )
+            .expect("checkpoint matches the suite");
+        match resumed {
+            RunOutcome::Completed(trace) => assert_eq!(trace, straight),
+            RunOutcome::Checkpointed(_) => panic!("no stop requested on resume"),
+        }
+    }
+
+    #[test]
+    fn stop_predicate_never_fires_means_completed() {
+        let lr = adacomm::LrSchedule::constant(0.05);
+        let straight = quick_suite(9).run(&mut FixedComm::new(4), &lr);
+        let stop = || false;
+        let outcome = quick_suite(9)
+            .run_configured_cancellable(
+                &mut FixedComm::new(4),
+                &lr,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+                Some(&stop),
+            )
+            .expect("fresh run");
+        match outcome {
+            RunOutcome::Completed(trace) => assert_eq!(trace, straight),
+            RunOutcome::Checkpointed(_) => panic!("predicate never fired"),
+        }
     }
 }

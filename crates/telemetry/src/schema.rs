@@ -6,7 +6,7 @@
 //!
 //! | type      | required fields |
 //! |-----------|-----------------|
-//! | `meta`    | `schema`, `task` (str), `scale` (str), `wall_secs` |
+//! | `meta`    | `schema`, `task` (str), `scale` (str), `wall_secs`; optional `service` (bool, default false) |
 //! | `counter` | `name` (str), `value` |
 //! | `gauge`   | `name` (str), `value` |
 //! | `hist`    | `name` (str), `count`, `sum`, `buckets` (array of `[index, count]` pairs) |
@@ -38,6 +38,12 @@ pub enum Record {
         scale: String,
         /// Measured wall-clock seconds for the window.
         wall_secs: f64,
+        /// Whether the window traces a long-running service (`sweepd`)
+        /// rather than a batch task. A service is mostly idle and its
+        /// workers overlap, so span self-times never tile the wall
+        /// clock — consumers skip the phase-coverage rule. Absent in the
+        /// line means `false` (batch), keeping old traces valid.
+        service: bool,
     },
     /// Counter delta for the window.
     Counter {
@@ -140,11 +146,17 @@ pub fn parse_line(line: &str) -> Result<Record, String> {
                     "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
                 ));
             }
+            let service = match map.get("service") {
+                None | Some(Value::Null) => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err("field \"service\" must be a boolean".into()),
+            };
             Ok(Record::Meta {
                 schema: schema as u32,
                 task: req_str(map, "task")?,
                 scale: req_str(map, "scale")?,
                 wall_secs: req_num(map, "wall_secs")?,
+                service,
             })
         }
         "counter" => Ok(Record::Counter {
@@ -227,6 +239,20 @@ pub fn meta_line(task: &str, scale: &str, wall_secs: f64) -> String {
     obj.finish()
 }
 
+/// Build the `meta` line for a *service* window (a long-running daemon
+/// like `sweepd`): same header plus `"service":true`, which exempts the
+/// window from the phase-coverage rule in `obs_report --check`.
+pub fn meta_service_line(task: &str, scale: &str, wall_secs: f64) -> String {
+    let mut obj = json::ObjectBuilder::new();
+    obj.str_field("type", "meta");
+    obj.num_field("schema", SCHEMA_VERSION as f64);
+    obj.str_field("task", task);
+    obj.str_field("scale", scale);
+    obj.num_field("wall_secs", wall_secs);
+    obj.raw_field("service", "true");
+    obj.finish()
+}
+
 /// Build a `warning` line: a recovered anomaly worth surfacing in
 /// `obs_report`, attributed to the subsystem that saw it.
 pub fn warning_line(source: &str, reason: &str) -> String {
@@ -250,14 +276,32 @@ mod tests {
                 task,
                 scale,
                 wall_secs,
+                service,
             } => {
                 assert_eq!(schema, SCHEMA_VERSION);
                 assert_eq!(task, "fig09_vgg_adacomm");
                 assert_eq!(scale, "quick");
                 assert_eq!(wall_secs, 1.25);
+                assert!(!service, "batch meta lines must not be marked service");
             }
             other => panic!("unexpected record {other:?}"),
         }
+    }
+
+    #[test]
+    fn service_meta_line_round_trips() {
+        let line = meta_service_line("sweepd", "smoke", 3.5);
+        match parse_line(&line).unwrap() {
+            Record::Meta { task, service, .. } => {
+                assert_eq!(task, "sweepd");
+                assert!(service);
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+        assert!(validate_line(
+            r#"{"type":"meta","schema":1,"task":"t","scale":"s","wall_secs":0,"service":"yes"}"#
+        )
+        .is_err());
     }
 
     #[test]
