@@ -35,17 +35,32 @@
 //! 7. **mid-burst SIGTERM** — while a mixed burst is in flight, the
 //!    daemon receives SIGTERM; it drains (every waiter gets `ok` or
 //!    `draining`, nothing hangs) and **exits 0**.
+//! 8. **crash drill (SIGKILL-equivalent)** — a fresh daemon is armed
+//!    with the `server.journal.post_append_abort` failpoint, so it dies
+//!    abruptly at the exact instant a request has been journaled but not
+//!    executed. The restarted daemon — on the same socket, reclaiming
+//!    the stale socket file and the dead process's store lock — replays
+//!    the journal, completes the lost run, garbage-collects orphan temp
+//!    files, and serves a re-request of the same spec from the store
+//!    (never recomputing it as if the accept had been lost).
+//! 9. **seeded failpoint sweep** — ≥ 20 distinct store-layer failpoint
+//!    activations (I/O errors, CRC flips, torn writes, orphaned temps,
+//!    failed renames, unreadable loads) against a scratch store: every
+//!    damaged frame loads as a structured reject and zero corrupted
+//!    traces are ever served.
 //!
-//! Results (latency/throughput plus the final service counters) are
-//! written to `BENCH_9.json` at the repository root (`--out` overrides).
-//! `--trace DIR` is forwarded to the daemon, which writes
-//! `DIR/sweepd.jsonl` during the SIGTERM drain — `obs_report --check`
-//! then validates the service window and surfaces the `server.*`
-//! counters this suite made nonzero.
+//! Results (latency/throughput, the final service counters, and the
+//! crash-drill/failpoint-sweep outcomes) are written to `BENCH_10.json`
+//! at the repository root (`--out` overrides). `--trace DIR` is
+//! forwarded to the daemon, which writes `DIR/sweepd.jsonl` during the
+//! SIGTERM drain — `obs_report --check` then validates the service
+//! window and surfaces the `server.*` counters this suite made nonzero.
 
 use adacomm_bench::server::protocol::{
     self, Command, ErrorKind, Request, Response, ResponseBody, RunRequest, StatsBody,
 };
+use adacomm_bench::sweep::{LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine, SweepSpec};
+use adacomm_bench::{failpoint, LoadOutcome, RunStore};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -62,7 +77,7 @@ extern "C" {
 const SIGTERM: i32 = 15;
 
 /// Which `BENCH_<n>.json` this binary emits.
-const BENCH_ID: u32 = 9;
+const BENCH_ID: u32 = 10;
 
 fn repo_root() -> PathBuf {
     match std::env::var("CARGO_MANIFEST_DIR") {
@@ -173,6 +188,17 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(socket: &Path, queue_limit: usize, trace_dir: Option<&Path>) -> Daemon {
+        Daemon::spawn_with(socket, queue_limit, trace_dir, &[])
+    }
+
+    /// Like [`Daemon::spawn`], with extra environment variables — the
+    /// crash drill arms failpoints in the child only.
+    fn spawn_with(
+        socket: &Path,
+        queue_limit: usize,
+        trace_dir: Option<&Path>,
+        envs: &[(&str, &str)],
+    ) -> Daemon {
         let exe = std::env::current_exe()
             .ok()
             .and_then(|p| p.parent().map(|d| d.join("sweepd")))
@@ -188,6 +214,9 @@ impl Daemon {
             .arg("--smoke")
             .stdout(Stdio::inherit())
             .stderr(Stdio::inherit());
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
         if let Some(dir) = trace_dir {
             cmd.arg("--trace").arg(dir);
         }
@@ -227,6 +256,23 @@ impl Daemon {
                 }
                 Ok(None) => std::thread::sleep(Duration::from_millis(25)),
                 Err(e) => fail(&format!("waiting for sweepd: {e}")),
+            }
+        }
+    }
+
+    /// Waits for a daemon expected to die abruptly (crash drill):
+    /// returns true once it is gone, without judging the exit status.
+    fn wait_for_death(mut self, limit: Duration) -> bool {
+        let deadline = Instant::now() + limit;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    return false;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(25)),
+                Err(_) => return true,
             }
         }
     }
@@ -696,6 +742,183 @@ fn main() {
         hung.load(Ordering::SeqCst)
     );
 
+    // --- Phase 8: crash drill (journaled accept survives a kill) ------
+    let phase_started = Instant::now();
+    // Arm the child-only failpoint: the daemon dies abruptly (abort ==
+    // SIGKILL as far as disk state is concerned — no drain, no Drop) at
+    // the exact moment a request is journaled but not yet executed.
+    let crash_daemon = Daemon::spawn_with(
+        &socket,
+        8,
+        None,
+        &[("ADACOMM_FAILPOINTS", "server.journal.post_append_abort=1")],
+    );
+    let drill_spec = concept_run(77, fast);
+    {
+        let stream = connect(&socket);
+        send_line(
+            &stream,
+            &protocol::encode_request(&Request {
+                id: Some(300),
+                cmd: Command::Run(drill_spec.clone()),
+            }),
+        );
+        // The daemon dies mid-request: EOF, never a reply.
+        if read_response(&mut BufReader::new(&stream)).is_some() {
+            fail("crash drill: the armed daemon must die before answering");
+        }
+    }
+    if !crash_daemon.wait_for_death(Duration::from_secs(30)) {
+        fail("crash drill: armed daemon did not die");
+    }
+    // Plant an orphaned temp file: exactly the debris a torn save leaves.
+    let orphan = store_dir.join("junk.tmp.999");
+    if std::fs::create_dir_all(&store_dir)
+        .and_then(|()| std::fs::write(&orphan, b"debris"))
+        .is_err()
+    {
+        fail("crash drill: cannot plant the orphan temp file");
+    }
+    // Restart on the SAME socket: the stale socket file and the dead
+    // daemon's store lock must both be reclaimed, the journal replayed,
+    // and the orphan GC'd — all before the socket accepts again.
+    let daemon = Daemon::spawn(&socket, 8, None);
+    let recovered = stats(&socket);
+    if recovered.journal_replays < 1 || recovered.recovered_runs < 1 {
+        fail(&format!(
+            "crash drill: restart must replay the journal (journal_replays {}, \
+             recovered_runs {})",
+            recovered.journal_replays, recovered.recovered_runs
+        ));
+    }
+    if recovered.gc_orphans < 1 {
+        fail(&format!(
+            "crash drill: startup GC must reclaim the planted orphan (gc_orphans {})",
+            recovered.gc_orphans
+        ));
+    }
+    // The killed request was never answered — but its work was not lost:
+    // a re-request is served from the store, not recomputed.
+    let rerequest = call(&socket, 301, Command::Run(drill_spec));
+    match &rerequest.body {
+        ResponseBody::Run(r) if r.source != "computed" => {}
+        other => fail(&format!(
+            "crash drill: re-request must hit recovered state, got {other:?}"
+        )),
+    }
+    let leftover_tmp = std::fs::read_dir(&store_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .count()
+        })
+        .unwrap_or(0);
+    if leftover_tmp != 0 {
+        fail(&format!(
+            "crash drill: {leftover_tmp} orphaned temp files survived recovery"
+        ));
+    }
+    let crash_recovered = (
+        recovered.journal_replays,
+        recovered.recovered_runs,
+        recovered.gc_orphans,
+    );
+    let drain = call(&socket, 302, Command::Shutdown);
+    if !matches!(drain.body, ResponseBody::ShuttingDown) {
+        fail("crash drill: shutdown request refused");
+    }
+    let crash_exit = daemon.wait_with_deadline(Duration::from_secs(60));
+    if crash_exit != 0 {
+        fail(&format!(
+            "crash drill: recovered daemon exited {crash_exit}"
+        ));
+    }
+    println!(
+        "phase 8 crash drill: kill-after-journal-append -> restart replayed {} accept(s), \
+         recovered {} run(s), GC'd {} orphan(s), re-request served from recovered state \
+         in {:.2} s",
+        crash_recovered.0,
+        crash_recovered.1,
+        crash_recovered.2,
+        phase_started.elapsed().as_secs_f64()
+    );
+
+    // --- Phase 9: seeded store failpoint sweep ------------------------
+    let phase_started = Instant::now();
+    let sweep_dir = std::env::temp_dir().join(format!(
+        "adacomm-load-suite-{}-failpoints",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let spec = SweepSpec::new(
+        ScenarioSpec::Concept,
+        SchedulerSpec::Fixed { tau: 2 },
+        LrSpec::Fixed,
+    )
+    .with_budget(20.0, 5.0);
+    let reference = SweepEngine::with_parallelism(false)
+        .with_store(RunStore::new(sweep_dir.join("golden")))
+        .run(std::slice::from_ref(&spec))
+        .remove(0);
+    let key = spec.key();
+    let mut activations = Vec::new();
+    for site in [
+        "store.save.io_error",
+        "store.save.corrupt",
+        "store.save.torn",
+        "store.save.orphan_tmp",
+        "store.save.rename_fail",
+    ] {
+        for skip in [0u32, 1] {
+            for count in [1u32, 2] {
+                activations.push((site, skip, count));
+            }
+        }
+    }
+    activations.push(("store.load.unreadable", 0, 1));
+    activations.push(("store.load.unreadable", 0, 3));
+    let (mut sweep_rejects, mut sweep_corrupted) = (0u64, 0u64);
+    for (i, (site, skip, count)) in activations.iter().enumerate() {
+        let dir = sweep_dir.join(format!("case_{i}"));
+        let store = RunStore::new(&dir);
+        failpoint::arm_after(site, *skip, *count);
+        let _ = store.save(&key, &reference);
+        for _ in 0..3 {
+            match store.load(&key) {
+                LoadOutcome::Hit(trace) => {
+                    if trace.final_loss().to_bits() != reference.final_loss().to_bits()
+                        || trace.rounds != reference.rounds
+                    {
+                        sweep_corrupted += 1;
+                    }
+                }
+                LoadOutcome::Absent => {}
+                LoadOutcome::Rejected(_) => {
+                    sweep_rejects += 1;
+                    store.evict(&key);
+                }
+            }
+        }
+        failpoint::disarm_all();
+    }
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    if sweep_corrupted != 0 {
+        fail(&format!(
+            "failpoint sweep: {sweep_corrupted} corrupted loads slipped through"
+        ));
+    }
+    if sweep_rejects == 0 {
+        fail("failpoint sweep: no activation exercised a reject path");
+    }
+    println!(
+        "phase 9 failpoints: {} seeded activations -> {} structured rejects, 0 corrupted \
+         loads in {:.2} s",
+        activations.len(),
+        sweep_rejects,
+        phase_started.elapsed().as_secs_f64()
+    );
+
     // --- Report -------------------------------------------------------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -740,6 +963,19 @@ fn main() {
         final_stats.deadline_misses,
         final_stats.request_panics,
         final_stats.unique_runs
+    );
+    let _ = writeln!(
+        json,
+        "  \"crash_drill\": {{\"journal_replays\": {}, \"recovered_runs\": {}, \
+         \"gc_orphans\": {}, \"orphan_tmp_after\": {leftover_tmp}, \
+         \"recovered_daemon_exit_code\": {crash_exit}}},",
+        crash_recovered.0, crash_recovered.1, crash_recovered.2
+    );
+    let _ = writeln!(
+        json,
+        "  \"failpoint_sweep\": {{\"activations\": {}, \"structured_rejects\": {sweep_rejects}, \
+         \"corrupted_loads\": {sweep_corrupted}}},",
+        activations.len()
     );
     let _ = writeln!(json, "  \"sigterm_drain_exit_code\": {exit_code}");
     let _ = writeln!(json, "}}");

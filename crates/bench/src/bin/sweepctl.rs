@@ -1,32 +1,53 @@
 //! `sweepctl` — command-line client for the `sweepd` sweep service.
 //!
 //! ```sh
-//! sweepctl [--socket PATH] ping
+//! sweepctl [--socket PATH] [--retries N] [--retry-base-ms N] ping
 //! sweepctl [--socket PATH] stats
+//! sweepctl [--socket PATH] gc
 //! sweepctl [--socket PATH] shutdown
 //! sweepctl [--socket PATH] figure NAME
 //! sweepctl [--socket PATH] run SCENARIO [--scheduler fixed|adacomm]
 //!          [--tau N] [--budget TOTAL RECORD] [--deadline-ms N] [--panic]
 //! ```
 //!
-//! Sends exactly one request over the daemon's Unix-domain socket and
-//! prints the response. Exit status: 0 on an `ok` response, 1 when the
-//! daemon answered with a structured error (`overloaded`, `deadline`,
-//! `draining`, `panic`, `failed`, `bad_request`), 2 on usage or
-//! connection problems — so shell scripts and CI can branch on the
-//! failure class printed on the first output line.
+//! Sends one request over the daemon's Unix-domain socket and prints the
+//! response. With `--retries N`, *retryable* outcomes — a refused or
+//! dropped connection (daemon restarting), `overloaded` (queue full),
+//! `draining` (daemon shutting down) — are retried up to N times with
+//! jittered exponential backoff. This is safe to do blindly: requests
+//! are idempotent on the server (content-addressed single-flight keys),
+//! so a retry either attaches to the surviving flight or recomputes the
+//! identical bytes.
+//!
+//! The exit-code contract is the scripting surface — CI chaos drills
+//! branch on it:
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | `ok` response                                              |
+//! | 1    | terminal error response (`failed`, `panic`, `bad_request`) |
+//! | 2    | usage error or connection failure (retries exhausted)      |
+//! | 3    | `overloaded` — shed by backpressure (retries exhausted)    |
+//! | 4    | `draining` — daemon shutting down (retries exhausted)      |
+//! | 5    | `deadline` — run parked resumably; re-request to resume    |
 
-use adacomm_bench::server::protocol::{self, Command, Request, Response, ResponseBody, RunRequest};
+use adacomm_bench::server::protocol::{
+    self, Command, ErrorKind, Request, Response, ResponseBody, RunRequest,
+};
+use binio::fnv1a64;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 const USAGE: &str = "\
-usage: sweepctl [--socket PATH] COMMAND
+usage: sweepctl [--socket PATH] [--retries N] [--retry-base-ms N] COMMAND
 
 commands:
   ping                  liveness probe
-  stats                 service counters (requests, shed, dedup hits, ...)
+  stats                 service counters (requests, shed, recovery, ...)
+  gc                    sweep the daemon's store for orphaned temp files
+                        and aged parked frames; prints what was reclaimed
   shutdown              ask the daemon to drain gracefully and exit
   figure NAME           render one registry figure (CSVs land in the
                         daemon's results directory, byte-identical to a
@@ -41,8 +62,19 @@ commands:
     --panic             forced-panic drill (isolated to this request)
 
   --socket PATH         daemon socket (default /tmp/adacomm-sweepd.sock)
+  --retries N           retry retryable outcomes (connection refused/lost,
+                        overloaded, draining) up to N times with jittered
+                        exponential backoff (default 0); safe because
+                        requests are idempotent on the server
+  --retry-base-ms N     backoff base delay in milliseconds (default 50)
 
-exit status: 0 ok response, 1 error response, 2 usage/connection failure";
+exit status:
+  0 ok response
+  1 terminal error response (failed, panic, bad_request)
+  2 usage error or connection failure (after retries)
+  3 overloaded — request shed by backpressure (after retries)
+  4 draining — daemon is shutting down (after retries)
+  5 deadline — partial progress parked; re-request to resume";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("sweepctl: {message}\n{USAGE}");
@@ -96,6 +128,96 @@ fn parse_run(args: &[String]) -> RunRequest {
     }
 }
 
+/// Pops `--flag VALUE` from `args`, parsed as a number.
+fn take_numeric_flag(args: &mut Vec<String>, flag: &str, default: u64) -> u64 {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return default;
+    };
+    if i + 1 >= args.len() {
+        usage_error(&format!("{flag} requires a value"));
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    raw.parse().unwrap_or_else(|_| {
+        usage_error(&format!(
+            "{flag} must be a non-negative integer, got {raw:?}"
+        ))
+    })
+}
+
+/// One attempt's outcome, classified for the retry loop.
+enum Attempt {
+    /// A parsed response arrived (any body, including errors).
+    Answered(Response),
+    /// The transport failed in a way a daemon restart will cure.
+    ConnectionFailed(String),
+}
+
+fn attempt(socket: &Path, request: &Request) -> Attempt {
+    let stream = match UnixStream::connect(socket) {
+        Ok(stream) => stream,
+        Err(e) => {
+            return Attempt::ConnectionFailed(format!(
+                "cannot connect to {}: {e}",
+                socket.display()
+            ))
+        }
+    };
+    let line = protocol::encode_request(request);
+    let mut writer = &stream;
+    if writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return Attempt::ConnectionFailed("connection lost while sending".into());
+    }
+    let mut reply = String::new();
+    match BufReader::new(&stream).read_line(&mut reply) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            return Attempt::ConnectionFailed(
+                "daemon closed the connection without replying".into(),
+            )
+        }
+    }
+    match protocol::parse_response(reply.trim()) {
+        Ok(response) => Attempt::Answered(response),
+        Err(e) => {
+            eprintln!("sweepctl: unparseable response ({e}): {}", reply.trim());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Whether a structured error is worth retrying: transient service
+/// states, not verdicts about the request itself.
+fn retryable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Overloaded | ErrorKind::Draining)
+}
+
+/// The documented exit code for an error response.
+fn exit_code(kind: ErrorKind) -> i32 {
+    match kind {
+        ErrorKind::Overloaded => 3,
+        ErrorKind::Draining => 4,
+        ErrorKind::Deadline => 5,
+        ErrorKind::BadRequest | ErrorKind::Panic | ErrorKind::Failed => 1,
+    }
+}
+
+/// Deterministic jittered exponential backoff: base × 2^attempt, scaled
+/// by a pseudo-random factor in [0.5, 1.0) seeded from the request line
+/// and attempt index (stable across reruns, decorrelated across a burst
+/// of distinct requests), capped at 2 s.
+fn backoff(base_ms: u64, request_line: &str, attempt_index: u32) -> Duration {
+    let exp = base_ms.saturating_mul(1 << attempt_index.min(10));
+    let seed = fnv1a64(request_line.as_bytes()) ^ u64::from(attempt_index).wrapping_mul(0x9e37);
+    let jittered = exp / 2 + seed % (exp / 2).max(1);
+    Duration::from_millis(jittered.min(2_000))
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -114,9 +236,12 @@ fn main() {
             path
         })
         .unwrap_or_else(|| PathBuf::from("/tmp/adacomm-sweepd.sock"));
+    let retries = take_numeric_flag(&mut args, "--retries", 0);
+    let retry_base_ms = take_numeric_flag(&mut args, "--retry-base-ms", 50).max(1);
     let cmd = match args.first().map(String::as_str) {
         Some("ping") => Command::Ping,
         Some("stats") => Command::Stats,
+        Some("gc") => Command::Gc,
         Some("shutdown") => Command::Shutdown,
         Some("figure") => Command::Figure {
             name: match args.get(1) {
@@ -129,43 +254,44 @@ fn main() {
         None => usage_error("a command is required"),
     };
 
-    let stream = match UnixStream::connect(&socket) {
-        Ok(stream) => stream,
-        Err(e) => {
-            eprintln!("sweepctl: cannot connect to {}: {e}", socket.display());
-            std::process::exit(2);
-        }
-    };
     let request = Request { id: Some(1), cmd };
-    let line = protocol::encode_request(&request);
-    let mut writer = &stream;
-    if writer
-        .write_all(line.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .is_err()
-    {
-        eprintln!("sweepctl: connection lost while sending");
-        std::process::exit(2);
-    }
-    let mut reply = String::new();
-    match BufReader::new(&stream).read_line(&mut reply) {
-        Ok(n) if n > 0 => {}
-        _ => {
-            eprintln!("sweepctl: daemon closed the connection without replying");
-            std::process::exit(2);
-        }
-    }
-    let response = match protocol::parse_response(reply.trim()) {
-        Ok(response) => response,
-        Err(e) => {
-            eprintln!("sweepctl: unparseable response ({e}): {}", reply.trim());
-            std::process::exit(2);
-        }
-    };
-    print_response(&response);
-    if matches!(response.body, ResponseBody::Error { .. }) {
-        std::process::exit(1);
+    let request_line = protocol::encode_request(&request);
+    let mut tries = 0u32;
+    loop {
+        let out_of_retries = u64::from(tries) >= retries;
+        let failure = match attempt(&socket, &request) {
+            Attempt::Answered(response) => match response.body {
+                ResponseBody::Error { kind, ref message } if retryable(kind) && !out_of_retries => {
+                    format!("{}: {message}", kind.as_str())
+                }
+                _ => {
+                    // Final answer (ok, terminal error, or a retryable
+                    // error with retries exhausted): print it and exit
+                    // under the documented contract.
+                    print_response(&response);
+                    let code = match response.body {
+                        ResponseBody::Error { kind, .. } => exit_code(kind),
+                        _ => 0,
+                    };
+                    std::process::exit(code);
+                }
+            },
+            Attempt::ConnectionFailed(reason) => {
+                if out_of_retries {
+                    eprintln!("sweepctl: {reason}");
+                    std::process::exit(2);
+                }
+                reason
+            }
+        };
+        let wait = backoff(retry_base_ms, &request_line, tries);
+        eprintln!(
+            "sweepctl: {failure}; retrying in {} ms ({}/{retries})",
+            wait.as_millis(),
+            tries + 1
+        );
+        std::thread::sleep(wait);
+        tries += 1;
     }
 }
 
@@ -181,6 +307,20 @@ fn print_response(response: &Response) {
             println!(
                 "unique_runs {}  queue_depth {}  draining {}",
                 s.unique_runs, s.queue_depth, s.draining
+            );
+            println!(
+                "recovered_runs {}  journal_replays {}  gc_orphans {}",
+                s.recovered_runs, s.journal_replays, s.gc_orphans
+            );
+        }
+        ResponseBody::Gc {
+            tmp_removed,
+            parked_removed,
+            parked_kept,
+        } => {
+            println!(
+                "gc: {tmp_removed} temp files and {parked_removed} aged parked frames \
+                 reclaimed, {parked_kept} parked frames kept"
             );
         }
         ResponseBody::Figure { name, wall_ms } => {

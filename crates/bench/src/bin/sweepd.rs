@@ -3,7 +3,8 @@
 //! ```sh
 //! cargo run --release -p adacomm-bench --bin sweepd -- \
 //!     [--socket PATH] [--workers N] [--queue-limit N] \
-//!     [--smoke|--full] [--no-cache] [--trace DIR]
+//!     [--smoke|--full] [--no-cache] [--trace DIR] \
+//!     [--park-every-rounds N] [--gc-age-secs N]
 //! ```
 //!
 //! Binds a Unix-domain socket (default `/tmp/adacomm-sweepd.sock`) and
@@ -18,19 +19,33 @@
 //! * **Store lock** — the daemon holds the run store's lockfile for its
 //!   whole lifetime, so a concurrent batch `reproduce_all` against the
 //!   same cache fails fast instead of interleaving writes. A lock left
-//!   by a crashed daemon is reclaimed automatically (pid liveness).
+//!   by a crashed daemon is reclaimed automatically (pid liveness), and
+//!   the reclaim itself is race-free: two restarting daemons contending
+//!   for one dead lock produce exactly one winner.
+//! * **Crash recovery** — before serving, the daemon garbage-collects
+//!   orphaned temp files and aged parked frames from the store, then
+//!   replays the crash-consistency journal: every request a killed
+//!   predecessor accepted but never answered is re-executed (resuming
+//!   parked checkpoints where they exist), so a `SIGKILL` loses zero
+//!   accepted work. The recovery counters surface through `stats`.
 //! * **SIGTERM / SIGINT → graceful drain** — stop accepting, answer
 //!   queued requests with `draining`, park in-flight runs resumably,
 //!   flush telemetry, remove the socket, exit 0. The `shutdown` protocol
 //!   command takes the identical path.
+//! * **`--park-every-rounds N`** — long runs park a resumable checkpoint
+//!   every N simulated rounds (default 256), bounding how much progress
+//!   a `SIGKILL` can destroy to one slice.
+//! * **`ADACOMM_FAILPOINTS`** — seeded fault-injection sites for chaos
+//!   drills (see `adacomm_bench::failpoint`); unknown names are a usage
+//!   error at startup, not a silent no-op.
 //! * **`--trace DIR`** — on exit, write one JSONL telemetry profile
 //!   (`DIR/sweepd.jsonl`) covering the serving window, headed by a
 //!   *service* meta line: `obs_report --check` validates it without
 //!   applying the phase-coverage rule (a daemon is mostly idle and its
 //!   workers overlap, so span self-times never tile the wall clock).
 
-use adacomm_bench::server::{Server, ServerConfig};
-use adacomm_bench::{RunStore, Scale, SweepEngine};
+use adacomm_bench::server::{self, Server, ServerConfig};
+use adacomm_bench::{failpoint, RunStore, Scale, SweepEngine};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -39,6 +54,7 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "\
 usage: sweepd [--socket PATH] [--workers N] [--queue-limit N]
               [--smoke|--full] [--no-cache] [--trace DIR]
+              [--park-every-rounds N] [--gc-age-secs N]
 
   --socket PATH      Unix-domain socket to listen on
                      (default /tmp/adacomm-sweepd.sock)
@@ -48,14 +64,27 @@ usage: sweepd [--socket PATH] [--workers N] [--queue-limit N]
   --smoke / --full   scale served scenarios are built at (default quick);
                      --smoke also redirects CSVs to results/smoke/
   --no-cache         serve without the persistent run store (no lockfile,
-                     no parking across restarts)
+                     no parking, no journal, no crash recovery)
+  --park-every-rounds N
+                     park a resumable checkpoint every N simulated rounds
+                     during long runs so a SIGKILL loses at most one
+                     slice (default 256; 0 disables)
+  --gc-age-secs N    startup GC removes parked checkpoint frames older
+                     than N seconds (default 86400)
   --trace DIR        write DIR/sweepd.jsonl (telemetry profile of the
                      serving window) during shutdown
   --help             print this help
 
+environment:
+  ADACOMM_FAILPOINTS  arm seeded fault-injection sites, e.g.
+                      \"store.save.torn=1;server.request.abort=skip:2:1\"
+                      (see adacomm_bench::failpoint for the site table)
+
 SIGTERM, SIGINT, and the `shutdown` protocol command all drain
 gracefully: queued requests are answered with `draining`, in-flight runs
-park their progress resumably in the store, and the process exits 0.";
+park their progress resumably in the store, and the process exits 0.
+After a SIGKILL, the next start replays the crash-consistency journal
+and completes every request the killed daemon had accepted.";
 
 /// Set by the signal handler; polled by the main loop. Signal-handler
 /// safe: a relaxed atomic store is all that happens in handler context.
@@ -80,11 +109,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn numeric_flag(args: &[String], flag: &str, default: usize) -> usize {
+fn numeric_flag(args: &[String], flag: &str, default: u64) -> u64 {
     match flag_value(args, flag) {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("{flag} requires a positive integer, got {raw:?}");
+            eprintln!("{flag} requires a non-negative integer, got {raw:?}");
             std::process::exit(2);
         }),
     }
@@ -96,18 +125,21 @@ fn main() {
         println!("{USAGE}");
         return;
     }
+    match failpoint::init_from_env() {
+        Ok(0) => {}
+        Ok(n) => eprintln!(
+            "sweepd: {n} failpoint site(s) armed from {}",
+            failpoint::ENV_VAR
+        ),
+        Err(e) => {
+            eprintln!("sweepd: bad {}: {e}", failpoint::ENV_VAR);
+            std::process::exit(2);
+        }
+    }
     let scale = Scale::from_env_and_args();
     if scale.is_smoke() {
         adacomm_bench::report::set_results_subdir("smoke");
     }
-    let config = ServerConfig {
-        socket_path: flag_value(&args, "--socket")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("/tmp/adacomm-sweepd.sock")),
-        workers: numeric_flag(&args, "--workers", 2),
-        queue_limit: numeric_flag(&args, "--queue-limit", 64),
-        scale,
-    };
     let trace_dir = flag_value(&args, "--trace").map(PathBuf::from);
     if trace_dir.is_some() && !telemetry::is_enabled() {
         eprintln!(
@@ -116,6 +148,8 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let park_every = numeric_flag(&args, "--park-every-rounds", 256);
+    let gc_age = Duration::from_secs(numeric_flag(&args, "--gc-age-secs", 24 * 60 * 60));
 
     // The engine owns the store; the daemon holds the store's lockfile
     // for its whole lifetime so batch writers against the same cache
@@ -124,8 +158,11 @@ fn main() {
     // reclaims via pid liveness.
     let mut engine = SweepEngine::default();
     let mut _store_lock = None;
+    let mut journal_path = None;
+    let mut recovery = server::RecoveryCounters::default();
     if !args.iter().any(|a| a == "--no-cache") {
-        let store = RunStore::new(RunStore::default_dir());
+        let store_dir = RunStore::default_dir();
+        let store = RunStore::new(&store_dir);
         match store.lock("sweepd") {
             Ok(lock) => _store_lock = Some(lock),
             Err(e) => {
@@ -133,8 +170,49 @@ fn main() {
                 std::process::exit(1);
             }
         }
+
         engine = engine.with_store(store);
+
+        // Startup crash recovery, strictly before the socket binds: GC
+        // the debris a killed predecessor left, then replay its journal
+        // so every accepted-but-unanswered request completes now.
+        let gc = engine.store().expect("store just attached").gc(gc_age);
+        let path = store_dir.join("journal.log");
+        let report = server::recover(&path, &engine, scale);
+        recovery = report.counters(gc.reclaimed());
+        eprintln!(
+            "sweepd: recovery: journal_replays={} recovered_runs={} resumed={} \
+             figures={} failed={} torn_tail={} gc_tmp={} gc_parked={} gc_kept={}",
+            report.replayed,
+            report.recovered_runs,
+            report.resumed_runs,
+            report.recovered_figures,
+            report.failed.len(),
+            report.torn_tail,
+            gc.tmp_removed,
+            gc.parked_removed,
+            gc.parked_kept,
+        );
+        for (key, reason) in &report.failed {
+            eprintln!("sweepd: recovery failed for {key}: {reason}");
+        }
+
+        journal_path = Some(path);
     }
+    if park_every > 0 {
+        engine = engine.with_periodic_park(park_every);
+    }
+    let config = ServerConfig {
+        socket_path: flag_value(&args, "--socket")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("/tmp/adacomm-sweepd.sock")),
+        workers: numeric_flag(&args, "--workers", 2) as usize,
+        queue_limit: numeric_flag(&args, "--queue-limit", 64) as usize,
+        scale,
+        journal_path,
+        gc_max_parked_age: gc_age,
+        recovery,
+    };
 
     // SAFETY: installing a handler that only stores a relaxed atomic.
     unsafe {
@@ -202,12 +280,16 @@ fn main() {
 
     println!(
         "sweepd: drained after {wall_secs:.2} s — {} requests ({} shed, {} dedup hits, \
-         {} deadline misses, {} request panics), {} unique runs",
+         {} deadline misses, {} request panics), {} unique runs, \
+         {} recovered, {} journal replays, {} gc orphans",
         stats.requests,
         stats.shed,
         stats.dedup_hits,
         stats.deadline_misses,
         stats.request_panics,
-        stats.unique_runs
+        stats.unique_runs,
+        stats.recovered_runs,
+        stats.journal_replays,
+        stats.gc_orphans
     );
 }

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failpoint;
 pub mod figures;
 pub mod panel;
 pub mod report;
@@ -25,7 +26,7 @@ pub mod sweep;
 pub use panel::{panel_csv, report_panel, save_panel_csv};
 pub use report::{ascii_series, write_csv, Table};
 pub use scale::Scale;
-pub use store::{CacheStats, LoadOutcome, ParkedOutcome, RunStore, StoreLock};
+pub use store::{CacheStats, GcStats, LoadOutcome, ParkedOutcome, RunStore, StoreLock};
 pub use sweep::{
     standard_panel_specs, CancellableRun, LrSpec, ScenarioSpec, SchedulerSpec, SweepEngine,
     SweepSpec, TraceSource,

@@ -35,15 +35,26 @@
 //!   into the store, then joins every thread so the process can flush
 //!   telemetry and exit 0.
 //!
+//! * **Crash consistency** — with a [`ServerConfig::journal_path`], every
+//!   accepted run/figure job is recorded in an append-only, CRC-framed,
+//!   fsync'd [`journal`] before it executes and discharged when its
+//!   flight completes. After a SIGKILL, [`recover`] replays the journal's
+//!   pending set — resuming parked checkpoints where the store has them,
+//!   recomputing deterministically otherwise — so no accepted request is
+//!   ever lost and the recovered results are bit-identical to the runs
+//!   the crash interrupted.
+//!
 //! Everything reports through the telemetry crate: `server.requests`,
 //! `server.shed`, `server.dedup_hits`, `server.deadline_misses`,
-//! `server.request_panics` counters, the `server.queue_depth` gauge and
-//! a `phase.server_request` span per executed request — all surfaced by
-//! `obs_report`.
+//! `server.request_panics`, `server.recovered_runs`,
+//! `server.journal_replays`, `server.gc_orphans` counters, the
+//! `server.queue_depth` gauge and a `phase.server_request` span per
+//! executed request — all surfaced by `obs_report`.
 
+use crate::failpoint;
 use crate::figures;
 use crate::supervisor::{self, SupervisorPolicy};
-use crate::sweep::{CancellableRun, SweepEngine};
+use crate::sweep::{CancellableRun, SweepEngine, TraceSource};
 use crate::Scale;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
@@ -53,8 +64,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+pub mod journal;
 pub mod protocol;
 
+use journal::Journal;
 use protocol::{Command, ErrorKind, Request, Response, ResponseBody, RunStats, StatsBody};
 
 /// Hard cap on one protocol line (1 MiB). A line that exceeds it is
@@ -76,6 +89,15 @@ pub struct ServerConfig {
     /// Scale every served scenario is built at (must match the batch
     /// reproduction it is compared against).
     pub scale: Scale,
+    /// Crash-consistency journal file. `None` disables journaling (e.g.
+    /// a cache-less daemon has nothing durable to recover into anyway).
+    pub journal_path: Option<PathBuf>,
+    /// Age past which a parked checkpoint frame is GC debris rather than
+    /// paused work (startup sweep and the `gc` command).
+    pub gc_max_parked_age: Duration,
+    /// Counters from the recovery pass that ran before this server
+    /// started, reported through `stats`.
+    pub recovery: RecoveryCounters,
 }
 
 impl Default for ServerConfig {
@@ -85,8 +107,22 @@ impl Default for ServerConfig {
             workers: 2,
             queue_limit: 64,
             scale: Scale::Quick,
+            journal_path: None,
+            gc_max_parked_age: Duration::from_secs(24 * 60 * 60),
+            recovery: RecoveryCounters::default(),
         }
     }
+}
+
+/// Startup recovery results carried into the server's `stats` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Interrupted runs completed by journal recovery.
+    pub recovered_runs: u64,
+    /// Journal accept records found pending and replayed.
+    pub journal_replays: u64,
+    /// Orphaned files reclaimed by the startup GC sweep.
+    pub gc_orphans: u64,
 }
 
 /// Aggregated service counters (also mirrored to telemetry).
@@ -97,6 +133,8 @@ struct Counters {
     dedup_hits: AtomicU64,
     deadline_misses: AtomicU64,
     request_panics: AtomicU64,
+    /// Seeded with the startup GC's reclaim count, grown by `gc` requests.
+    gc_orphans: AtomicU64,
 }
 
 /// A client waiting on a flight's outcome.
@@ -147,6 +185,7 @@ struct State {
 struct Shared {
     engine: Arc<SweepEngine>,
     config: ServerConfig,
+    journal: Option<Journal>,
     state: Mutex<State>,
     job_ready: Condvar,
     draining: AtomicBool,
@@ -181,9 +220,18 @@ impl Server {
         let listener = bind_socket(&config.socket_path)?;
         listener.set_nonblocking(true)?;
         let workers = config.workers.max(1);
+        let journal = match &config.journal_path {
+            Some(path) => Some(Journal::open(path)?),
+            None => None,
+        };
+        let counters = Counters {
+            gc_orphans: AtomicU64::new(config.recovery.gc_orphans),
+            ..Counters::default()
+        };
         let shared = Arc::new(Shared {
             engine,
             config,
+            journal,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 flights: HashMap::new(),
@@ -192,7 +240,7 @@ impl Server {
             job_ready: Condvar::new(),
             draining: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
             conn_handles: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -444,6 +492,35 @@ fn handle_line(shared: &Arc<Shared>, out: &Arc<Mutex<UnixStream>>, line: &str) {
             respond(out, &Response::ok(id, ResponseBody::ShuttingDown));
             shared.shutdown_requested.store(true, Ordering::SeqCst);
         }
+        Command::Gc => match shared.engine.store() {
+            Some(store) => {
+                let stats = store.gc(shared.config.gc_max_parked_age);
+                shared
+                    .counters
+                    .gc_orphans
+                    .fetch_add(stats.reclaimed(), Ordering::SeqCst);
+                telemetry::counter("server.gc_orphans").add(stats.reclaimed());
+                respond(
+                    out,
+                    &Response::ok(
+                        id,
+                        ResponseBody::Gc {
+                            tmp_removed: stats.tmp_removed,
+                            parked_removed: stats.parked_removed,
+                            parked_kept: stats.parked_kept,
+                        },
+                    ),
+                );
+            }
+            None => respond(
+                out,
+                &Response::error(
+                    id,
+                    ErrorKind::Failed,
+                    "no run store attached; nothing to garbage-collect",
+                ),
+            ),
+        },
         Command::Figure { name } => {
             if !figures::registry().iter().any(|f| f.name == name) {
                 respond(
@@ -456,6 +533,10 @@ fn handle_line(shared: &Arc<Shared>, out: &Arc<Mutex<UnixStream>>, line: &str) {
                 );
                 return;
             }
+            let journal_as = Request {
+                id: None,
+                cmd: Command::Figure { name: name.clone() },
+            };
             let job = Job {
                 kind: JobKind::Figure { name: name.clone() },
                 deadline: None,
@@ -468,6 +549,7 @@ fn handle_line(shared: &Arc<Shared>, out: &Arc<Mutex<UnixStream>>, line: &str) {
                     id,
                     out: Arc::clone(out),
                 },
+                Some(journal_as),
             );
         }
         Command::Run(run) => {
@@ -482,7 +564,16 @@ fn handle_line(shared: &Arc<Shared>, out: &Arc<Mutex<UnixStream>>, line: &str) {
                 .deadline_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms));
             // A forced-panic drill must never dedup against (or poison)
-            // the real run for the same spec: distinct flight key.
+            // the real run for the same spec: distinct flight key. It is
+            // also never journaled — replaying a drill after a crash
+            // would be a self-inflicted crash loop.
+            let journal_as = (!run.panic).then(|| Request {
+                id: None,
+                cmd: Command::Run(protocol::RunRequest {
+                    deadline_ms: None,
+                    ..run.clone()
+                }),
+            });
             let flight_key = if run.panic {
                 format!("panic|{}", spec.key())
             } else {
@@ -503,14 +594,23 @@ fn handle_line(shared: &Arc<Shared>, out: &Arc<Mutex<UnixStream>>, line: &str) {
                     id,
                     out: Arc::clone(out),
                 },
+                journal_as,
             );
         }
     }
 }
 
 /// Admission control: single-flight join, else bounded-queue insert,
-/// else shed.
-fn enqueue(shared: &Arc<Shared>, key: String, job: Job, waiter: Waiter) {
+/// else shed. An admitted job with a `journal_as` request is journaled
+/// (fsync'd) *before* it becomes visible to workers, so the crash-time
+/// pending set always covers every job a worker might have started.
+fn enqueue(
+    shared: &Arc<Shared>,
+    key: String,
+    job: Job,
+    waiter: Waiter,
+    journal_as: Option<Request>,
+) {
     if shared.draining.load(Ordering::SeqCst) {
         respond(
             &waiter.out,
@@ -541,6 +641,15 @@ fn enqueue(shared: &Arc<Shared>, key: String, job: Job, waiter: Waiter) {
             ),
         );
         return;
+    }
+    if let (Some(journal), Some(request)) = (&shared.journal, &journal_as) {
+        if let Err(e) = journal.append_accept(&key, request) {
+            // Journaling is best-effort: the request still runs, only its
+            // crash-recoverability is degraded. Surface it loudly.
+            telemetry::counter("server.journal_errors").inc();
+            telemetry::emit(|| telemetry::schema::warning_line("journal", &e.to_string()));
+        }
+        failpoint::abort_if("server.journal.post_append_abort");
     }
     state.flights.insert(
         key.clone(),
@@ -599,12 +708,34 @@ fn worker_loop(shared: &Arc<Shared>) {
                 );
             }
         }
+        // Terminal outcomes discharge the journal entry. Deadline and
+        // draining answers deliberately do not: their work is parked (or
+        // never ran), and the next daemon instance owes it — restart
+        // recovery finishes what this process could not.
+        let terminal = match &body {
+            ResponseBody::Run(_) | ResponseBody::Figure { .. } => true,
+            ResponseBody::Error { kind, .. } => matches!(
+                kind,
+                ErrorKind::Panic | ErrorKind::Failed | ErrorKind::BadRequest
+            ),
+            _ => false,
+        };
+        if terminal {
+            if let Some(journal) = &shared.journal {
+                if journal.append_done(&key).is_err() {
+                    telemetry::counter("server.journal_errors").inc();
+                }
+            }
+        }
     }
 }
 
 /// Runs one job to a response body (shared by every waiter).
 fn execute_job(shared: &Arc<Shared>, job: &Job) -> ResponseBody {
     let _span = telemetry::span("phase.server_request");
+    // The chaos drill's SIGKILL-equivalent: die the instant a worker
+    // picks up a request, after it was journaled.
+    failpoint::abort_if("server.request.abort");
     if shared.draining.load(Ordering::SeqCst) {
         return ResponseBody::Error {
             kind: ErrorKind::Draining,
@@ -761,7 +892,108 @@ fn stats_body(shared: &Arc<Shared>) -> StatsBody {
         unique_runs: shared.engine.unique_runs() as u64,
         queue_depth,
         draining: shared.draining.load(Ordering::SeqCst),
+        recovered_runs: shared.config.recovery.recovered_runs,
+        journal_replays: shared.config.recovery.journal_replays,
+        gc_orphans: shared.counters.gc_orphans.load(Ordering::SeqCst),
     }
+}
+
+/// Outcome of one [`recover`] pass.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Pending accept records found in the journal (work a previous
+    /// instance accepted but never completed).
+    pub replayed: u64,
+    /// Interrupted scenario runs completed by this pass.
+    pub recovered_runs: u64,
+    /// Of those, runs that continued a parked mid-run checkpoint instead
+    /// of recomputing from round zero.
+    pub resumed_runs: u64,
+    /// Interrupted figure renders completed by this pass.
+    pub recovered_figures: u64,
+    /// Whether the journal ended in a torn record — the normal signature
+    /// of a crash mid-append, discarded after the valid prefix.
+    pub torn_tail: bool,
+    /// Jobs that could not be recovered: `(key, reason)`.
+    pub failed: Vec<(String, String)>,
+}
+
+impl RecoveryReport {
+    /// Folds this report (plus the startup GC's reclaim count) into the
+    /// counters a [`ServerConfig`] carries into `stats`.
+    pub fn counters(&self, gc_orphans: u64) -> RecoveryCounters {
+        RecoveryCounters {
+            recovered_runs: self.recovered_runs + self.recovered_figures,
+            journal_replays: self.replayed,
+            gc_orphans,
+        }
+    }
+}
+
+/// Replays the crash-consistency journal at `journal_path` and completes
+/// every pending job against `engine` — the daemon calls this after
+/// acquiring the store lock and *before* binding the socket, so a
+/// restarted service already owns the results its predecessor promised.
+///
+/// Runs resume from parked checkpoints when the store holds one
+/// (bit-identical by the resume contract) and recompute deterministically
+/// otherwise; figures re-render, overwriting any partially-written CSVs
+/// with complete byte-identical ones. The journal is discarded afterwards
+/// — recovered work lives in the store now, and the server's own journal
+/// starts a fresh epoch.
+pub fn recover(journal_path: &Path, engine: &SweepEngine, scale: Scale) -> RecoveryReport {
+    let replay = Journal::replay(journal_path);
+    let mut report = RecoveryReport {
+        replayed: replay.pending.len() as u64,
+        torn_tail: replay.torn_tail,
+        ..RecoveryReport::default()
+    };
+    for (key, request) in replay.pending {
+        match request.cmd {
+            Command::Run(run) => match run.sweep_spec(scale) {
+                Ok(spec) => match engine.try_trace_cancellable(&spec, None) {
+                    Ok(CancellableRun::Done { source, .. }) => {
+                        report.recovered_runs += 1;
+                        if source == TraceSource::Resumed {
+                            report.resumed_runs += 1;
+                        }
+                    }
+                    Ok(CancellableRun::Cancelled) => {
+                        // Unreachable without a stop predicate; recorded
+                        // defensively rather than silently dropped.
+                        report
+                            .failed
+                            .push((key, "cancelled during recovery".into()));
+                    }
+                    Err(reason) => report.failed.push((key, reason)),
+                },
+                Err(reason) => report.failed.push((key, reason)),
+            },
+            Command::Figure { name } => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let figure = figures::registry().into_iter().find(|f| f.name == name)?;
+                    let mut out = String::new();
+                    Some((figure.run)(scale, engine, &mut out))
+                }));
+                match outcome {
+                    Ok(Some(Ok(()))) => report.recovered_figures += 1,
+                    Ok(Some(Err(e))) => report.failed.push((key, format!("figure I/O: {e}"))),
+                    Ok(None) => report
+                        .failed
+                        .push((key, format!("unknown figure \"{name}\""))),
+                    Err(_) => report.failed.push((key, "figure panicked".into())),
+                }
+            }
+            // Non-job commands never carry accept records; a foreign one
+            // in the journal is ignorable debris.
+            _ => {}
+        }
+    }
+    telemetry::counter("server.journal_replays").add(report.replayed);
+    telemetry::counter("server.recovered_runs")
+        .add(report.recovered_runs + report.recovered_figures);
+    journal::discard(journal_path);
+    report
 }
 
 /// Writes one response line; errors mean the client is gone and are

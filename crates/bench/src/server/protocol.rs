@@ -50,6 +50,9 @@ pub enum Command {
     Stats,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// Garbage-collect store debris (orphaned temp files, aged parked
+    /// frames) on demand.
+    Gc,
     /// Render one registry figure against the shared engine.
     Figure {
         /// Registry name, e.g. `fig01_concept`.
@@ -176,6 +179,15 @@ pub enum ResponseBody {
     Stats(StatsBody),
     /// `shutdown` acknowledgment (the drain follows asynchronously).
     ShuttingDown,
+    /// A completed `gc` request: what the sweep reclaimed.
+    Gc {
+        /// Orphaned temp files (and stale lock scratch) removed.
+        tmp_removed: u64,
+        /// Parked checkpoint frames past the age limit removed.
+        parked_removed: u64,
+        /// Parked frames young enough to keep for resumption.
+        parked_kept: u64,
+    },
     /// A completed `figure` request.
     Figure {
         /// The figure rendered.
@@ -229,6 +241,12 @@ pub struct StatsBody {
     pub queue_depth: u64,
     /// Whether the server is draining.
     pub draining: bool,
+    /// Interrupted runs completed by journal recovery at startup.
+    pub recovered_runs: u64,
+    /// Journal accept records replayed (pending work found) at startup.
+    pub journal_replays: u64,
+    /// Orphaned files reclaimed by GC (startup sweep plus `gc` requests).
+    pub gc_orphans: u64,
 }
 
 /// Failure classes a response can carry.
@@ -344,6 +362,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
         "ping" => Command::Ping,
         "stats" => Command::Stats,
         "shutdown" => Command::Shutdown,
+        "gc" => Command::Gc,
         "figure" => Command::Figure {
             name: req_str(obj, "name").map_err(fail)?,
         },
@@ -381,7 +400,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
         }
         other => {
             return Err(fail(format!(
-                "unknown cmd \"{other}\" (expected ping, stats, shutdown, figure, or run)"
+                "unknown cmd \"{other}\" (expected ping, stats, shutdown, gc, figure, or run)"
             )))
         }
     };
@@ -399,6 +418,7 @@ pub fn encode_request(request: &Request) -> String {
         Command::Ping => o.str_field("cmd", "ping"),
         Command::Stats => o.str_field("cmd", "stats"),
         Command::Shutdown => o.str_field("cmd", "shutdown"),
+        Command::Gc => o.str_field("cmd", "gc"),
         Command::Figure { name } => {
             o.str_field("cmd", "figure");
             o.str_field("name", name);
@@ -446,10 +466,24 @@ pub fn encode_response(response: &Response) -> String {
             o.num_field("unique_runs", s.unique_runs as f64);
             o.num_field("queue_depth", s.queue_depth as f64);
             o.raw_field("draining", if s.draining { "true" } else { "false" });
+            o.num_field("recovered_runs", s.recovered_runs as f64);
+            o.num_field("journal_replays", s.journal_replays as f64);
+            o.num_field("gc_orphans", s.gc_orphans as f64);
         }
         ResponseBody::ShuttingDown => {
             o.raw_field("ok", "true");
             o.str_field("result", "shutting_down");
+        }
+        ResponseBody::Gc {
+            tmp_removed,
+            parked_removed,
+            parked_kept,
+        } => {
+            o.raw_field("ok", "true");
+            o.str_field("result", "gc");
+            o.num_field("tmp_removed", *tmp_removed as f64);
+            o.num_field("parked_removed", *parked_removed as f64);
+            o.num_field("parked_kept", *parked_kept as f64);
         }
         ResponseBody::Figure { name, wall_ms } => {
             o.raw_field("ok", "true");
@@ -515,7 +549,15 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 Some(Value::Bool(b)) => *b,
                 _ => return Err("missing boolean field \"draining\"".into()),
             },
+            recovered_runs: need_u64("recovered_runs")?,
+            journal_replays: need_u64("journal_replays")?,
+            gc_orphans: need_u64("gc_orphans")?,
         }),
+        "gc" => ResponseBody::Gc {
+            tmp_removed: need_u64("tmp_removed")?,
+            parked_removed: need_u64("parked_removed")?,
+            parked_kept: need_u64("parked_kept")?,
+        },
         "figure" => ResponseBody::Figure {
             name: req_str(obj, "name")?,
             wall_ms: need_f64("wall_ms")?,

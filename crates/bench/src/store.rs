@@ -19,10 +19,19 @@
 //! bad entry and recomputes. Nothing in this module panics on foreign
 //! bytes.
 //!
-//! Writes go through a temporary file in the same directory followed by
-//! an atomic rename, so a concurrently-read entry is always either the
-//! old complete frame or the new complete frame, never a torn prefix.
+//! Writes go through a temporary file in the same directory (fsync'd
+//! before the rename) followed by an atomic rename, so a
+//! concurrently-read entry is always either the old complete frame or
+//! the new complete frame, never a torn prefix.
+//!
+//! Every filesystem touch is also a [`crate::failpoint`] site —
+//! `store.save.*`, `store.load.unreadable`, `store.park.*` — so drills
+//! can force torn frames, flipped bits, orphaned temp files, and rename
+//! failures at exact, deterministic moments. [`RunStore::gc`] is the
+//! recovery half: it sweeps the directory for the debris those crashes
+//! leave behind (orphaned `*.tmp.*` files, aged parked frames).
 
+use crate::failpoint;
 use binio::{crc32, fnv1a64, ByteReader, ByteWriter};
 use pasgd_sim::checkpoint::{read_run_trace, write_run_trace};
 use pasgd_sim::{RunCheckpoint, RunTrace};
@@ -30,7 +39,8 @@ use std::fs;
 use std::io;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Remaining injected save failures (tests and fault drills): while
 /// non-zero, each [`RunStore::save`] consumes one and fails with a
@@ -48,6 +58,19 @@ fn take_injected_save_failure() -> bool {
     INJECTED_SAVE_FAILURES
         .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
         .is_ok()
+}
+
+/// Per-process sequence for lock-claim scratch files, so two threads of
+/// one process racing for the same lock never share a claim file.
+static CLAIM_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` and fsyncs before returning, so a frame
+/// reported as saved survives a power-cut-style crash (the directory
+/// entry itself still rides on the later rename).
+fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
 }
 
 /// Layout version of the entry frame itself. Bump when the framing
@@ -145,6 +168,11 @@ impl RunStore {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Absent,
             Err(e) => return LoadOutcome::Rejected(format!("unreadable entry: {e}")),
         };
+        if failpoint::fire("store.load.unreadable") {
+            return LoadOutcome::Rejected(
+                "unreadable entry: injected transient read failure".into(),
+            );
+        }
         telemetry::counter("store.loads").inc();
         telemetry::counter("store.load_bytes").add(bytes.len() as u64);
         match decode_entry(&bytes, key) {
@@ -164,7 +192,7 @@ impl RunStore {
     /// the run already happened, the cache just stays cold.
     pub fn save(&self, key: &str, trace: &RunTrace) -> io::Result<PathBuf> {
         let _phase = telemetry::span("phase.store_save");
-        if take_injected_save_failure() {
+        if take_injected_save_failure() || failpoint::fire("store.save.io_error") {
             return Err(io::Error::other("injected save failure (fault drill)"));
         }
         let path = self.entry_path(key);
@@ -174,10 +202,33 @@ impl RunStore {
             fnv1a64(key.as_bytes()),
             std::process::id()
         ));
-        let frame = encode_entry(key, trace);
+        let mut frame = encode_entry(key, trace);
+        if failpoint::fire("store.save.corrupt") {
+            let mid = frame.len() / 2;
+            frame[mid] ^= 0x01;
+        }
+        if failpoint::fire("store.save.torn") {
+            // A crash mid-write that bypassed the temp-file discipline:
+            // half a frame at the final path, reported as success. The
+            // CRC armor turns it into a structured reject at load time.
+            let cut = frame.len() / 2;
+            write_sync(&path, &frame[..cut])?;
+            return Ok(path);
+        }
         telemetry::counter("store.saves").inc();
         telemetry::counter("store.save_bytes").add(frame.len() as u64);
-        fs::write(&tmp, frame)?;
+        write_sync(&tmp, &frame)?;
+        if failpoint::fire("store.save.orphan_tmp") {
+            // A crash between the temp write and the rename: the entry
+            // never appears, the orphan waits for GC.
+            return Err(io::Error::other(
+                "injected crash before rename (orphan tmp left behind)",
+            ));
+        }
+        if failpoint::fire("store.save.rename_fail") {
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::other("injected rename failure"));
+        }
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {
@@ -241,6 +292,14 @@ impl RunStore {
     /// reclaimed automatically — crash recovery needs no manual cleanup.
     /// Dropping the returned [`StoreLock`] releases the lock.
     ///
+    /// Acquisition is race-free against concurrent reclaimers: the lock
+    /// appears via `hard_link` from a pre-written claim file (atomic
+    /// create-with-contents — the lockfile is never observable empty),
+    /// and a stale lock is reclaimed by `rename`-ing it aside, which
+    /// exactly one racer can win. The loser re-probes, finds the
+    /// winner's fresh *live* lock, and fails fast — never two holders,
+    /// and never a racer deleting the lock another racer just acquired.
+    ///
     /// # Errors
     ///
     /// Fails with [`io::ErrorKind::WouldBlock`] when another *live*
@@ -250,22 +309,32 @@ impl RunStore {
     pub fn lock(&self, owner: &str) -> io::Result<StoreLock> {
         fs::create_dir_all(&self.dir)?;
         let path = self.lock_path();
-        // Two reclaim rounds: a stale lock is removed and the create
-        // retried; losing the re-create race twice to live holders is a
-        // genuine conflict.
-        for _ in 0..3 {
-            match fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut f) => {
-                    let _ = write!(f, "{} {owner}", std::process::id());
+        let seq = CLAIM_SEQ.fetch_add(1, Ordering::SeqCst);
+        let claim = self
+            .dir
+            .join(format!(".lock.claim.{}.{seq}", std::process::id()));
+        fs::write(&claim, format!("{} {owner}", std::process::id()))?;
+        let acquired = self.lock_from_claim(&path, &claim);
+        let _ = fs::remove_file(&claim);
+        acquired
+    }
+
+    /// The `hard_link`/probe/reclaim loop behind [`RunStore::lock`];
+    /// `claim` already holds this caller's `<pid> <owner>` line.
+    fn lock_from_claim(&self, path: &Path, claim: &Path) -> io::Result<StoreLock> {
+        // Two reclaim rounds: a stale lock is renamed aside and the link
+        // retried; losing the race twice to live holders is a genuine
+        // conflict.
+        for attempt in 0..3u32 {
+            match fs::hard_link(claim, path) {
+                Ok(()) => {
                     telemetry::counter("store.lock_acquisitions").inc();
-                    return Ok(StoreLock { path });
+                    return Ok(StoreLock {
+                        path: path.to_path_buf(),
+                    });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let contents = fs::read_to_string(&path).unwrap_or_default();
+                    let contents = fs::read_to_string(path).unwrap_or_default();
                     let mut parts = contents.split_whitespace();
                     let pid = parts.next().and_then(|p| p.parse::<u32>().ok());
                     let holder = parts.next().unwrap_or("unknown");
@@ -283,9 +352,18 @@ impl RunStore {
                         }
                         _ => {
                             // Dead pid or garbage contents: a crashed
-                            // writer never released it. Reclaim and retry.
-                            telemetry::counter("store.lock_reclaims").inc();
-                            let _ = fs::remove_file(&path);
+                            // writer never released it. Rename it aside —
+                            // only one racer's rename succeeds, so a
+                            // freshly re-acquired lock can never be
+                            // deleted by a slow racer. Either way, retry
+                            // the link.
+                            let grave = self
+                                .dir
+                                .join(format!(".lock.stale.{}.{attempt}", std::process::id()));
+                            if fs::rename(path, &grave).is_ok() {
+                                telemetry::counter("store.lock_reclaims").inc();
+                                let _ = fs::remove_file(&grave);
+                            }
                         }
                     }
                 }
@@ -321,6 +399,9 @@ impl RunStore {
     /// Returns the underlying I/O error; callers treat a failed park as
     /// lost progress, not a failed request.
     pub fn park(&self, key: &str, checkpoint: &RunCheckpoint) -> io::Result<PathBuf> {
+        if failpoint::fire("store.park.io_error") {
+            return Err(io::Error::other("injected park failure (fault drill)"));
+        }
         let path = self.parked_path(key);
         let parked_dir = path.parent().expect("parked path has a parent");
         fs::create_dir_all(parked_dir)?;
@@ -339,9 +420,14 @@ impl RunStore {
         w.put_u32(crc32(&payload));
         w.put_bytes(&payload);
         let frame = w.into_vec();
+        if failpoint::fire("store.park.torn") {
+            let cut = frame.len() / 2;
+            write_sync(&path, &frame[..cut])?;
+            return Ok(path);
+        }
         telemetry::counter("store.parks").inc();
         telemetry::counter("store.park_bytes").add(frame.len() as u64);
-        fs::write(&tmp, frame)?;
+        write_sync(&tmp, &frame)?;
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {
@@ -370,6 +456,91 @@ impl RunStore {
     /// run completes (or the checkpoint proves unusable). Best-effort.
     pub fn unpark(&self, key: &str) {
         let _ = fs::remove_file(self.parked_path(key));
+    }
+
+    /// Garbage-collects crash debris from the store directory:
+    ///
+    /// * orphaned `*.tmp.*` files (a writer died between its temp write
+    ///   and the rename) — always removed, in both the entry directory
+    ///   and `parked/`;
+    /// * leftover `.lock.claim.*` / `.lock.stale.*` scratch files older
+    ///   than a minute (younger ones may belong to a lock acquisition in
+    ///   flight right now);
+    /// * parked checkpoint frames older than `parked_max_age` — a run
+    ///   nobody re-requested for that long is abandoned, not paused.
+    ///
+    /// Call only while holding the store lock (the daemon does this at
+    /// startup, and on demand via `sweepctl gc`): the lock guarantees no
+    /// live writer owns any temp file we sweep. Errors on individual
+    /// files are skipped, never fatal; the returned [`GcStats`] counts
+    /// what was actually reclaimed.
+    pub fn gc(&self, parked_max_age: Duration) -> GcStats {
+        let mut stats = GcStats::default();
+        let stale_scratch = Duration::from_secs(60);
+        for entry in fs::read_dir(&self.dir).into_iter().flatten().flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let aged = |limit: Duration| {
+                entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= limit)
+            };
+            let reclaim = name.contains(".tmp.")
+                || ((name.starts_with(".lock.claim.") || name.starts_with(".lock.stale."))
+                    && aged(stale_scratch));
+            if reclaim && fs::remove_file(entry.path()).is_ok() {
+                stats.tmp_removed += 1;
+            }
+        }
+        for entry in fs::read_dir(self.dir.join("parked"))
+            .into_iter()
+            .flatten()
+            .flatten()
+        {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.contains(".tmp.") {
+                if fs::remove_file(entry.path()).is_ok() {
+                    stats.tmp_removed += 1;
+                }
+            } else if name.ends_with(".park") {
+                let expired = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age >= parked_max_age);
+                if expired && fs::remove_file(entry.path()).is_ok() {
+                    stats.parked_removed += 1;
+                } else {
+                    stats.parked_kept += 1;
+                }
+            }
+        }
+        telemetry::counter("store.gc_tmp_removed").add(stats.tmp_removed);
+        telemetry::counter("store.gc_parked_removed").add(stats.parked_removed);
+        stats
+    }
+}
+
+/// What one [`RunStore::gc`] sweep reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Orphaned temp files and stale lock-scratch files removed.
+    pub tmp_removed: u64,
+    /// Parked checkpoint frames older than the age limit removed.
+    pub parked_removed: u64,
+    /// Parked frames younger than the limit, left for resumption.
+    pub parked_kept: u64,
+}
+
+impl GcStats {
+    /// Total files reclaimed — the `server.gc_orphans` counter value.
+    pub fn reclaimed(&self) -> u64 {
+        self.tmp_removed + self.parked_removed
     }
 }
 
@@ -706,6 +877,89 @@ mod tests {
         fs::write(store.lock_path(), "not-a-pid at all").unwrap();
         let lock = store.lock("survivor2").expect("garbage lock is stale");
         drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_reclaim_race_has_exactly_one_winner() {
+        // Two threads race to reclaim the same dead-pid lock. The rename
+        // reclaim admits exactly one winner per round; the loser fails
+        // fast with WouldBlock and the winner's lockfile survives intact.
+        let dir =
+            std::env::temp_dir().join(format!("adacomm_store_lock_race_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let store = RunStore::new(&dir);
+
+        for round in 0..25 {
+            fs::write(store.lock_path(), "4000000000 crashed-daemon").unwrap();
+            let start = std::sync::Barrier::new(2);
+            let settled = std::sync::Barrier::new(2);
+            let (a, b) = std::thread::scope(|s| {
+                let racer = |label: &'static str| {
+                    let store = RunStore::new(&dir);
+                    let (start, settled) = (&start, &settled);
+                    s.spawn(move || {
+                        start.wait();
+                        let outcome = store.lock(label);
+                        // A winner holds its lock until the other racer's
+                        // attempt has finished, so the loser always probes
+                        // a live holder — no accidental handoff.
+                        settled.wait();
+                        outcome.map(drop)
+                    })
+                };
+                let a = racer("racer-a");
+                let b = racer("racer-b");
+                (a.join().unwrap(), b.join().unwrap())
+            });
+            let winners = [&a, &b].iter().filter(|r| r.is_ok()).count();
+            assert_eq!(winners, 1, "round {round}: got {a:?} / {b:?}");
+            let loser = if a.is_err() { a } else { b };
+            assert_eq!(
+                loser.unwrap_err().kind(),
+                io::ErrorKind::WouldBlock,
+                "round {round}: loser must fail fast with WouldBlock"
+            );
+            assert!(
+                !store.lock_path().exists(),
+                "round {round}: winner's drop must have released the lock"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_orphans_and_aged_parked_frames() {
+        let dir = std::env::temp_dir().join(format!("adacomm_store_gc_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = RunStore::new(&dir);
+        fs::create_dir_all(dir.join("parked")).unwrap();
+
+        fs::write(dir.join("0123456789abcdef.tmp.999"), b"orphan").unwrap();
+        fs::write(dir.join("parked").join("fedcba.tmp.999"), b"orphan").unwrap();
+        fs::write(dir.join("parked").join("00aa.park"), b"aged frame").unwrap();
+        fs::write(dir.join(".lock"), "1 live-holder").unwrap();
+        fs::write(dir.join("journal.log"), b"keep me").unwrap();
+        fs::write(dir.join("0123456789abcdef.run"), b"keep me").unwrap();
+
+        // Generous age limit: parked frames are kept, orphan tmps go.
+        let stats = store.gc(Duration::from_secs(3600));
+        assert_eq!(stats.tmp_removed, 2, "{stats:?}");
+        assert_eq!(stats.parked_removed, 0, "{stats:?}");
+        assert_eq!(stats.parked_kept, 1, "{stats:?}");
+
+        // Zero age limit: the parked frame is abandoned debris too.
+        let stats = store.gc(Duration::ZERO);
+        assert_eq!(stats.parked_removed, 1, "{stats:?}");
+        assert_eq!(stats.reclaimed(), 1, "{stats:?}");
+
+        assert!(dir.join(".lock").exists(), "gc must never touch the lock");
+        assert!(
+            dir.join("journal.log").exists(),
+            "gc must spare the journal"
+        );
+        assert!(dir.join("0123456789abcdef.run").exists(), "entries stay");
         let _ = fs::remove_dir_all(&dir);
     }
 

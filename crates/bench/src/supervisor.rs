@@ -143,6 +143,9 @@ pub fn run_supervised<T>(
             if consume_injected_panic(label) {
                 panic!("injected panic (fault drill) in {label}");
             }
+            if crate::failpoint::fire("supervisor.attempt.panic") {
+                panic!("injected panic (failpoint) in {label}");
+            }
             f()
         }));
         match result {

@@ -561,6 +561,7 @@ impl SweepSpec {
         &self,
         built: &BuiltScenario,
         resume: Option<&RunCheckpoint>,
+        stop_after_rounds: Option<u64>,
         stop: Option<&(dyn Fn() -> bool + Sync)>,
     ) -> Result<RunOutcome, String> {
         let mut scheduler = self.scheduler.build();
@@ -577,7 +578,7 @@ impl SweepSpec {
             budget,
             self.fault.is_active().then_some(self.fault),
             resume,
-            None,
+            stop_after_rounds,
             stop,
         )
     }
@@ -660,6 +661,11 @@ pub struct SweepEngine {
     /// key never re-executes on this engine: repeat requests fail fast
     /// with the recorded reason.
     failed: Mutex<HashMap<String, String>>,
+    /// Crash-consistency knob: when set (and a store is attached),
+    /// cancellable runs execute in slices of this many rounds, parking a
+    /// resumable checkpoint after each slice — a SIGKILL at any moment
+    /// loses at most one slice of progress.
+    park_every_rounds: Option<u64>,
 }
 
 /// Origin bookkeeping behind [`SweepEngine::cache_stats`]: `counted`
@@ -705,6 +711,7 @@ impl SweepEngine {
             warnings: Mutex::new(Vec::new()),
             supervisor: SupervisorPolicy::default(),
             failed: Mutex::new(HashMap::new()),
+            park_every_rounds: None,
         }
     }
 
@@ -727,6 +734,16 @@ impl SweepEngine {
     /// The attached persistent store, if any.
     pub fn store(&self) -> Option<&RunStore> {
         self.store.as_ref()
+    }
+
+    /// Enables periodic parking for cancellable runs: every `rounds`
+    /// averaging rounds, the in-flight run checkpoints into the attached
+    /// store (no-op without a store). Trades a little write traffic for
+    /// crash-consistency — after a SIGKILL, recovery resumes from the
+    /// last slice boundary instead of round zero, bit-identically.
+    pub fn with_periodic_park(mut self, rounds: u64) -> Self {
+        self.park_every_rounds = Some(rounds.max(1));
+        self
     }
 
     /// Cache-traffic counters so far: memory hits, disk hits, misses and
@@ -1041,10 +1058,47 @@ impl SweepEngine {
             let inflight = telemetry::gauge("sweep.inflight_runs");
             inflight.add(1);
             let run_started = std::time::Instant::now();
-            let (outcome, resumed) = match resume_ck.as_deref() {
-                Some(ck) => match spec.execute_cancellable(&built, Some(ck), stop) {
-                    Ok(outcome) => (outcome, true),
-                    Err(reason) => {
+            // With periodic parking enabled, the run executes in
+            // `park_every` round slices, persisting a resumable
+            // checkpoint between slices; otherwise one uninterrupted
+            // call. Either way the final trace is bit-identical (resume
+            // round-trips are exact by construction).
+            let park_every = if self.store.is_some() {
+                self.park_every_rounds
+            } else {
+                None
+            };
+            let mut resumed = resume_ck.is_some();
+            let mut mine: Option<Box<RunCheckpoint>> = None;
+            let mut use_initial = resumed;
+            let (outcome, resumed) = loop {
+                let resume_ref: Option<&RunCheckpoint> = if use_initial {
+                    resume_ck.as_deref()
+                } else {
+                    mine.as_deref()
+                };
+                let limit = park_every.map(|n| resume_ref.map_or(0, |ck| ck.cluster.rounds) + n);
+                match spec.execute_cancellable(&built, resume_ref, limit, stop) {
+                    Ok(RunOutcome::Completed(trace)) => {
+                        break (RunOutcome::Completed(trace), resumed)
+                    }
+                    Ok(RunOutcome::Checkpointed(ck)) => {
+                        if stop.is_some_and(|s| s()) {
+                            // The cooperative stop fired: this is a real
+                            // cancellation, handled by the caller.
+                            break (RunOutcome::Checkpointed(ck), resumed);
+                        }
+                        // Slice boundary: persist progress (best-effort)
+                        // and keep running.
+                        if let Some(store) = &self.store {
+                            if store.park(&key, &ck).is_ok() {
+                                telemetry::counter("sweep.periodic_parks").inc();
+                            }
+                        }
+                        use_initial = false;
+                        mine = Some(ck);
+                    }
+                    Err(reason) if use_initial => {
                         // A structurally-mismatched checkpoint (different
                         // build semantics, foreign spec): discard and
                         // start over. Fresh runs never fail.
@@ -1052,18 +1106,24 @@ impl SweepEngine {
                             "run store: parked checkpoint unusable on resume ({reason}); \
                              running fresh"
                         ));
-                        (
-                            spec.execute_cancellable(&built, None, stop)
+                        use_initial = false;
+                        resumed = false;
+                    }
+                    Err(reason) => {
+                        // A checkpoint this very process produced failed
+                        // to resume — should be impossible; degrade to a
+                        // fresh uninterrupted run rather than loop.
+                        self.warn(format!(
+                            "run store: mid-run slice checkpoint unusable ({reason}); \
+                             restarting the run uninterrupted"
+                        ));
+                        break (
+                            spec.execute_cancellable(&built, None, None, stop)
                                 .expect("fresh runs never fail"),
                             false,
-                        )
+                        );
                     }
-                },
-                None => (
-                    spec.execute_cancellable(&built, None, stop)
-                        .expect("fresh runs never fail"),
-                    false,
-                ),
+                }
             };
             telemetry::histogram("sweep.run_secs").observe(run_started.elapsed().as_secs_f64());
             inflight.add(-1);

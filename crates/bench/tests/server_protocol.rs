@@ -96,11 +96,13 @@ fn any_stats() -> impl Strategy<Value = StatsBody> {
     (
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, any_bool()),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
     )
         .prop_map(
             |(
                 (requests, shed, dedup_hits, deadline_misses),
                 (request_panics, unique_runs, queue_depth, draining),
+                (recovered_runs, journal_replays, gc_orphans),
             )| StatsBody {
                 requests,
                 shed,
@@ -110,6 +112,9 @@ fn any_stats() -> impl Strategy<Value = StatsBody> {
                 unique_runs,
                 queue_depth,
                 draining,
+                recovered_runs,
+                journal_replays,
+                gc_orphans,
             },
         )
 }

@@ -31,6 +31,7 @@ fn start(tag: &str, workers: usize, queue_limit: usize, engine: SweepEngine) -> 
         workers,
         queue_limit,
         scale: Scale::Quick,
+        ..ServerConfig::default()
     };
     Server::start(config, Arc::new(engine)).expect("start server")
 }
@@ -386,6 +387,7 @@ fn socket_binding_is_exclusive_but_reclaims_stale() {
         workers: 1,
         queue_limit: 8,
         scale: Scale::Quick,
+        ..ServerConfig::default()
     };
     let err = Server::start(config, Arc::new(SweepEngine::default()))
         .err()
@@ -405,6 +407,7 @@ fn socket_binding_is_exclusive_but_reclaims_stale() {
         workers: 1,
         queue_limit: 8,
         scale: Scale::Quick,
+        ..ServerConfig::default()
     };
     let handle =
         Server::start(config, Arc::new(SweepEngine::default())).expect("reclaim stale socket");
